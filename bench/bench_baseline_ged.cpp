@@ -1,0 +1,129 @@
+// A4 — baseline: exact graph edit distance vs the WL kernel.
+//
+// Section V-C motivates kernels by the exponential cost of edit distance.
+// This bench makes that claim a measurement: pairwise comparison time for
+// growing job sizes under exact A* GED vs the WL kernel, plus how well the
+// two similarity notions agree where GED is feasible.
+//
+// Expected shape: GED time explodes past ~10 tasks while WL stays flat;
+// rankings agree strongly on small jobs.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "kernel/ged.hpp"
+#include "kernel/wl.hpp"
+#include "trace/generator.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+using namespace cwgl;
+
+namespace {
+
+std::vector<kernel::LabeledGraph> jobs_of_size(int n, std::size_t count,
+                                               std::uint64_t seed) {
+  util::Xoshiro256StarStar rng(seed);
+  static constexpr graph::ShapePattern kShapes[] = {
+      graph::ShapePattern::StraightChain, graph::ShapePattern::InvertedTriangle,
+      graph::ShapePattern::Diamond, graph::ShapePattern::Trapezium};
+  std::vector<kernel::LabeledGraph> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    kernel::LabeledGraph g;
+    g.graph = trace::synthesize_shape(kShapes[i % 4], n, rng);
+    g.labels.resize(n);
+    for (int v = 0; v < n; ++v) {
+      g.labels[v] = g.graph.in_degree(v) == 0 ? 'M'
+                    : g.graph.out_degree(v) == 0 ? 'R'
+                                                 : 'J';
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+void print_figure() {
+  bench::banner("A4", "baseline: exact GED vs WL kernel cost and agreement");
+  std::cout << util::pad_left("size", 6) << util::pad_left("pairs", 7)
+            << util::pad_left("GED ms/pair", 13)
+            << util::pad_left("WL ms/pair", 12)
+            << util::pad_left("corr(simGED,simWL)", 20) << "\n";
+  for (int n = 2; n <= 9; ++n) {
+    const auto graphs = jobs_of_size(n, 6, 1000 + n);
+    std::vector<double> ged_sims, wl_sims;
+    util::WallTimer ged_timer;
+    std::size_t pairs = 0;
+    bool ged_exhausted = false;
+    kernel::GedOptions ged_options;
+    ged_options.max_expansions = 500000;
+    for (std::size_t i = 0; i < graphs.size() && !ged_exhausted; ++i) {
+      for (std::size_t j = i + 1; j < graphs.size(); ++j) {
+        try {
+          ged_sims.push_back(
+              kernel::ged_similarity(graphs[i], graphs[j], ged_options));
+        } catch (const util::Error&) {
+          ged_exhausted = true;
+          break;
+        }
+        ++pairs;
+      }
+    }
+    const double ged_ms = ged_timer.millis();
+    util::WallTimer wl_timer;
+    std::size_t wl_pairs = 0;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      for (std::size_t j = i + 1; j < graphs.size(); ++j) {
+        if (wl_pairs < pairs) {
+          wl_sims.push_back(
+              kernel::wl_subtree_similarity(graphs[i], graphs[j]));
+        }
+        ++wl_pairs;
+      }
+    }
+    const double wl_ms = wl_timer.millis();
+    const double corr = util::pearson(ged_sims, wl_sims);
+    std::cout << util::pad_left(std::to_string(n), 6)
+              << util::pad_left(std::to_string(pairs), 7)
+              << util::pad_left(
+                     pairs ? util::format_double(ged_ms / pairs, 3) : "-", 13)
+              << util::pad_left(
+                     pairs ? util::format_double(wl_ms / pairs, 3) : "-", 12)
+              << util::pad_left(util::format_double(corr, 3), 20)
+              << (ged_exhausted ? "  (GED budget exhausted)" : "") << "\n";
+  }
+}
+
+void BM_GedPair(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto graphs = jobs_of_size(n, 2, 2000 + n);
+  kernel::GedOptions options;
+  options.max_expansions = 5'000'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernel::graph_edit_distance(graphs[0], graphs[1], options));
+  }
+}
+BENCHMARK(BM_GedPair)->DenseRange(2, 8)->Unit(benchmark::kMicrosecond);
+
+void BM_WlPair(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto graphs = jobs_of_size(n, 2, 2000 + n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel::wl_subtree_kernel(graphs[0], graphs[1]));
+  }
+}
+BENCHMARK(BM_WlPair)->DenseRange(2, 8)->Arg(16)->Arg(31)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// A8 — extension: hashed WL embeddings (graph2vec-style) as the scale-out
+// path. The paper's Gram-matrix pipeline is O(n^2) in the number of jobs;
+// the trace has ~4M. Signed feature hashing of WL colors gives corpus-
+// independent O(n) embeddings whose cosine approximates the exact kernel,
+// so k-means can replace spectral clustering at scale.
+//
+// Expected shape: clustering agreement (ARI vs the exact spectral
+// reference) stays high while cost grows linearly instead of
+// quadratically; the crossover appears within a few hundred jobs.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "cluster/kmeans.hpp"
+#include "cluster/metrics.hpp"
+#include "core/clustering.hpp"
+#include "core/similarity.hpp"
+#include "kernel/embedding.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+using namespace cwgl;
+
+namespace {
+
+std::vector<kernel::LabeledGraph> to_corpus(std::span<const core::JobDag> jobs) {
+  std::vector<kernel::LabeledGraph> corpus;
+  for (const auto& job : jobs) corpus.push_back(job.to_labeled());
+  return corpus;
+}
+
+void print_figure() {
+  bench::banner("A8", "hashed WL embeddings vs exact gram + spectral");
+  std::cout << util::pad_left("jobs", 6) << util::pad_left("gram+spectral ms", 18)
+            << util::pad_left("embed+kmeans ms", 17)
+            << util::pad_left("ARI agreement", 15) << "\n";
+  for (std::size_t n : {50u, 100u, 200u, 400u}) {
+    const auto sample = bench::make_experiment_set(20000, n);
+    const auto corpus = to_corpus(sample);
+
+    util::WallTimer exact_timer;
+    const auto similarity = core::SimilarityAnalysis::compute(sample);
+    const auto spectral =
+        core::ClusteringAnalysis::compute(similarity.gram, sample, {});
+    const double exact_ms = exact_timer.millis();
+
+    util::WallTimer embed_timer;
+    kernel::EmbeddingConfig cfg;
+    cfg.wl.iterations = 1;  // match the pipeline's paper-faithful depth
+    cfg.dimensions = 256;
+    const auto embeddings = kernel::wl_embedding_matrix(corpus, cfg);
+    cluster::KMeansOptions km_options;
+    km_options.seed = 11;
+    const auto km = cluster::kmeans(embeddings, 5, km_options);
+    const double embed_ms = embed_timer.millis();
+
+    const double ari = cluster::adjusted_rand_index(spectral.labels, km.labels);
+    std::cout << util::pad_left(std::to_string(sample.size()), 6)
+              << util::pad_left(util::format_double(exact_ms, 1), 18)
+              << util::pad_left(util::format_double(embed_ms, 1), 17)
+              << util::pad_left(util::format_double(ari, 3), 15) << "\n";
+  }
+}
+
+void BM_EmbedCorpus(benchmark::State& state) {
+  const auto sample = bench::make_experiment_set(
+      20000, static_cast<std::size_t>(state.range(0)));
+  const auto corpus = to_corpus(sample);
+  kernel::EmbeddingConfig cfg;
+  cfg.dimensions = 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel::wl_embedding_matrix(corpus, cfg));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EmbedCorpus)->RangeMultiplier(2)->Range(50, 400)
+    ->Complexity(benchmark::oN)->Unit(benchmark::kMillisecond);
+
+void BM_EmbedSingleJob(benchmark::State& state) {
+  const auto sample = bench::make_experiment_set(20000, 50);
+  const auto corpus = to_corpus(sample);
+  kernel::EmbeddingConfig cfg;
+  cfg.dimensions = 256;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel::wl_embed(corpus[i % corpus.size()], cfg));
+    ++i;
+  }
+}
+BENCHMARK(BM_EmbedSingleJob)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig 2 — job-level abstraction of DAG batch workload.
+//
+// Prints a sample of job DAGs in GraphViz form (the paper's visual) plus the
+// aggregate vertex/edge volume of the abstraction, and times trace-to-DAG
+// construction, which is the substrate of every other figure.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/job_dag.hpp"
+#include "graph/dot.hpp"
+#include "trace/filter.hpp"
+
+using namespace cwgl;
+
+namespace {
+
+void print_figure() {
+  bench::banner("Fig 2", "job-level abstraction of DAG batch workload");
+  const auto sample = bench::make_experiment_set(20000, 100);
+
+  std::size_t vertices = 0, edges = 0;
+  for (const auto& job : sample) {
+    vertices += static_cast<std::size_t>(job.size());
+    edges += static_cast<std::size_t>(job.dag.num_edges());
+  }
+  std::cout << "abstraction over " << sample.size() << " sampled jobs: "
+            << vertices << " task vertices, " << edges
+            << " dependency edges\n\n";
+  std::cout << "first three job DAGs (render with graphviz dot):\n";
+  for (std::size_t i = 0; i < 3 && i < sample.size(); ++i) {
+    std::cout << graph::to_dot(sample[i].dag, sample[i].vertex_names(),
+                               sample[i].job_name);
+  }
+}
+
+void BM_BuildJobDags(benchmark::State& state) {
+  const trace::Trace data =
+      bench::make_trace(static_cast<std::size_t>(state.range(0)));
+  const trace::TraceIndex index(data);
+  std::size_t built = 0;
+  for (auto _ : state) {
+    built = 0;
+    for (const auto& group : index.jobs()) {
+      std::vector<trace::TaskRecord> records;
+      for (std::size_t i : group.tasks) records.push_back(data.tasks[i]);
+      if (auto job = core::build_job_dag(group.job_name, records)) {
+        benchmark::DoNotOptimize(job->dag.num_edges());
+        ++built;
+      }
+    }
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(index.jobs().size()), benchmark::Counter::kIsRate);
+  state.counters["dags_built"] = static_cast<double>(built);
+}
+BENCHMARK(BM_BuildJobDags)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig 7 — similarity score map formed by pairwise WL comparison of batch
+// job DAGs (100x100, cosine-normalized to [0,1]).
+//
+// Paper shape to reproduce: a red diagonal (self-similarity 1); smaller
+// graphs with short tails and low parallelism score systematically higher
+// pairwise similarity than large ones.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/report_text.hpp"
+#include "core/similarity.hpp"
+#include "linalg/eigen.hpp"
+
+using namespace cwgl;
+
+namespace {
+
+void print_figure() {
+  bench::banner("Fig 7", "pairwise WL similarity map of the experiment set");
+  const auto sample = bench::make_experiment_set();
+  util::ThreadPool pool;
+  const auto analysis = core::SimilarityAnalysis::compute(sample, {}, &pool);
+
+  core::print_similarity_summary(std::cout, analysis.stats(sample));
+  std::cout << "matrix is symmetric: "
+            << (analysis.gram.is_symmetric(1e-12) ? "yes" : "NO") << "\n";
+  std::cout << "matrix is PSD (valid kernel): "
+            << (linalg::is_positive_semidefinite(analysis.gram, 1e-7) ? "yes"
+                                                                      : "NO")
+            << "\n\n";
+  std::cout << "full similarity matrix (CSV rows, the Fig 7 heat map data):\n";
+  core::print_similarity_matrix(std::cout, analysis);
+}
+
+void BM_SimilarityMap(benchmark::State& state) {
+  const auto sample = bench::make_experiment_set(
+      20000, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SimilarityAnalysis::compute(sample));
+  }
+  state.counters["pairs"] =
+      static_cast<double>(sample.size() * (sample.size() + 1) / 2);
+}
+BENCHMARK(BM_SimilarityMap)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

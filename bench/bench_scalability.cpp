@@ -1,0 +1,85 @@
+// A5 — scalability of the graph-learning pipeline: kernel-matrix build time
+// vs corpus size (quadratic pair count, near-linear featurization), thread
+// scaling of the Gram stage, and end-to-end pipeline time vs trace size.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/pipeline.hpp"
+#include "kernel/gram.hpp"
+#include "kernel/wl.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+using namespace cwgl;
+
+namespace {
+
+void print_figure() {
+  bench::banner("A5", "scalability: corpus size, threads, end-to-end pipeline");
+  std::cout << util::pad_left("corpus", 8) << util::pad_left("gram ms", 10)
+            << util::pad_left("ms/pair", 10) << "\n";
+  for (std::size_t n : {25u, 50u, 100u, 200u, 400u}) {
+    const auto sample = bench::make_experiment_set(20000, n);
+    std::vector<kernel::LabeledGraph> corpus;
+    for (const auto& job : sample) corpus.push_back(job.to_labeled());
+    kernel::WlSubtreeFeaturizer featurizer;
+    util::WallTimer timer;
+    const auto gram = kernel::gram_matrix(featurizer, corpus);
+    const double ms = timer.millis();
+    const double pairs =
+        static_cast<double>(corpus.size() * (corpus.size() + 1)) / 2.0;
+    std::cout << util::pad_left(std::to_string(corpus.size()), 8)
+              << util::pad_left(util::format_double(ms, 1), 10)
+              << util::pad_left(util::format_double(ms / pairs, 4), 10) << "\n";
+  }
+}
+
+void BM_GramVsCorpusSize(benchmark::State& state) {
+  const auto sample = bench::make_experiment_set(
+      20000, static_cast<std::size_t>(state.range(0)));
+  std::vector<kernel::LabeledGraph> corpus;
+  for (const auto& job : sample) corpus.push_back(job.to_labeled());
+  for (auto _ : state) {
+    kernel::WlSubtreeFeaturizer featurizer;
+    benchmark::DoNotOptimize(kernel::gram_matrix(featurizer, corpus));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GramVsCorpusSize)->RangeMultiplier(2)->Range(25, 400)
+    ->Complexity(benchmark::oNSquared)->Unit(benchmark::kMillisecond);
+
+void BM_GramThreads(benchmark::State& state) {
+  const auto sample = bench::make_experiment_set(20000, 200);
+  std::vector<kernel::LabeledGraph> corpus;
+  for (const auto& job : sample) corpus.push_back(job.to_labeled());
+  util::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    kernel::WlSubtreeFeaturizer featurizer;
+    benchmark::DoNotOptimize(kernel::gram_matrix(featurizer, corpus, {}, &pool));
+  }
+}
+BENCHMARK(BM_GramThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndPipeline(benchmark::State& state) {
+  const trace::Trace data =
+      bench::make_trace(static_cast<std::size_t>(state.range(0)));
+  core::PipelineConfig cfg;
+  cfg.sample_size = 100;
+  const core::CharacterizationPipeline pipeline(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.run(data));
+  }
+}
+BENCHMARK(BM_EndToEndPipeline)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,46 @@
+#pragma once
+
+// Shared fixtures for the figure-reproduction benches. Every bench uses the
+// same master seed so the printed "paper figure" tables are mutually
+// consistent across binaries.
+
+#include <cstddef>
+#include <iostream>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "trace/generator.hpp"
+
+namespace cwgl::bench {
+
+constexpr std::uint64_t kMasterSeed = 42;
+
+/// The synthetic stand-in for the paper's production trace.
+inline trace::Trace make_trace(std::size_t num_jobs,
+                               std::uint64_t seed = kMasterSeed,
+                               bool instances = false) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.num_jobs = num_jobs;
+  cfg.emit_instances = instances;
+  return trace::TraceGenerator(cfg).generate();
+}
+
+/// The paper's 100-job experiment set drawn from a 20k-job trace.
+inline std::vector<core::JobDag> make_experiment_set(
+    std::size_t trace_jobs = 20000, std::size_t sample_size = 100) {
+  const trace::Trace data = make_trace(trace_jobs);
+  core::PipelineConfig cfg;
+  cfg.sample_size = sample_size;
+  return core::CharacterizationPipeline(cfg).build_sample(data);
+}
+
+/// Section header so `for b in bench/*; do $b; done` output reads as a
+/// figure-by-figure report.
+inline void banner(const char* experiment_id, const char* description) {
+  std::cout << "\n############################################################\n"
+            << "# " << experiment_id << ": " << description << "\n"
+            << "############################################################\n";
+}
+
+}  // namespace cwgl::bench

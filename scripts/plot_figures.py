@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Render the paper's figures from `cwgl characterize --json` output.
+
+Usage:
+    build/src/cli/cwgl characterize --jobs 20000 --sample 100 --json > run.json
+    python3 scripts/plot_figures.py run.json out_dir/
+
+Produces PNGs mirroring the paper's evaluation figures:
+    fig3_conflation.png   job sizes before/after node conflation
+    fig4_features.png     per-size max critical path and max width (before)
+    fig5_features.png     same, after conflation
+    fig6_task_types.png   per-job M/J/R composition
+    fig7_similarity.png   the WL similarity heat map
+    fig9_groups.png       cluster-group populations and distributions
+"""
+
+import json
+import pathlib
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib")
+        return 1
+
+    data = json.loads(pathlib.Path(sys.argv[1]).read_text())
+    out_dir = pathlib.Path(sys.argv[2])
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    # Fig 3 — sizes before/after conflation.
+    before = {row["size"]: row["count"] for row in data["fig3"]["before"]}
+    after = {row["size"]: row["count"] for row in data["fig3"]["after"]}
+    sizes = sorted(set(before) | set(after))
+    fig, ax = plt.subplots(figsize=(8, 4))
+    width = 0.4
+    ax.bar([s - width / 2 for s in sizes], [before.get(s, 0) for s in sizes],
+           width, label="before conflation")
+    ax.bar([s + width / 2 for s in sizes], [after.get(s, 0) for s in sizes],
+           width, label="after conflation")
+    ax.set_xlabel("job size (tasks)")
+    ax.set_ylabel("jobs")
+    ax.set_title("Fig 3: size of DAG jobs before and after node conflation")
+    ax.legend()
+    fig.savefig(out_dir / "fig3_conflation.png", dpi=150, bbox_inches="tight")
+    plt.close(fig)
+
+    # Figs 4/5 — per-size structural features.
+    for key, name, title in (("fig4", "fig4_features.png", "before"),
+                             ("fig5", "fig5_features.png", "after")):
+        groups = data[key]["groups"]
+        xs = [g["size"] for g in groups]
+        fig, (ax1, ax2, ax3) = plt.subplots(3, 1, figsize=(8, 8), sharex=True)
+        ax1.bar(xs, [g["count"] for g in groups])
+        ax1.set_ylabel("jobs")
+        ax2.plot(xs, [g["max_critical_path"] for g in groups], "o-")
+        ax2.set_ylabel("max critical path")
+        ax3.plot(xs, [g["max_width"] for g in groups], "s-")
+        ax3.set_ylabel("max width")
+        ax3.set_xlabel("job size (tasks)")
+        fig.suptitle(f"Fig {key[3]}: job features {title} node conflation")
+        fig.savefig(out_dir / name, dpi=150, bbox_inches="tight")
+        plt.close(fig)
+
+    # Fig 6 — M/J/R composition per job.
+    rows = data["fig6"]["rows"]
+    fig, ax = plt.subplots(figsize=(10, 4))
+    idx = range(len(rows))
+    bottom = [0] * len(rows)
+    for field, label in (("m", "M"), ("j", "J"), ("r", "R")):
+        vals = [r[field] for r in rows]
+        ax.bar(idx, vals, bottom=bottom, label=label)
+        bottom = [b + v for b, v in zip(bottom, vals)]
+    ax.set_xlabel("job (sample index)")
+    ax.set_ylabel("tasks")
+    ax.set_title("Fig 6: distribution of Map-Join-Reduce tasks")
+    ax.legend()
+    fig.savefig(out_dir / "fig6_task_types.png", dpi=150, bbox_inches="tight")
+    plt.close(fig)
+
+    # Fig 7 — similarity heat map.
+    matrix = data["fig7"]["matrix"]
+    fig, ax = plt.subplots(figsize=(6, 5))
+    im = ax.imshow(matrix, cmap="jet", vmin=0.0, vmax=1.0)
+    fig.colorbar(im, ax=ax, label="WL similarity")
+    ax.set_title("Fig 7: pairwise similarity score map")
+    fig.savefig(out_dir / "fig7_similarity.png", dpi=150, bbox_inches="tight")
+    plt.close(fig)
+
+    # Fig 9 — group properties.
+    groups = data["fig9"]["groups"]
+    names = [g["group"] for g in groups]
+    fig, axes = plt.subplots(2, 2, figsize=(10, 7))
+    axes[0][0].bar(names, [g["population"] for g in groups])
+    axes[0][0].set_title("(a) population")
+    for ax, metric, title in ((axes[0][1], "size", "(b) job size"),
+                              (axes[1][0], "critical_path", "(c) critical path"),
+                              (axes[1][1], "parallelism", "(d) parallelism")):
+        means = [g[metric]["mean"] for g in groups]
+        mins = [g[metric]["min"] for g in groups]
+        maxs = [g[metric]["max"] for g in groups]
+        ax.errorbar(names, means,
+                    yerr=[[m - lo for m, lo in zip(means, mins)],
+                          [hi - m for m, hi in zip(means, maxs)]],
+                    fmt="o", capsize=4)
+        ax.set_title(title)
+    fig.suptitle("Fig 9: properties of job DAGs in cluster groups")
+    fig.savefig(out_dir / "fig9_groups.png", dpi=150, bbox_inches="tight")
+    plt.close(fig)
+
+    print(f"wrote figures to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

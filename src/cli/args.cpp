@@ -1,0 +1,69 @@
+#include "cli/args.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace cwgl::cli {
+
+Args Args::parse(int argc, const char* const* argv, int start_index) {
+  Args args;
+  for (int i = start_index; i < argc; ++i) {
+    std::string_view token = argv[i];
+    if (token.size() < 3 || token.substr(0, 2) != "--") {
+      throw util::InvalidArgument("unexpected argument: " + std::string(token) +
+                                  " (options look like --key value)");
+    }
+    const std::string key(token.substr(2));
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      args.values_[key] = argv[++i];
+    } else {
+      args.values_[key] = "";  // boolean flag
+    }
+  }
+  return args;
+}
+
+std::string Args::get(std::string_view key, std::string_view fallback) const {
+  touched_.insert(std::string(key));
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::string(fallback) : it->second;
+}
+
+std::optional<long long> Args::get_int(std::string_view key) const {
+  touched_.insert(std::string(key));
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  const auto value = util::to_int(it->second);
+  if (!value) {
+    throw util::InvalidArgument("--" + std::string(key) +
+                                " expects an integer, got '" + it->second + "'");
+  }
+  return value;
+}
+
+std::optional<double> Args::get_double(std::string_view key) const {
+  touched_.insert(std::string(key));
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  const auto value = util::to_double(it->second);
+  if (!value) {
+    throw util::InvalidArgument("--" + std::string(key) +
+                                " expects a number, got '" + it->second + "'");
+  }
+  return value;
+}
+
+bool Args::has(std::string_view key) const {
+  touched_.insert(std::string(key));
+  return values_.find(key) != values_.end();
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (!touched_.count(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace cwgl::cli

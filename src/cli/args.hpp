@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cwgl::cli {
+
+/// Minimal `--key value` / `--flag` command-line parser for the cwgl tool.
+///
+/// Grammar: `cwgl <command> [--key value | --flag]...`. Keys start with
+/// "--"; a key followed by another key (or end of input) is a boolean flag.
+/// Unknown keys are collected so commands can reject typos explicitly.
+class Args {
+ public:
+  /// Parses everything after the command word.
+  static Args parse(int argc, const char* const* argv, int start_index);
+
+  /// String option or fallback.
+  std::string get(std::string_view key, std::string_view fallback = "") const;
+
+  /// Integer option; nullopt when absent, throws InvalidArgument on junk.
+  std::optional<long long> get_int(std::string_view key) const;
+
+  /// Double option; nullopt when absent, throws InvalidArgument on junk.
+  std::optional<double> get_double(std::string_view key) const;
+
+  /// True if `--key` appeared (with or without a value).
+  bool has(std::string_view key) const;
+
+  /// Keys that were parsed but never queried by the command — typo guard.
+  /// Call after all get()/has() lookups.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  mutable std::set<std::string, std::less<>> touched_;
+};
+
+}  // namespace cwgl::cli

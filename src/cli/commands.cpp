@@ -1,0 +1,385 @@
+#include "cli/commands.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/comparison.hpp"
+#include "core/pipeline.hpp"
+#include "core/predictor.hpp"
+#include "core/report_json.hpp"
+#include "core/report_text.hpp"
+#include "core/topology_census.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/dot.hpp"
+#include "sched/simulator.hpp"
+#include "trace/generator.hpp"
+#include "trace/instance_census.hpp"
+#include "trace/io.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace cwgl::cli {
+
+namespace {
+
+constexpr std::string_view kUsage = R"(cwgl — cloud workload graph learning (IPPS'21 reproduction)
+
+usage: cwgl <command> [options]
+
+commands:
+  generate      write a synthetic Alibaba-v2018 trace to disk
+                  --out DIR [--jobs N] [--seed S] [--no-instances]
+  census        whole-trace statistics (DAG share, resources, shapes)
+                  (--trace DIR | [--jobs N]) [--seed S]
+  characterize  the full paper pipeline, printing every figure's data
+                  (--trace DIR | [--jobs N]) [--sample K] [--natural]
+                  [--clusters K] [--wl-iterations H] [--seed S] [--json]
+  cluster       similarity map + spectral groups + medoid .dot files
+                  (--trace DIR | [--jobs N]) [--sample K] [--clusters K]
+                  [--out DIR] [--seed S]
+  similarity    WL similarity summary (add --matrix for the full CSV)
+                  (--trace DIR | [--jobs N]) [--sample K]
+  compare       workload drift between two traces (JS divergence)
+                  (--trace DIR --trace-b DIR | [--jobs N] [--seed S] [--seed-b S])
+  predict       fit/evaluate the completion-time predictor on a sample
+                  (--trace DIR | [--jobs N]) [--sample K] [--seed S]
+  schedule      simulate scheduling policies on a characterized workload
+                  [--jobs N] [--sample K] [--machines M] [--online F]
+                  [--inter-arrival S] [--seed S]
+  help          this text
+
+Traces are directories holding batch_task.csv (and optionally
+batch_instance.csv) in the cluster-trace-v2018 column layout.
+)";
+
+/// Loads --trace DIR, or generates --jobs N (default 20000) with --seed.
+trace::Trace load_or_generate(const Args& args, std::ostream& out) {
+  const std::string dir = args.get("trace");
+  if (!dir.empty()) {
+    std::size_t skipped = 0;
+    util::WallTimer timer;
+    trace::Trace data = trace::read_trace(dir, &skipped);
+    out << "loaded " << data.tasks.size() << " task rows from " << dir << " ("
+        << skipped << " malformed skipped) in "
+        << util::format_double(timer.millis(), 1) << " ms\n";
+    return data;
+  }
+  trace::GeneratorConfig cfg;
+  cfg.num_jobs = static_cast<std::size_t>(args.get_int("jobs").value_or(20000));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+  cfg.emit_instances = false;
+  util::WallTimer timer;
+  trace::Trace data = trace::TraceGenerator(cfg).generate();
+  out << "generated " << data.tasks.size() << " task rows (" << cfg.num_jobs
+      << " jobs, seed " << cfg.seed << ") in "
+      << util::format_double(timer.millis(), 1) << " ms\n";
+  return data;
+}
+
+core::PipelineConfig pipeline_config(const Args& args) {
+  core::PipelineConfig cfg;
+  cfg.sample_size = static_cast<std::size_t>(args.get_int("sample").value_or(100));
+  if (args.has("natural")) cfg.sampling = core::SamplingMode::Natural;
+  cfg.clustering.clusters = static_cast<int>(args.get_int("clusters").value_or(5));
+  if (const auto h = args.get_int("wl-iterations")) {
+    cfg.similarity.wl.iterations = static_cast<int>(*h);
+  }
+  return cfg;
+}
+
+int reject_unknown(const Args& args, std::ostream& err) {
+  const auto unknown = args.unused();
+  if (unknown.empty()) return 0;
+  err << "unknown option(s):";
+  for (const auto& key : unknown) err << " --" << key;
+  err << "\n";
+  return 2;
+}
+
+int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string dir = args.get("out");
+  if (dir.empty()) {
+    err << "generate: --out DIR is required\n";
+    return 2;
+  }
+  trace::GeneratorConfig cfg;
+  cfg.num_jobs = static_cast<std::size_t>(args.get_int("jobs").value_or(10000));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+  cfg.emit_instances = !args.has("no-instances");
+  if (const int rc = reject_unknown(args, err)) return rc;
+  util::WallTimer timer;
+  const trace::Trace data = trace::TraceGenerator(cfg).generate();
+  trace::write_trace(data, dir);
+  out << "wrote " << data.tasks.size() << " task rows and "
+      << data.instances.size() << " instance rows to " << dir << " in "
+      << util::format_double(timer.millis(), 1) << " ms\n";
+  return 0;
+}
+
+int cmd_census(const Args& args, std::ostream& out, std::ostream& err) {
+  const trace::Trace data = load_or_generate(args, out);
+  if (const int rc = reject_unknown(args, err)) return rc;
+  core::print_trace_census(out, core::TraceCensus::compute(data));
+  const auto jobs = core::build_all_dag_jobs(data, trace::SamplingCriteria{});
+  out << "\nfiltered DAG jobs: " << jobs.size() << "\n";
+  core::print_pattern_census(out, core::PatternCensus::compute(jobs));
+  const auto topo = core::TopologyCensus::compute(jobs);
+  out << "distinct topologies: " << topo.distinct_topologies << " ("
+      << util::format_double(100.0 * topo.recurring_fraction, 1)
+      << "% of jobs recur)\n";
+  if (!data.instances.empty()) {
+    const auto inst = trace::InstanceCensus::compute(data);
+    out << "\ninstances: " << inst.instances << " on " << inst.machines_used
+        << " machines; busiest 10% of machines carry "
+        << util::format_double(100.0 * inst.top_decile_share, 1)
+        << "% of instance time; retries "
+        << util::format_double(100.0 * inst.retry_fraction, 1)
+        << "%; cpu usage/plan mean "
+        << util::format_double(inst.cpu_usage_ratio.mean, 2) << "\n";
+  }
+  return 0;
+}
+
+int cmd_characterize(const Args& args, std::ostream& out, std::ostream& err) {
+  const bool as_json = args.has("json");
+  std::ostringstream sink;  // keep the JSON stream pure of progress chatter
+  std::ostream& progress = as_json ? static_cast<std::ostream&>(sink) : out;
+  const trace::Trace data = load_or_generate(args, progress);
+  const core::PipelineConfig cfg = pipeline_config(args);
+  if (const int rc = reject_unknown(args, err)) return rc;
+  util::ThreadPool pool;
+  util::WallTimer timer;
+  const auto result = core::CharacterizationPipeline(cfg).run(data, &pool);
+  if (as_json) {
+    core::write_json(out, result);
+    out << "\n";
+    return 0;
+  }
+  out << "pipeline completed in " << util::format_double(timer.millis(), 1)
+      << " ms\n\n";
+  core::print_trace_census(out, result.census);
+  out << "\n";
+  core::print_conflation_report(out, result.conflation);
+  out << "\n";
+  core::print_structural_report(out, result.structure_before,
+                                "Fig 4: job features before node conflation");
+  out << "\n";
+  core::print_structural_report(out, result.structure_after,
+                                "Fig 5: job features after node conflation");
+  out << "\n";
+  core::print_task_type_report(out, result.task_types);
+  out << "\n";
+  core::print_pattern_census(out, result.patterns);
+  out << "\n";
+  core::print_similarity_summary(out, result.similarity.stats(result.sample));
+  out << "\n";
+  core::print_clustering_analysis(out, result.clustering);
+  out << "\n";
+  core::print_resource_report(out,
+                              core::ResourceUsageReport::compute(result.sample));
+  return 0;
+}
+
+int cmd_cluster(const Args& args, std::ostream& out, std::ostream& err) {
+  const trace::Trace data = load_or_generate(args, out);
+  const core::PipelineConfig cfg = pipeline_config(args);
+  const std::string out_dir = args.get("out");
+  if (const int rc = reject_unknown(args, err)) return rc;
+  util::ThreadPool pool;
+  const core::CharacterizationPipeline pipeline(cfg);
+  const auto sample = pipeline.build_sample(data);
+  const auto similarity =
+      core::SimilarityAnalysis::compute(sample, cfg.similarity, &pool);
+  const auto clustering =
+      core::ClusteringAnalysis::compute(similarity.gram, sample, cfg.clustering);
+  core::print_clustering_analysis(out, clustering);
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    for (const auto& group : clustering.groups) {
+      if (group.population == 0) continue;
+      const core::JobDag& medoid = sample[group.medoid];
+      const auto path = std::filesystem::path(out_dir) /
+                        ("group_" + std::string(1, group.letter()) + ".dot");
+      std::ofstream file(path);
+      file << graph::to_dot(medoid.dag, medoid.vertex_names(), medoid.job_name);
+      out << "wrote " << path.string() << " (" << medoid.job_name << ", "
+          << medoid.size() << " tasks)\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_similarity(const Args& args, std::ostream& out, std::ostream& err) {
+  const trace::Trace data = load_or_generate(args, out);
+  const core::PipelineConfig cfg = pipeline_config(args);
+  const bool want_matrix = args.has("matrix");
+  if (const int rc = reject_unknown(args, err)) return rc;
+  util::ThreadPool pool;
+  const auto sample = core::CharacterizationPipeline(cfg).build_sample(data);
+  const auto similarity =
+      core::SimilarityAnalysis::compute(sample, cfg.similarity, &pool);
+  core::print_similarity_summary(out, similarity.stats(sample));
+  if (want_matrix) {
+    out << "\n";
+    core::print_similarity_matrix(out, similarity);
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string dir_a = args.get("trace");
+  const std::string dir_b = args.get("trace-b");
+  trace::Trace a, b;
+  if (!dir_a.empty() && !dir_b.empty()) {
+    a = trace::read_trace(dir_a);
+    b = trace::read_trace(dir_b);
+  } else {
+    // Without traces, compare two generated "days" (different seeds).
+    trace::GeneratorConfig cfg;
+    cfg.num_jobs = static_cast<std::size_t>(args.get_int("jobs").value_or(5000));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+    cfg.emit_instances = false;
+    a = trace::TraceGenerator(cfg).generate();
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed-b").value_or(43));
+    b = trace::TraceGenerator(cfg).generate();
+  }
+  if (const int rc = reject_unknown(args, err)) return rc;
+  const auto cmp = core::TraceComparison::compute(a, b);
+  out << "workload drift (Jensen-Shannon divergence, 0 = identical, 0.693 = disjoint)\n";
+  out << "  DAG jobs analyzed:      " << cmp.jobs_a << " vs " << cmp.jobs_b << "\n";
+  out << "  job size:               " << util::format_double(cmp.size_divergence, 4) << "\n";
+  out << "  shape mix:              " << util::format_double(cmp.shape_divergence, 4) << "\n";
+  out << "  critical path:          " << util::format_double(cmp.depth_divergence, 4) << "\n";
+  out << "  parallelism:            " << util::format_double(cmp.width_divergence, 4) << "\n";
+  out << "  task-type mix:          " << util::format_double(cmp.task_type_divergence, 4) << "\n";
+  out << "  DAG-fraction delta:     " << util::format_double(cmp.dag_fraction_delta, 4) << "\n";
+  out << "  headline drift:         " << util::format_double(cmp.max_divergence(), 4) << "\n";
+  return 0;
+}
+
+int cmd_predict(const Args& args, std::ostream& out, std::ostream& err) {
+  const trace::Trace data = load_or_generate(args, out);
+  core::PipelineConfig cfg = pipeline_config(args);
+  if (const int rc = reject_unknown(args, err)) return rc;
+  const auto sample = core::CharacterizationPipeline(cfg).build_sample(data);
+  const std::size_t split = sample.size() / 2;
+  const std::vector<core::JobDag> train(sample.begin(), sample.begin() + split);
+  const std::vector<core::JobDag> test(sample.begin() + split, sample.end());
+  if (train.empty() || test.empty()) {
+    err << "predict: sample too small\n";
+    return 2;
+  }
+  const auto model = core::JctPredictor::fit(train, {}, core::PredictorConfig{});
+  const auto eval = model.evaluate(test, {});
+  out << "completion-time predictor (fit on " << train.size()
+      << " jobs, evaluated on " << eval.jobs << " held-out jobs)\n";
+  out << "  R^2:  " << util::format_double(eval.r2, 3) << "\n";
+  out << "  MAE:  " << util::format_double(eval.mae, 1) << " s (mean actual "
+      << util::format_double(eval.mean_actual, 1) << " s)\n";
+  out << "example predictions (first 5 held-out jobs):\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, test.size()); ++i) {
+    out << "  " << util::pad_right(test[i].job_name, 12) << " predicted "
+        << util::pad_left(util::format_double(model.predict(test[i]), 0), 6)
+        << " s, actual "
+        << util::pad_left(
+               util::format_double(core::JctPredictor::actual_wall_time(test[i]), 0), 6)
+        << " s\n";
+  }
+  return 0;
+}
+
+int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
+  const trace::Trace data = load_or_generate(args, out);
+  core::PipelineConfig cfg = pipeline_config(args);
+  cfg.sampling = core::SamplingMode::Natural;
+  sched::SimulatorConfig sim_cfg;
+  sim_cfg.machines =
+      static_cast<std::size_t>(args.get_int("machines").value_or(4));
+  const double online = args.get_double("online").value_or(0.0);
+  if (online > 0.0) {
+    sim_cfg.online.enabled = true;
+    sim_cfg.online.base_fraction = online;
+    sim_cfg.online.amplitude = std::min(0.2, 0.9 - online);
+  }
+  const double inter_arrival = args.get_double("inter-arrival").value_or(1.0);
+  if (const int rc = reject_unknown(args, err)) return rc;
+
+  util::ThreadPool pool;
+  const auto sample = core::CharacterizationPipeline(cfg).build_sample(data);
+  const auto similarity =
+      core::SimilarityAnalysis::compute(sample, cfg.similarity, &pool);
+  const auto clustering =
+      core::ClusteringAnalysis::compute(similarity.gram, sample, cfg.clustering);
+  auto jobs = sched::jobs_from_dags(sample, inter_arrival);
+  sched::attach_hints(jobs, clustering.labels);
+  const auto profiles = sched::profiles_from_groups(sample, clustering.labels,
+                                                    cfg.clustering.clusters);
+
+  const sched::Simulator sim(sim_cfg);
+  const sched::FifoPolicy fifo;
+  const sched::CriticalPathFirstPolicy cpf;
+  const sched::ShortestJobFirstPolicy sjf;
+  const sched::GroupHintPolicy hint;
+  out << util::pad_right("policy", 22) << util::pad_left("makespan", 10)
+      << util::pad_left("mean JCT", 10) << util::pad_left("preempt", 9)
+      << util::pad_left("util", 7) << "\n";
+  for (const sched::SchedulingPolicy* policy :
+       std::initializer_list<const sched::SchedulingPolicy*>{&fifo, &cpf, &sjf,
+                                                             &hint}) {
+    const auto r = sim.run(jobs, *policy, profiles);
+    out << util::pad_right(std::string(policy->name()), 22)
+        << util::pad_left(util::format_double(r.makespan, 0), 10)
+        << util::pad_left(util::format_double(r.mean_jct, 1), 10)
+        << util::pad_left(std::to_string(r.preemptions), 9)
+        << util::pad_left(util::format_double(r.mean_utilization, 2), 7)
+        << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string_view usage() { return kUsage; }
+
+int run_command(std::string_view command, const Args& args, std::ostream& out,
+                std::ostream& err) {
+  try {
+    if (command == "generate") return cmd_generate(args, out, err);
+    if (command == "census") return cmd_census(args, out, err);
+    if (command == "characterize") return cmd_characterize(args, out, err);
+    if (command == "cluster") return cmd_cluster(args, out, err);
+    if (command == "similarity") return cmd_similarity(args, out, err);
+    if (command == "compare") return cmd_compare(args, out, err);
+    if (command == "predict") return cmd_predict(args, out, err);
+    if (command == "schedule") return cmd_schedule(args, out, err);
+    if (command == "help" || command == "--help" || command == "-h") {
+      out << kUsage;
+      return 0;
+    }
+    err << "unknown command: " << command << "\n\n" << kUsage;
+    return 2;
+  } catch (const util::Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  if (argc < 2) {
+    err << kUsage;
+    return 2;
+  }
+  try {
+    const Args args = Args::parse(argc, argv, 2);
+    return run_command(argv[1], args, out, err);
+  } catch (const util::Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace cwgl::cli

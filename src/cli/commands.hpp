@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "cli/args.hpp"
+
+namespace cwgl::cli {
+
+/// Dispatches `cwgl <command> ...`. Returns the process exit code and
+/// writes human output to `out` and problems to `err` (testable without
+/// spawning a process). Commands:
+///
+///   generate      --out DIR [--jobs N] [--seed S] [--no-instances]
+///   census        (--trace DIR | [--jobs N]) [--seed S]
+///   characterize  (--trace DIR | [--jobs N]) [--sample K] [--natural]
+///                 [--clusters K] [--wl-iterations H] [--seed S]
+///   cluster       (--trace DIR | [--jobs N]) [--sample K] [--clusters K]
+///                 [--out DIR] [--seed S]
+///   similarity    (--trace DIR | [--jobs N]) [--sample K] [--matrix]
+///   schedule      [--jobs N] [--sample K] [--machines M] [--online F]
+///                 [--inter-arrival S] [--seed S]
+///   help          prints usage
+int run_command(std::string_view command, const Args& args, std::ostream& out,
+                std::ostream& err);
+
+/// Entry point used by main(): parses the command word + options and
+/// reports usage errors with exit code 2.
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+/// The usage text (also printed by `cwgl help`).
+std::string_view usage();
+
+}  // namespace cwgl::cli

@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  return cwgl::cli::run_cli(argc, argv, std::cout, std::cerr);
+}

@@ -1,0 +1,122 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::cluster {
+
+namespace {
+
+double sq_dist(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+linalg::Matrix kmeanspp_init(const linalg::Matrix& data, int k,
+                             util::Xoshiro256StarStar& rng) {
+  const std::size_t n = data.rows();
+  linalg::Matrix centers(k, data.cols());
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+
+  std::size_t first = static_cast<std::size_t>(rng.uniform_u64(0, n - 1));
+  for (std::size_t c = 0; c < data.cols(); ++c) centers(0, c) = data(first, c);
+  for (int centroid = 1; centroid < k; ++centroid) {
+    for (std::size_t i = 0; i < n; ++i) {
+      min_dist[i] =
+          std::min(min_dist[i], sq_dist(data.row(i), centers.row(centroid - 1)));
+    }
+    const std::size_t pick = rng.discrete(min_dist);
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      centers(centroid, c) = data(pick, c);
+    }
+  }
+  return centers;
+}
+
+KMeansResult lloyd(const linalg::Matrix& data, int k, const KMeansOptions& opt,
+                   util::Xoshiro256StarStar& rng) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  KMeansResult r;
+  r.centers = kmeanspp_init(data, k, rng);
+  r.labels.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    r.iterations = it + 1;
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double dist = sq_dist(data.row(i), r.centers.row(c));
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      r.labels[i] = best_c;
+      inertia += best;
+    }
+    r.inertia = inertia;
+
+    // Update step.
+    linalg::Matrix sums(k, d);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int c = r.labels[i];
+      ++counts[c];
+      for (std::size_t j = 0; j < d; ++j) sums(c, j) += data(i, j);
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from the point farthest from its center.
+        std::size_t worst = 0;
+        double worst_dist = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dist = sq_dist(data.row(i), r.centers.row(r.labels[i]));
+          if (dist > worst_dist) {
+            worst_dist = dist;
+            worst = i;
+          }
+        }
+        for (std::size_t j = 0; j < d; ++j) r.centers(c, j) = data(worst, j);
+        continue;
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        r.centers(c, j) = sums(c, j) / static_cast<double>(counts[c]);
+      }
+    }
+    if (prev_inertia - inertia < opt.tol) break;
+    prev_inertia = inertia;
+  }
+  return r;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const linalg::Matrix& data, int k, const KMeansOptions& opt) {
+  if (k < 1 || static_cast<std::size_t>(k) > data.rows()) {
+    throw util::InvalidArgument("kmeans: need 1 <= k <= n");
+  }
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (int restart = 0; restart < std::max(1, opt.restarts); ++restart) {
+    util::Xoshiro256StarStar rng(
+        util::hash_combine(opt.seed, static_cast<std::uint64_t>(restart)));
+    KMeansResult r = lloyd(data, k, opt, rng);
+    if (r.inertia < best.inertia) best = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace cwgl::cluster

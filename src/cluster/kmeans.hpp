@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cwgl::cluster {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  std::vector<int> labels;   ///< cluster id per row, in [0, k)
+  linalg::Matrix centers;    ///< k x d centroids
+  double inertia = 0.0;      ///< sum of squared distances to assigned centers
+  int iterations = 0;        ///< Lloyd iterations executed
+};
+
+/// Options for k-means.
+struct KMeansOptions {
+  int max_iterations = 300;
+  double tol = 1e-7;       ///< stop when inertia improves by less than tol
+  int restarts = 8;        ///< independent k-means++ restarts; best kept
+  std::uint64_t seed = 1;  ///< all restarts derive deterministically from this
+};
+
+/// Lloyd's k-means with k-means++ seeding over the rows of `data` (n x d).
+///
+/// Deterministic in `options.seed`. Empty clusters are re-seeded from the
+/// point farthest from its center. Throws InvalidArgument if k < 1 or
+/// k > n.
+KMeansResult kmeans(const linalg::Matrix& data, int k,
+                    const KMeansOptions& options = {});
+
+}  // namespace cwgl::cluster

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cwgl::cluster {
+
+/// Mean silhouette coefficient over all points, computed from a pairwise
+/// distance matrix and an assignment. Points in singleton clusters score 0
+/// by convention. Returns 0 when fewer than 2 clusters are populated.
+double silhouette_score(const linalg::Matrix& distances, std::span<const int> labels);
+
+/// Adjusted Rand Index between two assignments of the same items; 1 for
+/// identical partitions (up to relabeling), ~0 for independent ones,
+/// negative for adversarial ones.
+double adjusted_rand_index(std::span<const int> a, std::span<const int> b);
+
+/// Normalized mutual information (arithmetic-mean normalization) between
+/// two assignments; in [0,1], 1 for identical partitions.
+double normalized_mutual_information(std::span<const int> a, std::span<const int> b);
+
+/// Purity of `predicted` against `truth`: fraction of items whose cluster's
+/// majority truth-class matches their own. In (0,1].
+double purity(std::span<const int> predicted, std::span<const int> truth);
+
+/// Number of distinct cluster ids present in an assignment.
+int cluster_count(std::span<const int> labels);
+
+/// Population of each cluster id in [0, cluster ids' max]; absent ids get 0.
+std::vector<std::size_t> cluster_sizes(std::span<const int> labels);
+
+}  // namespace cwgl::cluster

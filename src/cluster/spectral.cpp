@@ -1,0 +1,88 @@
+#include "cluster/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::cluster {
+
+SpectralResult spectral_cluster(const linalg::Matrix& similarity, int k,
+                                const SpectralOptions& options) {
+  if (similarity.rows() != similarity.cols()) {
+    throw util::InvalidArgument("spectral_cluster: similarity must be square");
+  }
+  const std::size_t n = similarity.rows();
+  if (k < 1 || static_cast<std::size_t>(k) > n) {
+    throw util::InvalidArgument("spectral_cluster: need 1 <= k <= n");
+  }
+
+  // Symmetrize and clamp; self-similarity does not affect L_sym's
+  // eigenvectors' cluster structure but keeps degrees positive.
+  linalg::Matrix w(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      w(i, j) = std::max(0.0, 0.5 * (similarity(i, j) + similarity(j, i)));
+    }
+  }
+
+  std::vector<double> inv_sqrt_degree(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (std::size_t j = 0; j < n; ++j) deg += w(i, j);
+    inv_sqrt_degree[i] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
+  }
+
+  linalg::Matrix lsym(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double norm = inv_sqrt_degree[i] * w(i, j) * inv_sqrt_degree[j];
+      lsym(i, j) = (i == j ? 1.0 : 0.0) - norm;
+    }
+  }
+
+  const bool partial = n > options.partial_eigen_threshold;
+  const auto eig = partial ? linalg::smallest_eigenpairs(lsym, k)
+                           : linalg::jacobi_eigen(lsym);
+
+  SpectralResult result;
+  result.eigenvalues = eig.values;
+  result.embedding = linalg::Matrix(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int c = 0; c < k; ++c) {
+      result.embedding(i, c) = eig.vectors(i, static_cast<std::size_t>(c));
+    }
+    double norm = 0.0;
+    for (int c = 0; c < k; ++c) {
+      norm += result.embedding(i, c) * result.embedding(i, c);
+    }
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (int c = 0; c < k; ++c) result.embedding(i, c) /= norm;
+    }
+  }
+
+  SpectralOptions opts = options;
+  const auto km = kmeans(result.embedding, k, opts.kmeans);
+  result.labels = km.labels;
+  return result;
+}
+
+int eigengap_k(std::span<const double> eigenvalues, int max_k) {
+  if (eigenvalues.size() < 2) return 1;
+  const int limit =
+      std::min<int>(max_k, static_cast<int>(eigenvalues.size()) - 1);
+  int best_k = 1;
+  double best_gap = -1.0;
+  for (int k = 1; k <= limit; ++k) {
+    const double gap = eigenvalues[k] - eigenvalues[k - 1];
+    if (gap > best_gap) {
+      best_gap = gap;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace cwgl::cluster

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cwgl::cluster {
+
+/// Options for spectral clustering.
+struct SpectralOptions {
+  KMeansOptions kmeans;  ///< final k-means stage over the embedding
+  /// Above this many items the bottom-k eigenvectors come from the partial
+  /// subspace-iteration solver (O(k n^2) per sweep) instead of the full
+  /// O(n^3) Jacobi decomposition. In partial mode `SpectralResult::
+  /// eigenvalues` holds only the k computed values. 0 forces partial mode.
+  std::size_t partial_eigen_threshold = 512;
+};
+
+/// Result of a spectral clustering run.
+struct SpectralResult {
+  std::vector<int> labels;            ///< cluster id per item
+  std::vector<double> eigenvalues;    ///< ascending spectrum of L_sym
+  linalg::Matrix embedding;           ///< n x k row-normalized eigenvector matrix
+};
+
+/// Ng–Jordan–Weiss normalized spectral clustering over a similarity matrix.
+///
+/// Steps: symmetrize W (average with its transpose), build
+/// L_sym = I - D^{-1/2} W D^{-1/2}, take the k eigenvectors of the smallest
+/// eigenvalues, row-normalize, k-means in the embedded space. Negative
+/// similarities are clamped to zero; isolated rows (zero degree) embed at
+/// the origin.
+///
+/// Throws InvalidArgument if `similarity` is not square or k is out of
+/// range.
+SpectralResult spectral_cluster(const linalg::Matrix& similarity, int k,
+                                const SpectralOptions& options = {});
+
+/// Eigengap heuristic: given the ascending spectrum of L_sym, the suggested
+/// cluster count is the k (in [1, max_k]) maximizing
+/// eigenvalues[k] - eigenvalues[k-1].
+int eigengap_k(std::span<const double> eigenvalues, int max_k);
+
+}  // namespace cwgl::cluster

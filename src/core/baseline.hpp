@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "core/job_dag.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cwgl::core {
+
+/// The pre-graph-learning baseline the paper contrasts against (related
+/// work [14], Chen et al.): cluster jobs by RESOURCE/DURATION statistics
+/// with k-means, ignoring topology entirely.
+
+/// Per-job resource feature row:
+///   [ task count, total plan_cpu x instances, total plan_mem,
+///     mean task duration, total instances ]
+/// With `standardize`, each column is z-scored so k-means distances are not
+/// dominated by the largest-magnitude feature.
+linalg::Matrix resource_features(std::span<const JobDag> jobs,
+                                 bool standardize = true);
+
+/// Result of the resource-statistics clustering baseline.
+struct ResourceClusteringBaseline {
+  std::vector<int> labels;  ///< relabeled by descending population ('A'=0)
+  double inertia = 0.0;
+};
+
+/// k-means over `resource_features` (deterministic in seed). Labels are
+/// relabeled by descending cluster population to align with
+/// ClusteringAnalysis group naming.
+ResourceClusteringBaseline resource_kmeans(std::span<const JobDag> jobs, int k,
+                                           std::uint64_t seed = 17);
+
+/// Structural purity of an assignment: the population-weighted mean of the
+/// within-group standard deviation of a structural metric (critical path or
+/// max width), normalized by the metric's global standard deviation.
+/// 0 = every group is structurally uniform; 1 = grouping is no better than
+/// the whole population. Lets topology- and resource-based clusterings be
+/// compared on the thing the paper cares about.
+double structural_dispersion(std::span<const JobDag> jobs,
+                             std::span<const int> labels, bool use_width);
+
+}  // namespace cwgl::core

@@ -1,0 +1,94 @@
+#include "core/clustering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/metrics.hpp"
+#include "cluster/spectral.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/patterns.hpp"
+#include "kernel/gram.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::core {
+
+ClusteringAnalysis ClusteringAnalysis::compute(const linalg::Matrix& similarity,
+                                               std::span<const JobDag> jobs,
+                                               const ClusteringOptions& options) {
+  if (similarity.rows() != jobs.size()) {
+    throw util::InvalidArgument("ClusteringAnalysis: similarity/jobs size mismatch");
+  }
+  cluster::SpectralOptions spectral_options;
+  spectral_options.kmeans.seed = options.seed;
+  const auto spectral =
+      cluster::spectral_cluster(similarity, options.clusters, spectral_options);
+
+  // Relabel groups by descending population: 'A' is always the largest.
+  const auto raw_sizes = cluster::cluster_sizes(spectral.labels);
+  std::vector<int> order(raw_sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return raw_sizes[a] != raw_sizes[b] ? raw_sizes[a] > raw_sizes[b] : a < b;
+  });
+  std::vector<int> relabel(raw_sizes.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    relabel[order[rank]] = static_cast<int>(rank);
+  }
+
+  ClusteringAnalysis out;
+  out.eigenvalues = spectral.eigenvalues;
+  out.suggested_k = cluster::eigengap_k(out.eigenvalues, 10);
+  out.labels.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    out.labels[i] = relabel[spectral.labels[i]];
+  }
+
+  const linalg::Matrix distances = kernel::kernel_to_distance(similarity);
+  out.silhouette = cluster::silhouette_score(distances, out.labels);
+
+  out.groups.resize(options.clusters);
+  for (int g = 0; g < options.clusters; ++g) {
+    ClusterGroupStats& stats = out.groups[g];
+    stats.group = g;
+    std::vector<double> sizes, depths, widths;
+    std::size_t chains = 0, shorts = 0;
+    double best_centrality = -1.0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (out.labels[i] != g) continue;
+      ++stats.population;
+      sizes.push_back(jobs[i].size());
+      depths.push_back(graph::critical_path_length(jobs[i].dag));
+      widths.push_back(graph::max_width(jobs[i].dag));
+      chains += graph::classify_shape(jobs[i].dag) ==
+                graph::ShapePattern::StraightChain;
+      shorts += jobs[i].size() < 3;
+      // Medoid: the member most similar to the rest of its group.
+      double centrality = 0.0;
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (out.labels[j] == g && j != i) centrality += similarity(i, j);
+      }
+      if (centrality > best_centrality) {
+        best_centrality = centrality;
+        stats.medoid = i;
+      }
+    }
+    stats.population_fraction =
+        jobs.empty() ? 0.0
+                     : static_cast<double>(stats.population) /
+                           static_cast<double>(jobs.size());
+    stats.size = util::describe(sizes);
+    stats.critical_path = util::describe(depths);
+    stats.parallelism = util::describe(widths);
+    stats.chain_fraction =
+        stats.population ? static_cast<double>(chains) /
+                               static_cast<double>(stats.population)
+                         : 0.0;
+    stats.short_job_fraction =
+        stats.population ? static_cast<double>(shorts) /
+                               static_cast<double>(stats.population)
+                         : 0.0;
+  }
+  return out;
+}
+
+}  // namespace cwgl::core

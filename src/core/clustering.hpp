@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/job_dag.hpp"
+#include "linalg/matrix.hpp"
+#include "util/stats.hpp"
+
+namespace cwgl::core {
+
+/// Per-group statistics behind Figure 9 and the Fig. 8 representatives.
+struct ClusterGroupStats {
+  int group = 0;                  ///< 0 = 'A' (largest), 1 = 'B', ...
+  std::size_t population = 0;     ///< Fig. 9(a)
+  double population_fraction = 0.0;
+  util::Distribution size;        ///< Fig. 9(b)
+  util::Distribution critical_path;  ///< Fig. 9(c)
+  util::Distribution parallelism;    ///< Fig. 9(d)
+  double chain_fraction = 0.0;       ///< share of straight-chain jobs
+  double short_job_fraction = 0.0;   ///< share of jobs with < 3 tasks
+  std::size_t medoid = 0;            ///< index of the most central job (Fig. 8)
+
+  /// Letter name used in the paper ('A'..).
+  char letter() const noexcept { return static_cast<char>('A' + group); }
+};
+
+/// Options for the clustering stage.
+struct ClusteringOptions {
+  int clusters = 5;           ///< the paper finds five groups
+  std::uint64_t seed = 11;    ///< k-means seeding
+};
+
+/// Spectral clustering of the similarity map plus group characterization
+/// (Section VI). Groups are relabeled by descending population so that
+/// group 0 ('A') is always the most populous, matching the paper's naming.
+struct ClusteringAnalysis {
+  std::vector<int> labels;             ///< group per job (relabeled)
+  std::vector<ClusterGroupStats> groups;
+  std::vector<double> eigenvalues;     ///< ascending spectrum of L_sym
+  double silhouette = 0.0;             ///< quality in feature-space distance
+  int suggested_k = 1;                 ///< eigengap heuristic (max 10)
+
+  static ClusteringAnalysis compute(const linalg::Matrix& similarity,
+                                    std::span<const JobDag> jobs,
+                                    const ClusteringOptions& options = {});
+};
+
+}  // namespace cwgl::core

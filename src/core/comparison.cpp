@@ -1,0 +1,65 @@
+#include "core/comparison.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/characterization.hpp"
+#include "core/pipeline.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/patterns.hpp"
+#include "util/stats.hpp"
+
+namespace cwgl::core {
+
+namespace {
+
+struct Profile {
+  util::IntHistogram sizes;
+  util::IntHistogram shapes;  ///< keyed by ShapePattern ordinal
+  util::IntHistogram depths;
+  util::IntHistogram widths;
+  util::IntHistogram task_types;  ///< keyed by type char
+  std::size_t jobs = 0;
+};
+
+Profile profile_of(const trace::Trace& trace) {
+  Profile p;
+  const auto jobs = build_all_dag_jobs(trace, trace::SamplingCriteria{});
+  p.jobs = jobs.size();
+  for (const JobDag& job : jobs) {
+    p.sizes.add(job.size());
+    p.shapes.add(static_cast<long long>(graph::classify_shape(job.dag)));
+    p.depths.add(graph::critical_path_length(job.dag));
+    p.widths.add(graph::max_width(job.dag));
+    for (const TaskMeta& t : job.tasks) p.task_types.add(t.type);
+  }
+  return p;
+}
+
+}  // namespace
+
+double TraceComparison::max_divergence() const noexcept {
+  return std::max({size_divergence, shape_divergence, depth_divergence,
+                   width_divergence, task_type_divergence});
+}
+
+TraceComparison TraceComparison::compute(const trace::Trace& trace_a,
+                                         const trace::Trace& trace_b) {
+  const Profile a = profile_of(trace_a);
+  const Profile b = profile_of(trace_b);
+
+  TraceComparison cmp;
+  cmp.jobs_a = a.jobs;
+  cmp.jobs_b = b.jobs;
+  cmp.size_divergence = util::jensen_shannon(a.sizes, b.sizes);
+  cmp.shape_divergence = util::jensen_shannon(a.shapes, b.shapes);
+  cmp.depth_divergence = util::jensen_shannon(a.depths, b.depths);
+  cmp.width_divergence = util::jensen_shannon(a.widths, b.widths);
+  cmp.task_type_divergence = util::jensen_shannon(a.task_types, b.task_types);
+  cmp.dag_fraction_delta =
+      std::abs(TraceCensus::compute(trace_a).dag_job_fraction -
+               TraceCensus::compute(trace_b).dag_job_fraction);
+  return cmp;
+}
+
+}  // namespace cwgl::core

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/job_dag.hpp"
+#include "trace/schema.hpp"
+
+namespace cwgl::core {
+
+/// Structural drift analysis between two workloads (e.g. two trace days, or
+/// a historical trace vs the live stream): quantifies how far the job-mix
+/// has moved on each of the axes the paper characterizes. A scheduler using
+/// cluster profiles learned on workload A should re-learn when drift
+/// against current workload B grows.
+struct TraceComparison {
+  /// Jensen–Shannon divergences, each in [0, ln 2 ≈ 0.693].
+  double size_divergence = 0.0;        ///< job-size distributions
+  double shape_divergence = 0.0;       ///< shape-pattern mixes
+  double depth_divergence = 0.0;       ///< critical-path distributions
+  double width_divergence = 0.0;       ///< max-parallelism distributions
+  double task_type_divergence = 0.0;   ///< M/J/R task mixes
+
+  /// |dag_job_fraction_a - dag_job_fraction_b|.
+  double dag_fraction_delta = 0.0;
+
+  std::size_t jobs_a = 0;  ///< DAG jobs analyzed on each side
+  std::size_t jobs_b = 0;
+
+  /// Maximum of the five divergences — the headline drift signal.
+  double max_divergence() const noexcept;
+
+  /// Compares two sets of characterized jobs plus the surrounding traces
+  /// (traces provide the DAG-fraction context).
+  static TraceComparison compute(const trace::Trace& trace_a,
+                                 const trace::Trace& trace_b);
+};
+
+}  // namespace cwgl::core

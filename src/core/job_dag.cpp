@@ -1,0 +1,136 @@
+#include "core/job_dag.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/algorithms.hpp"
+#include "graph/conflation.hpp"
+#include "trace/taskname.hpp"
+
+namespace cwgl::core {
+
+std::vector<int> JobDag::type_labels() const {
+  std::vector<int> labels;
+  labels.reserve(tasks.size());
+  for (const TaskMeta& t : tasks) labels.push_back(static_cast<int>(t.type));
+  return labels;
+}
+
+kernel::LabeledGraph JobDag::to_labeled() const {
+  return kernel::LabeledGraph{dag, type_labels()};
+}
+
+std::vector<std::string> JobDag::vertex_names() const {
+  std::vector<std::string> names;
+  names.reserve(tasks.size());
+  for (const TaskMeta& t : tasks) names.push_back(t.name);
+  return names;
+}
+
+namespace {
+
+void note(std::vector<BuildIssue>* issues, const std::string& job,
+          std::string message) {
+  if (issues) issues->push_back({job, std::move(message)});
+}
+
+}  // namespace
+
+std::optional<JobDag> build_job_dag(std::string job_name,
+                                    std::span<const trace::TaskRecord> tasks,
+                                    std::vector<BuildIssue>* issues) {
+  if (tasks.empty()) {
+    note(issues, job_name, "job has no tasks");
+    return std::nullopt;
+  }
+
+  std::vector<trace::TaskName> parsed;
+  parsed.reserve(tasks.size());
+  for (const trace::TaskRecord& t : tasks) {
+    auto p = trace::parse_task_name(t.task_name);
+    if (!p) {
+      note(issues, job_name, "non-DAG task name: " + t.task_name);
+      return std::nullopt;
+    }
+    parsed.push_back(std::move(*p));
+  }
+
+  std::unordered_map<int, int> index_to_vertex;
+  index_to_vertex.reserve(tasks.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    const auto [it, inserted] =
+        index_to_vertex.emplace(parsed[i].index, static_cast<int>(i));
+    if (!inserted) {
+      note(issues, job_name,
+           "duplicate task index " + std::to_string(parsed[i].index));
+      return std::nullopt;
+    }
+  }
+
+  std::vector<graph::Edge> edges;
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    for (int dep : parsed[i].deps) {
+      const auto it = index_to_vertex.find(dep);
+      if (it == index_to_vertex.end()) {
+        note(issues, job_name,
+             "task " + tasks[i].task_name + " depends on missing index " +
+                 std::to_string(dep));
+        return std::nullopt;
+      }
+      edges.push_back({it->second, static_cast<int>(i)});
+    }
+  }
+
+  JobDag job;
+  job.job_name = std::move(job_name);
+  job.dag = graph::Digraph(static_cast<int>(tasks.size()), edges);
+  if (!graph::is_dag(job.dag)) {
+    note(issues, job.job_name, "task dependencies form a cycle");
+    return std::nullopt;
+  }
+  job.tasks.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    TaskMeta m;
+    m.name = tasks[i].task_name;
+    m.type = parsed[i].type;
+    m.index = parsed[i].index;
+    m.instance_num = tasks[i].instance_num;
+    m.start_time = tasks[i].start_time;
+    m.end_time = tasks[i].end_time;
+    m.plan_cpu = tasks[i].plan_cpu;
+    m.plan_mem = tasks[i].plan_mem;
+    job.tasks.push_back(std::move(m));
+  }
+  return job;
+}
+
+JobDag conflate_job(const JobDag& job) {
+  const auto labels = job.type_labels();
+  const auto result = graph::conflate(job.dag, labels);
+
+  JobDag out;
+  out.job_name = job.job_name;
+  out.dag = result.graph;
+  out.tasks.resize(result.representative.size());
+  for (std::size_t c = 0; c < result.representative.size(); ++c) {
+    out.tasks[c] = job.tasks[result.representative[c]];
+    out.tasks[c].instance_num = 0;  // re-aggregate below
+    out.tasks[c].plan_cpu = 0.0;
+    out.tasks[c].plan_mem = 0.0;
+  }
+  for (std::size_t v = 0; v < job.tasks.size(); ++v) {
+    TaskMeta& m = out.tasks[result.mapping[v]];
+    const TaskMeta& src = job.tasks[v];
+    m.instance_num += src.instance_num;
+    m.plan_cpu += src.plan_cpu;
+    m.plan_mem += src.plan_mem;
+    if (src.start_time > 0) {
+      m.start_time = m.start_time > 0 ? std::min(m.start_time, src.start_time)
+                                      : src.start_time;
+    }
+    m.end_time = std::max(m.end_time, src.end_time);
+  }
+  return out;
+}
+
+}  // namespace cwgl::core

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "kernel/types.hpp"
+#include "trace/schema.hpp"
+
+namespace cwgl::core {
+
+/// Per-task attributes carried alongside each DAG vertex (Section IV-A:
+/// "we take account the resource usage ... and instances information ... as
+/// attributes to the running tasks").
+struct TaskMeta {
+  std::string name;            ///< original task_name
+  char type = '?';             ///< 'M', 'R', 'J', ...
+  int index = 0;               ///< 1-based index from the task name
+  int instance_num = 0;
+  std::int64_t start_time = 0;
+  std::int64_t end_time = 0;
+  double plan_cpu = 0.0;
+  double plan_mem = 0.0;
+
+  /// Task duration in seconds (0 when timestamps are unusable).
+  std::int64_t duration() const noexcept {
+    return end_time > start_time && start_time > 0 ? end_time - start_time : 0;
+  }
+};
+
+/// A batch job as a task-dependency DAG: vertex i of `dag` is `tasks[i]`.
+struct JobDag {
+  std::string job_name;
+  graph::Digraph dag;
+  std::vector<TaskMeta> tasks;
+
+  int size() const noexcept { return dag.num_vertices(); }
+
+  /// Task-type labels as ints ('M' -> 77, ...), the vertex labeling used by
+  /// every kernel in this library.
+  std::vector<int> type_labels() const;
+
+  /// View of this job in kernel form (copies the graph + labels).
+  kernel::LabeledGraph to_labeled() const;
+
+  /// Per-vertex display labels ("M1", "R2_1", ...) for DOT export.
+  std::vector<std::string> vertex_names() const;
+};
+
+/// A problem encountered while building a job DAG from trace rows.
+struct BuildIssue {
+  std::string job_name;
+  std::string message;
+};
+
+/// Builds a JobDag from one job's task rows.
+///
+/// Returns nullopt — recording why into `issues` when provided — if the job
+/// is not a well-formed dependency DAG: any non-grammar task name, duplicate
+/// task indices, a dependency on a missing index, or (pathological names) a
+/// dependency cycle. This mirrors the paper's restriction to DAG batch jobs.
+std::optional<JobDag> build_job_dag(std::string job_name,
+                                    std::span<const trace::TaskRecord> tasks,
+                                    std::vector<BuildIssue>* issues = nullptr);
+
+/// Conflates a job's interchangeable sibling tasks (Section IV-C), merging
+/// metadata: instance counts and planned resources sum; the time window is
+/// the union; the representative task's name/type/index are kept.
+JobDag conflate_job(const JobDag& job);
+
+}  // namespace cwgl::core

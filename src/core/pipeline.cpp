@@ -1,0 +1,76 @@
+#include "core/pipeline.hpp"
+
+namespace cwgl::core {
+
+namespace {
+
+std::vector<JobDag> build_jobs_from_groups(
+    const trace::Trace& trace, const trace::TraceIndex& index,
+    std::span<const std::size_t> group_indices) {
+  std::vector<JobDag> jobs;
+  jobs.reserve(group_indices.size());
+  for (std::size_t g : group_indices) {
+    const trace::JobGroup& group = index.jobs()[g];
+    std::vector<trace::TaskRecord> records;
+    records.reserve(group.tasks.size());
+    for (std::size_t i : group.tasks) records.push_back(trace.tasks[i]);
+    if (auto job = build_job_dag(group.job_name, records)) {
+      jobs.push_back(std::move(*job));
+    }
+  }
+  return jobs;
+}
+
+}  // namespace
+
+CharacterizationPipeline::CharacterizationPipeline(PipelineConfig config)
+    : config_(std::move(config)) {}
+
+std::vector<JobDag> CharacterizationPipeline::build_sample(
+    const trace::Trace& trace) const {
+  const trace::TraceIndex index(trace);
+  const auto eligible = trace::select_jobs(index, config_.criteria);
+  const auto picked =
+      config_.sampling == SamplingMode::Natural
+          ? trace::natural_sample(eligible, config_.sample_size,
+                                  config_.sample_seed)
+          : trace::variability_sample(index, eligible, config_.sample_size,
+                                      config_.sample_seed);
+  return build_jobs_from_groups(trace, index, picked);
+}
+
+PipelineResult CharacterizationPipeline::run(const trace::Trace& trace,
+                                             util::ThreadPool* pool) const {
+  PipelineResult result;
+  result.census = TraceCensus::compute(trace);
+  result.sample = build_sample(trace);
+
+  result.conflation = ConflationReport::compute(result.sample);
+  result.structure_before = StructuralReport::compute(result.sample);
+
+  std::vector<JobDag> conflated;
+  conflated.reserve(result.sample.size());
+  for (const JobDag& job : result.sample) conflated.push_back(conflate_job(job));
+  result.structure_after = StructuralReport::compute(conflated);
+
+  result.task_types = TaskTypeReport::compute(result.sample);
+  result.patterns = PatternCensus::compute(result.sample);
+
+  const std::vector<JobDag>& analysis_set =
+      config_.analyze_conflated ? conflated : result.sample;
+  result.similarity =
+      SimilarityAnalysis::compute(analysis_set, config_.similarity, pool);
+  result.clustering = ClusteringAnalysis::compute(result.similarity.gram,
+                                                  analysis_set,
+                                                  config_.clustering);
+  return result;
+}
+
+std::vector<JobDag> build_all_dag_jobs(const trace::Trace& trace,
+                                       const trace::SamplingCriteria& criteria) {
+  const trace::TraceIndex index(trace);
+  const auto eligible = trace::select_jobs(index, criteria);
+  return build_jobs_from_groups(trace, index, eligible);
+}
+
+}  // namespace cwgl::core

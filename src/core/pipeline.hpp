@@ -1,0 +1,79 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/characterization.hpp"
+#include "core/clustering.hpp"
+#include "core/job_dag.hpp"
+#include "core/similarity.hpp"
+#include "trace/filter.hpp"
+#include "trace/generator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cwgl::core {
+
+/// How the experiment set is drawn from the filtered workload.
+enum class SamplingMode {
+  /// Size-coverage first, then natural fill (the paper's Variability
+  /// criterion: "17 different size types").
+  VariabilityStratified,
+  /// Plain uniform draw — preserves the workload's bottom-heavy population,
+  /// which drives the cluster-group shares of Fig. 9.
+  Natural,
+};
+
+/// End-to-end configuration of the paper's analysis pipeline.
+struct PipelineConfig {
+  /// Sampling filters (Integrity + Availability + DAG, Section IV-B).
+  trace::SamplingCriteria criteria;
+  /// Experiment-set size (the paper samples 100 jobs).
+  std::size_t sample_size = 100;
+  std::uint64_t sample_seed = 7;
+  SamplingMode sampling = SamplingMode::VariabilityStratified;
+  /// Similarity stage (Fig. 7).
+  SimilarityOptions similarity;
+  /// Clustering stage (Figs. 8-9).
+  ClusteringOptions clustering;
+  /// Run the similarity/clustering stages on conflated DAGs instead of the
+  /// raw ones (ablation A3); structural reports always cover both.
+  bool analyze_conflated = false;
+};
+
+/// Everything the paper's evaluation reports, computed in one pass.
+struct PipelineResult {
+  TraceCensus census;                    ///< Section II-B statistics
+  std::vector<JobDag> sample;            ///< the experiment set (raw DAGs)
+  ConflationReport conflation;           ///< Fig. 3
+  StructuralReport structure_before;     ///< Fig. 4
+  StructuralReport structure_after;      ///< Fig. 5
+  TaskTypeReport task_types;             ///< Fig. 6
+  PatternCensus patterns;                ///< Section V-B frequencies
+  SimilarityAnalysis similarity;         ///< Fig. 7
+  ClusteringAnalysis clustering;         ///< Figs. 8-9
+};
+
+/// Orchestrates trace -> filters -> variability sample -> DAGs -> reports.
+class CharacterizationPipeline {
+ public:
+  explicit CharacterizationPipeline(PipelineConfig config = {});
+
+  const PipelineConfig& config() const noexcept { return config_; }
+
+  /// Builds the filtered, variability-stratified experiment set.
+  std::vector<JobDag> build_sample(const trace::Trace& trace) const;
+
+  /// Full analysis of a trace. `pool` parallelizes the Gram matrix.
+  PipelineResult run(const trace::Trace& trace,
+                     util::ThreadPool* pool = nullptr) const;
+
+ private:
+  PipelineConfig config_;
+};
+
+/// Builds every valid DAG job in a trace (no sampling) — used by the
+/// census-scale figures (Fig. 3 runs over the full filtered workload).
+std::vector<JobDag> build_all_dag_jobs(const trace::Trace& trace,
+                                       const trace::SamplingCriteria& criteria);
+
+}  // namespace cwgl::core

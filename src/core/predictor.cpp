@@ -1,0 +1,123 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "linalg/solve.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::core {
+
+double JctPredictor::actual_wall_time(const JobDag& job) {
+  std::int64_t start = 0, end = 0;
+  for (const TaskMeta& t : job.tasks) {
+    if (t.start_time > 0 && (start == 0 || t.start_time < start)) {
+      start = t.start_time;
+    }
+    end = std::max(end, t.end_time);
+  }
+  return (start > 0 && end > start) ? static_cast<double>(end - start) : -1.0;
+}
+
+std::vector<double> JctPredictor::features(const JobDag& job, int label) const {
+  std::vector<double> f;
+  f.push_back(1.0);  // intercept
+  if (config_.use_size) f.push_back(job.size());
+  if (config_.use_topology) {
+    f.push_back(graph::critical_path_length(job.dag));
+    f.push_back(graph::max_width(job.dag));
+  }
+  if (config_.use_plan) {
+    double instances = 0.0, cpu = 0.0, mem = 0.0;
+    for (const TaskMeta& t : job.tasks) {
+      instances += std::max(1, t.instance_num);
+      cpu += t.plan_cpu;
+      mem += t.plan_mem;
+    }
+    f.push_back(std::log1p(instances));
+    f.push_back(cpu / 100.0);  // cores
+    f.push_back(mem);
+  }
+  for (int g = 0; g < config_.num_groups; ++g) {
+    f.push_back(label == g ? 1.0 : 0.0);
+  }
+  return f;
+}
+
+JctPredictor JctPredictor::fit(std::span<const JobDag> jobs,
+                               std::span<const int> labels,
+                               PredictorConfig config) {
+  if (config.num_groups > 0 && labels.size() != jobs.size()) {
+    throw util::InvalidArgument("JctPredictor::fit: labels size != jobs size");
+  }
+  JctPredictor model;
+  model.config_ = config;
+
+  std::vector<std::size_t> usable;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (actual_wall_time(jobs[i]) >= 0.0) usable.push_back(i);
+  }
+  if (usable.empty()) {
+    throw util::InvalidArgument("JctPredictor::fit: no jobs with usable timestamps");
+  }
+  const std::size_t d =
+      model.features(jobs[usable.front()],
+                     config.num_groups > 0 ? labels[usable.front()] : -1)
+          .size();
+  linalg::Matrix a(usable.size(), d);
+  std::vector<double> b(usable.size());
+  for (std::size_t row = 0; row < usable.size(); ++row) {
+    const std::size_t i = usable[row];
+    const auto f =
+        model.features(jobs[i], config.num_groups > 0 ? labels[i] : -1);
+    for (std::size_t c = 0; c < d; ++c) a(row, c) = f[c];
+    b[row] = actual_wall_time(jobs[i]);
+  }
+  model.weights_ = linalg::solve_least_squares(a, b, config.ridge);
+  return model;
+}
+
+double JctPredictor::predict(const JobDag& job, int label) const {
+  if (weights_.empty()) {
+    throw util::InvalidArgument("JctPredictor::predict: model not fitted");
+  }
+  const auto f = features(job, label);
+  double y = 0.0;
+  for (std::size_t c = 0; c < f.size(); ++c) y += weights_[c] * f[c];
+  return std::max(0.0, y);
+}
+
+JctPredictor::Evaluation JctPredictor::evaluate(
+    std::span<const JobDag> jobs, std::span<const int> labels) const {
+  if (config_.num_groups > 0 && labels.size() != jobs.size()) {
+    throw util::InvalidArgument("JctPredictor::evaluate: labels size mismatch");
+  }
+  Evaluation eval;
+  double sum_actual = 0.0;
+  std::vector<double> actuals, predictions;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const double actual = actual_wall_time(jobs[i]);
+    if (actual < 0.0) continue;
+    actuals.push_back(actual);
+    predictions.push_back(
+        predict(jobs[i], config_.num_groups > 0 ? labels[i] : -1));
+    sum_actual += actual;
+  }
+  eval.jobs = actuals.size();
+  if (actuals.empty()) return eval;
+  const double mean = sum_actual / static_cast<double>(actuals.size());
+  eval.mean_actual = mean;
+  double sse = 0.0, sst = 0.0, mae = 0.0;
+  for (std::size_t i = 0; i < actuals.size(); ++i) {
+    const double err = actuals[i] - predictions[i];
+    sse += err * err;
+    sst += (actuals[i] - mean) * (actuals[i] - mean);
+    mae += std::abs(err);
+  }
+  eval.mae = mae / static_cast<double>(actuals.size());
+  eval.r2 = sst > 0.0 ? 1.0 - sse / sst : 0.0;
+  return eval;
+}
+
+}  // namespace cwgl::core

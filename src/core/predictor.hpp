@@ -1,0 +1,61 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/job_dag.hpp"
+
+namespace cwgl::core {
+
+/// Which pre-execution features the completion-time predictor may use.
+/// Everything here is known at submission time — sizes and topology come
+/// from the task names, plans from the task records; nothing leaks the
+/// actual runtimes.
+struct PredictorConfig {
+  bool use_size = true;      ///< task count
+  bool use_topology = true;  ///< critical path + max width
+  bool use_plan = true;      ///< total instances and planned cpu/mem
+  int num_groups = 0;        ///< >0 adds one-hot WL-cluster-group features
+  double ridge = 1e-6;
+};
+
+/// Linear job-completion-time predictor — the paper's opening motivation
+/// ("helps us foresee resource demands and execution time of new jobs").
+/// Least-squares fit of the job's trace wall time (last end - first start)
+/// on submission-time features.
+class JctPredictor {
+ public:
+  /// Fits on jobs with usable timestamps. `labels` supplies the WL cluster
+  /// group per job when config.num_groups > 0 (must then match jobs.size()).
+  /// Throws InvalidArgument if nothing usable to fit or config mismatch.
+  static JctPredictor fit(std::span<const JobDag> jobs,
+                          std::span<const int> labels, PredictorConfig config);
+
+  /// Predicted wall time (seconds, clamped non-negative) for a job;
+  /// `label` is the job's cluster group (-1 = unknown, group features 0).
+  double predict(const JobDag& job, int label = -1) const;
+
+  /// Goodness-of-fit on a (held-out) set.
+  struct Evaluation {
+    double r2 = 0.0;          ///< 1 - SSE/SST; <= 1, negative = worse than mean
+    double mae = 0.0;         ///< mean absolute error, seconds
+    double mean_actual = 0.0; ///< scale reference for mae
+    std::size_t jobs = 0;     ///< jobs with usable timestamps
+  };
+  Evaluation evaluate(std::span<const JobDag> jobs,
+                      std::span<const int> labels) const;
+
+  const PredictorConfig& config() const noexcept { return config_; }
+  std::span<const double> weights() const noexcept { return weights_; }
+
+  /// Actual wall time of a job from trace timestamps; <0 if unusable.
+  static double actual_wall_time(const JobDag& job);
+
+ private:
+  std::vector<double> features(const JobDag& job, int label) const;
+
+  PredictorConfig config_;
+  std::vector<double> weights_;
+};
+
+}  // namespace cwgl::core

@@ -1,0 +1,170 @@
+#include "core/report_text.hpp"
+
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace cwgl::core {
+
+using util::format_double;
+using util::pad_left;
+using util::pad_right;
+
+void print_trace_census(std::ostream& out, const TraceCensus& census) {
+  out << "== Trace census (Section II-B statistics) ==\n";
+  out << "total batch jobs:        " << census.total_jobs << "\n";
+  out << "jobs with dependencies:  " << census.dag_jobs << " ("
+      << format_double(100.0 * census.dag_job_fraction, 1) << "%)\n";
+  out << "resource share of DAG jobs: "
+      << format_double(100.0 * census.dag_resource_fraction, 1) << "%\n";
+}
+
+void print_conflation_report(std::ostream& out, const ConflationReport& report) {
+  out << "== Fig 3: job sizes before/after node conflation ==\n";
+  out << pad_left("size", 6) << pad_left("before", 10) << pad_left("after", 10)
+      << "\n";
+  long long max_size = 0;
+  for (const auto& [size, count] : report.before.items()) {
+    max_size = std::max(max_size, size);
+  }
+  for (const auto& [size, count] : report.after.items()) {
+    max_size = std::max(max_size, size);
+  }
+  for (long long s = 1; s <= max_size; ++s) {
+    const std::size_t before = report.before.count(s);
+    const std::size_t after = report.after.count(s);
+    if (before == 0 && after == 0) continue;
+    out << pad_left(std::to_string(s), 6) << pad_left(std::to_string(before), 10)
+        << pad_left(std::to_string(after), 10) << "\n";
+  }
+  out << "mean size reduction: " << format_double(report.mean_reduction, 2)
+      << "x\n";
+}
+
+void print_structural_report(std::ostream& out, const StructuralReport& report,
+                             std::string_view title) {
+  out << "== " << title << " ==\n";
+  out << pad_left("size", 6) << pad_left("jobs", 8)
+      << pad_left("max-critical-path", 19) << pad_left("max-width", 11) << "\n";
+  for (const SizeGroupFeatures& g : report.groups) {
+    out << pad_left(std::to_string(g.size), 6)
+        << pad_left(std::to_string(g.count), 8)
+        << pad_left(std::to_string(g.max_critical_path), 19)
+        << pad_left(std::to_string(g.max_width), 11) << "\n";
+  }
+  out << "distinct size groups: " << report.distinct_sizes << "\n";
+}
+
+void print_task_type_report(std::ostream& out, const TaskTypeReport& report) {
+  out << "== Fig 6: task-type composition per job ==\n";
+  out << pad_right("job", 14) << pad_left("size", 6) << pad_left("M", 5)
+      << pad_left("J", 5) << pad_left("R", 5) << pad_left("depth", 7)
+      << "  model\n";
+  for (const TaskTypeRow& row : report.rows) {
+    out << pad_right(row.job_name, 14) << pad_left(std::to_string(row.size), 6)
+        << pad_left(std::to_string(row.m_tasks), 5)
+        << pad_left(std::to_string(row.j_tasks), 5)
+        << pad_left(std::to_string(row.r_tasks), 5)
+        << pad_left(std::to_string(row.critical_path), 7) << "  " << row.model
+        << "\n";
+  }
+  out << "map-reduce: " << report.map_reduce_jobs
+      << "  map-join-reduce: " << report.map_join_reduce_jobs
+      << "  map-reduce-merge: " << report.map_reduce_merge_jobs
+      << "  multi-stage: " << report.multi_stage_jobs << "\n";
+}
+
+void print_pattern_census(std::ostream& out, const PatternCensus& census) {
+  out << "== Section V-B: shape-pattern frequencies ==\n";
+  for (const PatternCensus::Row& row : census.rows) {
+    out << pad_right(std::string(graph::to_string(row.pattern)), 20)
+        << pad_left(std::to_string(row.count), 8) << "  ("
+        << format_double(100.0 * row.fraction, 1) << "%)\n";
+  }
+}
+
+void print_similarity_summary(std::ostream& out,
+                              const SimilarityAnalysis::Stats& stats) {
+  out << "== Fig 7: WL similarity map summary ==\n";
+  out << "off-diagonal similarity: mean " << format_double(stats.mean_offdiag, 3)
+      << ", min " << format_double(stats.min_offdiag, 3) << ", max "
+      << format_double(stats.max_offdiag, 3) << "\n";
+  out << "small-job pairs (size <= " << stats.small_threshold
+      << ") mean: " << format_double(stats.small_pair_mean, 3) << "\n";
+  out << "large-job pairs mean:    " << format_double(stats.large_pair_mean, 3)
+      << "\n";
+}
+
+void print_similarity_matrix(std::ostream& out,
+                             const SimilarityAnalysis& analysis) {
+  for (std::size_t i = 0; i < analysis.gram.rows(); ++i) {
+    for (std::size_t j = 0; j < analysis.gram.cols(); ++j) {
+      if (j) out << ',';
+      out << format_double(analysis.gram(i, j), 4);
+    }
+    out << "\n";
+  }
+}
+
+namespace {
+
+void print_distribution(std::ostream& out, std::string_view name,
+                        const util::Distribution& d) {
+  out << "    " << pad_right(std::string(name), 15) << "mean "
+      << pad_left(format_double(d.mean, 2), 7) << "  min "
+      << pad_left(format_double(d.min, 0), 4) << "  p50 "
+      << pad_left(format_double(d.median, 1), 6) << "  max "
+      << pad_left(format_double(d.max, 0), 4) << "\n";
+}
+
+}  // namespace
+
+void print_clustering_analysis(std::ostream& out,
+                               const ClusteringAnalysis& analysis) {
+  out << "== Fig 9: spectral clustering groups ==\n";
+  for (const ClusterGroupStats& g : analysis.groups) {
+    out << "Group " << g.letter() << ": population " << g.population << " ("
+        << format_double(100.0 * g.population_fraction, 1)
+        << "%), chains " << format_double(100.0 * g.chain_fraction, 1)
+        << "%, short jobs " << format_double(100.0 * g.short_job_fraction, 1)
+        << "%, medoid index " << g.medoid << "\n";
+    print_distribution(out, "size", g.size);
+    print_distribution(out, "critical path", g.critical_path);
+    print_distribution(out, "parallelism", g.parallelism);
+  }
+  out << "silhouette: " << format_double(analysis.silhouette, 3)
+      << "  eigengap-suggested k: " << analysis.suggested_k << "\n";
+}
+
+void print_resource_report(std::ostream& out, const ResourceUsageReport& report) {
+  out << "== Resource usage by task type ==\n";
+  out << pad_left("type", 6) << pad_left("tasks", 8)
+      << pad_left("dur mean", 10) << pad_left("inst mean", 11)
+      << pad_left("cpu mean", 10) << pad_left("mem mean", 10) << "\n";
+  for (const auto& row : report.by_type) {
+    out << pad_left(std::string(1, row.type), 6)
+        << pad_left(std::to_string(row.tasks), 8)
+        << pad_left(format_double(row.duration.mean, 1), 10)
+        << pad_left(format_double(row.instances.mean, 1), 11)
+        << pad_left(format_double(row.plan_cpu.mean, 1), 10)
+        << pad_left(format_double(row.plan_mem.mean, 2), 10) << "\n";
+  }
+  out << "== Resource usage by DAG level ==\n";
+  out << pad_left("level", 7) << pad_left("tasks", 8)
+      << pad_left("mean cpu", 10) << pad_left("mean dur", 10)
+      << pad_left("total work", 14) << "\n";
+  for (const auto& row : report.by_level) {
+    out << pad_left(std::to_string(row.level), 7)
+        << pad_left(std::to_string(row.tasks), 8)
+        << pad_left(format_double(row.mean_cpu, 1), 10)
+        << pad_left(format_double(row.mean_duration, 1), 10)
+        << pad_left(format_double(row.total_work, 0), 14) << "\n";
+  }
+  out << "corr(size, work) = " << format_double(report.corr_size_work, 3)
+      << "  corr(width, instances) = "
+      << format_double(report.corr_width_instances, 3)
+      << "  corr(depth, wall time) = "
+      << format_double(report.corr_depth_duration, 3) << "\n";
+}
+
+}  // namespace cwgl::core

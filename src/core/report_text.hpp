@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "core/characterization.hpp"
+#include "core/clustering.hpp"
+#include "core/resource_report.hpp"
+#include "core/similarity.hpp"
+
+namespace cwgl::core {
+
+/// Plain-text renderers for every report — these print the rows/series the
+/// paper's figures plot, and are shared by the benches and examples.
+
+void print_trace_census(std::ostream& out, const TraceCensus& census);
+void print_conflation_report(std::ostream& out, const ConflationReport& report);
+void print_structural_report(std::ostream& out, const StructuralReport& report,
+                             std::string_view title);
+void print_task_type_report(std::ostream& out, const TaskTypeReport& report);
+void print_pattern_census(std::ostream& out, const PatternCensus& census);
+void print_similarity_summary(std::ostream& out,
+                              const SimilarityAnalysis::Stats& stats);
+/// Renders the full similarity matrix as CSV rows (the Fig. 7 heat map data).
+void print_similarity_matrix(std::ostream& out, const SimilarityAnalysis& analysis);
+void print_clustering_analysis(std::ostream& out, const ClusteringAnalysis& analysis);
+void print_resource_report(std::ostream& out, const ResourceUsageReport& report);
+
+}  // namespace cwgl::core

@@ -1,0 +1,92 @@
+#include "core/resource_report.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/algorithms.hpp"
+
+namespace cwgl::core {
+
+ResourceUsageReport ResourceUsageReport::compute(std::span<const JobDag> jobs) {
+  ResourceUsageReport report;
+
+  // --- per-type distributions ----------------------------------------------
+  std::map<char, std::vector<double>> durations, instances, cpus, mems;
+  for (const JobDag& job : jobs) {
+    for (const TaskMeta& t : job.tasks) {
+      durations[t.type].push_back(static_cast<double>(t.duration()));
+      instances[t.type].push_back(std::max(1, t.instance_num));
+      cpus[t.type].push_back(t.plan_cpu);
+      mems[t.type].push_back(t.plan_mem);
+    }
+  }
+  static constexpr char kOrder[] = {'M', 'J', 'R'};
+  const auto emit_type = [&](char type) {
+    const auto it = durations.find(type);
+    if (it == durations.end()) return;
+    TypeRow row;
+    row.type = type;
+    row.tasks = it->second.size();
+    row.duration = util::describe(it->second);
+    row.instances = util::describe(instances[type]);
+    row.plan_cpu = util::describe(cpus[type]);
+    row.plan_mem = util::describe(mems[type]);
+    report.by_type.push_back(std::move(row));
+  };
+  for (char type : kOrder) emit_type(type);
+  for (const auto& [type, values] : durations) {
+    if (type != 'M' && type != 'J' && type != 'R') emit_type(type);
+  }
+
+  // --- per-level profile ----------------------------------------------------
+  std::map<int, LevelRow> levels;
+  for (const JobDag& job : jobs) {
+    const auto level_of = graph::longest_path_levels(job.dag);
+    for (std::size_t v = 0; v < job.tasks.size(); ++v) {
+      const TaskMeta& t = job.tasks[v];
+      LevelRow& row = levels[level_of[v]];
+      row.level = level_of[v];
+      ++row.tasks;
+      const double cpu = t.plan_cpu * std::max(1, t.instance_num);
+      const double duration = static_cast<double>(t.duration());
+      row.mean_cpu += cpu;
+      row.mean_duration += duration;
+      row.total_work += cpu * duration;
+    }
+  }
+  for (auto& [level, row] : levels) {
+    if (row.tasks > 0) {
+      row.mean_cpu /= static_cast<double>(row.tasks);
+      row.mean_duration /= static_cast<double>(row.tasks);
+    }
+    report.by_level.push_back(row);
+  }
+
+  // --- topology-vs-demand correlations ---------------------------------------
+  std::vector<double> sizes, works, widths, total_instances, depths, wall_times;
+  for (const JobDag& job : jobs) {
+    double work = 0.0, inst = 0.0;
+    std::int64_t start = 0, end = 0;
+    for (const TaskMeta& t : job.tasks) {
+      const double cpu = t.plan_cpu * std::max(1, t.instance_num);
+      work += cpu * static_cast<double>(t.duration());
+      inst += std::max(1, t.instance_num);
+      if (t.start_time > 0 && (start == 0 || t.start_time < start)) {
+        start = t.start_time;
+      }
+      end = std::max(end, t.end_time);
+    }
+    sizes.push_back(job.size());
+    works.push_back(work);
+    widths.push_back(graph::max_width(job.dag));
+    total_instances.push_back(inst);
+    depths.push_back(graph::critical_path_length(job.dag));
+    wall_times.push_back(end > start ? static_cast<double>(end - start) : 0.0);
+  }
+  report.corr_size_work = util::pearson(sizes, works);
+  report.corr_width_instances = util::pearson(widths, total_instances);
+  report.corr_depth_duration = util::pearson(depths, wall_times);
+  return report;
+}
+
+}  // namespace cwgl::core

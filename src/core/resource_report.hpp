@@ -1,0 +1,45 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/job_dag.hpp"
+#include "util/stats.hpp"
+
+namespace cwgl::core {
+
+/// Resource/duration characterization joined with topology — the paper's
+/// stated future work ("extend the analysis by combining resource analysis
+/// techniques for job scheduling optimization").
+struct ResourceUsageReport {
+  /// Per task type ('M', 'J', 'R'): what that stage demands.
+  struct TypeRow {
+    char type = '?';
+    std::size_t tasks = 0;
+    util::Distribution duration;       ///< seconds
+    util::Distribution instances;      ///< fan-out per task
+    util::Distribution plan_cpu;       ///< 100 == one core
+    util::Distribution plan_mem;
+  };
+  std::vector<TypeRow> by_type;  ///< ordered M, J, R, then others
+
+  /// Per DAG level (0 = sources): how demand moves through the pipeline.
+  struct LevelRow {
+    int level = 0;
+    std::size_t tasks = 0;
+    double mean_cpu = 0.0;        ///< mean plan_cpu x instances
+    double mean_duration = 0.0;
+    double total_work = 0.0;      ///< sum cpu x instances x duration
+  };
+  std::vector<LevelRow> by_level;
+
+  /// Correlations the paper's future work asks about: does topology predict
+  /// demand?
+  double corr_size_work = 0.0;    ///< job size vs total cpu-seconds
+  double corr_width_instances = 0.0;  ///< max width vs total instances
+  double corr_depth_duration = 0.0;   ///< critical path vs job wall time
+
+  static ResourceUsageReport compute(std::span<const JobDag> jobs);
+};
+
+}  // namespace cwgl::core

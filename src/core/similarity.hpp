@@ -1,0 +1,57 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/job_dag.hpp"
+#include "kernel/wl.hpp"
+#include "linalg/matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cwgl::core {
+
+/// Options for the similarity-map stage (Figure 7).
+struct SimilarityOptions {
+  /// WL kernel configuration. The pipeline defaults to ONE refinement
+  /// iteration: job DAGs are shallow (critical paths 2..8), and h = 1 is
+  /// what reproduces the paper's Fig. 7/9 observations — small jobs score
+  /// systematically higher pairwise similarity, and the dominant cluster
+  /// group is the small-chain group. Deeper refinement (see ablation A1)
+  /// drives tiny jobs of different sizes apart instead. The kernel
+  /// library's own default stays at the literature-standard h = 3.
+  kernel::WlConfig wl = [] {
+    kernel::WlConfig c;
+    c.iterations = 1;
+    return c;
+  }();
+  bool normalize = true;   ///< cosine-normalize into [0,1]
+  bool use_type_labels = true;  ///< label vertices by task type (M/R/J)
+};
+
+/// The pairwise WL similarity analysis over an experiment set.
+struct SimilarityAnalysis {
+  linalg::Matrix gram;                 ///< n x n similarity scores
+  std::vector<std::string> job_names;  ///< row/column identities
+
+  /// Aggregates quoted in the paper's Fig. 7 discussion: small jobs with
+  /// short tails score systematically higher pairwise similarity.
+  struct Stats {
+    double mean_offdiag = 0.0;
+    double min_offdiag = 0.0;
+    double max_offdiag = 0.0;
+    /// Mean pairwise similarity among jobs with <= small_threshold tasks.
+    double small_pair_mean = 0.0;
+    /// Mean pairwise similarity among jobs with > small_threshold tasks.
+    double large_pair_mean = 0.0;
+    int small_threshold = 5;
+  };
+
+  static SimilarityAnalysis compute(std::span<const JobDag> jobs,
+                                    const SimilarityOptions& options = {},
+                                    util::ThreadPool* pool = nullptr);
+
+  Stats stats(std::span<const JobDag> jobs, int small_threshold = 5) const;
+};
+
+}  // namespace cwgl::core

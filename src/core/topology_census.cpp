@@ -1,0 +1,45 @@
+#include "core/topology_census.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/canonical.hpp"
+
+namespace cwgl::core {
+
+TopologyCensus TopologyCensus::compute(std::span<const JobDag> jobs,
+                                       bool use_labels) {
+  TopologyCensus census;
+  census.total_jobs = jobs.size();
+  std::unordered_map<std::uint64_t, Row> by_hash;
+  by_hash.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto labels = use_labels ? jobs[i].type_labels() : std::vector<int>{};
+    const std::uint64_t h = graph::canonical_hash(jobs[i].dag, labels);
+    auto [it, inserted] = by_hash.try_emplace(h);
+    if (inserted) {
+      it->second.topology_hash = h;
+      it->second.size = jobs[i].size();
+      it->second.exemplar = i;
+    }
+    ++it->second.count;
+  }
+  census.distinct_topologies = by_hash.size();
+  std::size_t recurring = 0;
+  census.rows.reserve(by_hash.size());
+  for (const auto& [hash, row] : by_hash) {
+    census.rows.push_back(row);
+    if (row.count > 1) recurring += row.count;
+  }
+  std::sort(census.rows.begin(), census.rows.end(), [](const Row& a, const Row& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.size != b.size) return a.size < b.size;
+    return a.topology_hash < b.topology_hash;
+  });
+  census.recurring_fraction =
+      jobs.empty() ? 0.0
+                   : static_cast<double>(recurring) / static_cast<double>(jobs.size());
+  return census;
+}
+
+}  // namespace cwgl::core

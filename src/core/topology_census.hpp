@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/job_dag.hpp"
+
+namespace cwgl::core {
+
+/// Recurring-topology analysis (Section IV-C observes that smaller jobs
+/// "appear repetitively" with identical structure): groups jobs by the
+/// isomorphism class of their labeled DAG via WL canonical hashing.
+struct TopologyCensus {
+  /// One row per distinct topology, descending by frequency.
+  struct Row {
+    std::uint64_t topology_hash = 0;
+    std::size_t count = 0;       ///< jobs sharing this topology
+    int size = 0;                ///< tasks per job
+    std::size_t exemplar = 0;    ///< index of one job with this topology
+  };
+  std::vector<Row> rows;
+  std::size_t total_jobs = 0;
+  std::size_t distinct_topologies = 0;
+  /// Fraction of jobs whose topology occurs more than once.
+  double recurring_fraction = 0.0;
+
+  /// `use_labels` keys topologies on task types as well as structure.
+  static TopologyCensus compute(std::span<const JobDag> jobs,
+                                bool use_labels = true);
+};
+
+}  // namespace cwgl::core

@@ -1,0 +1,60 @@
+#include "graph/canonical.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::graph {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) noexcept {
+  util::SplitMix64 sm(x);
+  return sm();
+}
+
+/// Hash of a sorted multiset of hashes (order-independent by pre-sorting).
+std::uint64_t hash_multiset(std::vector<std::uint64_t>& values) {
+  std::sort(values.begin(), values.end());
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t v : values) h = util::hash_combine(h, v);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t canonical_hash(const Digraph& g, std::span<const int> labels,
+                             int iterations) {
+  const int n = g.num_vertices();
+  if (!labels.empty() && static_cast<int>(labels.size()) != n) {
+    throw util::InvalidArgument("canonical_hash: labels size != vertex count");
+  }
+  if (n == 0) return 0x5ca1ab1e;
+  if (iterations < 0) iterations = n;
+
+  std::vector<std::uint64_t> color(n);
+  for (int v = 0; v < n; ++v) {
+    color[v] = mix(labels.empty() ? 0x1234 : static_cast<std::uint64_t>(labels[v]) + 0x1000);
+  }
+  std::vector<std::uint64_t> next(n);
+  std::vector<std::uint64_t> bucket;
+  for (int it = 0; it < iterations; ++it) {
+    for (int v = 0; v < n; ++v) {
+      bucket.clear();
+      for (int w : g.predecessors(v)) bucket.push_back(color[w]);
+      const std::uint64_t in_hash = hash_multiset(bucket);
+      bucket.clear();
+      for (int w : g.successors(v)) bucket.push_back(color[w]);
+      const std::uint64_t out_hash = hash_multiset(bucket);
+      next[v] = mix(util::hash_combine(color[v],
+                                       util::hash_combine(mix(in_hash), out_hash)));
+    }
+    color.swap(next);
+  }
+  std::vector<std::uint64_t> all(color.begin(), color.end());
+  return util::hash_combine(static_cast<std::uint64_t>(n), hash_multiset(all));
+}
+
+}  // namespace cwgl::graph

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/digraph.hpp"
+
+namespace cwgl::graph {
+
+/// Isomorphism-invariant 64-bit hash of a labeled digraph, computed by
+/// iterated Weisfeiler–Lehman-style color refinement with directed
+/// neighborhoods (in- and out-multisets hashed separately) followed by an
+/// order-independent combination of the final colors.
+///
+/// Equal hashes are a strong (not complete) indicator of isomorphism —
+/// WL refinement distinguishes all trees and virtually all sparse DAGs of
+/// trace-job scale; collisions would require WL-equivalent non-isomorphic
+/// graphs AND a 64-bit hash collision. Used to deduplicate recurring job
+/// topologies. Vertex order never affects the result.
+///
+/// `labels` may be empty (treated as uniformly labeled) or one per vertex.
+/// `iterations` defaults to the vertex count, which reaches stable colors.
+std::uint64_t canonical_hash(const Digraph& g, std::span<const int> labels,
+                             int iterations = -1);
+
+}  // namespace cwgl::graph

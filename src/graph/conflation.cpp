@@ -1,0 +1,105 @@
+#include "graph/conflation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::graph {
+
+namespace {
+
+/// One conflation round. Returns true if anything merged.
+/// `mapping` is updated to compose with the new merge, and `g`, `labels`,
+/// `multiplicity`, `representative` are rebuilt in place.
+bool conflate_round(Digraph& g, std::vector<int>& labels,
+                    std::vector<int>& multiplicity,
+                    std::vector<int>& representative, std::vector<int>& mapping) {
+  const int n = g.num_vertices();
+  // Signature = (label, predecessor set, successor set).
+  struct Sig {
+    int label;
+    std::vector<int> preds;
+    std::vector<int> succs;
+    bool operator<(const Sig& o) const {
+      if (label != o.label) return label < o.label;
+      if (preds != o.preds) return preds < o.preds;
+      return succs < o.succs;
+    }
+  };
+  std::map<Sig, std::vector<int>> groups;
+  for (int v = 0; v < n; ++v) {
+    Sig s{labels[v],
+          {g.predecessors(v).begin(), g.predecessors(v).end()},
+          {g.successors(v).begin(), g.successors(v).end()}};
+    groups[std::move(s)].push_back(v);
+  }
+  if (static_cast<int>(groups.size()) == n) return false;
+
+  // Assign new ids in order of each group's smallest member so vertex
+  // numbering stays stable and deterministic.
+  std::vector<std::pair<int, const std::vector<int>*>> ordered;
+  ordered.reserve(groups.size());
+  for (const auto& [sig, members] : groups) {
+    ordered.emplace_back(members.front(), &members);
+  }
+  std::sort(ordered.begin(), ordered.end());
+
+  std::vector<int> old_to_new(n, -1);
+  std::vector<int> new_labels, new_mult, new_repr;
+  new_labels.reserve(ordered.size());
+  new_mult.reserve(ordered.size());
+  new_repr.reserve(ordered.size());
+  for (std::size_t c = 0; c < ordered.size(); ++c) {
+    int mult = 0;
+    int repr = representative[ordered[c].second->front()];
+    for (int v : *ordered[c].second) {
+      old_to_new[v] = static_cast<int>(c);
+      mult += multiplicity[v];
+      repr = std::min(repr, representative[v]);
+    }
+    new_labels.push_back(labels[ordered[c].second->front()]);
+    new_mult.push_back(mult);
+    new_repr.push_back(repr);
+  }
+
+  std::vector<Edge> new_edges;
+  for (const Edge& e : g.edges()) {
+    const int a = old_to_new[e.from];
+    const int b = old_to_new[e.to];
+    if (a != b) new_edges.push_back({a, b});
+  }
+  g = Digraph(static_cast<int>(ordered.size()), new_edges);
+  labels = std::move(new_labels);
+  multiplicity = std::move(new_mult);
+  representative = std::move(new_repr);
+  for (int& m : mapping) m = old_to_new[m];
+  return true;
+}
+
+}  // namespace
+
+ConflationResult conflate(const Digraph& g, std::span<const int> labels) {
+  if (static_cast<int>(labels.size()) != g.num_vertices()) {
+    throw util::InvalidArgument("conflate: labels size != vertex count");
+  }
+  if (!is_dag(g)) throw util::GraphError("conflate: input graph has a cycle");
+
+  ConflationResult r;
+  r.graph = g;
+  r.labels.assign(labels.begin(), labels.end());
+  r.multiplicity.assign(g.num_vertices(), 1);
+  r.representative.resize(g.num_vertices());
+  std::iota(r.representative.begin(), r.representative.end(), 0);
+  r.mapping.resize(g.num_vertices());
+  std::iota(r.mapping.begin(), r.mapping.end(), 0);
+
+  while (conflate_round(r.graph, r.labels, r.multiplicity, r.representative,
+                        r.mapping)) {
+  }
+  return r;
+}
+
+}  // namespace cwgl::graph

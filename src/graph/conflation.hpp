@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace cwgl::graph {
+
+/// Result of merging structurally equivalent sibling tasks (Section IV-C of
+/// the paper: "node conflation").
+struct ConflationResult {
+  /// The conflated graph.
+  Digraph graph;
+  /// mapping[v] = index in `graph` that original vertex v collapsed into.
+  std::vector<int> mapping;
+  /// representative[c] = smallest original vertex merged into c.
+  std::vector<int> representative;
+  /// multiplicity[c] = number of original vertices merged into c (>= 1).
+  std::vector<int> multiplicity;
+  /// label[c] = label of the merged vertex (labels must agree within a group).
+  std::vector<int> labels;
+};
+
+/// Merges vertices that are interchangeable clones: identical label,
+/// identical predecessor set and identical successor set. Applied to
+/// fixpoint, because merging a layer of parents can make their children
+/// equivalent in turn (e.g. a 4-map/2-reduce job collapses to M -> R).
+///
+/// Requires a DAG (throws GraphError otherwise). `labels` must have one
+/// entry per vertex; use a constant vector for unlabeled conflation.
+ConflationResult conflate(const Digraph& g, std::span<const int> labels);
+
+}  // namespace cwgl::graph

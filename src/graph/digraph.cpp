@@ -1,0 +1,88 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace cwgl::graph {
+
+namespace {
+
+/// Builds one CSR side (offsets + sorted unique targets) from edges keyed by
+/// `key` with value `val`.
+void build_csr(int n, std::span<const Edge> edges, bool by_source,
+               std::vector<int>& offsets, std::vector<int>& targets) {
+  offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) {
+    const int key = by_source ? e.from : e.to;
+    ++offsets[key + 1];
+  }
+  for (int v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  targets.resize(edges.size());
+  std::vector<int> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges) {
+    const int key = by_source ? e.from : e.to;
+    const int val = by_source ? e.to : e.from;
+    targets[cursor[key]++] = val;
+  }
+  for (int v = 0; v < n; ++v) {
+    std::sort(targets.begin() + offsets[v], targets.begin() + offsets[v + 1]);
+  }
+}
+
+}  // namespace
+
+Digraph::Digraph(int num_vertices, std::span<const Edge> edges) : n_(num_vertices) {
+  if (num_vertices < 0) {
+    throw util::GraphError("Digraph: negative vertex count");
+  }
+  std::vector<Edge> unique_edges(edges.begin(), edges.end());
+  for (const Edge& e : unique_edges) {
+    if (e.from < 0 || e.from >= n_ || e.to < 0 || e.to >= n_) {
+      throw util::GraphError("Digraph: edge (" + std::to_string(e.from) + "," +
+                             std::to_string(e.to) + ") outside [0," +
+                             std::to_string(n_) + ")");
+    }
+  }
+  std::sort(unique_edges.begin(), unique_edges.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.from != b.from ? a.from < b.from : a.to < b.to;
+            });
+  unique_edges.erase(std::unique(unique_edges.begin(), unique_edges.end()),
+                     unique_edges.end());
+  build_csr(n_, unique_edges, /*by_source=*/true, succ_off_, succ_);
+  build_csr(n_, unique_edges, /*by_source=*/false, pred_off_, pred_);
+}
+
+bool Digraph::has_edge(int from, int to) const noexcept {
+  if (from < 0 || from >= n_ || to < 0 || to >= n_) return false;
+  const auto row = successors(from);
+  return std::binary_search(row.begin(), row.end(), to);
+}
+
+std::vector<Edge> Digraph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(succ_.size());
+  for (int v = 0; v < n_; ++v) {
+    for (int w : successors(v)) out.push_back({v, w});
+  }
+  return out;
+}
+
+void DigraphBuilder::reserve_vertices(int n) {
+  if (n > n_) n_ = n;
+}
+
+int DigraphBuilder::add_vertex() { return n_++; }
+
+void DigraphBuilder::add_edge(int from, int to) {
+  if (from < 0 || from >= n_ || to < 0 || to >= n_) {
+    throw util::GraphError("DigraphBuilder: edge endpoint outside current vertex set");
+  }
+  edges_.push_back({from, to});
+}
+
+Digraph DigraphBuilder::build() const { return Digraph(n_, edges_); }
+
+}  // namespace cwgl::graph

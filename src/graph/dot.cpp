@@ -1,0 +1,42 @@
+#include "graph/dot.hpp"
+
+#include "util/error.hpp"
+
+namespace cwgl::graph {
+
+namespace {
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const Digraph& g, std::span<const std::string> labels,
+                   std::string_view graph_name) {
+  if (!labels.empty() && static_cast<int>(labels.size()) != g.num_vertices()) {
+    throw util::InvalidArgument("to_dot: labels size != vertex count");
+  }
+  std::string out = "digraph \"" + escape(graph_name) + "\" {\n";
+  out += "  rankdir=TB;\n  node [shape=ellipse];\n";
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    out += "  n" + std::to_string(v);
+    if (!labels.empty()) {
+      out += " [label=\"" + escape(labels[v]) + "\"]";
+    }
+    out += ";\n";
+  }
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    for (int w : g.successors(v)) {
+      out += "  n" + std::to_string(v) + " -> n" + std::to_string(w) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cwgl::graph

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "graph/digraph.hpp"
+
+namespace cwgl::graph {
+
+/// Renders a GraphViz `digraph` description. `labels` may be empty (vertex
+/// indices are used) or exactly one string per vertex. Quotes and
+/// backslashes in labels are escaped.
+std::string to_dot(const Digraph& g, std::span<const std::string> labels,
+                   std::string_view graph_name = "job");
+
+}  // namespace cwgl::graph

@@ -1,0 +1,74 @@
+#include "graph/patterns.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+
+namespace cwgl::graph {
+
+std::string_view to_string(ShapePattern p) noexcept {
+  switch (p) {
+    case ShapePattern::SingleTask: return "single-task";
+    case ShapePattern::StraightChain: return "straight-chain";
+    case ShapePattern::InvertedTriangle: return "inverted-triangle";
+    case ShapePattern::Diamond: return "diamond";
+    case ShapePattern::Hourglass: return "hourglass";
+    case ShapePattern::Trapezium: return "trapezium";
+    case ShapePattern::Combination: return "combination";
+  }
+  return "unknown";
+}
+
+ShapePattern classify_shape(const Digraph& g) {
+  if (g.num_vertices() <= 1) return ShapePattern::SingleTask;
+  const std::vector<int> w = width_profile(g);
+  if (w.size() == 1) {
+    // All vertices at level 0: an edgeless bag of tasks — composite.
+    return ShapePattern::Combination;
+  }
+  const int first = w.front();
+  const int last = w.back();
+  const bool all_ones = std::all_of(w.begin(), w.end(), [](int x) { return x == 1; });
+  if (all_ones) return ShapePattern::StraightChain;
+
+  const bool non_increasing = std::is_sorted(w.rbegin(), w.rend());
+  if (non_increasing && first > last) return ShapePattern::InvertedTriangle;
+
+  int interior_max = 0;
+  int interior_min = g.num_vertices() + 1;
+  for (std::size_t i = 1; i + 1 < w.size(); ++i) {
+    interior_max = std::max(interior_max, w[i]);
+    interior_min = std::min(interior_min, w[i]);
+  }
+
+  // Unimodal: non-decreasing up to some peak, non-increasing after it.
+  const auto unimodal = [&] {
+    std::size_t i = 1;
+    while (i < w.size() && w[i] >= w[i - 1]) ++i;
+    while (i < w.size() && w[i] <= w[i - 1]) ++i;
+    return i == w.size();
+  };
+  // Anti-unimodal: non-increasing down to a waist, non-decreasing after.
+  const auto anti_unimodal = [&] {
+    std::size_t i = 1;
+    while (i < w.size() && w[i] <= w[i - 1]) ++i;
+    while (i < w.size() && w[i] >= w[i - 1]) ++i;
+    return i == w.size();
+  };
+
+  if (first == 1 && last == 1 && interior_max > 1 && unimodal()) {
+    return ShapePattern::Diamond;
+  }
+
+  const bool non_decreasing = std::is_sorted(w.begin(), w.end());
+  if (non_decreasing && last > first) return ShapePattern::Trapezium;
+
+  if (first > 1 && last > 1 && w.size() > 2 && interior_min < std::min(first, last) &&
+      anti_unimodal()) {
+    return ShapePattern::Hourglass;
+  }
+  return ShapePattern::Combination;
+}
+
+}  // namespace cwgl::graph

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string_view>
+
+#include "graph/digraph.hpp"
+
+namespace cwgl::graph {
+
+/// The paper's shape taxonomy for job DAGs (Section V-B).
+enum class ShapePattern {
+  SingleTask,        ///< one vertex, no structure to classify
+  StraightChain,     ///< every level has width 1 (58% of DAG jobs)
+  InvertedTriangle,  ///< convergent: widths non-increasing, first > last (37%)
+  Diamond,           ///< single entry + single exit with a wider middle
+  Hourglass,         ///< wide ends, narrow waist
+  Trapezium,         ///< divergent: widths non-decreasing, last > first
+  Combination,       ///< anything composite (e.g. triangle head + chain tail)
+};
+
+/// Human-readable name of a pattern.
+std::string_view to_string(ShapePattern p) noexcept;
+
+/// Classifies the shape of a DAG from its longest-path width profile.
+///
+/// Rules, applied in order to the level widths w0..wL:
+///  1. n == 1                                   -> SingleTask
+///  2. all widths == 1                          -> StraightChain
+///  3. non-increasing and w0 > wL               -> InvertedTriangle
+///  4. w0 == wL == 1, interior max > 1, profile unimodal -> Diamond
+///  5. non-decreasing and wL > w0               -> Trapezium
+///  6. w0 > 1, wL > 1, waist < min(w0, wL), profile anti-unimodal -> Hourglass
+///  7. otherwise                                -> Combination
+///
+/// Throws GraphError on a cyclic input. Disconnected DAGs (parallel
+/// independent pipelines in one job) classify as Combination unless they
+/// satisfy an earlier rule on the merged profile.
+ShapePattern classify_shape(const Digraph& g);
+
+}  // namespace cwgl::graph

@@ -1,0 +1,59 @@
+#include "kernel/base_kernels.hpp"
+
+#include <string>
+
+#include "graph/algorithms.hpp"
+
+namespace cwgl::kernel {
+
+namespace {
+void append_int(std::string& sig, int v) {
+  for (int i = 0; i < 4; ++i) {
+    sig += static_cast<char>((static_cast<unsigned>(v) >> (8 * i)) & 0xff);
+  }
+}
+}  // namespace
+
+SparseVector VertexHistogramFeaturizer::featurize(const LabeledGraph& g) {
+  std::unordered_map<int, double> counts;
+  std::string sig;
+  for (int v = 0; v < g.graph.num_vertices(); ++v) {
+    sig.clear();
+    append_int(sig, g.label(v));
+    counts[dict_.intern(sig)] += 1.0;
+  }
+  return SparseVector::from_counts(counts);
+}
+
+SparseVector EdgeHistogramFeaturizer::featurize(const LabeledGraph& g) {
+  std::unordered_map<int, double> counts;
+  std::string sig;
+  for (int v = 0; v < g.graph.num_vertices(); ++v) {
+    for (int w : g.graph.successors(v)) {
+      sig.clear();
+      append_int(sig, g.label(v));
+      append_int(sig, g.label(w));
+      counts[dict_.intern(sig)] += 1.0;
+    }
+  }
+  return SparseVector::from_counts(counts);
+}
+
+SparseVector ShortestPathFeaturizer::featurize(const LabeledGraph& g) {
+  std::unordered_map<int, double> counts;
+  std::string sig;
+  for (int v = 0; v < g.graph.num_vertices(); ++v) {
+    const auto dist = graph::bfs_distances(g.graph, v, /*undirected=*/false);
+    for (int w = 0; w < g.graph.num_vertices(); ++w) {
+      if (w == v || dist[w] < 0) continue;
+      sig.clear();
+      append_int(sig, g.label(v));
+      append_int(sig, g.label(w));
+      append_int(sig, dist[w]);
+      counts[dict_.intern(sig)] += 1.0;
+    }
+  }
+  return SparseVector::from_counts(counts);
+}
+
+}  // namespace cwgl::kernel

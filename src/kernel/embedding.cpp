@@ -1,0 +1,100 @@
+#include "kernel/embedding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::kernel {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  util::SplitMix64 sm(x);
+  return sm();
+}
+
+/// Order-independent hash of a sorted multiset of colors.
+std::uint64_t hash_multiset(std::vector<std::uint64_t>& values) {
+  std::sort(values.begin(), values.end());
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t v : values) h = util::hash_combine(h, v);
+  return h;
+}
+
+}  // namespace
+
+std::vector<double> wl_embed(const LabeledGraph& g, const EmbeddingConfig& config) {
+  if (config.dimensions < 1) {
+    throw util::InvalidArgument("wl_embed: dimensions must be >= 1");
+  }
+  const int n = g.graph.num_vertices();
+  std::vector<double> embedding(config.dimensions, 0.0);
+
+  // Color refinement with hash colors (no dictionary): colors are stable
+  // across processes for a fixed seed.
+  std::vector<std::uint64_t> color(n);
+  for (int v = 0; v < n; ++v) {
+    color[v] = mix(util::hash_combine(config.seed,
+                                      static_cast<std::uint64_t>(g.label(v)) + 0x7777));
+  }
+
+  const auto emit = [&](int iteration, std::uint64_t c) {
+    const std::uint64_t h = mix(util::hash_combine(
+        util::hash_combine(config.seed, static_cast<std::uint64_t>(iteration)), c));
+    const auto index =
+        static_cast<std::size_t>(h % static_cast<std::uint64_t>(config.dimensions));
+    const double sign = (h >> 63) ? 1.0 : -1.0;
+    embedding[index] += sign;
+  };
+
+  for (int v = 0; v < n; ++v) emit(0, color[v]);
+
+  std::vector<std::uint64_t> next(n);
+  std::vector<std::uint64_t> bucket;
+  for (int it = 1; it <= config.wl.iterations; ++it) {
+    for (int v = 0; v < n; ++v) {
+      std::uint64_t neighborhood;
+      if (config.wl.directed) {
+        bucket.clear();
+        for (int w : g.graph.predecessors(v)) bucket.push_back(color[w]);
+        const std::uint64_t in_hash = hash_multiset(bucket);
+        bucket.clear();
+        for (int w : g.graph.successors(v)) bucket.push_back(color[w]);
+        const std::uint64_t out_hash = hash_multiset(bucket);
+        neighborhood = util::hash_combine(mix(in_hash), out_hash);
+      } else {
+        bucket.clear();
+        for (int w : g.graph.predecessors(v)) bucket.push_back(color[w]);
+        for (int w : g.graph.successors(v)) bucket.push_back(color[w]);
+        neighborhood = hash_multiset(bucket);
+      }
+      next[v] = mix(util::hash_combine(color[v], neighborhood));
+      emit(it, next[v]);
+    }
+    color.swap(next);
+  }
+
+  if (config.normalize) {
+    double norm = 0.0;
+    for (double x : embedding) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (double& x : embedding) x /= norm;
+    }
+  }
+  return embedding;
+}
+
+linalg::Matrix wl_embedding_matrix(std::span<const LabeledGraph> corpus,
+                                   const EmbeddingConfig& config) {
+  linalg::Matrix out(corpus.size(), static_cast<std::size_t>(config.dimensions));
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto row = wl_embed(corpus[i], config);
+    for (std::size_t c = 0; c < row.size(); ++c) out(i, c) = row[c];
+  }
+  return out;
+}
+
+}  // namespace cwgl::kernel

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernel/types.hpp"
+#include "kernel/wl.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cwgl::kernel {
+
+/// Options for the hashed WL embedding.
+struct EmbeddingConfig {
+  WlConfig wl;              ///< refinement depth / directedness
+  int dimensions = 256;     ///< embedding width
+  std::uint64_t seed = 99;  ///< hash salt; same seed => comparable embeddings
+  bool normalize = true;    ///< L2-normalize so dot == cosine similarity
+};
+
+/// Fixed-dimension graph embedding by signed feature hashing of WL colors
+/// (graph2vec-style, without the corpus-wide dictionary).
+///
+/// Each (iteration, refined color) feature is hashed to a coordinate and a
+/// sign, so  <embed(a), embed(b)>  is an unbiased estimator of the WL
+/// subtree kernel k(a,b) (cosine of it when normalized). Unlike
+/// `WlSubtreeFeaturizer`, embeddings are corpus-INDEPENDENT: two graphs
+/// embedded in different processes with the same config are directly
+/// comparable, which is what makes classification of a live job stream
+/// (millions of jobs) practical — O(n) embeddings instead of an O(n^2)
+/// Gram matrix.
+std::vector<double> wl_embed(const LabeledGraph& g, const EmbeddingConfig& config = {});
+
+/// Embeds a corpus into an n x dimensions matrix (row i = corpus[i]).
+linalg::Matrix wl_embedding_matrix(std::span<const LabeledGraph> corpus,
+                                   const EmbeddingConfig& config = {});
+
+}  // namespace cwgl::kernel

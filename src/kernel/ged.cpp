@@ -1,0 +1,150 @@
+#include "kernel/ged.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cwgl::kernel {
+
+namespace {
+
+struct State {
+  double cost = 0.0;       // g: edit cost of the partial assignment
+  double bound = 0.0;      // f = g + h
+  std::vector<int> map;    // g1 vertex i -> g2 vertex or -1 (deleted)
+  std::uint64_t used = 0;  // bitmask of assigned g2 vertices
+};
+
+struct StateOrder {
+  bool operator()(const State& a, const State& b) const {
+    return a.bound > b.bound;  // min-heap on f
+  }
+};
+
+/// Admissible lower bound on completing the assignment: optimal node-level
+/// matching of the remaining label multisets, ignoring all edges.
+double label_heuristic(const LabeledGraph& g1, const LabeledGraph& g2,
+                       std::size_t assigned, std::uint64_t used,
+                       const GedOptions& opt) {
+  std::map<int, int> remaining1, remaining2;
+  int r1 = 0, r2 = 0;
+  for (int v = static_cast<int>(assigned); v < g1.graph.num_vertices(); ++v) {
+    ++remaining1[g1.label(v)];
+    ++r1;
+  }
+  for (int v = 0; v < g2.graph.num_vertices(); ++v) {
+    if (!(used >> v & 1)) {
+      ++remaining2[g2.label(v)];
+      ++r2;
+    }
+  }
+  int common = 0;
+  for (const auto& [label, count] : remaining1) {
+    const auto it = remaining2.find(label);
+    if (it != remaining2.end()) common += std::min(count, it->second);
+  }
+  const int matched = std::min(r1, r2);
+  return (matched - common) * opt.node_substitution +
+         (r1 - matched) * opt.node_deletion + (r2 - matched) * opt.node_insertion;
+}
+
+/// Incremental edge cost of assigning g1 vertex `u` to `v` (or -1) given the
+/// existing partial map: every ordered pair with an already-processed vertex
+/// is now decided in both graphs.
+double edge_delta(const LabeledGraph& g1, const LabeledGraph& g2,
+                  const std::vector<int>& map, int u, int v,
+                  const GedOptions& opt) {
+  double cost = 0.0;
+  for (int w = 0; w < u; ++w) {
+    const int mw = map[w];
+    const bool fwd1 = g1.graph.has_edge(u, w);
+    const bool bwd1 = g1.graph.has_edge(w, u);
+    const bool fwd2 = v >= 0 && mw >= 0 && g2.graph.has_edge(v, mw);
+    const bool bwd2 = v >= 0 && mw >= 0 && g2.graph.has_edge(mw, v);
+    if (fwd1 && !fwd2) cost += opt.edge_deletion;
+    if (!fwd1 && fwd2) cost += opt.edge_insertion;
+    if (bwd1 && !bwd2) cost += opt.edge_deletion;
+    if (!bwd1 && bwd2) cost += opt.edge_insertion;
+  }
+  return cost;
+}
+
+/// Terminal cost: every unused g2 vertex is an insertion, and every g2 edge
+/// touching an unused vertex is an edge insertion (edges between two mapped
+/// vertices were settled during assignment).
+double completion_cost(const LabeledGraph& g2, std::uint64_t used,
+                       const GedOptions& opt) {
+  double cost = 0.0;
+  const int n2 = g2.graph.num_vertices();
+  for (int v = 0; v < n2; ++v) {
+    if (!(used >> v & 1)) cost += opt.node_insertion;
+  }
+  for (int v = 0; v < n2; ++v) {
+    for (int w : g2.graph.successors(v)) {
+      if (!(used >> v & 1) || !(used >> w & 1)) cost += opt.edge_insertion;
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+double graph_edit_distance(const LabeledGraph& g1, const LabeledGraph& g2,
+                           const GedOptions& opt) {
+  const int n1 = g1.graph.num_vertices();
+  const int n2 = g2.graph.num_vertices();
+  if (n2 > 63) throw util::InvalidArgument("graph_edit_distance: g2 too large (>63)");
+
+  std::priority_queue<State, std::vector<State>, StateOrder> open;
+  State root;
+  root.map.reserve(n1);
+  root.bound = label_heuristic(g1, g2, 0, 0, opt);
+  open.push(std::move(root));
+
+  std::size_t expansions = 0;
+  while (!open.empty()) {
+    State s = open.top();
+    open.pop();
+    const auto assigned = s.map.size();
+    if (assigned == static_cast<std::size_t>(n1)) {
+      return s.cost + completion_cost(g2, s.used, opt);
+    }
+    if (++expansions > opt.max_expansions) {
+      throw util::Error("graph_edit_distance: expansion budget exhausted");
+    }
+    const int u = static_cast<int>(assigned);
+    // Branch: assign u to every unused g2 vertex.
+    for (int v = 0; v < n2; ++v) {
+      if (s.used >> v & 1) continue;
+      State t = s;
+      t.map.push_back(v);
+      t.used |= 1ULL << v;
+      t.cost += (g1.label(u) == g2.label(v) ? 0.0 : opt.node_substitution);
+      t.cost += edge_delta(g1, g2, t.map, u, v, opt);
+      t.bound = t.cost + label_heuristic(g1, g2, assigned + 1, t.used, opt);
+      open.push(std::move(t));
+    }
+    // Branch: delete u.
+    State t = std::move(s);
+    t.map.push_back(-1);
+    t.cost += opt.node_deletion;
+    t.cost += edge_delta(g1, g2, t.map, u, -1, opt);
+    t.bound = t.cost + label_heuristic(g1, g2, assigned + 1, t.used, opt);
+    open.push(std::move(t));
+  }
+  throw util::Error("graph_edit_distance: search space exhausted unexpectedly");
+}
+
+double ged_similarity(const LabeledGraph& a, const LabeledGraph& b,
+                      const GedOptions& options) {
+  const double ged = graph_edit_distance(a, b, options);
+  const double scale =
+      std::max(1, a.graph.num_vertices() + b.graph.num_vertices());
+  return std::exp(-ged / scale);
+}
+
+}  // namespace cwgl::kernel

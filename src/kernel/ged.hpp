@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+
+#include "kernel/types.hpp"
+
+namespace cwgl::kernel {
+
+/// Cost model and search budget for exact graph edit distance.
+struct GedOptions {
+  double node_substitution = 1.0;  ///< relabel a vertex
+  double node_insertion = 1.0;
+  double node_deletion = 1.0;
+  double edge_insertion = 1.0;
+  double edge_deletion = 1.0;
+  /// A* guard: throw util::Error after this many state expansions. GED is
+  /// exponential in vertex count — exactly the cost blow-up that led the
+  /// paper to graph kernels instead (Section V-C).
+  std::size_t max_expansions = 2'000'000;
+};
+
+/// Exact directed graph edit distance via A* over vertex assignments, with
+/// an admissible label-histogram heuristic. Intended for small graphs
+/// (<= ~12 vertices); larger inputs exhaust `max_expansions` and throw.
+/// Edges are unlabeled; vertices compare by label.
+double graph_edit_distance(const LabeledGraph& a, const LabeledGraph& b,
+                           const GedOptions& options = {});
+
+/// GED-derived similarity in [0,1]: exp(-ged / (|V_a| + |V_b|)), a common
+/// normalization used when comparing against kernel similarities.
+double ged_similarity(const LabeledGraph& a, const LabeledGraph& b,
+                      const GedOptions& options = {});
+
+}  // namespace cwgl::kernel

@@ -1,0 +1,61 @@
+#include "kernel/gram.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cwgl::kernel {
+
+linalg::Matrix gram_matrix(Featurizer& f, std::span<const LabeledGraph> corpus,
+                           const GramOptions& options, util::ThreadPool* pool) {
+  const std::size_t n = corpus.size();
+  std::vector<SparseVector> features;
+  features.reserve(n);
+  for (const LabeledGraph& g : corpus) features.push_back(f.featurize(g));
+
+  linalg::Matrix gram(n, n);
+  const auto fill_row = [&](std::size_t i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double k = features[i].dot(features[j]);
+      gram(i, j) = k;
+      gram(j, i) = k;
+    }
+  };
+  if (pool != nullptr) {
+    util::parallel_for(*pool, 0, n, fill_row);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fill_row(i);
+  }
+
+  if (options.normalize) {
+    std::vector<double> inv_norm(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = std::sqrt(gram(i, i));
+      inv_norm[i] = d > 0.0 ? 1.0 / d : 0.0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        gram(i, j) *= inv_norm[i] * inv_norm[j];
+      }
+    }
+  }
+  return gram;
+}
+
+linalg::Matrix kernel_to_distance(const linalg::Matrix& gram) {
+  if (gram.rows() != gram.cols()) {
+    throw util::InvalidArgument("kernel_to_distance: matrix must be square");
+  }
+  const std::size_t n = gram.rows();
+  linalg::Matrix dist(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double sq = gram(i, i) + gram(j, j) - 2.0 * gram(i, j);
+      dist(i, j) = std::sqrt(std::max(0.0, sq));
+    }
+  }
+  return dist;
+}
+
+}  // namespace cwgl::kernel

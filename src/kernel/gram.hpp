@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+
+#include "kernel/types.hpp"
+#include "linalg/matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cwgl::kernel {
+
+/// Options for gram_matrix.
+struct GramOptions {
+  /// Cosine-normalize so every diagonal entry is 1 and all values lie in
+  /// [0,1] — the similarity-map form the paper plots in Fig. 7.
+  bool normalize = true;
+};
+
+/// Builds the symmetric kernel (Gram) matrix of a corpus.
+///
+/// Featurization runs sequentially through `f` (it owns a shared signature
+/// dictionary); the O(n^2/2) dot products run on `pool` when provided.
+/// Row/column i corresponds to corpus[i].
+linalg::Matrix gram_matrix(Featurizer& f, std::span<const LabeledGraph> corpus,
+                           const GramOptions& options = {},
+                           util::ThreadPool* pool = nullptr);
+
+/// Converts a normalized similarity matrix into a distance matrix via
+/// d = sqrt(max(0, k(a,a) + k(b,b) - 2 k(a,b))) — the feature-space Euclidean
+/// distance; used by silhouette scoring and medoid extraction.
+linalg::Matrix kernel_to_distance(const linalg::Matrix& gram);
+
+}  // namespace cwgl::kernel

@@ -1,0 +1,60 @@
+#include "kernel/types.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cwgl::kernel {
+
+double SparseVector::dot(const SparseVector& other) const noexcept {
+  double acc = 0.0;
+  auto a = items.begin();
+  auto b = other.items.begin();
+  while (a != items.end() && b != other.items.end()) {
+    if (a->first < b->first) {
+      ++a;
+    } else if (b->first < a->first) {
+      ++b;
+    } else {
+      acc += a->second * b->second;
+      ++a;
+      ++b;
+    }
+  }
+  return acc;
+}
+
+double SparseVector::norm() const noexcept {
+  double acc = 0.0;
+  for (const auto& [id, v] : items) acc += v * v;
+  return std::sqrt(acc);
+}
+
+SparseVector SparseVector::from_counts(
+    const std::unordered_map<int, double>& counts) {
+  SparseVector out;
+  out.items.assign(counts.begin(), counts.end());
+  std::sort(out.items.begin(), out.items.end());
+  return out;
+}
+
+int SignatureDictionary::intern(std::string_view key) {
+  const auto it = map_.find(std::string(key));
+  if (it != map_.end()) return it->second;
+  const int id = static_cast<int>(map_.size());
+  map_.emplace(std::string(key), id);
+  return id;
+}
+
+double kernel_value(Featurizer& f, const LabeledGraph& a, const LabeledGraph& b) {
+  return f.featurize(a).dot(f.featurize(b));
+}
+
+double normalized_kernel_value(Featurizer& f, const LabeledGraph& a,
+                               const LabeledGraph& b) {
+  const SparseVector va = f.featurize(a);
+  const SparseVector vb = f.featurize(b);
+  const double denom = va.norm() * vb.norm();
+  return denom == 0.0 ? 0.0 : va.dot(vb) / denom;
+}
+
+}  // namespace cwgl::kernel

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace cwgl::kernel {
+
+/// A graph together with integer vertex labels (task types in the paper).
+/// An empty label vector means "uniformly labeled".
+struct LabeledGraph {
+  graph::Digraph graph;
+  std::vector<int> labels;
+
+  /// Returns the label of `v`, treating an empty label vector as all-zero.
+  int label(int v) const noexcept {
+    return labels.empty() ? 0 : labels[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Sparse non-negative feature vector with ascending unique ids.
+/// The kernel value between two graphs is the dot product of their vectors.
+struct SparseVector {
+  std::vector<std::pair<int, double>> items;
+
+  /// Dot product via sorted-merge; O(nnz_a + nnz_b).
+  double dot(const SparseVector& other) const noexcept;
+
+  /// Euclidean norm.
+  double norm() const noexcept;
+
+  /// Builds from an unordered (id -> count) accumulation.
+  static SparseVector from_counts(const std::unordered_map<int, double>& counts);
+};
+
+/// Interns arbitrary byte-string signatures to dense consecutive ids.
+/// Shared across a corpus so identical substructures map to the same
+/// feature dimension in every graph.
+class SignatureDictionary {
+ public:
+  /// Returns the id of `key`, assigning the next free id on first sight.
+  int intern(std::string_view key);
+
+  std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  std::unordered_map<std::string, int> map_;
+};
+
+/// Abstract graph-to-feature-vector transform backing a kernel.
+///
+/// Implementations share a SignatureDictionary internally, so a single
+/// instance must featurize a whole corpus (calls are NOT thread-safe);
+/// the resulting vectors can then be dotted in parallel.
+class Featurizer {
+ public:
+  virtual ~Featurizer() = default;
+
+  /// Maps a graph into the shared feature space.
+  virtual SparseVector featurize(const LabeledGraph& g) = 0;
+
+  /// Identifier used in reports ("wl-subtree", "vertex-histogram", ...).
+  virtual std::string_view name() const noexcept = 0;
+};
+
+/// Raw (unnormalized) kernel value between two graphs under `f`.
+double kernel_value(Featurizer& f, const LabeledGraph& a, const LabeledGraph& b);
+
+/// Cosine-normalized kernel: k(a,b) / sqrt(k(a,a) k(b,b)), in [0,1] for
+/// non-negative features; 0 when either self-kernel vanishes.
+double normalized_kernel_value(Featurizer& f, const LabeledGraph& a,
+                               const LabeledGraph& b);
+
+}  // namespace cwgl::kernel

@@ -1,0 +1,109 @@
+#include "kernel/wl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace cwgl::kernel {
+
+namespace {
+
+/// Appends an int to a byte-signature (fixed-width little-endian so
+/// signatures are prefix-free).
+void append_int(std::string& sig, int v) {
+  for (int i = 0; i < 4; ++i) {
+    sig += static_cast<char>((static_cast<unsigned>(v) >> (8 * i)) & 0xff);
+  }
+}
+
+}  // namespace
+
+WlSubtreeFeaturizer::WlSubtreeFeaturizer(WlConfig config)
+    : config_(std::move(config)) {}
+
+SparseVector WlSubtreeFeaturizer::featurize(const LabeledGraph& g) {
+  if (!config_.iteration_weights.empty()) {
+    if (config_.iteration_weights.size() !=
+        static_cast<std::size_t>(config_.iterations) + 1) {
+      throw util::InvalidArgument(
+          "WlSubtreeFeaturizer: iteration_weights must have iterations+1 entries");
+    }
+    for (double w : config_.iteration_weights) {
+      if (w < 0.0) {
+        throw util::InvalidArgument(
+            "WlSubtreeFeaturizer: iteration_weights must be non-negative");
+      }
+    }
+  }
+  // Scale features by sqrt(w_i) so the kernel contribution of iteration i
+  // scales by exactly w_i.
+  const auto weight = [&](int it) {
+    return config_.iteration_weights.empty()
+               ? 1.0
+               : std::sqrt(config_.iteration_weights[it]);
+  };
+
+  const int n = g.graph.num_vertices();
+  std::unordered_map<int, double> counts;
+
+  // Iteration 0: intern the raw labels (namespaced by iteration).
+  std::vector<int> color(n);
+  std::string sig;
+  for (int v = 0; v < n; ++v) {
+    sig.clear();
+    append_int(sig, 0);  // iteration tag
+    append_int(sig, g.label(v));
+    color[v] = dict_.intern(sig);
+    counts[color[v]] += weight(0);
+  }
+
+  std::vector<int> next(n);
+  std::vector<int> bucket;
+  for (int it = 1; it <= config_.iterations; ++it) {
+    for (int v = 0; v < n; ++v) {
+      sig.clear();
+      append_int(sig, it);  // iteration tag keeps feature spaces disjoint
+      append_int(sig, color[v]);
+      if (config_.directed) {
+        bucket.assign(g.graph.predecessors(v).begin(), g.graph.predecessors(v).end());
+        for (int& b : bucket) b = color[b];
+        std::sort(bucket.begin(), bucket.end());
+        append_int(sig, static_cast<int>(bucket.size()));
+        for (int b : bucket) append_int(sig, b);
+        bucket.assign(g.graph.successors(v).begin(), g.graph.successors(v).end());
+        for (int& b : bucket) b = color[b];
+        std::sort(bucket.begin(), bucket.end());
+        append_int(sig, static_cast<int>(bucket.size()));
+        for (int b : bucket) append_int(sig, b);
+      } else {
+        bucket.clear();
+        for (int w : g.graph.predecessors(v)) bucket.push_back(color[w]);
+        for (int w : g.graph.successors(v)) bucket.push_back(color[w]);
+        std::sort(bucket.begin(), bucket.end());
+        append_int(sig, static_cast<int>(bucket.size()));
+        for (int b : bucket) append_int(sig, b);
+      }
+      next[v] = dict_.intern(sig);
+      counts[next[v]] += weight(it);
+    }
+    color.swap(next);
+  }
+  last_colors_ = color;
+  return SparseVector::from_counts(counts);
+}
+
+double wl_subtree_kernel(const LabeledGraph& a, const LabeledGraph& b,
+                         WlConfig config) {
+  WlSubtreeFeaturizer f(config);
+  return kernel_value(f, a, b);
+}
+
+double wl_subtree_similarity(const LabeledGraph& a, const LabeledGraph& b,
+                             WlConfig config) {
+  WlSubtreeFeaturizer f(config);
+  return normalized_kernel_value(f, a, b);
+}
+
+}  // namespace cwgl::kernel

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cwgl::linalg {
+
+/// Dense row-major matrix of doubles.
+///
+/// Sized for the paper's workloads (kernel/Laplacian matrices of a few
+/// hundred rows); operations are straightforward O(n^3)/O(n^2) loops with
+/// contiguous storage, which at this scale beats anything fancier.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from nested initializer-like data; every row must have `cols`
+  /// entries (throws InvalidArgument otherwise).
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of row `r`.
+  std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Raw storage (row-major).
+  std::span<const double> data() const noexcept { return data_; }
+
+  Matrix transposed() const;
+
+  /// Matrix product; dimensions must agree (throws InvalidArgument).
+  Matrix multiply(const Matrix& other) const;
+
+  /// y = A x; x.size() must equal cols (throws InvalidArgument).
+  std::vector<double> multiply(std::span<const double> x) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const noexcept;
+
+  /// max |a_ij - b_ij|; matrices must be same shape (throws InvalidArgument).
+  double max_abs_diff(const Matrix& other) const;
+
+  /// True if square and |a_ij - a_ji| <= tol everywhere.
+  bool is_symmetric(double tol = 1e-12) const noexcept;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace cwgl::linalg

@@ -1,0 +1,86 @@
+#include "linalg/solve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cwgl::linalg {
+
+Matrix cholesky(const Matrix& a, double jitter) {
+  if (!a.is_symmetric(1e-9)) {
+    throw util::InvalidArgument("cholesky: matrix is not symmetric");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      if (i == j) sum += jitter;
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw util::InvalidArgument("cholesky: matrix is not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b,
+                              double jitter) {
+  if (a.rows() != b.size()) {
+    throw util::InvalidArgument("solve_spd: dimension mismatch");
+  }
+  const Matrix l = cholesky(a, jitter);
+  const std::size_t n = a.rows();
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a, std::span<const double> b,
+                                        double ridge) {
+  if (a.rows() != b.size() || a.rows() == 0 || a.cols() == 0) {
+    throw util::InvalidArgument("solve_least_squares: dimension mismatch");
+  }
+  const std::size_t d = a.cols();
+  Matrix ata(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < a.rows(); ++r) sum += a(r, i) * a(r, j);
+      ata(i, j) = sum;
+      ata(j, i) = sum;
+    }
+  }
+  std::vector<double> atb(d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) sum += a(r, i) * b[r];
+    atb[i] = sum;
+  }
+  // Ridge scaled by the largest diagonal entry keeps conditioning sane
+  // regardless of feature scaling.
+  double scale = 0.0;
+  for (std::size_t i = 0; i < d; ++i) scale = std::max(scale, ata(i, i));
+  return solve_spd(ata, atb, ridge * std::max(1.0, scale));
+}
+
+}  // namespace cwgl::linalg

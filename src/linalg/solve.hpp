@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cwgl::linalg {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite
+/// matrix; returns the lower-triangular L. Throws InvalidArgument if A is
+/// not symmetric or not positive definite (within `jitter` on the
+/// diagonal — a tiny ridge that keeps nearly-singular normal equations
+/// solvable).
+Matrix cholesky(const Matrix& a, double jitter = 0.0);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b,
+                              double jitter = 0.0);
+
+/// Linear least squares: argmin_x ||A x - b||^2 (+ ridge * ||x||^2) via the
+/// normal equations A^T A x = A^T b. The ridge (default tiny) regularizes
+/// collinear feature columns. A is n x d with n >= 1, b has n entries.
+std::vector<double> solve_least_squares(const Matrix& a, std::span<const double> b,
+                                        double ridge = 1e-9);
+
+}  // namespace cwgl::linalg

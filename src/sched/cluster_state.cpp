@@ -1,0 +1,79 @@
+#include "sched/cluster_state.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace cwgl::sched {
+
+ClusterState::ClusterState(std::size_t machines, double cpu_capacity,
+                           double mem_capacity) {
+  if (machines == 0 || cpu_capacity <= 0.0 || mem_capacity <= 0.0) {
+    throw util::InvalidArgument("ClusterState: need machines and capacities > 0");
+  }
+  machines_.resize(machines);
+  for (Machine& m : machines_) {
+    m.cpu_capacity = cpu_capacity;
+    m.mem_capacity = mem_capacity;
+  }
+  total_cpu_ = cpu_capacity * static_cast<double>(machines);
+}
+
+int ClusterState::place_first_fit(double cpu, double mem) {
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    if (machines_[m].fits(cpu, mem)) {
+      machines_[m].cpu_used += cpu;
+      machines_[m].mem_used += mem;
+      return static_cast<int>(m);
+    }
+  }
+  return -1;
+}
+
+int ClusterState::place_best_fit(double cpu, double mem) {
+  int best = -1;
+  double best_slack = std::numeric_limits<double>::max();
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    if (!machines_[m].fits(cpu, mem)) continue;
+    const double slack = machines_[m].cpu_free() - cpu;
+    if (slack < best_slack) {
+      best_slack = slack;
+      best = static_cast<int>(m);
+    }
+  }
+  if (best >= 0) {
+    machines_[best].cpu_used += cpu;
+    machines_[best].mem_used += mem;
+  }
+  return best;
+}
+
+void ClusterState::release(std::size_t m, double cpu, double mem) {
+  if (m >= machines_.size()) {
+    throw util::InvalidArgument("ClusterState::release: machine out of range");
+  }
+  machines_[m].cpu_used -= cpu;
+  machines_[m].mem_used -= mem;
+  if (machines_[m].cpu_used < -1e-6 || machines_[m].mem_used < -1e-6) {
+    throw util::InvalidArgument("ClusterState::release: negative usage (double release?)");
+  }
+  if (machines_[m].cpu_used < 0.0) machines_[m].cpu_used = 0.0;
+  if (machines_[m].mem_used < 0.0) machines_[m].mem_used = 0.0;
+}
+
+void ClusterState::set_online_reserved(std::size_t m, double cpu) {
+  if (m >= machines_.size()) {
+    throw util::InvalidArgument("ClusterState::set_online_reserved: machine out of range");
+  }
+  machines_[m].cpu_online_reserved =
+      std::clamp(cpu, 0.0, machines_[m].cpu_capacity);
+}
+
+double ClusterState::cpu_utilization() const noexcept {
+  double used = 0.0;
+  for (const Machine& m : machines_) used += m.cpu_used;
+  return total_cpu_ > 0.0 ? used / total_cpu_ : 0.0;
+}
+
+}  // namespace cwgl::sched

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cwgl::sched {
+
+/// One server in the simulated co-located cluster (Fig. 1's infrastructure
+/// layer). Capacities use trace units: cpu 100 == one core, mem is the
+/// normalized percentage scale of the trace.
+struct Machine {
+  double cpu_capacity = 9600.0;  ///< 96 cores, the Alibaba server shape
+  double mem_capacity = 100.0;
+  double cpu_used = 0.0;         ///< batch usage
+  double mem_used = 0.0;
+  /// CPU held by co-located online services (latency-critical, never
+  /// yields to batch). Batch tasks only see what is left.
+  double cpu_online_reserved = 0.0;
+
+  double cpu_free() const noexcept {
+    return cpu_capacity - cpu_used - cpu_online_reserved;
+  }
+  double mem_free() const noexcept { return mem_capacity - mem_used; }
+
+  bool fits(double cpu, double mem) const noexcept {
+    return cpu <= cpu_free() + 1e-9 && mem <= mem_free() + 1e-9;
+  }
+
+  /// Batch demand above capacity after an online-reservation increase —
+  /// the amount that must be preempted to restore feasibility.
+  double overcommit() const noexcept {
+    const double excess = cpu_used + cpu_online_reserved - cpu_capacity;
+    return excess > 0.0 ? excess : 0.0;
+  }
+};
+
+/// The cluster's machines plus placement bookkeeping.
+class ClusterState {
+ public:
+  /// `machines` homogeneous servers of the given shape.
+  ClusterState(std::size_t machines, double cpu_capacity, double mem_capacity);
+
+  std::size_t size() const noexcept { return machines_.size(); }
+  const Machine& machine(std::size_t m) const { return machines_[m]; }
+
+  /// First-fit placement: returns the lowest machine index that can host
+  /// the demand and reserves it, or -1 if nothing fits.
+  int place_first_fit(double cpu, double mem);
+
+  /// Best-fit placement: the feasible machine with the least spare CPU
+  /// after placement (tightest packing), or -1.
+  int place_best_fit(double cpu, double mem);
+
+  /// Releases a previous reservation on machine `m`.
+  void release(std::size_t m, double cpu, double mem);
+
+  /// Sets the online-service CPU reservation of machine `m` (clamped to
+  /// [0, capacity]). May push the machine into overcommit; the simulator
+  /// preempts batch tasks to resolve that.
+  void set_online_reserved(std::size_t m, double cpu);
+
+  /// Aggregate BATCH CPU utilization in [0,1] (reservations excluded).
+  double cpu_utilization() const noexcept;
+
+  /// Total CPU capacity across machines.
+  double total_cpu() const noexcept { return total_cpu_; }
+
+ private:
+  std::vector<Machine> machines_;
+  double total_cpu_ = 0.0;
+};
+
+}  // namespace cwgl::sched

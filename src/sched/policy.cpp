@@ -1,0 +1,83 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cwgl::sched {
+
+namespace {
+
+/// Deterministic final tie-break shared by all policies.
+bool id_less(const ReadyTask& a, const ReadyTask& b) {
+  return a.job != b.job ? a.job < b.job : a.vertex < b.vertex;
+}
+
+/// Total remaining work (cpu-seconds) of a job: sum over all tasks. Exact
+/// knowledge — only the oracle SJF policy uses it.
+double job_total_work(const SimJob& job) {
+  double work = 0.0;
+  for (const SimTask& t : job.tasks) work += t.cpu * t.duration;
+  return work;
+}
+
+}  // namespace
+
+void FifoPolicy::prioritize(std::vector<ReadyTask>& ready,
+                            const PolicyContext& ctx) const {
+  std::sort(ready.begin(), ready.end(),
+            [&](const ReadyTask& a, const ReadyTask& b) {
+              const double aa = ctx.jobs[a.job].arrival;
+              const double ba = ctx.jobs[b.job].arrival;
+              if (aa != ba) return aa < ba;
+              if (a.ready_since != b.ready_since) {
+                return a.ready_since < b.ready_since;
+              }
+              return id_less(a, b);
+            });
+}
+
+void CriticalPathFirstPolicy::prioritize(std::vector<ReadyTask>& ready,
+                                         const PolicyContext& ctx) const {
+  std::sort(ready.begin(), ready.end(),
+            [&](const ReadyTask& a, const ReadyTask& b) {
+              const double ra = ctx.task_rank[a.job][a.vertex];
+              const double rb = ctx.task_rank[b.job][b.vertex];
+              if (ra != rb) return ra > rb;  // longest path to exit first
+              return id_less(a, b);
+            });
+}
+
+void ShortestJobFirstPolicy::prioritize(std::vector<ReadyTask>& ready,
+                                        const PolicyContext& ctx) const {
+  std::sort(ready.begin(), ready.end(),
+            [&](const ReadyTask& a, const ReadyTask& b) {
+              const double wa = job_total_work(ctx.jobs[a.job]);
+              const double wb = job_total_work(ctx.jobs[b.job]);
+              if (wa != wb) return wa < wb;
+              return id_less(a, b);
+            });
+}
+
+void GroupHintPolicy::prioritize(std::vector<ReadyTask>& ready,
+                                 const PolicyContext& ctx) const {
+  const auto predicted_work = [&](const ReadyTask& t) {
+    const int g = ctx.jobs[t.job].hint_group;
+    if (g < 0 || static_cast<std::size_t>(g) >= ctx.profiles.size()) {
+      return std::numeric_limits<double>::max();  // unhinted jobs go last
+    }
+    return ctx.profiles[g].expected_work;
+  };
+  std::sort(ready.begin(), ready.end(),
+            [&](const ReadyTask& a, const ReadyTask& b) {
+              const double wa = predicted_work(a);
+              const double wb = predicted_work(b);
+              if (wa != wb) return wa < wb;  // predicted-short jobs first
+              // Within a group, favor deep chains (critical path) first.
+              const double ra = ctx.task_rank[a.job][a.vertex];
+              const double rb = ctx.task_rank[b.job][b.vertex];
+              if (ra != rb) return ra > rb;
+              return id_less(a, b);
+            });
+}
+
+}  // namespace cwgl::sched

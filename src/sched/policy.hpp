@@ -1,0 +1,85 @@
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "sched/workload.hpp"
+
+namespace cwgl::sched {
+
+/// A task whose dependencies are satisfied and that awaits resources.
+struct ReadyTask {
+  std::size_t job = 0;      ///< index into the submitted job list
+  int vertex = 0;           ///< task vertex within the job's DAG
+  double ready_since = 0.0; ///< when it became runnable
+};
+
+/// Per-cluster-group scheduling profile derived from the paper's
+/// characterization: what a scheduler can assume about a job the moment it
+/// is classified, before running anything.
+struct GroupProfile {
+  double expected_depth = 1.0;  ///< mean critical path of the group
+  double expected_width = 1.0;  ///< mean maximum parallelism of the group
+  double expected_work = 0.0;   ///< mean total cpu x duration of the group
+};
+
+/// Read-only state handed to policies at every dispatch round.
+struct PolicyContext {
+  std::span<const SimJob> jobs;
+  /// task_rank[job][vertex] = upward rank (critical-path-to-exit length in
+  /// seconds, including the task itself).
+  std::span<const std::vector<double>> task_rank;
+  /// Profiles indexed by SimJob::hint_group (may be empty).
+  std::span<const GroupProfile> profiles;
+  double now = 0.0;
+};
+
+/// Strategy deciding which ready tasks get resources first. Implementations
+/// must produce a deterministic total order (ties broken by job/vertex).
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+  virtual std::string_view name() const noexcept = 0;
+  /// Reorders `ready` in place; earlier entries are offered resources first.
+  virtual void prioritize(std::vector<ReadyTask>& ready,
+                          const PolicyContext& ctx) const = 0;
+};
+
+/// Arrival-order FIFO — the baseline every paper-adjacent scheduler beats.
+class FifoPolicy final : public SchedulingPolicy {
+ public:
+  std::string_view name() const noexcept override { return "fifo"; }
+  void prioritize(std::vector<ReadyTask>& ready,
+                  const PolicyContext& ctx) const override;
+};
+
+/// Largest upward rank first (HEFT-style list scheduling): tasks on long
+/// dependency chains run before easily-parallelized stragglers.
+class CriticalPathFirstPolicy final : public SchedulingPolicy {
+ public:
+  std::string_view name() const noexcept override { return "critical-path-first"; }
+  void prioritize(std::vector<ReadyTask>& ready,
+                  const PolicyContext& ctx) const override;
+};
+
+/// Shortest remaining-work job first, with exact per-job knowledge —
+/// an oracle upper bound for what job-size-aware ordering can achieve.
+class ShortestJobFirstPolicy final : public SchedulingPolicy {
+ public:
+  std::string_view name() const noexcept override { return "shortest-job-first"; }
+  void prioritize(std::vector<ReadyTask>& ready,
+                  const PolicyContext& ctx) const override;
+};
+
+/// The paper's pitch: order jobs by the *predicted* work of their cluster
+/// group (no per-job measurement needed — only the WL classification).
+/// Jobs without a hint fall back to FIFO order after hinted ones.
+class GroupHintPolicy final : public SchedulingPolicy {
+ public:
+  std::string_view name() const noexcept override { return "group-hint"; }
+  void prioritize(std::vector<ReadyTask>& ready,
+                  const PolicyContext& ctx) const override;
+};
+
+}  // namespace cwgl::sched

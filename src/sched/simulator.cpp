@@ -1,0 +1,316 @@
+#include "sched/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "graph/algorithms.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace cwgl::sched {
+
+std::vector<double> upward_ranks(const SimJob& job) {
+  const auto order = graph::topological_sort(job.dag);
+  if (!order) throw util::GraphError("upward_ranks: job DAG has a cycle");
+  std::vector<double> rank(job.tasks.size(), 0.0);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const int v = *it;
+    double best_child = 0.0;
+    for (int w : job.dag.successors(v)) best_child = std::max(best_child, rank[w]);
+    rank[v] = job.tasks[v].duration + best_child;
+  }
+  return rank;
+}
+
+std::vector<GroupProfile> profiles_from_groups(std::span<const core::JobDag> dags,
+                                               std::span<const int> labels,
+                                               int num_groups) {
+  if (dags.size() != labels.size()) {
+    throw util::InvalidArgument("profiles_from_groups: dags/labels size mismatch");
+  }
+  std::vector<GroupProfile> profiles(num_groups);
+  std::vector<std::size_t> counts(num_groups, 0);
+  std::vector<double> depth_sum(num_groups, 0.0), width_sum(num_groups, 0.0),
+      work_sum(num_groups, 0.0);
+  for (std::size_t i = 0; i < dags.size(); ++i) {
+    const int g = labels[i];
+    if (g < 0 || g >= num_groups) {
+      throw util::InvalidArgument("profiles_from_groups: label out of range");
+    }
+    ++counts[g];
+    depth_sum[g] += graph::critical_path_length(dags[i].dag);
+    width_sum[g] += graph::max_width(dags[i].dag);
+    double work = 0.0;
+    for (const core::TaskMeta& t : dags[i].tasks) {
+      const double duration =
+          t.duration() > 0 ? static_cast<double>(t.duration()) : 60.0;
+      work += t.plan_cpu * std::max(1, t.instance_num) * duration;
+    }
+    work_sum[g] += work;
+  }
+  for (int g = 0; g < num_groups; ++g) {
+    if (counts[g] == 0) continue;
+    const double n = static_cast<double>(counts[g]);
+    profiles[g].expected_depth = depth_sum[g] / n;
+    profiles[g].expected_width = width_sum[g] / n;
+    profiles[g].expected_work = work_sum[g] / n;
+  }
+  return profiles;
+}
+
+namespace {
+
+struct RunningTask {
+  double start = 0.0;
+  double finish = 0.0;
+  std::size_t job = 0;
+  int vertex = 0;
+  std::size_t machine = 0;
+  double cpu = 0.0;
+  double mem = 0.0;
+};
+
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+Simulator::Simulator(SimulatorConfig config) : config_(config) {
+  if (config_.machines == 0) {
+    throw util::InvalidArgument("Simulator: need at least one machine");
+  }
+  if (config_.online.enabled) {
+    const OnlineLoadModel& o = config_.online;
+    if (o.period <= 0.0 || o.tick_interval <= 0.0) {
+      throw util::InvalidArgument("Simulator: online period/tick must be > 0");
+    }
+    if (o.base_fraction < 0.0 || o.base_fraction + o.amplitude >= 1.0) {
+      throw util::InvalidArgument(
+          "Simulator: online reservation must leave batch headroom (< 1)");
+    }
+  }
+}
+
+SimulationResult Simulator::run(std::span<const SimJob> jobs,
+                                const SchedulingPolicy& policy,
+                                std::span<const GroupProfile> profiles) const {
+  SimulationResult result;
+  result.jobs.resize(jobs.size());
+  if (jobs.empty()) return result;
+
+  // Precompute ranks and validate DAGs up front.
+  std::vector<std::vector<double>> ranks;
+  ranks.reserve(jobs.size());
+  for (const SimJob& job : jobs) ranks.push_back(upward_ranks(job));
+
+  PolicyContext ctx;
+  ctx.jobs = jobs;
+  ctx.task_rank = ranks;
+  ctx.profiles = profiles;
+
+  ClusterState cluster(config_.machines, config_.cpu_capacity,
+                       config_.mem_capacity);
+
+  const OnlineLoadModel& online = config_.online;
+  // The largest demand guaranteed to fit an empty machine even at the
+  // diurnal PEAK of the online reservation; larger demands are clamped so
+  // no batch task can starve regardless of when dispatch happens.
+  const double peak_fraction =
+      online.enabled
+          ? std::min(0.99, online.base_fraction + std::max(0.0, online.amplitude))
+          : 0.0;
+  const double batch_cpu_limit = config_.cpu_capacity * (1.0 - peak_fraction);
+
+  const auto reservation_at = [&](std::size_t m, double t) {
+    const double phase =
+        online.phase + online.phase_spread * static_cast<double>(m);
+    const double fraction =
+        online.base_fraction +
+        online.amplitude *
+            std::sin(2.0 * std::numbers::pi * (t + phase) / online.period);
+    return config_.cpu_capacity * std::clamp(fraction, 0.0, 0.99);
+  };
+
+  // Arrival order by time (stable on index).
+  std::vector<std::size_t> arrival_order(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) arrival_order[i] = i;
+  std::sort(arrival_order.begin(), arrival_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return jobs[a].arrival != jobs[b].arrival
+                         ? jobs[a].arrival < jobs[b].arrival
+                         : a < b;
+            });
+
+  std::vector<RunningTask> running;
+  std::vector<ReadyTask> ready;
+  std::vector<std::vector<int>> pending_parents(jobs.size());
+  std::vector<std::size_t> remaining_tasks(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    pending_parents[j].resize(jobs[j].tasks.size());
+    for (int v = 0; v < jobs[j].dag.num_vertices(); ++v) {
+      pending_parents[j][v] = jobs[j].dag.in_degree(v);
+    }
+    remaining_tasks[j] = jobs[j].tasks.size();
+    result.jobs[j].arrival = jobs[j].arrival;
+    result.jobs[j].first_start = -1.0;
+  }
+
+  std::size_t next_arrival = 0;
+  const double first_arrival = jobs[arrival_order[0]].arrival;
+  double prev_time = first_arrival;
+  double busy_integral = 0.0;
+  double busy_cpu = 0.0;
+  double last_finish = first_arrival;
+  double next_tick = online.enabled ? first_arrival : 0.0;
+
+  if (online.enabled) {
+    for (std::size_t m = 0; m < config_.machines; ++m) {
+      cluster.set_online_reserved(m, reservation_at(m, first_arrival));
+    }
+    next_tick = first_arrival + online.tick_interval;
+  }
+
+  const auto dispatch = [&](double time) {
+    policy.prioritize(ready, ctx);
+    std::vector<ReadyTask> still_waiting;
+    still_waiting.reserve(ready.size());
+    for (const ReadyTask& t : ready) {
+      const SimTask& task = jobs[t.job].tasks[t.vertex];
+      double cpu = task.cpu;
+      double mem = task.mem;
+      if (cpu > batch_cpu_limit || mem > config_.mem_capacity) {
+        cpu = std::min(cpu, batch_cpu_limit);
+        mem = std::min(mem, config_.mem_capacity);
+        ++result.oversized_tasks;
+      }
+      const int machine = config_.best_fit ? cluster.place_best_fit(cpu, mem)
+                                           : cluster.place_first_fit(cpu, mem);
+      if (machine < 0) {
+        still_waiting.push_back(t);
+        continue;
+      }
+      if (result.jobs[t.job].first_start < 0.0) {
+        result.jobs[t.job].first_start = time;
+      }
+      busy_cpu += cpu;
+      running.push_back({time, time + std::max(1e-9, task.duration), t.job,
+                         t.vertex, static_cast<std::size_t>(machine), cpu, mem});
+    }
+    ready = std::move(still_waiting);
+  };
+
+  const auto advance_to = [&](double time) {
+    busy_integral += busy_cpu * (time - prev_time);
+    prev_time = time;
+  };
+
+  /// Kills the youngest-started batch tasks on machine `m` until its
+  /// overcommit clears; killed tasks lose progress and re-enter `ready`.
+  const auto preempt_machine = [&](std::size_t m, double time) {
+    while (cluster.machine(m).overcommit() > kEps) {
+      int victim = -1;
+      for (int i = 0; i < static_cast<int>(running.size()); ++i) {
+        if (running[i].machine != m) continue;
+        if (victim < 0 || running[i].start > running[victim].start ||
+            (running[i].start == running[victim].start &&
+             running[i].job > running[victim].job)) {
+          victim = i;
+        }
+      }
+      if (victim < 0) break;  // nothing left to preempt (pure online overload)
+      const RunningTask killed = running[victim];
+      running.erase(running.begin() + victim);
+      cluster.release(m, killed.cpu, killed.mem);
+      busy_cpu -= killed.cpu;
+      ++result.preemptions;
+      ready.push_back({killed.job, killed.vertex, time});
+    }
+  };
+
+  const auto work_pending = [&]() {
+    return next_arrival < jobs.size() || !running.empty() || !ready.empty();
+  };
+
+  while (work_pending()) {
+    // Next event: arrival, completion, or online tick.
+    double t = std::numeric_limits<double>::max();
+    if (next_arrival < jobs.size()) {
+      t = std::min(t, jobs[arrival_order[next_arrival]].arrival);
+    }
+    for (const RunningTask& r : running) t = std::min(t, r.finish);
+    // Ticks only matter while anything can still change.
+    if (online.enabled && (!running.empty() || !ready.empty() ||
+                           next_arrival < jobs.size())) {
+      t = std::min(t, next_tick);
+    }
+    if (t == std::numeric_limits<double>::max()) {
+      // Only ready tasks remain and no event can free resources: with the
+      // trough clamp this cannot happen, but guard against infinite loops.
+      throw util::Error("Simulator: deadlock — ready tasks can never be placed");
+    }
+    advance_to(t);
+
+    // Completions at time t.
+    for (std::size_t i = 0; i < running.size();) {
+      if (running[i].finish <= t + kEps) {
+        const RunningTask done = running[i];
+        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+        cluster.release(done.machine, done.cpu, done.mem);
+        busy_cpu -= done.cpu;
+        ++result.tasks_executed;
+        const SimJob& job = jobs[done.job];
+        if (--remaining_tasks[done.job] == 0) {
+          result.jobs[done.job].finish = done.finish;
+          last_finish = std::max(last_finish, done.finish);
+        }
+        for (int w : job.dag.successors(done.vertex)) {
+          if (--pending_parents[done.job][w] == 0) {
+            ready.push_back({done.job, w, t});
+          }
+        }
+      } else {
+        ++i;
+      }
+    }
+
+    // Arrivals at time t.
+    while (next_arrival < jobs.size() &&
+           jobs[arrival_order[next_arrival]].arrival <= t + kEps) {
+      const std::size_t j = arrival_order[next_arrival++];
+      for (int v = 0; v < jobs[j].dag.num_vertices(); ++v) {
+        if (pending_parents[j][v] == 0) ready.push_back({j, v, t});
+      }
+      if (jobs[j].tasks.empty()) result.jobs[j].finish = t;
+    }
+
+    // Online-load re-evaluation at time t.
+    if (online.enabled && t + kEps >= next_tick) {
+      for (std::size_t m = 0; m < config_.machines; ++m) {
+        cluster.set_online_reserved(m, reservation_at(m, t));
+        preempt_machine(m, t);
+      }
+      while (next_tick <= t + kEps) next_tick += online.tick_interval;
+    }
+
+    dispatch(t);
+  }
+
+  // Aggregate metrics.
+  result.makespan = last_finish - first_arrival;
+  std::vector<double> jcts, waits;
+  for (const JobOutcome& o : result.jobs) {
+    jcts.push_back(o.completion_time());
+    waits.push_back(o.first_start >= 0.0 ? o.first_start - o.arrival : 0.0);
+  }
+  const auto jct = util::describe(jcts);
+  result.mean_jct = jct.mean;
+  result.p95_jct = util::Quantiles(jcts).p95();
+  result.mean_wait = util::describe(waits).mean;
+  const double span = last_finish - first_arrival;
+  result.mean_utilization =
+      span > 0.0 ? busy_integral / (cluster.total_cpu() * span) : 0.0;
+  return result;
+}
+
+}  // namespace cwgl::sched

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/cluster_state.hpp"
+#include "sched/policy.hpp"
+#include "sched/workload.hpp"
+
+namespace cwgl::sched {
+
+/// Diurnal online-service load co-located with batch (Section II: online
+/// jobs have priority; on resource competition batch tasks are "suspended
+/// or killed ... then rescheduled to run on other nodes").
+struct OnlineLoadModel {
+  bool enabled = false;
+  /// Mean fraction of every machine's CPU held by online services.
+  double base_fraction = 0.3;
+  /// Diurnal swing: reservation(t) = base + amplitude * sin(2 pi t/period).
+  double amplitude = 0.2;
+  double period = 86400.0;      ///< seconds; one day
+  double phase = 0.0;           ///< shifts each machine's peak
+  double phase_spread = 3600.0; ///< per-machine phase stagger (load diversity)
+  double tick_interval = 300.0; ///< how often reservations are re-evaluated
+};
+
+/// Simulated-cluster shape and placement strategy.
+struct SimulatorConfig {
+  std::size_t machines = 40;
+  double cpu_capacity = 9600.0;  ///< per machine; 96 cores in trace units
+  double mem_capacity = 100.0;
+  bool best_fit = false;         ///< best-fit instead of first-fit placement
+  OnlineLoadModel online;        ///< co-located online load (off by default)
+};
+
+/// Per-job outcome of a simulation.
+struct JobOutcome {
+  double arrival = 0.0;
+  double first_start = 0.0;  ///< when its first task began service
+  double finish = 0.0;       ///< when its last task completed
+  double completion_time() const noexcept { return finish - arrival; }
+};
+
+/// Aggregate outcome of a simulation run.
+struct SimulationResult {
+  double makespan = 0.0;          ///< last completion - first arrival
+  double mean_jct = 0.0;          ///< mean job completion time
+  double p95_jct = 0.0;
+  double mean_wait = 0.0;         ///< mean (first_start - arrival)
+  double mean_utilization = 0.0;  ///< time-averaged batch CPU utilization
+  std::size_t tasks_executed = 0;   ///< completions (preempted attempts excluded)
+  std::size_t oversized_tasks = 0;  ///< tasks clamped to one machine's capacity
+  std::size_t preemptions = 0;      ///< batch tasks killed by online-load spikes
+  std::vector<JobOutcome> jobs;
+};
+
+/// Discrete-event simulator of DAG batch jobs on a co-located cluster.
+///
+/// Events are job arrivals, task completions and (when the online-load
+/// model is enabled) periodic reservation re-evaluations. At every event
+/// time the policy orders the ready queue and tasks are packed onto
+/// machines until resources run out; a task occupies (cpu, mem) on one
+/// machine for its duration. Tasks whose demand exceeds the batch share of
+/// a machine are clamped (and counted). When an online-load spike
+/// overcommits a machine, its most recently started batch tasks are killed
+/// (progress lost) and re-queued — the trace's Failed/rescheduled behavior.
+/// The simulation is fully deterministic.
+class Simulator {
+ public:
+  explicit Simulator(SimulatorConfig config = {});
+
+  /// Runs `jobs` under `policy`. `profiles` feed GroupHintPolicy-style
+  /// policies through the PolicyContext (may be empty).
+  SimulationResult run(std::span<const SimJob> jobs,
+                       const SchedulingPolicy& policy,
+                       std::span<const GroupProfile> profiles = {}) const;
+
+  const SimulatorConfig& config() const noexcept { return config_; }
+
+ private:
+  SimulatorConfig config_;
+};
+
+/// Upward rank per task (seconds of critical path to exit, inclusive) —
+/// the priority metric of list schedulers. Exposed for tests.
+std::vector<double> upward_ranks(const SimJob& job);
+
+/// Derives per-group scheduling profiles from characterized jobs and their
+/// cluster labels — the bridge from the paper's clustering to the
+/// simulator's GroupHintPolicy.
+std::vector<GroupProfile> profiles_from_groups(std::span<const core::JobDag> dags,
+                                               std::span<const int> labels,
+                                               int num_groups);
+
+}  // namespace cwgl::sched

@@ -1,0 +1,43 @@
+#include "sched/workload.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cwgl::sched {
+
+std::vector<SimJob> jobs_from_dags(std::span<const core::JobDag> dags,
+                                   double inter_arrival,
+                                   double fallback_duration) {
+  std::vector<SimJob> jobs;
+  jobs.reserve(dags.size());
+  double clock = 0.0;
+  for (const core::JobDag& dag : dags) {
+    SimJob job;
+    job.name = dag.job_name;
+    job.arrival = clock;
+    clock += inter_arrival;
+    job.dag = dag.dag;
+    job.tasks.reserve(dag.tasks.size());
+    for (const core::TaskMeta& meta : dag.tasks) {
+      SimTask task;
+      task.cpu = meta.plan_cpu * std::max(1, meta.instance_num);
+      task.mem = meta.plan_mem;
+      const auto trace_duration = meta.duration();
+      task.duration = trace_duration > 0 ? static_cast<double>(trace_duration)
+                                         : fallback_duration;
+      job.tasks.push_back(task);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void attach_hints(std::vector<SimJob>& jobs, std::span<const int> labels) {
+  if (labels.size() != jobs.size()) {
+    throw util::InvalidArgument("attach_hints: labels size != jobs size");
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].hint_group = labels[i];
+}
+
+}  // namespace cwgl::sched

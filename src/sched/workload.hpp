@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/job_dag.hpp"
+
+namespace cwgl::sched {
+
+/// A task instance to simulate: demand + duration derived from trace
+/// metadata.
+struct SimTask {
+  double cpu = 0.0;        ///< CPU demand while running (100 == one core)
+  double mem = 0.0;        ///< memory demand
+  double duration = 1.0;   ///< seconds of service time
+};
+
+/// A job submitted to the simulated cluster.
+struct SimJob {
+  std::string name;
+  double arrival = 0.0;             ///< submission time (seconds)
+  graph::Digraph dag;               ///< task precedence
+  std::vector<SimTask> tasks;       ///< aligned with dag vertices
+  int hint_group = -1;              ///< cluster-group hint (-1 = none)
+};
+
+/// Converts characterized JobDags into simulator jobs. Task demand is
+/// plan_cpu x instance_num (the job fans that many instances out), memory
+/// is plan_mem, duration comes from the trace timestamps with `fallback`
+/// seconds where timestamps are unusable. Arrivals are spaced by
+/// `inter_arrival` seconds in input order.
+std::vector<SimJob> jobs_from_dags(std::span<const core::JobDag> dags,
+                                   double inter_arrival,
+                                   double fallback_duration = 60.0);
+
+/// Attaches cluster-group hints (one label per job) to an existing workload.
+void attach_hints(std::vector<SimJob>& jobs, std::span<const int> labels);
+
+}  // namespace cwgl::sched

@@ -1,0 +1,116 @@
+#include "trace/filter.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "trace/taskname.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::trace {
+
+TraceIndex::TraceIndex(const Trace& trace) : trace_(&trace) {
+  std::unordered_map<std::string, std::size_t> position;
+  position.reserve(trace.tasks.size() / 2);
+  for (std::size_t i = 0; i < trace.tasks.size(); ++i) {
+    const std::string& job = trace.tasks[i].job_name;
+    const auto [it, inserted] = position.emplace(job, groups_.size());
+    if (inserted) {
+      groups_.push_back(JobGroup{job, {}});
+    }
+    groups_[it->second].tasks.push_back(i);
+  }
+}
+
+bool passes_integrity(const Trace& trace, const JobGroup& job) {
+  return std::all_of(job.tasks.begin(), job.tasks.end(), [&](std::size_t i) {
+    return trace.tasks[i].status == Status::Terminated;
+  });
+}
+
+bool passes_availability(const Trace& trace, const JobGroup& job) {
+  return std::all_of(job.tasks.begin(), job.tasks.end(), [&](std::size_t i) {
+    const TaskRecord& t = trace.tasks[i];
+    return t.start_time > 0 && t.end_time >= t.start_time && t.plan_cpu > 0.0 &&
+           t.plan_mem > 0.0 && t.instance_num > 0;
+  });
+}
+
+bool is_dag_job(const Trace& trace, const JobGroup& job) {
+  if (job.tasks.size() < 2) return false;
+  bool any_dep = false;
+  for (std::size_t i : job.tasks) {
+    const auto parsed = parse_task_name(trace.tasks[i].task_name);
+    if (!parsed) return false;
+    any_dep = any_dep || !parsed->deps.empty();
+  }
+  return any_dep;
+}
+
+std::vector<std::size_t> select_jobs(const TraceIndex& index,
+                                     const SamplingCriteria& criteria) {
+  std::vector<std::size_t> out;
+  const Trace& trace = index.trace();
+  for (std::size_t j = 0; j < index.jobs().size(); ++j) {
+    const JobGroup& job = index.jobs()[j];
+    const int size = static_cast<int>(job.tasks.size());
+    if (size < criteria.min_tasks || size > criteria.max_tasks) continue;
+    if (criteria.require_integrity && !passes_integrity(trace, job)) continue;
+    if (criteria.require_availability && !passes_availability(trace, job)) continue;
+    if (criteria.require_dag && !is_dag_job(trace, job)) continue;
+    out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<std::size_t> variability_sample(const TraceIndex& index,
+                                            std::span<const std::size_t> candidates,
+                                            std::size_t count, std::uint64_t seed) {
+  util::Xoshiro256StarStar rng(seed);
+  // Stage 1 — coverage: one representative per distinct job size, so the
+  // sample spans every topological scale the data offers (the paper's
+  // experiment set covers 17 sizes).
+  std::map<std::size_t, std::vector<std::size_t>> by_size;
+  for (std::size_t j : candidates) {
+    by_size[index.jobs()[j].tasks.size()].push_back(j);
+  }
+  std::vector<std::size_t> picked;
+  picked.reserve(count);
+  std::vector<char> taken(candidates.size(), 0);
+  std::map<std::size_t, std::size_t> candidate_slot;  // candidate -> slot
+  for (std::size_t s = 0; s < candidates.size(); ++s) candidate_slot[candidates[s]] = s;
+
+  for (auto& [size, bucket] : by_size) {
+    if (picked.size() == count) break;
+    const std::size_t pick =
+        bucket[static_cast<std::size_t>(rng.uniform_u64(0, bucket.size() - 1))];
+    picked.push_back(pick);
+    taken[candidate_slot[pick]] = 1;
+  }
+
+  // Stage 2 — natural fill: the remainder is drawn uniformly from the
+  // unpicked candidates, so the sample otherwise follows the workload's own
+  // (bottom-heavy) size distribution; this is what makes the dominant
+  // cluster group a small-chain group, as in the paper's Fig. 9.
+  std::vector<std::size_t> rest;
+  rest.reserve(candidates.size());
+  for (std::size_t s = 0; s < candidates.size(); ++s) {
+    if (!taken[s]) rest.push_back(candidates[s]);
+  }
+  rng.shuffle(rest);
+  for (std::size_t r = 0; picked.size() < count && r < rest.size(); ++r) {
+    picked.push_back(rest[r]);
+  }
+  return picked;
+}
+
+std::vector<std::size_t> natural_sample(std::span<const std::size_t> candidates,
+                                        std::size_t count, std::uint64_t seed) {
+  util::Xoshiro256StarStar rng(seed);
+  std::vector<std::size_t> pool(candidates.begin(), candidates.end());
+  rng.shuffle(pool);
+  if (pool.size() > count) pool.resize(count);
+  return pool;
+}
+
+}  // namespace cwgl::trace

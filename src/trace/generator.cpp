@@ -1,0 +1,513 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "graph/algorithms.hpp"
+#include "trace/taskname.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::trace {
+
+using graph::Digraph;
+using graph::Edge;
+using graph::ShapePattern;
+using util::Xoshiro256StarStar;
+
+namespace {
+
+/// Distributes `extra` units over `eligible` positions of `w`, where a
+/// position stays eligible while `can_take(j)` holds. Deterministic given rng.
+template <typename CanTake>
+void sprinkle(std::vector<int>& w, int extra, Xoshiro256StarStar& rng,
+              CanTake can_take) {
+  std::vector<std::size_t> eligible;
+  while (extra > 0) {
+    eligible.clear();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      if (can_take(j)) eligible.push_back(j);
+    }
+    if (eligible.empty()) break;
+    const std::size_t j =
+        eligible[static_cast<std::size_t>(rng.uniform_u64(0, eligible.size() - 1))];
+    ++w[j];
+    --extra;
+  }
+}
+
+std::vector<int> chain_widths(int n) { return std::vector<int>(n, 1); }
+
+std::vector<int> triangle_widths(int n, Xoshiro256StarStar& rng, int max_depth) {
+  // Non-increasing, last == 1, first > 1. Needs n >= 3.
+  const int depth = rng.uniform_int(2, std::min(n - 1, std::max(2, max_depth)));
+  std::vector<int> w(depth, 1);
+  w[0] = 2;  // guarantee first > last
+  sprinkle(w, n - depth - 1, rng, [&](std::size_t j) {
+    if (j + 1 == w.size()) return false;                 // keep the apex at 1
+    return j == 0 || w[j] + 1 <= w[j - 1];               // stay non-increasing
+  });
+  return w;
+}
+
+std::vector<int> diamond_widths(int n, Xoshiro256StarStar& rng, int max_depth) {
+  // 1 ... 1 with a unimodal bulge. Needs n >= 4.
+  const int depth = rng.uniform_int(3, std::min(n - 1, std::max(3, max_depth)));
+  const int interior = depth - 2;
+  std::vector<int> bulge(interior, 1);
+  sprinkle(bulge, n - depth, rng, [](std::size_t) { return true; });
+  // Rearrange the bulge into a unimodal "tent": smallest values outside-in.
+  std::sort(bulge.begin(), bulge.end());
+  std::vector<int> tent(interior, 0);
+  std::size_t lo = 0, hi = static_cast<std::size_t>(interior) - 1;
+  for (std::size_t k = 0; k < bulge.size(); ++k) {
+    if (k % 2 == 0) {
+      tent[lo++] = bulge[k];
+    } else {
+      tent[hi--] = bulge[k];
+    }
+  }
+  std::vector<int> w;
+  w.push_back(1);
+  w.insert(w.end(), tent.begin(), tent.end());
+  w.push_back(1);
+  return w;
+}
+
+std::vector<int> hourglass_widths(int n, Xoshiro256StarStar& rng) {
+  // (a, 1, b), a,b >= 2. Needs n >= 5.
+  const int a = rng.uniform_int(2, n - 3);
+  const int b = n - 1 - a;
+  return {a, 1, b};
+}
+
+std::vector<int> trapezium_widths(int n, Xoshiro256StarStar& rng, int max_depth) {
+  // Non-decreasing, last > first, first == 1. Needs n >= 3.
+  const int depth = rng.uniform_int(2, std::min(n - 1, std::max(2, max_depth)));
+  std::vector<int> w(depth, 1);
+  w[depth - 1] = 2;  // guarantee last > first
+  sprinkle(w, n - depth - 1, rng, [&](std::size_t j) {
+    if (j == 0) return false;                             // keep the head at 1
+    return j + 1 == w.size() || w[j] + 1 <= w[j + 1];     // stay non-decreasing
+  });
+  return w;
+}
+
+std::vector<int> combination_widths(int n, Xoshiro256StarStar& rng) {
+  // Double bump (1, a, 1, b[, 1]) — violates every single-shape rule.
+  // Needs n >= 6.
+  const bool tail_one = n >= 7 && rng.bernoulli(0.5);
+  const int budget = n - (tail_one ? 3 : 2);
+  const int a = rng.uniform_int(2, budget - 2);
+  const int b = budget - a;
+  std::vector<int> w{1, a, 1, b};
+  if (tail_one) w.push_back(1);
+  return w;
+}
+
+}  // namespace
+
+std::vector<int> synthesize_widths(ShapePattern shape, int n,
+                                   Xoshiro256StarStar& rng, int max_depth) {
+  if (n < 1) throw util::InvalidArgument("synthesize_widths: n must be >= 1");
+  if (n == 1) return {1};
+  // Fall back to the closest shape that fits in n vertices.
+  switch (shape) {
+    case ShapePattern::SingleTask:
+    case ShapePattern::StraightChain:
+      return chain_widths(n);
+    case ShapePattern::InvertedTriangle:
+      return n >= 3 ? triangle_widths(n, rng, max_depth) : chain_widths(n);
+    case ShapePattern::Diamond:
+      return n >= 4 ? diamond_widths(n, rng, max_depth)
+                    : synthesize_widths(ShapePattern::InvertedTriangle, n, rng,
+                                        max_depth);
+    case ShapePattern::Hourglass:
+      return n >= 5 ? hourglass_widths(n, rng)
+                    : synthesize_widths(ShapePattern::Diamond, n, rng, max_depth);
+    case ShapePattern::Trapezium:
+      return n >= 3 ? trapezium_widths(n, rng, max_depth) : chain_widths(n);
+    case ShapePattern::Combination:
+      return n >= 6 ? combination_widths(n, rng)
+                    : synthesize_widths(ShapePattern::InvertedTriangle, n, rng,
+                                        max_depth);
+  }
+  return chain_widths(n);
+}
+
+Digraph synthesize_dag(std::span<const int> widths, Xoshiro256StarStar& rng) {
+  int n = 0;
+  std::vector<int> level_start;
+  for (int w : widths) {
+    if (w <= 0) throw util::InvalidArgument("synthesize_dag: widths must be positive");
+    level_start.push_back(n);
+    n += w;
+  }
+  level_start.push_back(n);
+
+  std::vector<Edge> edges;
+  std::vector<int> out_degree(n, 0);
+  for (std::size_t lv = 1; lv < widths.size(); ++lv) {
+    const int prev_begin = level_start[lv - 1];
+    const int prev_width = widths[lv - 1];
+    const int cur_begin = level_start[lv];
+    for (int c = 0; c < widths[lv]; ++c) {
+      const int child = cur_begin + c;
+      // Every child takes 1–2 distinct parents from the previous level, so
+      // its longest-path level is exactly `lv`.
+      int nparents = 1;
+      if (prev_width > 1 && rng.bernoulli(0.3)) nparents = 2;
+      const auto picks = rng.sample_without_replacement(
+          static_cast<std::size_t>(prev_width), static_cast<std::size_t>(nparents));
+      for (std::size_t p : picks) {
+        const int parent = prev_begin + static_cast<int>(p);
+        edges.push_back({parent, child});
+        ++out_degree[parent];
+      }
+    }
+    // Orphan parents (no child yet) would become premature sinks and distort
+    // the intended shape: attach each to a random child in this level.
+    for (int p = 0; p < prev_width; ++p) {
+      const int parent = prev_begin + p;
+      if (out_degree[parent] == 0) {
+        const int child = cur_begin + rng.uniform_int(0, widths[lv] - 1);
+        edges.push_back({parent, child});
+        ++out_degree[parent];
+      }
+    }
+  }
+  return Digraph(n, edges);
+}
+
+Digraph synthesize_shape(ShapePattern shape, int n, Xoshiro256StarStar& rng,
+                         int max_depth) {
+  const auto widths = synthesize_widths(shape, n, rng, max_depth);
+  return synthesize_dag(widths, rng);
+}
+
+namespace {
+
+constexpr char kBase62[] =
+    "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+
+std::string random_token(Xoshiro256StarStar& rng, int len) {
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) out += kBase62[rng.uniform_int(0, 61)];
+  return out;
+}
+
+/// Assigns a task type given the (already typed) predecessors. Sources are
+/// Maps; convergent stages are Joins or Reduces; a stage directly after a
+/// Reduce is occasionally a Merge (typed 'M' like the trace does) —
+/// realizing the Map-Reduce-Merge mode of Yang et al. that the paper lists
+/// among its three observed programming models.
+char type_for_vertex(const Digraph& g, int v, std::span<const char> types,
+                     Xoshiro256StarStar& rng) {
+  if (g.in_degree(v) == 0) return 'M';
+  bool after_reduce = false;
+  for (int p : g.predecessors(v)) {
+    if (types[p] == 'R') after_reduce = true;
+  }
+  if (after_reduce && rng.bernoulli(0.10)) return 'M';  // merge stage
+  if (g.out_degree(v) == 0) return 'R';
+  if (g.in_degree(v) >= 2 && rng.bernoulli(0.6)) return 'J';
+  return 'R';
+}
+
+/// Random topological order: indices 1..n with every parent numbered before
+/// its children, mirroring how the trace numbers tasks.
+std::vector<int> random_topo_index(const Digraph& g, Xoshiro256StarStar& rng) {
+  const int n = g.num_vertices();
+  std::vector<int> indeg(n), index(n, 0);
+  std::vector<int> ready;
+  for (int v = 0; v < n; ++v) {
+    indeg[v] = g.in_degree(v);
+    if (indeg[v] == 0) ready.push_back(v);
+  }
+  int next = 1;
+  while (!ready.empty()) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.uniform_u64(0, ready.size() - 1));
+    const int v = ready[pick];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+    index[v] = next++;
+    for (int w : g.successors(v)) {
+      if (--indeg[w] == 0) ready.push_back(w);
+    }
+  }
+  return index;
+}
+
+enum class JobFate { Normal, Running, Failed, Cancelled, MissingStart };
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(GeneratorConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.num_jobs == 0) throw util::InvalidArgument("TraceGenerator: num_jobs == 0");
+  if (cfg_.min_tasks < 2 || cfg_.max_tasks < cfg_.min_tasks) {
+    throw util::InvalidArgument("TraceGenerator: need 2 <= min_tasks <= max_tasks");
+  }
+  if (cfg_.window_end <= cfg_.window_start) {
+    throw util::InvalidArgument("TraceGenerator: empty trace window");
+  }
+}
+
+GeneratedJob TraceGenerator::generate_job(std::size_t job_index) const {
+  Xoshiro256StarStar rng(util::hash_combine(cfg_.seed, job_index));
+  GeneratedJob job;
+  job.job_name = "j_" + std::to_string(1000000 + job_index);
+  job.is_dag = rng.bernoulli(cfg_.dag_fraction);
+
+  // --- topology -----------------------------------------------------------
+  int n = 0;
+  if (job.is_dag) {
+    const ShapeMix& m = cfg_.shapes;
+    const double weights[] = {m.chain, m.inverted_triangle, m.diamond,
+                              m.hourglass, m.trapezium, m.combination};
+    static constexpr ShapePattern kShapes[] = {
+        ShapePattern::StraightChain, ShapePattern::InvertedTriangle,
+        ShapePattern::Diamond,       ShapePattern::Hourglass,
+        ShapePattern::Trapezium,     ShapePattern::Combination};
+    job.intended_shape = kShapes[rng.discrete(weights)];
+    // Each shape needs a minimum vertex count to be realizable; drawing the
+    // size from a floor at that minimum keeps the realized shape frequencies
+    // matched to the configured mixture (no silent chain fallbacks).
+    int shape_min = 2;
+    switch (job.intended_shape) {
+      case ShapePattern::InvertedTriangle: shape_min = 3; break;
+      case ShapePattern::Diamond: shape_min = 4; break;
+      case ShapePattern::Hourglass: shape_min = 5; break;
+      case ShapePattern::Trapezium: shape_min = 3; break;
+      case ShapePattern::Combination: shape_min = 6; break;
+      default: shape_min = 2; break;
+    }
+    // Chains are depth-bound (the paper's critical paths stay in 2..8, so
+    // long jobs widen instead of deepening); other shapes use the full range.
+    const int size_cap = job.intended_shape == ShapePattern::StraightChain
+                             ? std::min(cfg_.max_tasks, cfg_.max_depth)
+                             : cfg_.max_tasks;
+    const int size_floor = std::min(std::max(cfg_.min_tasks, shape_min), size_cap);
+    if (rng.bernoulli(cfg_.p_tiny)) {
+      // Recurrent tiny job: the shape at (or one above) its minimum size.
+      n = std::min(size_cap, size_floor + (rng.bernoulli(0.35) ? 1 : 0));
+    } else {
+      n = rng.truncated_geometric(size_floor, size_cap, cfg_.size_geometric_p);
+    }
+    job.dag = synthesize_shape(job.intended_shape, n, rng, cfg_.max_depth);
+    job.intended_shape = graph::classify_shape(job.dag);
+  } else {
+    n = 1 + rng.truncated_geometric(0, 2, 0.6);
+    job.dag = Digraph(n, {});
+  }
+
+  // --- redundant transitive dependencies (DAG jobs only) -------------------
+  if (job.is_dag && cfg_.p_extra_dep > 0.0) {
+    const auto levels = graph::longest_path_levels(job.dag);
+    std::vector<Edge> extra;
+    for (int v = 0; v < n; ++v) {
+      if (levels[v] < 2 || !rng.bernoulli(cfg_.p_extra_dep)) continue;
+      // Pick an extra upstream dependency at least two levels up; such an
+      // edge keeps the graph acyclic and leaves every level unchanged.
+      std::vector<int> candidates;
+      for (int u = 0; u < n; ++u) {
+        if (levels[u] <= levels[v] - 2 && !job.dag.has_edge(u, v)) {
+          candidates.push_back(u);
+        }
+      }
+      if (candidates.empty()) continue;
+      const int u = candidates[static_cast<std::size_t>(
+          rng.uniform_u64(0, candidates.size() - 1))];
+      extra.push_back({u, v});
+    }
+    if (!extra.empty()) {
+      auto all = job.dag.edges();
+      all.insert(all.end(), extra.begin(), extra.end());
+      job.dag = Digraph(n, all);
+    }
+  }
+
+  // --- types and names ------------------------------------------------------
+  job.vertex_types.resize(n);
+  std::vector<std::string> names(n);
+  if (job.is_dag) {
+    // Vertices are numbered level by level, so every predecessor is typed
+    // before its children — type_for_vertex can see upstream stages.
+    for (int v = 0; v < n; ++v) {
+      job.vertex_types[v] = type_for_vertex(job.dag, v, job.vertex_types, rng);
+    }
+    const auto index = random_topo_index(job.dag, rng);
+    for (int v = 0; v < n; ++v) {
+      std::vector<int> deps;
+      for (int p : job.dag.predecessors(v)) deps.push_back(index[p]);
+      std::sort(deps.rbegin(), deps.rend());  // trace lists deps descending
+      names[v] = encode_task_name(job.vertex_types[v], index[v], deps);
+    }
+  } else {
+    for (int v = 0; v < n; ++v) {
+      job.vertex_types[v] = 't';
+      names[v] = "task_" + random_token(rng, 10);
+    }
+  }
+
+  // --- schedule -------------------------------------------------------------
+  const double window = static_cast<double>(cfg_.window_end - cfg_.window_start);
+  double arrival = 0.0;
+  for (int tries = 0; tries < 16; ++tries) {
+    arrival = rng.uniform_real(0.0, window);
+    if (!cfg_.diurnal_arrivals) break;
+    const double intensity =
+        (1.0 + 0.5 * std::sin(2.0 * std::numbers::pi * arrival / 86400.0)) / 1.5;
+    if (rng.bernoulli(intensity)) break;
+  }
+  const double sigma = cfg_.duration_sigma;
+  std::vector<double> start(n, 0.0), finish(n, 0.0);
+  const auto order = graph::topological_sort(job.dag);
+  for (int v : *order) {
+    double ready = arrival;
+    for (int p : job.dag.predecessors(v)) ready = std::max(ready, finish[p]);
+    start[v] = ready + rng.uniform_real(0.0, 5.0);
+    const double dur = cfg_.mean_task_duration *
+                       std::exp(rng.normal(0.0, sigma) - sigma * sigma / 2.0);
+    finish[v] = start[v] + std::max(1.0, dur);
+  }
+
+  // --- fate -----------------------------------------------------------------
+  const double fate_weights[] = {
+      1.0 - cfg_.p_running - cfg_.p_failed - cfg_.p_cancelled - cfg_.p_missing_start,
+      cfg_.p_running, cfg_.p_failed, cfg_.p_cancelled, cfg_.p_missing_start};
+  const auto fate = static_cast<JobFate>(rng.discrete(fate_weights));
+
+  std::vector<Status> status(n, Status::Terminated);
+  const auto levels = graph::longest_path_levels(job.dag);
+  switch (fate) {
+    case JobFate::Normal:
+      break;
+    case JobFate::Running: {
+      // The trace window closed mid-job: the last tasks never finished.
+      double cut = arrival;
+      for (int v = 0; v < n; ++v) cut = std::max(cut, finish[v]);
+      cut = arrival + (cut - arrival) * rng.uniform_real(0.3, 0.9);
+      for (int v = 0; v < n; ++v) {
+        if (start[v] > cut) {
+          status[v] = Status::Waiting;
+        } else if (finish[v] > cut) {
+          status[v] = Status::Running;
+        }
+      }
+      break;
+    }
+    case JobFate::Failed:
+    case JobFate::Cancelled: {
+      const int victim = rng.uniform_int(0, n - 1);
+      status[victim] = fate == JobFate::Failed ? Status::Failed : Status::Cancelled;
+      for (int v = 0; v < n; ++v) {
+        if (levels[v] > levels[victim]) status[v] = Status::Waiting;
+      }
+      break;
+    }
+    case JobFate::MissingStart:
+      break;  // handled below via zeroed start_time
+  }
+
+  // --- task records -----------------------------------------------------------
+  const double inst_mean =
+      cfg_.mean_instances * (job.is_dag ? cfg_.dag_instance_boost : 1.0);
+  const int missing_victim =
+      fate == JobFate::MissingStart ? rng.uniform_int(0, n - 1) : -1;
+  job.tasks.reserve(n);
+  for (int v = 0; v < n; ++v) {
+    TaskRecord t;
+    t.task_name = names[v];
+    t.job_name = job.job_name;
+    t.task_type = 1;
+    t.status = status[v];
+    t.instance_num = std::max(
+        1, rng.truncated_geometric(1, 500, 1.0 / std::max(1.0, inst_mean)));
+    static constexpr double kCpuPlans[] = {50.0, 100.0, 100.0, 200.0};
+    t.plan_cpu = kCpuPlans[rng.uniform_int(0, 3)];
+    t.plan_mem = rng.uniform_real(0.1, 2.0);
+    const auto clock = [&](double s) {
+      return cfg_.window_start + static_cast<std::int64_t>(s);
+    };
+    switch (status[v]) {
+      case Status::Terminated:
+      case Status::Failed:
+      case Status::Cancelled:
+        t.start_time = clock(start[v]);
+        t.end_time = clock(finish[v]);
+        break;
+      case Status::Running:
+        t.start_time = clock(start[v]);
+        t.end_time = 0;
+        break;
+      default:
+        t.start_time = 0;
+        t.end_time = 0;
+        break;
+    }
+    if (v == missing_victim) t.start_time = 0;  // availability violation
+    job.tasks.push_back(std::move(t));
+  }
+
+  // --- instance records --------------------------------------------------------
+  if (cfg_.emit_instances) {
+    for (int v = 0; v < n; ++v) {
+      const TaskRecord& t = job.tasks[v];
+      for (int i = 0; i < t.instance_num; ++i) {
+        InstanceRecord r;
+        r.instance_name = "inst_" + job.job_name + "_" + std::to_string(v + 1) +
+                          "_" + std::to_string(i + 1);
+        r.task_name = t.task_name;
+        r.job_name = t.job_name;
+        r.task_type = t.task_type;
+        r.status = t.status;
+        r.machine_id = "m_" + std::to_string(rng.uniform_int(1, cfg_.num_machines));
+        if (rng.bernoulli(cfg_.p_instance_retry)) {
+          // Re-executed instance (preempted/failed attempt before this one).
+          r.total_seq_no = rng.uniform_int(2, 4);
+          r.seq_no = r.total_seq_no;  // the surviving attempt is the last
+        } else {
+          r.seq_no = 1;
+          r.total_seq_no = 1;
+        }
+        if (t.start_time > 0 && t.end_time > t.start_time) {
+          const auto span = static_cast<double>(t.end_time - t.start_time);
+          const double s = rng.uniform_real(0.0, span * 0.3);
+          const double e = span - rng.uniform_real(0.0, span * 0.3);
+          r.start_time = t.start_time + static_cast<std::int64_t>(s);
+          r.end_time = t.start_time + static_cast<std::int64_t>(std::max(s + 1.0, e));
+        } else {
+          r.start_time = t.start_time;
+          r.end_time = 0;
+        }
+        r.cpu_avg = t.plan_cpu * rng.uniform_real(0.3, 0.9);
+        r.cpu_max = std::min(t.plan_cpu, r.cpu_avg * rng.uniform_real(1.0, 1.5));
+        r.mem_avg = t.plan_mem * rng.uniform_real(0.4, 0.9);
+        r.mem_max = std::min(t.plan_mem, r.mem_avg * rng.uniform_real(1.0, 1.3));
+        job.instances.push_back(std::move(r));
+      }
+    }
+  }
+  return job;
+}
+
+std::vector<GeneratedJob> TraceGenerator::generate_jobs() const {
+  std::vector<GeneratedJob> jobs;
+  jobs.reserve(cfg_.num_jobs);
+  for (std::size_t i = 0; i < cfg_.num_jobs; ++i) jobs.push_back(generate_job(i));
+  return jobs;
+}
+
+Trace TraceGenerator::generate() const {
+  Trace trace;
+  for (std::size_t i = 0; i < cfg_.num_jobs; ++i) {
+    GeneratedJob job = generate_job(i);
+    for (auto& t : job.tasks) trace.tasks.push_back(std::move(t));
+    for (auto& r : job.instances) trace.instances.push_back(std::move(r));
+  }
+  return trace;
+}
+
+}  // namespace cwgl::trace

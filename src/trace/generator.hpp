@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/patterns.hpp"
+#include "trace/schema.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::trace {
+
+/// Mixture weights over DAG-job shapes. Defaults reproduce the frequencies
+/// the paper reports for the Alibaba 2018 trace: 58% straight chains, 37%
+/// inverted triangles, with diamond / hourglass / trapezium / combination
+/// splitting the remainder (Section V-B). Weights need not sum to 1.
+struct ShapeMix {
+  double chain = 0.58;
+  double inverted_triangle = 0.37;
+  double diamond = 0.020;
+  double hourglass = 0.008;
+  double trapezium = 0.013;
+  double combination = 0.009;
+};
+
+/// Knobs of the synthetic Alibaba-v2018-schema workload generator.
+///
+/// The defaults are calibrated so that the *measured* aggregate statistics
+/// of a generated trace reproduce those the paper reports for the real
+/// trace: ~50% of batch jobs carry dependencies and those consume 70–80% of
+/// batch resources; DAG sizes span 2–31 tasks with decaying frequency;
+/// shape frequencies per `ShapeMix`.
+struct GeneratorConfig {
+  std::uint64_t seed = 42;           ///< master seed; all output is a pure function of this config
+  std::size_t num_jobs = 10000;      ///< total batch jobs (DAG + independent)
+  double dag_fraction = 0.5;         ///< fraction of jobs that are dependency DAGs
+  ShapeMix shapes;                   ///< shape mixture for DAG jobs
+  int min_tasks = 2;                 ///< smallest DAG job
+  int max_tasks = 31;                ///< largest DAG job (paper's experiment range)
+  double size_geometric_p = 0.30;    ///< geometric decay of DAG sizes
+  /// Probability that a DAG job is a "recurrent tiny job" at its shape's
+  /// minimum size (+1 occasionally). Production workloads are strongly
+  /// bottom-heavy — the paper notes small jobs "appear repetitively" and its
+  /// dominant cluster group is >90% jobs of fewer than three tasks.
+  double p_tiny = 0.45;
+  /// Maximum DAG depth (levels). The paper observes critical paths of 2..8
+  /// even for 31-task jobs — large jobs grow in parallelism, not depth.
+  /// Straight chains are therefore capped at this many tasks.
+  int max_depth = 8;
+  double p_running = 0.015;          ///< job cut off by the trace window (integrity violation)
+  double p_failed = 0.020;           ///< job with a Failed task
+  double p_cancelled = 0.010;        ///< job with a Cancelled task
+  double p_missing_start = 0.010;    ///< job with a zeroed start_time (availability violation)
+  double p_extra_dep = 0.06;         ///< chance of a redundant transitive dependency per eligible task
+  std::int64_t window_start = 0;     ///< trace epoch, seconds
+  std::int64_t window_end = 8 * 86400;  ///< 8-day window like the real trace
+  double mean_task_duration = 120.0;    ///< seconds; lognormal body
+  double duration_sigma = 1.0;          ///< lognormal shape
+  double dag_instance_boost = 1.2;   ///< DAG tasks fan out this many x more instances
+                                     ///< (default calibrated so DAG jobs take ~75% of resources)
+  double mean_instances = 4.0;       ///< mean instances per independent task
+  int num_machines = 4000;           ///< machine-id space for instances
+  double p_instance_retry = 0.05;    ///< chance an instance is a re-execution (seq_no > 1)
+  bool emit_instances = true;        ///< batch_instance rows are ~10x; disable for huge runs
+  bool diurnal_arrivals = true;      ///< sinusoidal day/night arrival intensity
+};
+
+/// A generated job with both the ground-truth structure (for tests and
+/// calibration) and the serialized trace records.
+struct GeneratedJob {
+  std::string job_name;
+  bool is_dag = false;
+  /// Shape drawn from the mixture; only meaningful when is_dag.
+  graph::ShapePattern intended_shape = graph::ShapePattern::SingleTask;
+  /// Ground-truth topology; vertex i corresponds to tasks[i] for DAG jobs.
+  graph::Digraph dag;
+  /// Ground-truth task type per vertex ('M', 'R', 'J') for DAG jobs.
+  std::vector<char> vertex_types;
+  std::vector<TaskRecord> tasks;
+  std::vector<InstanceRecord> instances;
+};
+
+/// Deterministic synthetic workload generator.
+///
+/// Each job is generated from an independent RNG stream derived from
+/// (seed, job index), so any subset of jobs can be regenerated in any order
+/// (or in parallel) with identical results.
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(GeneratorConfig cfg);
+
+  const GeneratorConfig& config() const noexcept { return cfg_; }
+
+  /// Generates job `job_index` (0-based) in isolation.
+  GeneratedJob generate_job(std::size_t job_index) const;
+
+  /// Generates all jobs.
+  std::vector<GeneratedJob> generate_jobs() const;
+
+  /// Generates and flattens all jobs into the two-file trace form.
+  Trace generate() const;
+
+ private:
+  GeneratorConfig cfg_;
+};
+
+/// Synthesizes the longest-path level widths for a target shape with exactly
+/// `n` vertices and at most `max_depth` levels (chains ignore the cap —
+/// their depth IS their size). Falls back to simpler shapes when `n` is too
+/// small for the requested one (diamond needs 4+, hourglass 5+,
+/// trapezium/combination 3+). Exposed for tests and custom workloads.
+std::vector<int> synthesize_widths(graph::ShapePattern shape, int n,
+                                   util::Xoshiro256StarStar& rng,
+                                   int max_depth = 8);
+
+/// Wires a DAG realizing exactly the given width profile: every vertex at
+/// level L>0 has at least one predecessor at level L-1, so the longest-path
+/// profile of the result equals `widths`. Vertices are numbered level by
+/// level. Exposed for tests.
+graph::Digraph synthesize_dag(std::span<const int> widths,
+                              util::Xoshiro256StarStar& rng);
+
+/// Convenience: widths + wiring in one call.
+graph::Digraph synthesize_shape(graph::ShapePattern shape, int n,
+                                util::Xoshiro256StarStar& rng,
+                                int max_depth = 8);
+
+}  // namespace cwgl::trace

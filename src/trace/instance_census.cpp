@@ -1,0 +1,73 @@
+#include "trace/instance_census.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cwgl::trace {
+
+InstanceCensus InstanceCensus::compute(const Trace& trace) {
+  InstanceCensus census;
+  census.instances = trace.instances.size();
+  if (trace.instances.empty()) return census;
+
+  // Plans by (job, task) for usage ratios.
+  std::unordered_map<std::string, const TaskRecord*> plan;
+  plan.reserve(trace.tasks.size());
+  for (const TaskRecord& t : trace.tasks) {
+    plan.emplace(t.job_name + "/" + t.task_name, &t);
+  }
+
+  std::unordered_map<std::string, double> machine_time;
+  std::unordered_map<std::string, std::size_t> machine_count;
+  std::vector<double> cpu_ratios, mem_ratios;
+  std::size_t retries = 0;
+  for (const InstanceRecord& r : trace.instances) {
+    const double duration =
+        r.end_time > r.start_time && r.start_time > 0
+            ? static_cast<double>(r.end_time - r.start_time)
+            : 0.0;
+    machine_time[r.machine_id] += duration;
+    ++machine_count[r.machine_id];
+    if (r.seq_no > 1 || r.total_seq_no > 1) ++retries;
+    census.max_total_seq_no = std::max(census.max_total_seq_no, r.total_seq_no);
+    const auto it = plan.find(r.job_name + "/" + r.task_name);
+    if (it != plan.end()) {
+      if (it->second->plan_cpu > 0.0) {
+        cpu_ratios.push_back(r.cpu_avg / it->second->plan_cpu);
+      }
+      if (it->second->plan_mem > 0.0) {
+        mem_ratios.push_back(r.mem_avg / it->second->plan_mem);
+      }
+    }
+  }
+
+  census.machines_used = machine_count.size();
+  std::vector<double> counts;
+  counts.reserve(machine_count.size());
+  for (const auto& [machine, count] : machine_count) {
+    counts.push_back(static_cast<double>(count));
+  }
+  census.per_machine_instances = util::describe(counts);
+
+  // Hot-spot share: instance-time on the busiest 10% of machines.
+  std::vector<double> times;
+  times.reserve(machine_time.size());
+  double total_time = 0.0;
+  for (const auto& [machine, time] : machine_time) {
+    times.push_back(time);
+    total_time += time;
+  }
+  std::sort(times.rbegin(), times.rend());
+  const std::size_t decile = std::max<std::size_t>(1, times.size() / 10);
+  double hot = 0.0;
+  for (std::size_t i = 0; i < decile; ++i) hot += times[i];
+  census.top_decile_share = total_time > 0.0 ? hot / total_time : 0.0;
+
+  census.retry_fraction =
+      static_cast<double>(retries) / static_cast<double>(trace.instances.size());
+  census.cpu_usage_ratio = util::describe(cpu_ratios);
+  census.mem_usage_ratio = util::describe(mem_ratios);
+  return census;
+}
+
+}  // namespace cwgl::trace

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/schema.hpp"
+#include "util/stats.hpp"
+
+namespace cwgl::trace {
+
+/// Instance-level (batch_instance) characterization: where instances ran,
+/// how skewed machine load is, how retries behave, and how actual resource
+/// usage compares to the plan — the "machines/containers" half of the
+/// trace the job-level analysis abstracts away.
+struct InstanceCensus {
+  std::size_t instances = 0;
+  std::size_t machines_used = 0;
+
+  /// Instances per machine: mean/max capture placement skew.
+  util::Distribution per_machine_instances;
+  /// Share of instance time on the busiest 10% of machines (hot-spot
+  /// indicator; 0.1 == perfectly balanced).
+  double top_decile_share = 0.0;
+
+  /// Retry behaviour (seq_no/total_seq_no): fraction of instances that are
+  /// re-executions, and the worst retry count observed.
+  double retry_fraction = 0.0;
+  int max_total_seq_no = 1;
+
+  /// Actual-vs-plan usage ratios (cpu_avg / plan, aggregated per task via
+  /// matched task records). In production these sit well below 1 —
+  /// over-provisioning is the co-location headroom.
+  util::Distribution cpu_usage_ratio;
+  util::Distribution mem_usage_ratio;
+
+  /// Computes from a trace carrying instance records. Task records are
+  /// used to resolve plans; instances without a matching task contribute
+  /// to counts but not to usage ratios.
+  static InstanceCensus compute(const Trace& trace);
+};
+
+}  // namespace cwgl::trace

@@ -1,0 +1,128 @@
+#include "trace/io.hpp"
+
+#include <fstream>
+#include <unordered_set>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::trace {
+
+void write_batch_task_csv(std::ostream& out, std::span<const TaskRecord> tasks) {
+  for (const TaskRecord& t : tasks) {
+    const auto fields = t.to_fields();
+    util::write_csv_record(out, fields);
+  }
+}
+
+void write_batch_instance_csv(std::ostream& out,
+                              std::span<const InstanceRecord> instances) {
+  for (const InstanceRecord& r : instances) {
+    const auto fields = r.to_fields();
+    util::write_csv_record(out, fields);
+  }
+}
+
+std::vector<TaskRecord> read_batch_task_csv(std::istream& in, std::size_t* skipped) {
+  std::vector<TaskRecord> out;
+  std::size_t bad = 0;
+  util::for_each_csv_record(in, [&](const std::vector<std::string>& fields) {
+    if (auto rec = TaskRecord::from_fields(fields)) {
+      out.push_back(std::move(*rec));
+    } else {
+      ++bad;
+    }
+    return true;
+  });
+  if (skipped) *skipped = bad;
+  return out;
+}
+
+std::vector<InstanceRecord> read_batch_instance_csv(std::istream& in,
+                                                    std::size_t* skipped) {
+  std::vector<InstanceRecord> out;
+  std::size_t bad = 0;
+  util::for_each_csv_record(in, [&](const std::vector<std::string>& fields) {
+    if (auto rec = InstanceRecord::from_fields(fields)) {
+      out.push_back(std::move(*rec));
+    } else {
+      ++bad;
+    }
+    return true;
+  });
+  if (skipped) *skipped = bad;
+  return out;
+}
+
+void write_trace(const Trace& trace, const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw util::Error("write_trace: cannot create " + dir.string());
+  {
+    std::ofstream out(dir / "batch_task.csv");
+    if (!out) throw util::Error("write_trace: cannot open batch_task.csv");
+    write_batch_task_csv(out, trace.tasks);
+  }
+  {
+    std::ofstream out(dir / "batch_instance.csv");
+    if (!out) throw util::Error("write_trace: cannot open batch_instance.csv");
+    write_batch_instance_csv(out, trace.instances);
+  }
+}
+
+Trace read_trace(const std::filesystem::path& dir, std::size_t* skipped) {
+  Trace trace;
+  std::size_t bad_tasks = 0, bad_instances = 0;
+  {
+    std::ifstream in(dir / "batch_task.csv");
+    if (!in) throw util::Error("read_trace: cannot open batch_task.csv in " + dir.string());
+    trace.tasks = read_batch_task_csv(in, &bad_tasks);
+  }
+  if (std::ifstream in(dir / "batch_instance.csv"); in) {
+    trace.instances = read_batch_instance_csv(in, &bad_instances);
+  }
+  if (skipped) *skipped = bad_tasks + bad_instances;
+  return trace;
+}
+
+StreamStats for_each_job_in_task_csv(
+    std::istream& in,
+    const std::function<bool(const std::string& job_name,
+                             const std::vector<TaskRecord>& tasks)>& fn) {
+  StreamStats stats;
+  std::string current_job;
+  std::vector<TaskRecord> group;
+  std::unordered_set<std::string> seen_jobs;
+  bool stopped = false;
+
+  const auto flush = [&]() -> bool {
+    if (group.empty()) return true;
+    ++stats.jobs;
+    if (!seen_jobs.insert(current_job).second) ++stats.fragmented;
+    const bool keep_going = fn(current_job, group);
+    group.clear();
+    return keep_going;
+  };
+
+  util::for_each_csv_record(in, [&](const std::vector<std::string>& fields) {
+    auto rec = TaskRecord::from_fields(fields);
+    if (!rec) {
+      ++stats.malformed;
+      return true;
+    }
+    ++stats.rows;
+    if (rec->job_name != current_job) {
+      if (!flush()) {
+        stopped = true;
+        return false;
+      }
+      current_job = rec->job_name;
+    }
+    group.push_back(std::move(*rec));
+    return true;
+  });
+  if (!stopped) flush();
+  return stats;
+}
+
+}  // namespace cwgl::trace

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <span>
+#include <vector>
+
+#include "trace/schema.hpp"
+
+namespace cwgl::trace {
+
+/// Writes `batch_task.csv` rows (no header, like the real trace).
+void write_batch_task_csv(std::ostream& out, std::span<const TaskRecord> tasks);
+
+/// Writes `batch_instance.csv` rows (no header).
+void write_batch_instance_csv(std::ostream& out,
+                              std::span<const InstanceRecord> instances);
+
+/// Reads batch_task rows; malformed rows are counted into `*skipped` (when
+/// non-null) and dropped, mirroring how production traces must be consumed.
+std::vector<TaskRecord> read_batch_task_csv(std::istream& in,
+                                            std::size_t* skipped = nullptr);
+
+/// Reads batch_instance rows with the same tolerance.
+std::vector<InstanceRecord> read_batch_instance_csv(std::istream& in,
+                                                    std::size_t* skipped = nullptr);
+
+/// Writes `<dir>/batch_task.csv` and `<dir>/batch_instance.csv`
+/// (creates `dir` if needed). Throws util::Error on I/O failure.
+void write_trace(const Trace& trace, const std::filesystem::path& dir);
+
+/// Reads a trace directory written by `write_trace` (the instance file is
+/// optional, matching partial downloads of the real trace).
+Trace read_trace(const std::filesystem::path& dir, std::size_t* skipped = nullptr);
+
+/// Statistics of a streaming pass.
+struct StreamStats {
+  std::size_t rows = 0;          ///< well-formed task rows visited
+  std::size_t malformed = 0;     ///< rows dropped
+  std::size_t jobs = 0;          ///< job groups emitted
+  std::size_t fragmented = 0;    ///< jobs whose rows were NOT contiguous
+};
+
+/// Streams batch_task rows grouped by job WITHOUT materializing the trace —
+/// required for the real 270 GB files. Rows of one job are assumed
+/// contiguous (true of the released trace); if a job name reappears after
+/// its group was emitted, the re-occurrence is emitted as a separate group
+/// and counted in `StreamStats::fragmented` so callers can detect unsorted
+/// input. `fn` returning false stops the stream early.
+StreamStats for_each_job_in_task_csv(
+    std::istream& in,
+    const std::function<bool(const std::string& job_name,
+                             const std::vector<TaskRecord>& tasks)>& fn);
+
+}  // namespace cwgl::trace

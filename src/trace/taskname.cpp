@@ -1,0 +1,64 @@
+#include "trace/taskname.hpp"
+
+#include "util/strings.hpp"
+
+namespace cwgl::trace {
+
+std::optional<TaskName> parse_task_name(std::string_view name) {
+  if (name.empty()) return std::nullopt;
+  std::size_t i = 0;
+  while (i < name.size() &&
+         ((name[i] >= 'A' && name[i] <= 'Z') || (name[i] >= 'a' && name[i] <= 'z'))) {
+    ++i;
+  }
+  if (i == 0 || i == name.size()) return std::nullopt;  // no letters or no digits
+  // "task_..." style independent names contain an underscore straight after
+  // the letters; the grammar requires digits first, so they fail below.
+  TaskName t;
+  t.type = name[0];
+
+  const auto parse_int_run = [&](std::size_t& pos) -> std::optional<int> {
+    const std::size_t start = pos;
+    while (pos < name.size() && name[pos] >= '0' && name[pos] <= '9') ++pos;
+    if (pos == start) return std::nullopt;
+    const auto value = util::to_int(name.substr(start, pos - start));
+    if (!value || *value <= 0) return std::nullopt;
+    return static_cast<int>(*value);
+  };
+
+  const auto idx = parse_int_run(i);
+  if (!idx) return std::nullopt;
+  t.index = *idx;
+  while (i < name.size()) {
+    if (name[i] != '_') return std::nullopt;
+    ++i;
+    const auto dep = parse_int_run(i);
+    if (!dep) return std::nullopt;
+    t.deps.push_back(*dep);
+  }
+  return t;
+}
+
+std::string encode_task_name(const TaskName& t) {
+  std::string out(1, t.type);
+  out += std::to_string(t.index);
+  for (int d : t.deps) {
+    out += '_';
+    out += std::to_string(d);
+  }
+  return out;
+}
+
+std::string encode_task_name(char type, int index, std::span<const int> deps) {
+  TaskName t;
+  t.type = type;
+  t.index = index;
+  t.deps.assign(deps.begin(), deps.end());
+  return encode_task_name(t);
+}
+
+bool is_dag_task_name(std::string_view name) {
+  return parse_task_name(name).has_value();
+}
+
+}  // namespace cwgl::trace

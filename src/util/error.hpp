@@ -1,0 +1,42 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cwgl::util {
+
+/// Base class for all errors raised by the cwgl library.
+///
+/// Every throwing API in the library raises either `Error` or one of the
+/// derived types below, so callers can catch `cwgl::util::Error` to
+/// intercept any library failure while letting genuine logic errors
+/// (std::logic_error from misuse of the standard library) escape.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when textual input (CSV rows, task names, trace files) cannot be
+/// decoded. Carries a human-readable description including, where possible,
+/// the offending token and its location.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an argument violates a documented precondition that cannot be
+/// expressed in the type system (e.g. a non-square similarity matrix passed
+/// to spectral clustering).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a graph expected to be a DAG contains a cycle, or when a
+/// dependency refers to a vertex that does not exist.
+class GraphError : public Error {
+ public:
+  explicit GraphError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace cwgl::util

@@ -1,0 +1,137 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace cwgl::util {
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    if (root_written_) {
+      throw InvalidArgument("JsonWriter: multiple root values");
+    }
+    root_written_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top == Frame::Object) {
+    throw InvalidArgument("JsonWriter: value inside object requires key()");
+  }
+  if (top == Frame::ObjectAwaitingValue) {
+    top = Frame::Object;
+    return;  // comma already handled by key()
+  }
+  // Array element.
+  if (!first_.back()) out_ << ',';
+  first_.back() = false;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  stack_.push_back(Frame::Object);
+  first_.push_back(true);
+  out_ << '{';
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || (stack_.back() != Frame::Object)) {
+    throw InvalidArgument("JsonWriter: end_object without open object");
+  }
+  stack_.pop_back();
+  first_.pop_back();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  stack_.push_back(Frame::Array);
+  first_.push_back(true);
+  out_ << '[';
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::Array) {
+    throw InvalidArgument("JsonWriter: end_array without open array");
+  }
+  stack_.pop_back();
+  first_.pop_back();
+  out_ << ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != Frame::Object) {
+    throw InvalidArgument("JsonWriter: key() outside object");
+  }
+  if (!first_.back()) out_ << ',';
+  first_.back() = false;
+  write_escaped(name);
+  out_ << ':';
+  stack_.back() = Frame::ObjectAwaitingValue;
+}
+
+void JsonWriter::value(std::string_view text) {
+  before_value();
+  write_escaped(text);
+}
+
+void JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    out_ << "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.12g", number);
+  out_ << buffer;
+}
+
+void JsonWriter::value(long long number) {
+  before_value();
+  out_ << number;
+}
+
+void JsonWriter::value(unsigned long long number) {
+  before_value();
+  out_ << number;
+}
+
+void JsonWriter::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ << "null";
+}
+
+bool JsonWriter::complete() const noexcept {
+  return stack_.empty() && root_written_;
+}
+
+void JsonWriter::write_escaped(std::string_view text) {
+  out_ << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out_ << buffer;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+}  // namespace cwgl::util

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace cwgl::util {
+
+/// Minimal streaming JSON writer with automatic comma management.
+///
+/// Usage:
+///   JsonWriter j(out);
+///   j.begin_object();
+///     j.key("name"); j.value("cwgl");
+///     j.key("sizes"); j.begin_array(); j.value(1); j.value(2); j.end_array();
+///   j.end_object();
+///
+/// Misuse (key outside an object, unbalanced end, two keys in a row) throws
+/// InvalidArgument. Non-finite doubles serialize as null. Strings are
+/// escaped per RFC 8259.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+  ~JsonWriter() = default;
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits an object key; the next emission must be its value.
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(double number);
+  void value(long long number);
+  void value(unsigned long long number);
+  void value(int number) { value(static_cast<long long>(number)); }
+  void value(std::size_t number) { value(static_cast<unsigned long long>(number)); }
+  void value(bool flag);
+  void null();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  void field(std::string_view name, T&& v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+  /// True once every container has been closed and a root value written.
+  bool complete() const noexcept;
+
+ private:
+  enum class Frame { Object, ObjectAwaitingValue, Array };
+  void before_value();
+  void write_escaped(std::string_view text);
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;  ///< per open container: no element yet
+  bool root_written_ = false;
+};
+
+}  // namespace cwgl::util

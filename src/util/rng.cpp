@@ -1,0 +1,126 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace cwgl::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) word = sm();
+}
+
+Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256StarStar::uniform_u64(std::uint64_t lo,
+                                              std::uint64_t hi) noexcept {
+  const std::uint64_t span = hi - lo;
+  if (span == std::numeric_limits<std::uint64_t>::max()) return (*this)();
+  const std::uint64_t range = span + 1;
+  // Lemire's method: multiply-shift with rejection of the biased region.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * range;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::uint64_t>(m >> 64);
+}
+
+int Xoshiro256StarStar::uniform_int(int lo, int hi) noexcept {
+  return lo + static_cast<int>(uniform_u64(0, static_cast<std::uint64_t>(hi - lo)));
+}
+
+double Xoshiro256StarStar::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256StarStar::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Xoshiro256StarStar::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::size_t Xoshiro256StarStar::discrete(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0 || weights.empty()) return 0;
+  double u = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (u < w) return i;
+    u -= w;
+  }
+  return weights.size() - 1;  // numerical slack lands on the last bucket
+}
+
+int Xoshiro256StarStar::truncated_geometric(int lo, int hi, double p) noexcept {
+  if (lo >= hi) return lo;
+  if (p <= 0.0) return uniform_int(lo, hi);
+  if (p >= 1.0) return lo;
+  // Inverse-CDF sampling of Geometric(p), capped at hi.
+  const double u = uniform01();
+  const double g = std::floor(std::log1p(-u) / std::log1p(-p));
+  const long long value = lo + static_cast<long long>(g);
+  return value > hi ? hi : static_cast<int>(value);
+}
+
+double Xoshiro256StarStar::normal(double mean, double stddev) noexcept {
+  // Box–Muller; draws exactly two uniforms per call for determinism.
+  double u1 = uniform01();
+  const double u2 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::vector<std::size_t> Xoshiro256StarStar::sample_without_replacement(
+    std::size_t n, std::size_t k) {
+  if (k >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm: k iterations, no O(n) scratch.
+  std::vector<std::size_t> picked;
+  picked.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = static_cast<std::size_t>(uniform_u64(0, j));
+    bool seen = false;
+    for (std::size_t q : picked) {
+      if (q == t) {
+        seen = true;
+        break;
+      }
+    }
+    picked.push_back(seen ? j : t);
+  }
+  return picked;
+}
+
+}  // namespace cwgl::util

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace cwgl::util {
+
+/// SplitMix64 — a tiny, fast, well-distributed 64-bit generator.
+///
+/// Used standalone for hashing/seeding and as the seed expander for
+/// `Xoshiro256StarStar`. Satisfies `std::uniform_random_bit_generator`.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Advances the state and returns the next 64-bit output.
+  constexpr result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the library's default RNG.
+///
+/// Deterministic across platforms for a given seed, which the trace
+/// generator and every sampling routine rely on for reproducibility.
+/// Satisfies `std::uniform_random_bit_generator` so it can drive the
+/// standard `<random>` distributions, but the member helpers below are
+/// preferred because unlike the standard distributions their outputs are
+/// identical across standard-library implementations.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state via SplitMix64, per the
+  /// reference implementation's recommendation.
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x2545F4914F6CDD1DULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in the closed interval [lo, hi]. Precondition: lo <= hi.
+  /// Uses Lemire's unbiased bounded rejection method.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform int in [lo, hi] (closed). Precondition: lo <= hi.
+  int uniform_int(int lo, int hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// Bernoulli draw: returns true with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to `weights[i]`. Zero-total weights fall back to index 0.
+  std::size_t discrete(std::span<const double> weights) noexcept;
+
+  /// Geometric-like draw: returns lo + G where G ~ Geometric(p), truncated
+  /// so the result never exceeds hi. Used for trace size distributions.
+  int truncated_geometric(int lo, int hi, double p) noexcept;
+
+  /// Standard normal deviate (Box–Muller, no caching so fully deterministic
+  /// per call sequence).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Fisher–Yates shuffle of an index-addressable container.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(0, i - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement
+  /// (Floyd's algorithm; order is unspecified but deterministic).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Mixes two 64-bit values into one; stable across platforms. Used to derive
+/// independent per-job RNG streams from a master seed.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace cwgl::util

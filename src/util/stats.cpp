@@ -1,0 +1,127 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cwgl::util {
+
+void RunningSummary::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningSummary::merge(const RunningSummary& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningSummary::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningSummary::stddev() const noexcept { return std::sqrt(variance()); }
+
+Quantiles::Quantiles(std::span<const double> values)
+    : sorted_(values.begin(), values.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Quantiles::quantile(double q) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+void IntHistogram::add(long long key, std::size_t weight) {
+  bins_[key] += weight;
+  total_ += weight;
+}
+
+std::size_t IntHistogram::count(long long key) const noexcept {
+  const auto it = bins_.find(key);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<long long, std::size_t>> IntHistogram::items() const {
+  return {bins_.begin(), bins_.end()};
+}
+
+double IntHistogram::fraction(long long key) const noexcept {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(count(key)) / static_cast<double>(total_);
+}
+
+Distribution describe(std::span<const double> values) {
+  Distribution d;
+  d.count = values.size();
+  if (values.empty()) return d;
+  RunningSummary s;
+  for (double v : values) s.add(v);
+  Quantiles q(values);
+  d.mean = s.mean();
+  d.min = q.min();
+  d.p25 = q.p25();
+  d.median = q.median();
+  d.p75 = q.p75();
+  d.max = q.max();
+  return d;
+}
+
+double jensen_shannon(const IntHistogram& p, const IntHistogram& q) {
+  if (p.empty() && q.empty()) return 0.0;
+  if (p.empty() || q.empty()) return std::log(2.0);
+  std::map<long long, std::pair<double, double>> joint;
+  for (const auto& [key, count] : p.items()) {
+    joint[key].first = static_cast<double>(count) / static_cast<double>(p.total());
+  }
+  for (const auto& [key, count] : q.items()) {
+    joint[key].second = static_cast<double>(count) / static_cast<double>(q.total());
+  }
+  double div = 0.0;
+  for (const auto& [key, pq] : joint) {
+    const auto [pp, qq] = pq;
+    const double m = 0.5 * (pp + qq);
+    if (pp > 0.0) div += 0.5 * pp * std::log(pp / m);
+    if (qq > 0.0) div += 0.5 * qq * std::log(qq / m);
+  }
+  return std::max(0.0, div);
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  RunningSummary sx, sy;
+  for (double v : x) sx.add(v);
+  for (double v : y) sy.add(v);
+  const double mx = sx.mean(), my = sy.mean();
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) cov += (x[i] - mx) * (y[i] - my);
+  const double denom = sx.stddev() * sy.stddev() * static_cast<double>(x.size() - 1);
+  return denom == 0.0 ? 0.0 : cov / denom;
+}
+
+}  // namespace cwgl::util

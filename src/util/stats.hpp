@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cwgl::util {
+
+/// Streaming univariate summary (Welford's online algorithm).
+///
+/// Accumulates count / min / max / mean / variance in one pass without
+/// storing samples; numerically stable for long streams.
+class RunningSummary {
+ public:
+  /// Folds one observation into the summary.
+  void add(double x) noexcept;
+
+  /// Merges another summary (parallel reduction support).
+  void merge(const RunningSummary& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Order statistics of a sample (copies and sorts once on construction).
+class Quantiles {
+ public:
+  explicit Quantiles(std::span<const double> values);
+
+  bool empty() const noexcept { return sorted_.empty(); }
+
+  /// Linear-interpolation quantile, q in [0,1]. Returns 0 for empty input.
+  double quantile(double q) const noexcept;
+  double median() const noexcept { return quantile(0.5); }
+  double p25() const noexcept { return quantile(0.25); }
+  double p75() const noexcept { return quantile(0.75); }
+  double p95() const noexcept { return quantile(0.95); }
+  double min() const noexcept { return sorted_.empty() ? 0.0 : sorted_.front(); }
+  double max() const noexcept { return sorted_.empty() ? 0.0 : sorted_.back(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Integer-keyed frequency counter, the workhorse for "jobs per size group"
+/// style figures. Keys iterate in ascending order.
+class IntHistogram {
+ public:
+  void add(long long key, std::size_t weight = 1);
+
+  std::size_t total() const noexcept { return total_; }
+  std::size_t count(long long key) const noexcept;
+  bool empty() const noexcept { return bins_.empty(); }
+  std::size_t distinct() const noexcept { return bins_.size(); }
+
+  /// Ascending (key, count) pairs.
+  std::vector<std::pair<long long, std::size_t>> items() const;
+
+  /// Fraction of total mass at `key` (0 when the histogram is empty).
+  double fraction(long long key) const noexcept;
+
+ private:
+  std::map<long long, std::size_t> bins_;
+  std::size_t total_ = 0;
+};
+
+/// Five-number + mean description of a sample, for compact report rows.
+struct Distribution {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a `Distribution` from raw values.
+Distribution describe(std::span<const double> values);
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Jensen–Shannon divergence (natural log) between two discrete
+/// distributions given as histograms over the same integer key space.
+/// Symmetric, in [0, ln 2]; 0 iff the normalized distributions are equal.
+/// Empty-vs-empty is 0; empty-vs-nonempty is ln 2 (maximally different).
+double jensen_shannon(const IntHistogram& p, const IntHistogram& q);
+
+}  // namespace cwgl::util

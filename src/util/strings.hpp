@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cwgl::util {
+
+/// Splits `text` on every occurrence of `sep` (single char). Adjacent
+/// separators yield empty fields; the result always has #sep + 1 entries.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(std::span<const std::string> parts, std::string_view sep);
+
+/// Locale-independent integer parse of the full string; nullopt on any
+/// non-digit residue, overflow, or empty input.
+std::optional<long long> to_int(std::string_view text);
+
+/// Locale-independent double parse of the full string; nullopt on failure.
+std::optional<double> to_double(std::string_view text);
+
+/// True if every character is an ASCII decimal digit (and text non-empty).
+bool all_digits(std::string_view text) noexcept;
+
+/// Fixed-width formatting helpers used by the report printers.
+std::string pad_left(std::string_view text, std::size_t width);
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// Formats `value` with `decimals` fractional digits ('.' separator).
+std::string format_double(double value, int decimals);
+
+}  // namespace cwgl::util

@@ -1,0 +1,86 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cwgl::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();  // packaged_task captures exceptions; never throws here
+  }
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t total = end - begin;
+  if (pool.size() <= 1 || total <= grain) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunks = std::min((total + grain - 1) / grain, pool.size() * 4);
+  const std::size_t step = (total + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = begin; c < end; c += step) {
+    const std::size_t hi = std::min(c + step, end);
+    futures.push_back(pool.submit([&fn, c, hi] { fn(c, hi); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn, std::size_t grain) {
+  parallel_for_chunked(pool, begin, end, grain,
+                       [&fn](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) fn(i);
+                       });
+}
+
+}  // namespace cwgl::util

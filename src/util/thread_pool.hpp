@@ -1,0 +1,93 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cwgl::util {
+
+/// Fixed-size worker pool with a single FIFO queue.
+///
+/// Work items are type-erased `std::move_only_function`-style closures (we
+/// use packaged tasks so exceptions propagate through the returned future).
+/// The pool joins all workers on destruction after draining the queue; tasks
+/// submitted after `shutdown()` throw.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. `threads == 0` selects
+  /// `std::thread::hardware_concurrency()` (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `fn(args...)`; the returned future yields its result or
+  /// rethrows its exception.
+  template <typename F, typename... Args>
+  auto submit(F&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [f = std::forward<F>(fn),
+         ... a = std::forward<Args>(args)]() mutable -> R {
+          return std::invoke(std::move(f), std::move(a)...);
+        });
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Stops accepting work and joins workers after the queue drains.
+  /// Idempotent; also called by the destructor.
+  void shutdown();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide default pool, lazily created with hardware concurrency.
+/// Prefer passing an explicit pool in library code; this exists so the
+/// bench/example binaries share workers.
+ThreadPool& default_pool();
+
+/// Splits [begin, end) into contiguous chunks of at least `grain` iterations
+/// and runs `fn(chunk_begin, chunk_end)` on the pool. Blocks until all
+/// chunks finish; the first exception thrown by any chunk is rethrown.
+///
+/// With a single worker (or end - begin <= grain) the loop runs inline on
+/// the calling thread, so the function is safe to call re-entrantly from a
+/// pool task.
+void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Element-wise convenience wrapper over `parallel_for_chunked`.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+}  // namespace cwgl::util

@@ -1,0 +1,79 @@
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cwgl::cli {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"cwgl", "cmd"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args::parse(static_cast<int>(argv.size()), argv.data(), 2);
+}
+
+TEST(Args, KeyValuePairs) {
+  const Args args = parse({"--jobs", "500", "--out", "/tmp/x"});
+  EXPECT_EQ(args.get("jobs"), "500");
+  EXPECT_EQ(args.get("out"), "/tmp/x");
+  EXPECT_EQ(args.get_int("jobs").value(), 500);
+}
+
+TEST(Args, MissingKeyUsesFallback) {
+  const Args args = parse({});
+  EXPECT_EQ(args.get("trace", "default"), "default");
+  EXPECT_FALSE(args.get_int("jobs").has_value());
+  EXPECT_FALSE(args.get_double("online").has_value());
+}
+
+TEST(Args, BooleanFlags) {
+  const Args args = parse({"--natural", "--jobs", "10", "--matrix"});
+  EXPECT_TRUE(args.has("natural"));
+  EXPECT_TRUE(args.has("matrix"));
+  EXPECT_FALSE(args.has("no-instances"));
+  EXPECT_EQ(args.get_int("jobs").value(), 10);
+}
+
+TEST(Args, FlagFollowedByKeyIsFlag) {
+  const Args args = parse({"--natural", "--out", "dir"});
+  EXPECT_TRUE(args.has("natural"));
+  EXPECT_EQ(args.get("out"), "dir");
+}
+
+TEST(Args, NonNumericIntThrows) {
+  const Args args = parse({"--jobs", "many"});
+  EXPECT_THROW(args.get_int("jobs"), util::InvalidArgument);
+}
+
+TEST(Args, NonNumericDoubleThrows) {
+  const Args args = parse({"--online", "high"});
+  EXPECT_THROW(args.get_double("online"), util::InvalidArgument);
+}
+
+TEST(Args, DoubleParses) {
+  const Args args = parse({"--online", "0.4"});
+  EXPECT_DOUBLE_EQ(args.get_double("online").value(), 0.4);
+}
+
+TEST(Args, BarePositionalRejected) {
+  std::vector<const char*> argv{"cwgl", "cmd", "oops"};
+  EXPECT_THROW(Args::parse(3, argv.data(), 2), util::InvalidArgument);
+}
+
+TEST(Args, UnusedTracksUntouchedKeys) {
+  const Args args = parse({"--jobs", "5", "--typo", "x"});
+  EXPECT_EQ(args.get_int("jobs").value(), 5);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, UnusedEmptyWhenAllTouched) {
+  const Args args = parse({"--jobs", "5"});
+  args.get_int("jobs");
+  EXPECT_TRUE(args.unused().empty());
+}
+
+}  // namespace
+}  // namespace cwgl::cli

@@ -1,0 +1,163 @@
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+namespace cwgl::cli {
+namespace {
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"cwgl"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  std::ostringstream out, err;
+  CliResult r;
+  r.code = run_cli(static_cast<int>(argv.size()), argv.data(), out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+TEST(Cli, NoArgumentsPrintsUsage) {
+  const auto r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage: cwgl"), std::string::npos);
+}
+
+TEST(Cli, HelpPrintsUsage) {
+  const auto r = run({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("characterize"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandRejected) {
+  const auto r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionRejected) {
+  const auto r = run({"census", "--jobs", "200", "--bogus", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--bogus"), std::string::npos);
+}
+
+TEST(Cli, CensusOnGeneratedTrace) {
+  const auto r = run({"census", "--jobs", "500", "--seed", "7"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("jobs with dependencies"), std::string::npos);
+  EXPECT_NE(r.out.find("straight-chain"), std::string::npos);
+  EXPECT_NE(r.out.find("distinct topologies"), std::string::npos);
+}
+
+TEST(Cli, GenerateRequiresOut) {
+  const auto r = run({"generate", "--jobs", "10"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--out"), std::string::npos);
+}
+
+TEST(Cli, GenerateThenCensusRoundTrip) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "cwgl_cli_trace").string();
+  std::filesystem::remove_all(dir);
+  const auto gen = run({"generate", "--out", dir.c_str(), "--jobs", "300",
+                        "--no-instances"});
+  EXPECT_EQ(gen.code, 0) << gen.err;
+  ASSERT_TRUE(std::filesystem::exists(std::filesystem::path(dir) /
+                                      "batch_task.csv"));
+  const auto census = run({"census", "--trace", dir.c_str()});
+  EXPECT_EQ(census.code, 0) << census.err;
+  EXPECT_NE(census.out.find("loaded"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, CharacterizePrintsEveryFigure) {
+  const auto r = run({"characterize", "--jobs", "800", "--sample", "30"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Fig 3"), std::string::npos);
+  EXPECT_NE(r.out.find("Fig 4"), std::string::npos);
+  EXPECT_NE(r.out.find("Fig 5"), std::string::npos);
+  EXPECT_NE(r.out.find("Fig 6"), std::string::npos);
+  EXPECT_NE(r.out.find("Fig 7"), std::string::npos);
+  EXPECT_NE(r.out.find("Fig 9"), std::string::npos);
+  EXPECT_NE(r.out.find("Group A"), std::string::npos);
+}
+
+TEST(Cli, ClusterWritesMedoids) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "cwgl_cli_medoids").string();
+  std::filesystem::remove_all(dir);
+  const auto r = run({"cluster", "--jobs", "800", "--sample", "30",
+                      "--clusters", "3", "--out", dir.c_str()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / "group_A.dot"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, SimilarityMatrixShape) {
+  const auto r = run({"similarity", "--jobs", "600", "--sample", "10",
+                      "--matrix"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // 10 CSV rows with 9 commas each after the summary.
+  std::size_t commas = 0;
+  for (char c : r.out) commas += (c == ',');
+  EXPECT_GE(commas, 90u);
+}
+
+TEST(Cli, ScheduleComparesPolicies) {
+  const auto r = run({"schedule", "--jobs", "600", "--sample", "40",
+                      "--machines", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("fifo"), std::string::npos);
+  EXPECT_NE(r.out.find("group-hint"), std::string::npos);
+  EXPECT_NE(r.out.find("shortest-job-first"), std::string::npos);
+}
+
+TEST(Cli, ScheduleWithOnlineLoadReportsPreemptions) {
+  const auto r = run({"schedule", "--jobs", "600", "--sample", "40",
+                      "--machines", "2", "--online", "0.4"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("preempt"), std::string::npos);
+}
+
+TEST(Cli, ComparesTwoGeneratedDays) {
+  const auto r = run({"compare", "--jobs", "800", "--seed", "3", "--seed-b", "4"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("headline drift"), std::string::npos);
+  EXPECT_NE(r.out.find("shape mix"), std::string::npos);
+}
+
+TEST(Cli, CharacterizeJsonIsParseable) {
+  const auto r = run({"characterize", "--jobs", "600", "--sample", "15",
+                      "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.front(), '{');
+  // Balanced braces outside strings is covered by report_json tests; here
+  // just confirm no text report leaked into the stream.
+  EXPECT_EQ(r.out.find("Fig 3"), std::string::npos);
+  EXPECT_NE(r.out.find("\"fig3\""), std::string::npos);
+}
+
+TEST(Cli, PredictReportsHeldOutQuality) {
+  const auto r = run({"predict", "--jobs", "1500", "--sample", "120"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("R^2"), std::string::npos);
+  EXPECT_NE(r.out.find("held-out"), std::string::npos);
+  EXPECT_NE(r.out.find("predicted"), std::string::npos);
+}
+
+TEST(Cli, MissingTraceDirectoryIsCleanError) {
+  const auto r = run({"census", "--trace", "/nonexistent/cwgl"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cwgl::cli

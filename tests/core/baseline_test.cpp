@@ -1,0 +1,134 @@
+#include "core/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/metrics.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::core {
+namespace {
+
+trace::TaskRecord task(std::string name, std::string job, int instances,
+                       std::int64_t duration, double cpu) {
+  trace::TaskRecord t;
+  t.task_name = std::move(name);
+  t.job_name = std::move(job);
+  t.instance_num = instances;
+  t.status = trace::Status::Terminated;
+  t.start_time = 100;
+  t.end_time = 100 + duration;
+  t.plan_cpu = cpu;
+  t.plan_mem = 0.5;
+  return t;
+}
+
+JobDag make_job(std::string name, int instances, std::int64_t duration,
+                double cpu, bool heavy_shape) {
+  std::vector<trace::TaskRecord> records;
+  if (heavy_shape) {
+    records.push_back(task("M1", name, instances, duration, cpu));
+    records.push_back(task("M2", name, instances, duration, cpu));
+    records.push_back(task("M3", name, instances, duration, cpu));
+    records.push_back(task("R4_3_2_1", name, instances, duration, cpu));
+  } else {
+    records.push_back(task("M1", name, instances, duration, cpu));
+    records.push_back(task("R2_1", name, instances, duration, cpu));
+  }
+  auto job = build_job_dag(name, records);
+  EXPECT_TRUE(job.has_value());
+  return *job;
+}
+
+TEST(ResourceFeatures, ShapeAndRawValues) {
+  const std::vector<JobDag> jobs{make_job("a", 2, 100, 50.0, false)};
+  const auto raw = resource_features(jobs, /*standardize=*/false);
+  ASSERT_EQ(raw.rows(), 1u);
+  ASSERT_EQ(raw.cols(), 5u);
+  EXPECT_DOUBLE_EQ(raw(0, 0), 2.0);            // tasks
+  EXPECT_DOUBLE_EQ(raw(0, 1), 2 * 50.0 * 2);   // cpu x instances summed
+  EXPECT_DOUBLE_EQ(raw(0, 2), 1.0);            // mem
+  EXPECT_DOUBLE_EQ(raw(0, 3), 100.0);          // mean duration
+  EXPECT_DOUBLE_EQ(raw(0, 4), 4.0);            // instances
+}
+
+TEST(ResourceFeatures, StandardizedColumnsAreZScores) {
+  std::vector<JobDag> jobs;
+  for (int i = 1; i <= 4; ++i) {
+    jobs.push_back(make_job("j" + std::to_string(i), i, 50 * i, 100.0, false));
+  }
+  const auto z = resource_features(jobs, /*standardize=*/true);
+  for (std::size_t c = 0; c < z.cols(); ++c) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < z.rows(); ++r) sum += z(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-9) << "column " << c;
+  }
+}
+
+TEST(ResourceKmeans, SeparatesHeavyFromLightJobs) {
+  std::vector<JobDag> jobs;
+  for (int i = 0; i < 6; ++i) jobs.push_back(make_job("l" + std::to_string(i), 1, 10, 50.0, false));
+  for (int i = 0; i < 4; ++i) jobs.push_back(make_job("h" + std::to_string(i), 50, 500, 200.0, false));
+  const auto baseline = resource_kmeans(jobs, 2);
+  // Same topology everywhere, so only resources can drive the split.
+  for (int i = 1; i < 6; ++i) EXPECT_EQ(baseline.labels[i], baseline.labels[0]);
+  for (int i = 7; i < 10; ++i) EXPECT_EQ(baseline.labels[i], baseline.labels[6]);
+  EXPECT_NE(baseline.labels[0], baseline.labels[6]);
+  // Relabeled by population: light group (6 jobs) must be 0.
+  EXPECT_EQ(baseline.labels[0], 0);
+}
+
+TEST(ResourceKmeans, BlindToTopology) {
+  // Identical resources, different shapes: the baseline cannot separate.
+  std::vector<JobDag> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(make_job("c" + std::to_string(i), 2, 100, 100.0, false));
+  for (int i = 0; i < 4; ++i) jobs.push_back(make_job("t" + std::to_string(i), 1, 100, 100.0, true));
+  // heavy_shape has 4 tasks vs 2 and different totals; equalize by using the
+  // same per-job totals: give chain jobs double instances (done above:
+  // chain 2 tasks x 2 inst == fan 4 tasks x 1 inst) and same cpu/duration.
+  const auto baseline = resource_kmeans(jobs, 2);
+  // Feature rows still differ in task count, so allow either outcome but
+  // verify determinism and valid labels.
+  const auto again = resource_kmeans(jobs, 2);
+  EXPECT_EQ(baseline.labels, again.labels);
+  for (int l : baseline.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 2);
+  }
+}
+
+TEST(ResourceKmeans, EmptyInput) {
+  const auto baseline = resource_kmeans({}, 3);
+  EXPECT_TRUE(baseline.labels.empty());
+}
+
+TEST(StructuralDispersion, PerfectGroupingScoresZero) {
+  std::vector<JobDag> jobs;
+  for (int i = 0; i < 3; ++i) jobs.push_back(make_job("c" + std::to_string(i), 1, 10, 50, false));
+  for (int i = 0; i < 3; ++i) jobs.push_back(make_job("f" + std::to_string(i), 1, 10, 50, true));
+  const std::vector<int> by_shape{0, 0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(structural_dispersion(jobs, by_shape, /*use_width=*/true), 0.0);
+  EXPECT_DOUBLE_EQ(structural_dispersion(jobs, by_shape, /*use_width=*/false), 0.0);
+}
+
+TEST(StructuralDispersion, MixedGroupingScoresHigher) {
+  std::vector<JobDag> jobs;
+  for (int i = 0; i < 3; ++i) jobs.push_back(make_job("c" + std::to_string(i), 1, 10, 50, false));
+  for (int i = 0; i < 3; ++i) jobs.push_back(make_job("f" + std::to_string(i), 1, 10, 50, true));
+  const std::vector<int> by_shape{0, 0, 0, 1, 1, 1};
+  const std::vector<int> mixed{0, 1, 0, 1, 0, 1};
+  EXPECT_GT(structural_dispersion(jobs, mixed, true),
+            structural_dispersion(jobs, by_shape, true));
+}
+
+TEST(StructuralDispersion, Validation) {
+  std::vector<JobDag> jobs{make_job("a", 1, 10, 50, false)};
+  const std::vector<int> wrong{0, 1};
+  EXPECT_THROW(structural_dispersion(jobs, wrong, true), util::InvalidArgument);
+  const std::vector<int> negative{-1};
+  EXPECT_THROW(structural_dispersion(jobs, negative, true), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cwgl::core

@@ -1,0 +1,147 @@
+#include "core/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/similarity.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::core {
+namespace {
+
+trace::TaskRecord task(std::string name, std::string job) {
+  trace::TaskRecord t;
+  t.task_name = std::move(name);
+  t.job_name = std::move(job);
+  t.instance_num = 1;
+  t.status = trace::Status::Terminated;
+  t.start_time = 100;
+  t.end_time = 200;
+  t.plan_cpu = 100.0;
+  t.plan_mem = 0.5;
+  return t;
+}
+
+JobDag make_job(const std::vector<std::string>& names, std::string job_name) {
+  std::vector<trace::TaskRecord> records;
+  for (const auto& n : names) records.push_back(task(n, job_name));
+  auto job = build_job_dag(job_name, records);
+  EXPECT_TRUE(job.has_value()) << job_name;
+  return *job;
+}
+
+/// 8 chains + 4 fan-ins: two clearly separable structural families of
+/// unequal population, so group relabeling is testable.
+std::vector<JobDag> two_family_corpus() {
+  std::vector<JobDag> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(make_job({"M1", "R2_1", "R3_2"}, "j_chain" + std::to_string(i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(
+        make_job({"M1", "M2", "M3", "M4", "R5_4_3_2_1"}, "j_fan" + std::to_string(i)));
+  }
+  return jobs;
+}
+
+TEST(ClusteringAnalysis, SeparatesStructuralFamilies) {
+  const auto jobs = two_family_corpus();
+  const auto sim = SimilarityAnalysis::compute(jobs);
+  ClusteringOptions options;
+  options.clusters = 2;
+  const auto analysis = ClusteringAnalysis::compute(sim.gram, jobs, options);
+  // All chains together, all fans together.
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(analysis.labels[i], analysis.labels[0]);
+  for (int i = 9; i < 12; ++i) EXPECT_EQ(analysis.labels[i], analysis.labels[8]);
+  EXPECT_NE(analysis.labels[0], analysis.labels[8]);
+}
+
+TEST(ClusteringAnalysis, GroupZeroIsLargest) {
+  const auto jobs = two_family_corpus();
+  const auto sim = SimilarityAnalysis::compute(jobs);
+  ClusteringOptions options;
+  options.clusters = 2;
+  const auto analysis = ClusteringAnalysis::compute(sim.gram, jobs, options);
+  // Relabeling: group A (=0) must be the 8-chain family.
+  EXPECT_EQ(analysis.labels[0], 0);
+  EXPECT_EQ(analysis.groups[0].population, 8u);
+  EXPECT_EQ(analysis.groups[1].population, 4u);
+  EXPECT_EQ(analysis.groups[0].letter(), 'A');
+  EXPECT_EQ(analysis.groups[1].letter(), 'B');
+  EXPECT_NEAR(analysis.groups[0].population_fraction, 8.0 / 12.0, 1e-12);
+}
+
+TEST(ClusteringAnalysis, GroupStatsReflectMembers) {
+  const auto jobs = two_family_corpus();
+  const auto sim = SimilarityAnalysis::compute(jobs);
+  ClusteringOptions options;
+  options.clusters = 2;
+  const auto analysis = ClusteringAnalysis::compute(sim.gram, jobs, options);
+  const auto& chains = analysis.groups[0];
+  EXPECT_DOUBLE_EQ(chains.size.mean, 3.0);
+  EXPECT_DOUBLE_EQ(chains.critical_path.mean, 3.0);
+  EXPECT_DOUBLE_EQ(chains.parallelism.mean, 1.0);
+  EXPECT_DOUBLE_EQ(chains.chain_fraction, 1.0);
+  const auto& fans = analysis.groups[1];
+  EXPECT_DOUBLE_EQ(fans.size.mean, 5.0);
+  EXPECT_DOUBLE_EQ(fans.critical_path.mean, 2.0);
+  EXPECT_DOUBLE_EQ(fans.parallelism.mean, 4.0);
+  EXPECT_DOUBLE_EQ(fans.chain_fraction, 0.0);
+}
+
+TEST(ClusteringAnalysis, MedoidBelongsToItsGroup) {
+  const auto jobs = two_family_corpus();
+  const auto sim = SimilarityAnalysis::compute(jobs);
+  ClusteringOptions options;
+  options.clusters = 2;
+  const auto analysis = ClusteringAnalysis::compute(sim.gram, jobs, options);
+  for (const auto& g : analysis.groups) {
+    EXPECT_EQ(analysis.labels[g.medoid], g.group);
+  }
+}
+
+TEST(ClusteringAnalysis, SilhouettePositiveForSeparableFamilies) {
+  const auto jobs = two_family_corpus();
+  const auto sim = SimilarityAnalysis::compute(jobs);
+  ClusteringOptions options;
+  options.clusters = 2;
+  const auto analysis = ClusteringAnalysis::compute(sim.gram, jobs, options);
+  EXPECT_GT(analysis.silhouette, 0.5);
+}
+
+TEST(ClusteringAnalysis, DeterministicForSeed) {
+  const auto jobs = two_family_corpus();
+  const auto sim = SimilarityAnalysis::compute(jobs);
+  ClusteringOptions options;
+  options.clusters = 2;
+  options.seed = 77;
+  const auto a = ClusteringAnalysis::compute(sim.gram, jobs, options);
+  const auto b = ClusteringAnalysis::compute(sim.gram, jobs, options);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(ClusteringAnalysis, SizeMismatchThrows) {
+  const auto jobs = two_family_corpus();
+  const auto sim = SimilarityAnalysis::compute(jobs);
+  const std::vector<JobDag> fewer(jobs.begin(), jobs.begin() + 3);
+  EXPECT_THROW(ClusteringAnalysis::compute(sim.gram, fewer, {}),
+               util::InvalidArgument);
+}
+
+TEST(ClusterGroupStats, ShortJobFraction) {
+  std::vector<JobDag> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(make_job({"M1", "R2_1"}, "j_s" + std::to_string(i)));
+  }
+  jobs.push_back(make_job({"M1", "R2_1", "R3_2"}, "j_l"));
+  const auto sim = SimilarityAnalysis::compute(jobs);
+  ClusteringOptions options;
+  options.clusters = 2;
+  const auto analysis = ClusteringAnalysis::compute(sim.gram, jobs, options);
+  // Group A holds the four 2-task jobs (all "short": < 3 tasks).
+  EXPECT_EQ(analysis.groups[0].population, 4u);
+  EXPECT_DOUBLE_EQ(analysis.groups[0].short_job_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(analysis.groups[1].short_job_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace cwgl::core

@@ -1,0 +1,90 @@
+#include "core/comparison.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/generator.hpp"
+
+namespace cwgl::core {
+namespace {
+
+trace::Trace make_trace(trace::GeneratorConfig cfg) {
+  cfg.emit_instances = false;
+  return trace::TraceGenerator(cfg).generate();
+}
+
+TEST(TraceComparison, IdenticalTracesHaveZeroDrift) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = 11;
+  cfg.num_jobs = 1500;
+  const auto a = make_trace(cfg);
+  const auto cmp = TraceComparison::compute(a, a);
+  EXPECT_NEAR(cmp.max_divergence(), 0.0, 1e-12);
+  EXPECT_NEAR(cmp.dag_fraction_delta, 0.0, 1e-12);
+  EXPECT_EQ(cmp.jobs_a, cmp.jobs_b);
+}
+
+TEST(TraceComparison, SameConfigDifferentSeedsBarelyDrift) {
+  trace::GeneratorConfig cfg;
+  cfg.num_jobs = 3000;
+  cfg.seed = 11;
+  const auto a = make_trace(cfg);
+  cfg.seed = 12;
+  const auto b = make_trace(cfg);
+  const auto cmp = TraceComparison::compute(a, b);
+  EXPECT_LT(cmp.max_divergence(), 0.05);
+}
+
+TEST(TraceComparison, ShapeMixChangeShowsInShapeDivergence) {
+  trace::GeneratorConfig cfg;
+  cfg.num_jobs = 3000;
+  cfg.seed = 11;
+  const auto a = make_trace(cfg);
+  trace::GeneratorConfig flipped = cfg;
+  flipped.shapes.chain = 0.10;            // chains mostly replaced...
+  flipped.shapes.inverted_triangle = 0.80;  // ...by triangles
+  const auto b = make_trace(flipped);
+  const auto drifted = TraceComparison::compute(a, b);
+  const auto baseline = TraceComparison::compute(a, make_trace([&] {
+                                                   auto c = cfg;
+                                                   c.seed = 12;
+                                                   return c;
+                                                 }()));
+  EXPECT_GT(drifted.shape_divergence, 5.0 * baseline.shape_divergence);
+  EXPECT_GT(drifted.shape_divergence, 0.1);
+}
+
+TEST(TraceComparison, SizeDistributionChangeShowsInSizeDivergence) {
+  trace::GeneratorConfig cfg;
+  cfg.num_jobs = 3000;
+  cfg.seed = 11;
+  const auto a = make_trace(cfg);
+  trace::GeneratorConfig big = cfg;
+  big.p_tiny = 0.0;
+  big.size_geometric_p = 0.05;  // much heavier job sizes
+  const auto b = make_trace(big);
+  const auto cmp = TraceComparison::compute(a, b);
+  EXPECT_GT(cmp.size_divergence, 0.15);
+}
+
+TEST(TraceComparison, DagFractionDeltaTracked) {
+  trace::GeneratorConfig cfg;
+  cfg.num_jobs = 3000;
+  cfg.seed = 11;
+  const auto a = make_trace(cfg);
+  trace::GeneratorConfig mostly_dag = cfg;
+  mostly_dag.dag_fraction = 0.9;
+  const auto b = make_trace(mostly_dag);
+  const auto cmp = TraceComparison::compute(a, b);
+  EXPECT_GT(cmp.dag_fraction_delta, 0.3);
+}
+
+TEST(TraceComparison, EmptyTraces) {
+  const auto cmp = TraceComparison::compute(trace::Trace{}, trace::Trace{});
+  EXPECT_EQ(cmp.jobs_a, 0u);
+  EXPECT_EQ(cmp.max_divergence(), 0.0);
+}
+
+}  // namespace
+}  // namespace cwgl::core

@@ -1,0 +1,124 @@
+#include "core/report_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.hpp"
+
+namespace cwgl::core {
+namespace {
+
+/// Structural JSON validator: balanced braces/brackets outside strings,
+/// no trailing commas, double-quoted keys. Not a full parser, but catches
+/// every class of emission bug the writer could realistically produce.
+bool looks_like_valid_json(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  char prev = 0;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      prev = c;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{':
+      case '[': ++depth; break;
+      case '}':
+      case ']':
+        if (depth == 0 || prev == ',') return false;
+        --depth;
+        break;
+      case ',':
+        if (prev == ',' || prev == '{' || prev == '[') return false;
+        break;
+      default: break;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) prev = c;
+  }
+  return depth == 0 && !in_string;
+}
+
+PipelineResult run_pipeline() {
+  trace::GeneratorConfig cfg;
+  cfg.seed = 99;
+  cfg.num_jobs = 800;
+  cfg.emit_instances = false;
+  const auto data = trace::TraceGenerator(cfg).generate();
+  PipelineConfig pipe;
+  pipe.sample_size = 25;
+  return CharacterizationPipeline(pipe).run(data);
+}
+
+TEST(ReportJson, FullPipelineResultIsValidJson) {
+  const auto result = run_pipeline();
+  std::ostringstream out;
+  write_json(out, result);
+  const std::string text = out.str();
+  EXPECT_TRUE(looks_like_valid_json(text)) << text.substr(0, 200);
+  // Every figure key present.
+  for (const char* key : {"\"census\"", "\"fig3\"", "\"fig4\"", "\"fig5\"",
+                          "\"fig6\"", "\"patterns\"", "\"fig7\"", "\"fig9\""}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ReportJson, SimilarityMatrixDimensions) {
+  const auto result = run_pipeline();
+  std::ostringstream out;
+  write_json(out, result.similarity);
+  const std::string text = out.str();
+  EXPECT_TRUE(looks_like_valid_json(text));
+  // 25 job names → 25 rows in "matrix".
+  std::size_t rows = 0;
+  for (std::size_t pos = text.find("[["); pos != std::string::npos;) {
+    ++rows;
+    pos = text.find("],[", pos + 1);
+    if (pos == std::string::npos) break;
+  }
+  EXPECT_GE(text.find("\"matrix\""), 0u);
+  EXPECT_NE(text.find("\"jobs\""), std::string::npos);
+}
+
+TEST(ReportJson, EachReportSerializesIndividually) {
+  const auto result = run_pipeline();
+  const auto check = [](auto&& writer) {
+    std::ostringstream out;
+    writer(out);
+    EXPECT_TRUE(looks_like_valid_json(out.str())) << out.str().substr(0, 120);
+    EXPECT_FALSE(out.str().empty());
+  };
+  check([&](std::ostream& o) { write_json(o, result.census); });
+  check([&](std::ostream& o) { write_json(o, result.conflation); });
+  check([&](std::ostream& o) { write_json(o, result.structure_before); });
+  check([&](std::ostream& o) { write_json(o, result.task_types); });
+  check([&](std::ostream& o) { write_json(o, result.patterns); });
+  check([&](std::ostream& o) { write_json(o, result.clustering); });
+  check([&](std::ostream& o) {
+    write_json(o, TopologyCensus::compute(result.sample));
+  });
+  check([&](std::ostream& o) {
+    write_json(o, ResourceUsageReport::compute(result.sample));
+  });
+}
+
+TEST(ReportJson, EmptyReportsStillValid) {
+  std::ostringstream out;
+  write_json(out, TraceCensus{});
+  EXPECT_TRUE(looks_like_valid_json(out.str()));
+  std::ostringstream out2;
+  write_json(out2, PatternCensus{});
+  EXPECT_TRUE(looks_like_valid_json(out2.str()));
+}
+
+}  // namespace
+}  // namespace cwgl::core

@@ -1,0 +1,90 @@
+#include "core/resource_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "trace/generator.hpp"
+
+namespace cwgl::core {
+namespace {
+
+trace::TaskRecord task(std::string name, std::string job, int instances,
+                       std::int64_t start, std::int64_t end, double cpu) {
+  trace::TaskRecord t;
+  t.task_name = std::move(name);
+  t.job_name = std::move(job);
+  t.instance_num = instances;
+  t.status = trace::Status::Terminated;
+  t.start_time = start;
+  t.end_time = end;
+  t.plan_cpu = cpu;
+  t.plan_mem = 0.5;
+  return t;
+}
+
+TEST(ResourceUsageReport, PerTypeRowsOrderedAndAggregated) {
+  std::vector<trace::TaskRecord> records{
+      task("M1", "j_1", 4, 100, 160, 100.0),   // M: dur 60
+      task("J2_1", "j_1", 2, 160, 200, 50.0),  // J: dur 40
+      task("R3_2", "j_1", 1, 200, 220, 200.0), // R: dur 20
+  };
+  const auto job = build_job_dag("j_1", records);
+  ASSERT_TRUE(job.has_value());
+  const std::vector<JobDag> jobs{*job};
+  const auto report = ResourceUsageReport::compute(jobs);
+
+  ASSERT_EQ(report.by_type.size(), 3u);
+  EXPECT_EQ(report.by_type[0].type, 'M');
+  EXPECT_EQ(report.by_type[1].type, 'J');
+  EXPECT_EQ(report.by_type[2].type, 'R');
+  EXPECT_DOUBLE_EQ(report.by_type[0].duration.mean, 60.0);
+  EXPECT_DOUBLE_EQ(report.by_type[0].instances.mean, 4.0);
+  EXPECT_DOUBLE_EQ(report.by_type[2].plan_cpu.mean, 200.0);
+}
+
+TEST(ResourceUsageReport, PerLevelProfile) {
+  std::vector<trace::TaskRecord> records{
+      task("M1", "j_1", 1, 100, 200, 100.0),
+      task("M2", "j_1", 1, 100, 200, 100.0),
+      task("R3_2_1", "j_1", 1, 200, 250, 100.0),
+  };
+  const auto job = build_job_dag("j_1", records);
+  ASSERT_TRUE(job.has_value());
+  const std::vector<JobDag> jobs{*job};
+  const auto report = ResourceUsageReport::compute(jobs);
+
+  ASSERT_EQ(report.by_level.size(), 2u);
+  EXPECT_EQ(report.by_level[0].level, 0);
+  EXPECT_EQ(report.by_level[0].tasks, 2u);
+  EXPECT_DOUBLE_EQ(report.by_level[0].mean_duration, 100.0);
+  EXPECT_DOUBLE_EQ(report.by_level[0].total_work, 2 * 100.0 * 100.0);
+  EXPECT_EQ(report.by_level[1].level, 1);
+  EXPECT_DOUBLE_EQ(report.by_level[1].mean_duration, 50.0);
+}
+
+TEST(ResourceUsageReport, EmptyInput) {
+  const auto report = ResourceUsageReport::compute({});
+  EXPECT_TRUE(report.by_type.empty());
+  EXPECT_TRUE(report.by_level.empty());
+  EXPECT_EQ(report.corr_size_work, 0.0);
+}
+
+TEST(ResourceUsageReport, TopologyPredictsDemandOnGeneratedWorkload) {
+  // The paper's future-work hypothesis, measured: larger jobs carry more
+  // work, wider jobs more instances.
+  trace::GeneratorConfig cfg;
+  cfg.seed = 5;
+  cfg.num_jobs = 3000;
+  cfg.emit_instances = false;
+  const auto data = trace::TraceGenerator(cfg).generate();
+  PipelineConfig pipe;
+  pipe.sample_size = 150;
+  const auto sample = CharacterizationPipeline(pipe).build_sample(data);
+  const auto report = ResourceUsageReport::compute(sample);
+  EXPECT_GT(report.corr_size_work, 0.4);
+  EXPECT_GT(report.corr_width_instances, 0.4);
+  EXPECT_GT(report.corr_depth_duration, 0.2);
+}
+
+}  // namespace
+}  // namespace cwgl::core

@@ -1,0 +1,101 @@
+#include "core/topology_census.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+
+namespace cwgl::core {
+namespace {
+
+trace::TaskRecord task(std::string name, std::string job) {
+  trace::TaskRecord t;
+  t.task_name = std::move(name);
+  t.job_name = std::move(job);
+  t.instance_num = 1;
+  t.status = trace::Status::Terminated;
+  t.start_time = 100;
+  t.end_time = 200;
+  t.plan_cpu = 100.0;
+  t.plan_mem = 0.5;
+  return t;
+}
+
+JobDag make_job(const std::vector<std::string>& names, std::string job_name) {
+  std::vector<trace::TaskRecord> records;
+  for (const auto& n : names) records.push_back(task(n, job_name));
+  auto job = build_job_dag(job_name, records);
+  EXPECT_TRUE(job.has_value());
+  return *job;
+}
+
+TEST(TopologyCensus, CountsIsomorphismClasses) {
+  std::vector<JobDag> jobs;
+  // Three identical 2-chains (different job names and task numbering).
+  jobs.push_back(make_job({"M1", "R2_1"}, "j_a"));
+  jobs.push_back(make_job({"M2", "R3_2"}, "j_b"));  // same topology, renumbered
+  jobs.push_back(make_job({"M1", "R2_1"}, "j_c"));
+  // One fan-in.
+  jobs.push_back(make_job({"M1", "M2", "R3_2_1"}, "j_d"));
+
+  const auto census = TopologyCensus::compute(jobs);
+  EXPECT_EQ(census.total_jobs, 4u);
+  EXPECT_EQ(census.distinct_topologies, 2u);
+  ASSERT_EQ(census.rows.size(), 2u);
+  EXPECT_EQ(census.rows[0].count, 3u);  // the recurring chain
+  EXPECT_EQ(census.rows[0].size, 2);
+  EXPECT_EQ(census.rows[1].count, 1u);
+  EXPECT_DOUBLE_EQ(census.recurring_fraction, 3.0 / 4.0);
+}
+
+TEST(TopologyCensus, LabelsDistinguishWhenRequested) {
+  std::vector<JobDag> jobs;
+  jobs.push_back(make_job({"M1", "R2_1"}, "j_a"));   // M -> R
+  jobs.push_back(make_job({"M1", "J2_1"}, "j_b"));   // M -> J, same shape
+  const auto labeled = TopologyCensus::compute(jobs, /*use_labels=*/true);
+  EXPECT_EQ(labeled.distinct_topologies, 2u);
+  const auto unlabeled = TopologyCensus::compute(jobs, /*use_labels=*/false);
+  EXPECT_EQ(unlabeled.distinct_topologies, 1u);
+}
+
+TEST(TopologyCensus, ExemplarPointsToMemberJob) {
+  std::vector<JobDag> jobs;
+  jobs.push_back(make_job({"M1", "M2", "R3_2_1"}, "j_a"));
+  jobs.push_back(make_job({"M1", "R2_1"}, "j_b"));
+  jobs.push_back(make_job({"M1", "R2_1"}, "j_c"));
+  const auto census = TopologyCensus::compute(jobs);
+  for (const auto& row : census.rows) {
+    ASSERT_LT(row.exemplar, jobs.size());
+    EXPECT_EQ(jobs[row.exemplar].size(), row.size);
+  }
+}
+
+TEST(TopologyCensus, EmptyInput) {
+  const auto census = TopologyCensus::compute({});
+  EXPECT_EQ(census.total_jobs, 0u);
+  EXPECT_EQ(census.distinct_topologies, 0u);
+  EXPECT_DOUBLE_EQ(census.recurring_fraction, 0.0);
+}
+
+TEST(TopologyCensus, SmallJobsRecurMoreThanLarge) {
+  // The paper's Section IV-C observation, on generated data.
+  trace::GeneratorConfig cfg;
+  cfg.seed = 77;
+  cfg.num_jobs = 2000;
+  cfg.emit_instances = false;
+  const auto generated = trace::TraceGenerator(cfg).generate_jobs();
+  std::vector<JobDag> small, large;
+  for (const auto& g : generated) {
+    if (!g.is_dag) continue;
+    auto job = build_job_dag(g.job_name, g.tasks);
+    if (!job) continue;
+    (job->size() <= 4 ? small : large).push_back(std::move(*job));
+  }
+  ASSERT_GT(small.size(), 50u);
+  ASSERT_GT(large.size(), 50u);
+  const auto small_census = TopologyCensus::compute(small);
+  const auto large_census = TopologyCensus::compute(large);
+  EXPECT_GT(small_census.recurring_fraction, large_census.recurring_fraction);
+}
+
+}  // namespace
+}  // namespace cwgl::core

@@ -1,0 +1,113 @@
+// Property sweeps over randomly synthesized job-shaped DAGs: the structural
+// algorithms must satisfy their mathematical invariants on every input.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/conflation.hpp"
+#include "graph/digraph.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::graph {
+namespace {
+
+std::vector<Digraph> random_dags(std::uint64_t seed, std::size_t count) {
+  util::Xoshiro256StarStar rng(seed);
+  static constexpr ShapePattern kShapes[] = {
+      ShapePattern::StraightChain, ShapePattern::InvertedTriangle,
+      ShapePattern::Diamond, ShapePattern::Hourglass, ShapePattern::Trapezium,
+      ShapePattern::Combination};
+  std::vector<Digraph> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(trace::synthesize_shape(kShapes[i % 6],
+                                          rng.uniform_int(2, 31), rng));
+  }
+  return out;
+}
+
+class GraphInvariantsP : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphInvariantsP, TopologicalSortIsValidPermutation) {
+  for (const Digraph& g : random_dags(GetParam(), 20)) {
+    const auto order = topological_sort(g);
+    ASSERT_TRUE(order.has_value());
+    ASSERT_EQ(static_cast<int>(order->size()), g.num_vertices());
+    std::vector<int> position(g.num_vertices());
+    for (int i = 0; i < g.num_vertices(); ++i) position[(*order)[i]] = i;
+    for (const Edge& e : g.edges()) {
+      EXPECT_LT(position[e.from], position[e.to]);
+    }
+  }
+}
+
+TEST_P(GraphInvariantsP, DepthTimesWidthCoversVertexCount) {
+  for (const Digraph& g : random_dags(GetParam() + 100, 20)) {
+    const int depth = critical_path_length(g);
+    const int width = max_width(g);
+    EXPECT_LE(depth, g.num_vertices());
+    EXPECT_LE(width, g.num_vertices());
+    // Every vertex sits on exactly one of `depth` levels of size <= width.
+    EXPECT_GE(depth * width, g.num_vertices());
+    // Width profile sums to n.
+    int total = 0;
+    for (int w : width_profile(g)) total += w;
+    EXPECT_EQ(total, g.num_vertices());
+  }
+}
+
+TEST_P(GraphInvariantsP, CriticalPathMatchesExtractedPath) {
+  for (const Digraph& g : random_dags(GetParam() + 200, 20)) {
+    const auto path = critical_path(g);
+    EXPECT_EQ(static_cast<int>(path.size()), critical_path_length(g));
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+    }
+  }
+}
+
+TEST_P(GraphInvariantsP, TransitiveReductionPreservesReachability) {
+  for (const Digraph& g : random_dags(GetParam() + 300, 10)) {
+    const Digraph reduced = transitive_reduction(g);
+    EXPECT_LE(reduced.num_edges(), g.num_edges());
+    // Reachable sets (counted per vertex) must be identical.
+    EXPECT_EQ(descendant_counts(reduced), descendant_counts(g));
+    // Levels (longest paths) are preserved too.
+    EXPECT_EQ(longest_path_levels(reduced), longest_path_levels(g));
+  }
+}
+
+TEST_P(GraphInvariantsP, ConflationNeverGrowsAndPreservesDepth) {
+  util::Xoshiro256StarStar rng(GetParam() + 400);
+  for (const Digraph& g : random_dags(GetParam() + 400, 20)) {
+    std::vector<int> labels(g.num_vertices());
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      labels[v] = g.in_degree(v) == 0 ? 'M' : (rng.bernoulli(0.3) ? 'J' : 'R');
+    }
+    const auto merged = conflate(g, labels);
+    EXPECT_LE(merged.graph.num_vertices(), g.num_vertices());
+    EXPECT_TRUE(is_dag(merged.graph));
+    // Merging parallel clones cannot deepen or lengthen the critical path.
+    EXPECT_EQ(critical_path_length(merged.graph), critical_path_length(g));
+    // Width can only shrink.
+    EXPECT_LE(max_width(merged.graph), max_width(g));
+    // Multiplicities account for every original vertex.
+    int total = 0;
+    for (int m : merged.multiplicity) total += m;
+    EXPECT_EQ(total, g.num_vertices());
+  }
+}
+
+TEST_P(GraphInvariantsP, SourcesAndSinksNonEmptyInDags) {
+  for (const Digraph& g : random_dags(GetParam() + 500, 20)) {
+    EXPECT_FALSE(sources(g).empty());
+    EXPECT_FALSE(sinks(g).empty());
+    for (int s : sources(g)) EXPECT_EQ(g.in_degree(s), 0);
+    for (int s : sinks(g)) EXPECT_EQ(g.out_degree(s), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphInvariantsP, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace cwgl::graph

@@ -1,0 +1,212 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cwgl::graph {
+namespace {
+
+Digraph chain(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return Digraph(n, edges);
+}
+
+/// The paper's job 1001388: M1, M3, R2_1, R4_3, R5 depending on R2 and R4.
+/// Vertices: 0=M1, 1=R2, 2=M3, 3=R4, 4=R5.
+Digraph paper_job() {
+  const std::vector<Edge> edges{{0, 1}, {2, 3}, {1, 4}, {3, 4}};
+  return Digraph(5, edges);
+}
+
+TEST(TopologicalSort, ChainOrder) {
+  const auto order = topological_sort(chain(5));
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TopologicalSort, RespectsEdges) {
+  const Digraph g = paper_job();
+  const auto order = topological_sort(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> position(5);
+  for (int i = 0; i < 5; ++i) position[(*order)[i]] = i;
+  for (const Edge& e : g.edges()) EXPECT_LT(position[e.from], position[e.to]);
+}
+
+TEST(TopologicalSort, CycleReturnsNullopt) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_FALSE(topological_sort(Digraph(3, edges)).has_value());
+}
+
+TEST(TopologicalSort, SelfLoopIsCycle) {
+  const std::vector<Edge> edges{{0, 0}};
+  EXPECT_FALSE(topological_sort(Digraph(1, edges)).has_value());
+}
+
+TEST(TopologicalSort, EmptyGraph) {
+  const auto order = topological_sort(Digraph());
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(order->empty());
+}
+
+TEST(IsDag, Classification) {
+  EXPECT_TRUE(is_dag(chain(4)));
+  EXPECT_TRUE(is_dag(paper_job()));
+  const std::vector<Edge> cyc{{0, 1}, {1, 0}};
+  EXPECT_FALSE(is_dag(Digraph(2, cyc)));
+}
+
+TEST(SourcesSinks, PaperJob) {
+  const Digraph g = paper_job();
+  EXPECT_EQ(sources(g), (std::vector<int>{0, 2}));  // M1, M3
+  EXPECT_EQ(sinks(g), (std::vector<int>{4}));       // R5
+}
+
+TEST(SourcesSinks, EdgelessGraphAllBoth) {
+  const Digraph g(3, {});
+  EXPECT_EQ(sources(g).size(), 3u);
+  EXPECT_EQ(sinks(g).size(), 3u);
+}
+
+TEST(Levels, ChainLevelsAreIndices) {
+  const auto levels = longest_path_levels(chain(4));
+  EXPECT_EQ(levels, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Levels, LongestPathNotShortest) {
+  // 0->1->2->3 and shortcut 0->3: vertex 3 must sit at level 3, not 1.
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  const auto levels = longest_path_levels(Digraph(4, edges));
+  EXPECT_EQ(levels[3], 3);
+}
+
+TEST(Levels, CycleThrows) {
+  const std::vector<Edge> cyc{{0, 1}, {1, 0}};
+  EXPECT_THROW(longest_path_levels(Digraph(2, cyc)), util::GraphError);
+}
+
+TEST(CriticalPath, PaperExamplesCountVertices) {
+  EXPECT_EQ(critical_path_length(chain(2)), 2);  // 2-task chain has CP 2
+  EXPECT_EQ(critical_path_length(chain(8)), 8);
+  EXPECT_EQ(critical_path_length(paper_job()), 3);  // M1 -> R2 -> R5
+}
+
+TEST(CriticalPath, EmptyAndSingle) {
+  EXPECT_EQ(critical_path_length(Digraph()), 0);
+  EXPECT_EQ(critical_path_length(Digraph(1, {})), 1);
+}
+
+TEST(CriticalPath, ExtractedPathIsRealAndLongest) {
+  const Digraph g = paper_job();
+  const auto path = critical_path(g);
+  ASSERT_EQ(static_cast<int>(path.size()), critical_path_length(g));
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(CriticalPath, ExtractedPathOnEdgelessGraph) {
+  const auto path = critical_path(Digraph(3, {}));
+  EXPECT_EQ(path.size(), 1u);
+}
+
+TEST(WidthProfile, PaperJob) {
+  // Levels: {M1, M3} at 0, {R2, R4} at 1, {R5} at 2.
+  EXPECT_EQ(width_profile(paper_job()), (std::vector<int>{2, 2, 1}));
+  EXPECT_EQ(max_width(paper_job()), 2);
+}
+
+TEST(WidthProfile, ChainIsAllOnes) {
+  EXPECT_EQ(width_profile(chain(3)), (std::vector<int>{1, 1, 1}));
+  EXPECT_EQ(max_width(chain(3)), 1);
+}
+
+TEST(WidthProfile, EmptyGraph) {
+  EXPECT_TRUE(width_profile(Digraph()).empty());
+  EXPECT_EQ(max_width(Digraph()), 0);
+}
+
+TEST(WidthProfile, ExtremeParallelism) {
+  // The paper's extreme case: 30 of 31 tasks in parallel, 1 reducer.
+  std::vector<Edge> edges;
+  for (int i = 0; i < 30; ++i) edges.push_back({i, 30});
+  const Digraph g(31, edges);
+  EXPECT_EQ(max_width(g), 30);
+  EXPECT_EQ(critical_path_length(g), 2);
+}
+
+TEST(WeaklyConnectedComponents, TwoIslands) {
+  const std::vector<Edge> edges{{0, 1}, {2, 3}};
+  const auto comps = weakly_connected_components(Digraph(4, edges));
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(comps[1], (std::vector<int>{2, 3}));
+}
+
+TEST(WeaklyConnectedComponents, DirectionIgnored) {
+  const std::vector<Edge> edges{{1, 0}, {1, 2}};
+  EXPECT_TRUE(is_weakly_connected(Digraph(3, edges)));
+}
+
+TEST(IsWeaklyConnected, TrivialCases) {
+  EXPECT_TRUE(is_weakly_connected(Digraph()));
+  EXPECT_TRUE(is_weakly_connected(Digraph(1, {})));
+  EXPECT_FALSE(is_weakly_connected(Digraph(2, {})));
+}
+
+TEST(BfsDistances, DirectedHops) {
+  const Digraph g = chain(4);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3}));
+  const auto d_from_tail = bfs_distances(g, 3);
+  EXPECT_EQ(d_from_tail, (std::vector<int>{-1, -1, -1, 0}));
+}
+
+TEST(BfsDistances, UndirectedReachesBackwards) {
+  const auto d = bfs_distances(chain(4), 3, /*undirected=*/true);
+  EXPECT_EQ(d, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(BfsDistances, BadSourceThrows) {
+  EXPECT_THROW(bfs_distances(chain(3), 5), util::GraphError);
+}
+
+TEST(TransitiveReduction, RemovesImpliedEdge) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  const Digraph reduced = transitive_reduction(Digraph(3, edges));
+  EXPECT_EQ(reduced.num_edges(), 2);
+  EXPECT_TRUE(reduced.has_edge(0, 1));
+  EXPECT_TRUE(reduced.has_edge(1, 2));
+  EXPECT_FALSE(reduced.has_edge(0, 2));
+}
+
+TEST(TransitiveReduction, MinimalGraphUnchanged) {
+  const Digraph g = paper_job();
+  EXPECT_EQ(transitive_reduction(g), g);
+}
+
+TEST(TransitiveReduction, CycleThrows) {
+  const std::vector<Edge> cyc{{0, 1}, {1, 0}};
+  EXPECT_THROW(transitive_reduction(Digraph(2, cyc)), util::GraphError);
+}
+
+TEST(DescendantCounts, ChainCountsSuffix) {
+  const auto counts = descendant_counts(chain(4));
+  EXPECT_EQ(counts, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(DescendantCounts, DiamondSharedDescendantCountedOnce) {
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  const auto counts = descendant_counts(Digraph(4, edges));
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 0);
+}
+
+}  // namespace
+}  // namespace cwgl::graph

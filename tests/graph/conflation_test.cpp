@@ -1,0 +1,159 @@
+#include "graph/conflation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::graph {
+namespace {
+
+constexpr int kMap = 'M';
+constexpr int kReduce = 'R';
+
+TEST(Conflate, MapReduceFanInCollapses) {
+  // 4 identical Maps feeding one Reduce -> M -> R (2 vertices).
+  std::vector<Edge> edges;
+  for (int i = 0; i < 4; ++i) edges.push_back({i, 4});
+  const Digraph g(5, edges);
+  const std::vector<int> labels{kMap, kMap, kMap, kMap, kReduce};
+  const auto r = conflate(g, labels);
+  EXPECT_EQ(r.graph.num_vertices(), 2);
+  EXPECT_EQ(r.graph.num_edges(), 1);
+  EXPECT_EQ(r.multiplicity[0], 4);
+  EXPECT_EQ(r.multiplicity[1], 1);
+  EXPECT_EQ(r.labels[0], kMap);
+  EXPECT_EQ(r.labels[1], kReduce);
+}
+
+TEST(Conflate, DifferentLabelsDoNotMerge) {
+  std::vector<Edge> edges{{0, 2}, {1, 2}};
+  const Digraph g(3, edges);
+  const std::vector<int> labels{kMap, kReduce, kReduce};
+  const auto r = conflate(g, labels);
+  EXPECT_EQ(r.graph.num_vertices(), 3);
+}
+
+TEST(Conflate, DifferentNeighborhoodsDoNotMerge) {
+  // Two Maps feed different Reduces: nothing merges.
+  const std::vector<Edge> edges{{0, 2}, {1, 3}};
+  const Digraph g(4, edges);
+  const std::vector<int> labels{kMap, kMap, kReduce, kReduce};
+  const auto r = conflate(g, labels);
+  EXPECT_EQ(r.graph.num_vertices(), 4);
+}
+
+TEST(Conflate, CascadeReachesFixpoint) {
+  // Two parallel 2-stage pipelines into one sink:
+  // (M0 -> R2), (M1 -> R3), R2 -> 4, R3 -> 4.
+  // Round 1 merges M0/M1? No: they feed different reduces. But R2/R3 have
+  // different preds. Nothing merges until we use clone-symmetric wiring:
+  const std::vector<Edge> edges{{0, 2}, {1, 3}, {2, 4}, {3, 4}};
+  const Digraph g(5, edges);
+  const std::vector<int> labels{kMap, kMap, kReduce, kReduce, kReduce};
+  const auto r = conflate(g, labels);
+  // No pair has identical neighbor SETS initially, so this is a fixpoint.
+  EXPECT_EQ(r.graph.num_vertices(), 5);
+}
+
+TEST(Conflate, SharedParentCascades) {
+  // One Map feeding two clone Reduces that feed one sink: the Reduces merge,
+  // leaving a 3-chain.
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  const Digraph g(4, edges);
+  const std::vector<int> labels{kMap, kReduce, kReduce, kReduce};
+  const auto r = conflate(g, labels);
+  EXPECT_EQ(r.graph.num_vertices(), 3);
+  EXPECT_EQ(critical_path_length(r.graph), 3);
+  EXPECT_EQ(r.multiplicity[1], 2);
+}
+
+TEST(Conflate, ChainIsFixpoint) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  const Digraph g(3, edges);
+  const std::vector<int> labels{kMap, kReduce, kReduce};
+  const auto r = conflate(g, labels);
+  EXPECT_EQ(r.graph, g);
+  EXPECT_EQ(r.mapping, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Conflate, Idempotent) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < 6; ++i) edges.push_back({i, 6});
+  const Digraph g(7, edges);
+  std::vector<int> labels(7, kMap);
+  labels[6] = kReduce;
+  const auto once = conflate(g, labels);
+  const auto twice = conflate(once.graph, once.labels);
+  EXPECT_EQ(twice.graph, once.graph);
+}
+
+TEST(Conflate, SizeNeverGrowsAndMultiplicityConserved) {
+  const std::vector<Edge> edges{{0, 4}, {1, 4}, {2, 4}, {3, 4}, {4, 5}};
+  const Digraph g(6, edges);
+  const std::vector<int> labels{kMap, kMap, kMap, kMap, kReduce, kReduce};
+  const auto r = conflate(g, labels);
+  EXPECT_LE(r.graph.num_vertices(), g.num_vertices());
+  EXPECT_EQ(std::accumulate(r.multiplicity.begin(), r.multiplicity.end(), 0),
+            g.num_vertices());
+}
+
+TEST(Conflate, MappingIsConsistentWithRepresentatives) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < 3; ++i) edges.push_back({i, 3});
+  const Digraph g(4, edges);
+  const std::vector<int> labels{kMap, kMap, kMap, kReduce};
+  const auto r = conflate(g, labels);
+  for (std::size_t v = 0; v < 4; ++v) {
+    EXPECT_GE(r.mapping[v], 0);
+    EXPECT_LT(r.mapping[v], r.graph.num_vertices());
+  }
+  for (std::size_t c = 0; c < r.representative.size(); ++c) {
+    EXPECT_EQ(r.mapping[r.representative[c]], static_cast<int>(c));
+  }
+}
+
+TEST(Conflate, PreservesCriticalPath) {
+  // Conflation merges parallel clones, never serial stages, so the critical
+  // path (in vertices) must be preserved.
+  std::vector<Edge> edges;
+  for (int i = 0; i < 4; ++i) edges.push_back({i, 4});
+  edges.push_back({4, 5});
+  edges.push_back({5, 6});
+  const Digraph g(7, edges);
+  std::vector<int> labels{kMap, kMap, kMap, kMap, kReduce, kReduce, kReduce};
+  const auto r = conflate(g, labels);
+  EXPECT_EQ(critical_path_length(r.graph), critical_path_length(g));
+}
+
+TEST(Conflate, LabelSizeMismatchThrows) {
+  const Digraph g(3, {});
+  const std::vector<int> labels{1, 2};
+  EXPECT_THROW(conflate(g, labels), util::InvalidArgument);
+}
+
+TEST(Conflate, CycleThrows) {
+  const std::vector<Edge> cyc{{0, 1}, {1, 0}};
+  const Digraph g(2, cyc);
+  const std::vector<int> labels{1, 1};
+  EXPECT_THROW(conflate(g, labels), util::GraphError);
+}
+
+TEST(Conflate, IsolatedCloneVerticesMerge) {
+  // An edgeless bag of equal-label vertices merges to one.
+  const Digraph g(5, {});
+  const std::vector<int> labels(5, kMap);
+  const auto r = conflate(g, labels);
+  EXPECT_EQ(r.graph.num_vertices(), 1);
+  EXPECT_EQ(r.multiplicity[0], 5);
+}
+
+TEST(Conflate, EmptyGraph) {
+  const auto r = conflate(Digraph(), {});
+  EXPECT_EQ(r.graph.num_vertices(), 0);
+}
+
+}  // namespace
+}  // namespace cwgl::graph

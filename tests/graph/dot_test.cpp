@@ -1,0 +1,52 @@
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cwgl::graph {
+namespace {
+
+TEST(ToDot, ContainsVerticesAndEdges) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  const Digraph g(3, edges);
+  const std::vector<std::string> labels{"M1", "R2_1", "R3_2"};
+  const std::string dot = to_dot(g, labels, "job_1");
+  EXPECT_NE(dot.find("digraph \"job_1\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"M1\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n1 [label=\"R2_1\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2;"), std::string::npos);
+}
+
+TEST(ToDot, EmptyLabelsUseIndices) {
+  const Digraph g(2, {});
+  const std::string dot = to_dot(g, {});
+  EXPECT_NE(dot.find("n0;"), std::string::npos);
+  EXPECT_NE(dot.find("n1;"), std::string::npos);
+  EXPECT_EQ(dot.find("label="), std::string::npos);
+}
+
+TEST(ToDot, EscapesQuotesAndBackslashes) {
+  const Digraph g(1, {});
+  const std::vector<std::string> labels{"a\"b\\c"};
+  const std::string dot = to_dot(g, labels);
+  EXPECT_NE(dot.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(ToDot, LabelCountMismatchThrows) {
+  const Digraph g(2, {});
+  const std::vector<std::string> labels{"only-one"};
+  EXPECT_THROW(to_dot(g, labels), util::InvalidArgument);
+}
+
+TEST(ToDot, WellFormedBraces) {
+  const Digraph g(3, std::vector<Edge>{{0, 1}});
+  const std::string dot = to_dot(g, {});
+  EXPECT_EQ(dot.front(), 'd');
+  EXPECT_EQ(dot[dot.size() - 2], '}');
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+}  // namespace
+}  // namespace cwgl::graph

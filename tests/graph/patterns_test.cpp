@@ -1,0 +1,133 @@
+#include "graph/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::graph {
+namespace {
+
+Digraph from_widths(const std::vector<int>& widths) {
+  util::Xoshiro256StarStar rng(1234);
+  return trace::synthesize_dag(widths, rng);
+}
+
+TEST(ClassifyShape, SingleTask) {
+  EXPECT_EQ(classify_shape(Digraph(1, {})), ShapePattern::SingleTask);
+  EXPECT_EQ(classify_shape(Digraph()), ShapePattern::SingleTask);
+}
+
+TEST(ClassifyShape, StraightChain) {
+  EXPECT_EQ(classify_shape(from_widths({1, 1})), ShapePattern::StraightChain);
+  EXPECT_EQ(classify_shape(from_widths({1, 1, 1, 1, 1})),
+            ShapePattern::StraightChain);
+}
+
+TEST(ClassifyShape, InvertedTriangle) {
+  EXPECT_EQ(classify_shape(from_widths({2, 1})), ShapePattern::InvertedTriangle);
+  EXPECT_EQ(classify_shape(from_widths({4, 2, 1})),
+            ShapePattern::InvertedTriangle);
+  EXPECT_EQ(classify_shape(from_widths({3, 3, 1})),
+            ShapePattern::InvertedTriangle);
+}
+
+TEST(ClassifyShape, SimpleMapReduceIsInvertedTriangle) {
+  // The paper's canonical example: two Maps merging into one Reduce.
+  const std::vector<Edge> edges{{0, 2}, {1, 2}};
+  EXPECT_EQ(classify_shape(Digraph(3, edges)), ShapePattern::InvertedTriangle);
+}
+
+TEST(ClassifyShape, ConvergentButNotEndingAtOne) {
+  EXPECT_EQ(classify_shape(from_widths({4, 2, 2})),
+            ShapePattern::InvertedTriangle);
+}
+
+TEST(ClassifyShape, Diamond) {
+  EXPECT_EQ(classify_shape(from_widths({1, 3, 1})), ShapePattern::Diamond);
+  EXPECT_EQ(classify_shape(from_widths({1, 2, 4, 2, 1})), ShapePattern::Diamond);
+}
+
+TEST(ClassifyShape, DoubleBumpIsNotDiamond) {
+  EXPECT_EQ(classify_shape(from_widths({1, 3, 1, 2, 1})),
+            ShapePattern::Combination);
+}
+
+TEST(ClassifyShape, Hourglass) {
+  EXPECT_EQ(classify_shape(from_widths({3, 1, 3})), ShapePattern::Hourglass);
+  EXPECT_EQ(classify_shape(from_widths({4, 2, 1, 2, 3})),
+            ShapePattern::Hourglass);
+}
+
+TEST(ClassifyShape, Trapezium) {
+  EXPECT_EQ(classify_shape(from_widths({1, 3})), ShapePattern::Trapezium);
+  EXPECT_EQ(classify_shape(from_widths({1, 2, 4})), ShapePattern::Trapezium);
+  EXPECT_EQ(classify_shape(from_widths({2, 2, 5})), ShapePattern::Trapezium);
+}
+
+TEST(ClassifyShape, CombinationShapes) {
+  EXPECT_EQ(classify_shape(from_widths({1, 4, 1, 3})),
+            ShapePattern::Combination);
+  EXPECT_EQ(classify_shape(from_widths({2, 1, 3, 1})),
+            ShapePattern::Combination);
+}
+
+TEST(ClassifyShape, EdgelessBagIsCombination) {
+  EXPECT_EQ(classify_shape(Digraph(4, {})), ShapePattern::Combination);
+}
+
+TEST(ClassifyShape, TriangleHeadWithChainTailStillConvergent) {
+  // The paper notes such hybrids read as convergent (group B style).
+  EXPECT_EQ(classify_shape(from_widths({4, 2, 1, 1, 1})),
+            ShapePattern::InvertedTriangle);
+}
+
+TEST(ToString, AllNamesDistinct) {
+  const ShapePattern all[] = {
+      ShapePattern::SingleTask, ShapePattern::StraightChain,
+      ShapePattern::InvertedTriangle, ShapePattern::Diamond,
+      ShapePattern::Hourglass, ShapePattern::Trapezium,
+      ShapePattern::Combination};
+  for (std::size_t i = 0; i < std::size(all); ++i) {
+    EXPECT_FALSE(to_string(all[i]).empty());
+    for (std::size_t j = i + 1; j < std::size(all); ++j) {
+      EXPECT_NE(to_string(all[i]), to_string(all[j]));
+    }
+  }
+}
+
+/// Property sweep: every synthesized shape classifies as requested for all
+/// sizes where the shape is realizable.
+struct ShapeCase {
+  ShapePattern pattern;
+  int min_size;
+};
+
+class ShapeSynthesisP : public ::testing::TestWithParam<std::tuple<ShapeCase, int>> {};
+
+TEST_P(ShapeSynthesisP, SynthesizedShapeClassifiesAsIntended) {
+  const auto [shape_case, seed] = GetParam();
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(seed));
+  for (int n = shape_case.min_size; n <= 31; ++n) {
+    const Digraph g = trace::synthesize_shape(shape_case.pattern, n, rng);
+    EXPECT_EQ(g.num_vertices(), n);
+    EXPECT_TRUE(is_dag(g));
+    EXPECT_EQ(classify_shape(g), shape_case.pattern)
+        << "shape " << to_string(shape_case.pattern) << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapesAndSeeds, ShapeSynthesisP,
+    ::testing::Combine(
+        ::testing::Values(ShapeCase{ShapePattern::StraightChain, 2},
+                          ShapeCase{ShapePattern::InvertedTriangle, 3},
+                          ShapeCase{ShapePattern::Diamond, 4},
+                          ShapeCase{ShapePattern::Hourglass, 5},
+                          ShapeCase{ShapePattern::Trapezium, 3},
+                          ShapeCase{ShapePattern::Combination, 6}),
+        ::testing::Values(1, 2, 3, 5, 8)));
+
+}  // namespace
+}  // namespace cwgl::graph

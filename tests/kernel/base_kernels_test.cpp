@@ -1,0 +1,103 @@
+#include "kernel/base_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwgl::kernel {
+namespace {
+
+using graph::Digraph;
+using graph::Edge;
+
+LabeledGraph make(int n, std::vector<Edge> edges, std::vector<int> labels) {
+  LabeledGraph g;
+  g.graph = Digraph(n, edges);
+  g.labels = std::move(labels);
+  return g;
+}
+
+TEST(VertexHistogram, CountsMatchingLabels) {
+  VertexHistogramFeaturizer f;
+  const auto a = make(3, {}, {'M', 'M', 'R'});
+  const auto b = make(2, {}, {'M', 'R'});
+  // k = 2*1 (M) + 1*1 (R) = 3.
+  EXPECT_DOUBLE_EQ(kernel_value(f, a, b), 3.0);
+}
+
+TEST(VertexHistogram, BlindToStructure) {
+  VertexHistogramFeaturizer f;
+  const auto chain = make(3, {{0, 1}, {1, 2}}, {'M', 'R', 'R'});
+  const auto fan = make(3, {{0, 1}, {0, 2}}, {'M', 'R', 'R'});
+  EXPECT_DOUBLE_EQ(normalized_kernel_value(f, chain, fan), 1.0);
+}
+
+TEST(VertexHistogram, DisjointLabelsGiveZero) {
+  VertexHistogramFeaturizer f;
+  const auto a = make(2, {}, {'M', 'M'});
+  const auto b = make(2, {}, {'R', 'R'});
+  EXPECT_DOUBLE_EQ(kernel_value(f, a, b), 0.0);
+}
+
+TEST(EdgeHistogram, CountsMatchingLabelPairs) {
+  EdgeHistogramFeaturizer f;
+  const auto a = make(3, {{0, 2}, {1, 2}}, {'M', 'M', 'R'});  // two M->R edges
+  const auto b = make(2, {{0, 1}}, {'M', 'R'});               // one M->R edge
+  EXPECT_DOUBLE_EQ(kernel_value(f, a, b), 2.0);
+}
+
+TEST(EdgeHistogram, DirectionMatters) {
+  EdgeHistogramFeaturizer f;
+  const auto fwd = make(2, {{0, 1}}, {'M', 'R'});
+  const auto bwd = make(2, {{1, 0}}, {'M', 'R'});
+  EXPECT_DOUBLE_EQ(kernel_value(f, fwd, bwd), 0.0);
+}
+
+TEST(EdgeHistogram, SeesLocalStructureOnly) {
+  EdgeHistogramFeaturizer f;
+  // Chain M->R->R and two disjoint edges M->R, R->R: identical edge-label
+  // multisets, so the edge histogram cannot tell them apart.
+  const auto chain = make(3, {{0, 1}, {1, 2}}, {'M', 'R', 'R'});
+  const auto split = make(4, {{0, 1}, {2, 3}}, {'M', 'R', 'R', 'R'});
+  EXPECT_DOUBLE_EQ(normalized_kernel_value(f, chain, split), 1.0);
+}
+
+TEST(ShortestPath, CountsLabeledDistancePairs) {
+  ShortestPathFeaturizer f;
+  const auto a = make(3, {{0, 1}, {1, 2}}, {'M', 'R', 'R'});
+  // Pairs in a: (M,R,1), (M,R,2), (R,R,1).
+  const auto b = make(2, {{0, 1}}, {'M', 'R'});
+  // Pairs in b: (M,R,1). Match count = 1.
+  EXPECT_DOUBLE_EQ(kernel_value(f, a, b), 1.0);
+}
+
+TEST(ShortestPath, SeparatesWhatEdgeHistogramCannot) {
+  ShortestPathFeaturizer f;
+  const auto chain = make(3, {{0, 1}, {1, 2}}, {'M', 'R', 'R'});
+  const auto split = make(4, {{0, 1}, {2, 3}}, {'M', 'R', 'R', 'R'});
+  EXPECT_LT(normalized_kernel_value(f, chain, split), 1.0);
+}
+
+TEST(ShortestPath, SelfSimilarityNormalizesToOne) {
+  ShortestPathFeaturizer f;
+  const auto a = make(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, {'M', 'R', 'R', 'R'});
+  EXPECT_NEAR(normalized_kernel_value(f, a, a), 1.0, 1e-12);
+}
+
+TEST(ShortestPath, UnreachablePairsIgnored) {
+  ShortestPathFeaturizer f;
+  const auto two_islands = make(2, {}, {'M', 'R'});
+  // No finite directed path between distinct vertices: empty feature vector.
+  const auto v = f.featurize(two_islands);
+  EXPECT_TRUE(v.items.empty());
+}
+
+TEST(AllBaseKernels, NamesAreDistinct) {
+  VertexHistogramFeaturizer v;
+  EdgeHistogramFeaturizer e;
+  ShortestPathFeaturizer s;
+  EXPECT_NE(v.name(), e.name());
+  EXPECT_NE(e.name(), s.name());
+  EXPECT_NE(v.name(), s.name());
+}
+
+}  // namespace
+}  // namespace cwgl::kernel

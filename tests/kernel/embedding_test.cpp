@@ -1,0 +1,147 @@
+#include "kernel/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernel/gram.hpp"
+#include "trace/generator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace cwgl::kernel {
+namespace {
+
+using graph::Digraph;
+using graph::Edge;
+
+LabeledGraph chain(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  LabeledGraph g;
+  g.graph = Digraph(n, edges);
+  g.labels.assign(n, 'R');
+  if (n > 0) g.labels[0] = 'M';
+  return g;
+}
+
+std::vector<LabeledGraph> random_corpus(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256StarStar rng(seed);
+  static constexpr graph::ShapePattern kShapes[] = {
+      graph::ShapePattern::StraightChain, graph::ShapePattern::InvertedTriangle,
+      graph::ShapePattern::Diamond, graph::ShapePattern::Trapezium};
+  std::vector<LabeledGraph> corpus;
+  for (std::size_t i = 0; i < n; ++i) {
+    LabeledGraph g;
+    const int size = rng.uniform_int(2, 14);
+    g.graph = trace::synthesize_shape(kShapes[i % 4], size, rng);
+    g.labels.resize(size);
+    for (int v = 0; v < size; ++v) {
+      g.labels[v] = g.graph.in_degree(v) == 0 ? 'M' : 'R';
+    }
+    corpus.push_back(std::move(g));
+  }
+  return corpus;
+}
+
+TEST(WlEmbed, DeterministicForConfig) {
+  const auto g = chain(5);
+  EXPECT_EQ(wl_embed(g), wl_embed(g));
+}
+
+TEST(WlEmbed, DimensionsRespected) {
+  EmbeddingConfig cfg;
+  cfg.dimensions = 33;
+  EXPECT_EQ(wl_embed(chain(4), cfg).size(), 33u);
+}
+
+TEST(WlEmbed, NormalizedRowsAreUnitLength) {
+  const auto e = wl_embed(chain(6));
+  double norm = 0.0;
+  for (double x : e) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-12);
+}
+
+TEST(WlEmbed, CorpusIndependence) {
+  // Embedding a graph alone equals embedding it inside a corpus — the
+  // property the dictionary-based featurizer cannot offer.
+  const auto corpus = random_corpus(6, 3);
+  const auto matrix = wl_embedding_matrix(corpus);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto solo = wl_embed(corpus[i]);
+    for (std::size_t c = 0; c < solo.size(); ++c) {
+      EXPECT_DOUBLE_EQ(matrix(i, c), solo[c]);
+    }
+  }
+}
+
+TEST(WlEmbed, IsomorphicGraphsEmbedIdentically) {
+  const auto g = chain(5);
+  // Relabel vertices 4,3,2,1,0 (reverse) with reversed edges direction kept.
+  std::vector<Edge> edges;
+  for (const Edge& e : g.graph.edges()) {
+    edges.push_back({4 - e.from, 4 - e.to});
+  }
+  LabeledGraph h;
+  h.graph = Digraph(5, edges);
+  h.labels = {'R', 'R', 'R', 'R', 'M'};
+  const auto ea = wl_embed(g);
+  const auto eb = wl_embed(h);
+  for (std::size_t c = 0; c < ea.size(); ++c) EXPECT_DOUBLE_EQ(ea[c], eb[c]);
+}
+
+TEST(WlEmbed, SeedChangesEmbedding) {
+  EmbeddingConfig a, b;
+  b.seed = a.seed + 1;
+  EXPECT_NE(wl_embed(chain(5), a), wl_embed(chain(5), b));
+}
+
+TEST(WlEmbed, ApproximatesExactKernel) {
+  // Cosine of hashed embeddings must correlate strongly with the exact
+  // normalized WL kernel across a mixed corpus.
+  const auto corpus = random_corpus(20, 11);
+  EmbeddingConfig cfg;
+  cfg.dimensions = 512;
+  const auto embeddings = wl_embedding_matrix(corpus, cfg);
+
+  WlSubtreeFeaturizer featurizer;
+  const auto exact = gram_matrix(featurizer, corpus);
+
+  std::vector<double> exact_vals, approx_vals;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    for (std::size_t j = i + 1; j < corpus.size(); ++j) {
+      exact_vals.push_back(exact(i, j));
+      double dot = 0.0;
+      for (std::size_t c = 0; c < embeddings.cols(); ++c) {
+        dot += embeddings(i, c) * embeddings(j, c);
+      }
+      approx_vals.push_back(dot);
+    }
+  }
+  EXPECT_GT(util::pearson(exact_vals, approx_vals), 0.9);
+}
+
+TEST(WlEmbed, EmptyGraphEmbedsToZero) {
+  LabeledGraph empty;
+  const auto e = wl_embed(empty);
+  for (double x : e) EXPECT_EQ(x, 0.0);
+}
+
+TEST(WlEmbed, InvalidDimensionsThrow) {
+  EmbeddingConfig cfg;
+  cfg.dimensions = 0;
+  EXPECT_THROW(wl_embed(chain(3), cfg), util::InvalidArgument);
+}
+
+TEST(WlEmbeddingMatrix, ShapeMatchesCorpus) {
+  const auto corpus = random_corpus(7, 5);
+  EmbeddingConfig cfg;
+  cfg.dimensions = 64;
+  const auto m = wl_embedding_matrix(corpus, cfg);
+  EXPECT_EQ(m.rows(), 7u);
+  EXPECT_EQ(m.cols(), 64u);
+}
+
+}  // namespace
+}  // namespace cwgl::kernel

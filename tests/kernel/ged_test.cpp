@@ -1,0 +1,124 @@
+#include "kernel/ged.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::kernel {
+namespace {
+
+using graph::Digraph;
+using graph::Edge;
+
+LabeledGraph make(int n, std::vector<Edge> edges, std::vector<int> labels) {
+  LabeledGraph g;
+  g.graph = Digraph(n, edges);
+  g.labels = std::move(labels);
+  return g;
+}
+
+TEST(Ged, IdenticalGraphsCostZero) {
+  const auto g = make(3, {{0, 1}, {1, 2}}, {'M', 'R', 'R'});
+  EXPECT_DOUBLE_EQ(graph_edit_distance(g, g), 0.0);
+}
+
+TEST(Ged, IsomorphicGraphsCostZero) {
+  const auto a = make(3, {{0, 2}, {1, 2}}, {'M', 'M', 'R'});
+  const auto b = make(3, {{2, 0}, {1, 0}}, {'R', 'M', 'M'});
+  EXPECT_DOUBLE_EQ(graph_edit_distance(a, b), 0.0);
+}
+
+TEST(Ged, SingleRelabelCostsOne) {
+  const auto a = make(2, {{0, 1}}, {'M', 'R'});
+  const auto b = make(2, {{0, 1}}, {'M', 'J'});
+  EXPECT_DOUBLE_EQ(graph_edit_distance(a, b), 1.0);
+}
+
+TEST(Ged, NodeInsertionWithEdge) {
+  const auto a = make(2, {{0, 1}}, {'M', 'R'});
+  const auto b = make(3, {{0, 1}, {1, 2}}, {'M', 'R', 'R'});
+  // Insert one vertex + one edge.
+  EXPECT_DOUBLE_EQ(graph_edit_distance(a, b), 2.0);
+}
+
+TEST(Ged, SymmetricWithUniformCosts) {
+  const auto a = make(3, {{0, 1}, {1, 2}}, {'M', 'R', 'R'});
+  const auto b = make(4, {{0, 1}, {0, 2}, {1, 3}}, {'M', 'R', 'R', 'R'});
+  EXPECT_DOUBLE_EQ(graph_edit_distance(a, b), graph_edit_distance(b, a));
+}
+
+TEST(Ged, EdgeRewiringOnly) {
+  const auto chain = make(3, {{0, 1}, {1, 2}}, {'M', 'R', 'R'});
+  const auto fan = make(3, {{0, 1}, {0, 2}}, {'M', 'R', 'R'});
+  // Delete edge 1->2, insert edge 0->2: cost 2.
+  EXPECT_DOUBLE_EQ(graph_edit_distance(chain, fan), 2.0);
+}
+
+TEST(Ged, EmptyVsGraphCostsFullConstruction) {
+  const LabeledGraph empty;
+  const auto g = make(3, {{0, 1}, {1, 2}}, {'M', 'R', 'R'});
+  EXPECT_DOUBLE_EQ(graph_edit_distance(empty, g), 5.0);  // 3 nodes + 2 edges
+  EXPECT_DOUBLE_EQ(graph_edit_distance(g, empty), 5.0);
+}
+
+TEST(Ged, CustomCostsRespected) {
+  GedOptions opt;
+  opt.node_substitution = 10.0;
+  const auto a = make(1, {}, {'M'});
+  const auto b = make(1, {}, {'R'});
+  // Relabel (10) vs delete+insert (2): optimal takes the cheaper route.
+  EXPECT_DOUBLE_EQ(graph_edit_distance(a, b, opt), 2.0);
+}
+
+TEST(Ged, TriangleInequalityOnSmallFamily) {
+  util::Xoshiro256StarStar rng(7);
+  std::vector<LabeledGraph> family;
+  family.push_back(make(2, {{0, 1}}, {'M', 'R'}));
+  family.push_back(make(3, {{0, 1}, {1, 2}}, {'M', 'R', 'R'}));
+  family.push_back(make(3, {{0, 2}, {1, 2}}, {'M', 'M', 'R'}));
+  family.push_back(make(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, {'M', 'R', 'R', 'R'}));
+  for (const auto& a : family) {
+    for (const auto& b : family) {
+      for (const auto& c : family) {
+        EXPECT_LE(graph_edit_distance(a, c),
+                  graph_edit_distance(a, b) + graph_edit_distance(b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Ged, ExpansionBudgetEnforced) {
+  GedOptions opt;
+  // Reaching a 9-assignment goal needs at least 9 expansions, so a budget of
+  // 5 must always trip regardless of how well the heuristic guides.
+  opt.max_expansions = 5;
+  std::vector<Edge> e1, e2;
+  std::vector<int> l1(9, 'M'), l2(9, 'R');
+  for (int i = 0; i < 8; ++i) {
+    e1.push_back({i, 8});
+    e2.push_back({0, i + 1});
+  }
+  const auto a = make(9, e1, l1);
+  const auto b = make(9, e2, l2);
+  EXPECT_THROW(graph_edit_distance(a, b, opt), util::Error);
+}
+
+TEST(Ged, OversizedSecondGraphThrows) {
+  LabeledGraph big;
+  big.graph = Digraph(64, {});
+  const auto small = make(1, {}, {'M'});
+  EXPECT_THROW(graph_edit_distance(small, big), util::InvalidArgument);
+}
+
+TEST(GedSimilarity, OneForIdenticalDecaysWithEdits) {
+  const auto a = make(3, {{0, 1}, {1, 2}}, {'M', 'R', 'R'});
+  const auto b = make(3, {{0, 1}, {1, 2}}, {'M', 'R', 'J'});
+  EXPECT_DOUBLE_EQ(ged_similarity(a, a), 1.0);
+  const double s = ged_similarity(a, b);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+}  // namespace
+}  // namespace cwgl::kernel

@@ -1,0 +1,136 @@
+#include "kernel/gram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernel/wl.hpp"
+#include "linalg/eigen.hpp"
+#include "trace/generator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::kernel {
+namespace {
+
+std::vector<LabeledGraph> random_corpus(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256StarStar rng(seed);
+  static constexpr graph::ShapePattern kShapes[] = {
+      graph::ShapePattern::StraightChain, graph::ShapePattern::InvertedTriangle,
+      graph::ShapePattern::Diamond, graph::ShapePattern::Trapezium};
+  std::vector<LabeledGraph> corpus;
+  for (std::size_t i = 0; i < n; ++i) {
+    LabeledGraph g;
+    const int size = rng.uniform_int(2, 12);
+    g.graph = trace::synthesize_shape(kShapes[i % 4], size, rng);
+    g.labels.resize(size);
+    for (int v = 0; v < size; ++v) {
+      g.labels[v] = g.graph.in_degree(v) == 0 ? 'M' : 'R';
+    }
+    corpus.push_back(std::move(g));
+  }
+  return corpus;
+}
+
+TEST(GramMatrix, NormalizedDiagonalIsOne) {
+  const auto corpus = random_corpus(12, 3);
+  WlSubtreeFeaturizer f;
+  const auto gram = gram_matrix(f, corpus);
+  for (std::size_t i = 0; i < gram.rows(); ++i) {
+    EXPECT_NEAR(gram(i, i), 1.0, 1e-12);
+  }
+}
+
+TEST(GramMatrix, SymmetricAndBounded) {
+  const auto corpus = random_corpus(12, 5);
+  WlSubtreeFeaturizer f;
+  const auto gram = gram_matrix(f, corpus);
+  EXPECT_TRUE(gram.is_symmetric(1e-12));
+  for (std::size_t i = 0; i < gram.rows(); ++i) {
+    for (std::size_t j = 0; j < gram.cols(); ++j) {
+      EXPECT_GE(gram(i, j), 0.0);
+      EXPECT_LE(gram(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(GramMatrix, PositiveSemidefinite) {
+  // The defining property of a kernel: its Gram matrix is PSD.
+  const auto corpus = random_corpus(10, 7);
+  WlSubtreeFeaturizer f;
+  const auto gram = gram_matrix(f, corpus);
+  EXPECT_TRUE(linalg::is_positive_semidefinite(gram, 1e-7));
+}
+
+TEST(GramMatrix, UnnormalizedMatchesPairwiseKernel) {
+  const auto corpus = random_corpus(6, 9);
+  WlSubtreeFeaturizer f_for_gram;
+  GramOptions options;
+  options.normalize = false;
+  const auto gram = gram_matrix(f_for_gram, corpus, options);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    for (std::size_t j = 0; j < corpus.size(); ++j) {
+      EXPECT_NEAR(gram(i, j), wl_subtree_kernel(corpus[i], corpus[j]), 1e-9)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(GramMatrix, ParallelMatchesSequential) {
+  const auto corpus = random_corpus(20, 11);
+  util::ThreadPool pool(4);
+  WlSubtreeFeaturizer f_seq, f_par;
+  const auto seq = gram_matrix(f_seq, corpus);
+  const auto par = gram_matrix(f_par, corpus, {}, &pool);
+  EXPECT_LT(seq.max_abs_diff(par), 1e-14);
+}
+
+TEST(GramMatrix, EmptyCorpus) {
+  WlSubtreeFeaturizer f;
+  const auto gram = gram_matrix(f, {});
+  EXPECT_EQ(gram.rows(), 0u);
+}
+
+TEST(GramMatrix, IdenticalGraphsScoreOneEverywhere) {
+  auto corpus = random_corpus(1, 13);
+  corpus.push_back(corpus.front());
+  corpus.push_back(corpus.front());
+  WlSubtreeFeaturizer f;
+  const auto gram = gram_matrix(f, corpus);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(gram(i, j), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(KernelToDistance, ZeroOnIdenticalOneishOnDisjoint) {
+  linalg::Matrix gram = linalg::Matrix::from_rows({{1.0, 1.0, 0.0},
+                                                   {1.0, 1.0, 0.0},
+                                                   {0.0, 0.0, 1.0}});
+  const auto dist = kernel_to_distance(gram);
+  EXPECT_NEAR(dist(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(dist(0, 2), std::sqrt(2.0), 1e-12);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(dist(i, i), 0.0, 1e-12);
+}
+
+TEST(KernelToDistance, TriangleInequalityOnRealGram) {
+  const auto corpus = random_corpus(10, 17);
+  WlSubtreeFeaturizer f;
+  const auto gram = gram_matrix(f, corpus);
+  const auto dist = kernel_to_distance(gram);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      for (std::size_t k = 0; k < 10; ++k) {
+        EXPECT_LE(dist(i, k), dist(i, j) + dist(j, k) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(KernelToDistance, NonSquareThrows) {
+  EXPECT_THROW(kernel_to_distance(linalg::Matrix(2, 3)), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cwgl::kernel

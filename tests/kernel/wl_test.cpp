@@ -1,0 +1,267 @@
+#include "kernel/wl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "trace/generator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::kernel {
+namespace {
+
+using graph::Digraph;
+using graph::Edge;
+
+LabeledGraph chain(int n, int label = 'R') {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  LabeledGraph g;
+  g.graph = Digraph(n, edges);
+  g.labels.assign(n, label);
+  if (n > 0) g.labels[0] = 'M';
+  return g;
+}
+
+LabeledGraph map_reduce(int maps) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < maps; ++i) edges.push_back({i, maps});
+  LabeledGraph g;
+  g.graph = Digraph(maps + 1, edges);
+  g.labels.assign(maps, 'M');
+  g.labels.push_back('R');
+  return g;
+}
+
+LabeledGraph permuted(const LabeledGraph& g, const std::vector<int>& perm) {
+  std::vector<Edge> edges;
+  for (const Edge& e : g.graph.edges()) {
+    edges.push_back({perm[e.from], perm[e.to]});
+  }
+  LabeledGraph out;
+  out.graph = Digraph(g.graph.num_vertices(), edges);
+  out.labels.resize(g.labels.size());
+  for (std::size_t v = 0; v < g.labels.size(); ++v) {
+    out.labels[perm[v]] = g.labels[v];
+  }
+  return out;
+}
+
+TEST(WlKernel, SelfSimilarityIsOneAfterNormalization) {
+  const auto g = map_reduce(3);
+  EXPECT_NEAR(wl_subtree_similarity(g, g), 1.0, 1e-12);
+}
+
+TEST(WlKernel, IsomorphicGraphsScoreOne) {
+  const auto g = map_reduce(4);
+  util::Xoshiro256StarStar rng(31);
+  std::vector<int> perm{0, 1, 2, 3, 4};
+  for (int trial = 0; trial < 10; ++trial) {
+    rng.shuffle(perm);
+    const auto h = permuted(g, perm);
+    EXPECT_NEAR(wl_subtree_similarity(g, h), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(wl_subtree_kernel(g, g), wl_subtree_kernel(h, h));
+  }
+}
+
+TEST(WlKernel, Symmetric) {
+  const auto a = chain(5);
+  const auto b = map_reduce(4);
+  EXPECT_DOUBLE_EQ(wl_subtree_kernel(a, b), wl_subtree_kernel(b, a));
+}
+
+TEST(WlKernel, SimilarityInUnitInterval) {
+  const std::vector<LabeledGraph> graphs{chain(2), chain(7), map_reduce(2),
+                                         map_reduce(6)};
+  for (const auto& a : graphs) {
+    for (const auto& b : graphs) {
+      const double s = wl_subtree_similarity(a, b);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(WlKernel, DistinguishesChainFromFanIn) {
+  const auto a = chain(4);
+  const auto b = map_reduce(3);
+  EXPECT_LT(wl_subtree_similarity(a, b), 0.9);
+}
+
+TEST(WlKernel, SimilarShapesScoreHigherThanDissimilar) {
+  const auto chain_a = chain(5);
+  const auto chain_b = chain(6);
+  const auto fan = map_reduce(5);
+  EXPECT_GT(wl_subtree_similarity(chain_a, chain_b),
+            wl_subtree_similarity(chain_a, fan));
+}
+
+TEST(WlKernel, IterationZeroIsLabelHistogram) {
+  // With h=0 only raw label counts matter, so chain(4) vs a reordered
+  // chain(4) and even a fan with identical label multiset all tie.
+  WlConfig cfg;
+  cfg.iterations = 0;
+  LabeledGraph fan = map_reduce(3);  // labels M,M,M,R
+  LabeledGraph ch = chain(4);        // labels M,R,R,R
+  fan.labels = {'M', 'R', 'R', 'R'};  // force same multiset as the chain
+  EXPECT_NEAR(wl_subtree_similarity(fan, ch, cfg), 1.0, 1e-12);
+  // One refinement iteration separates them.
+  cfg.iterations = 1;
+  EXPECT_LT(wl_subtree_similarity(fan, ch, cfg), 1.0);
+}
+
+TEST(WlKernel, MoreIterationsNeverIncreaseSimilarity) {
+  // Deeper refinement only splits colors further, so normalized similarity
+  // of non-isomorphic graphs is non-increasing in h (up to fp noise).
+  const auto a = chain(6);
+  const auto b = map_reduce(5);
+  double prev = 1.0;
+  for (int h = 0; h <= 5; ++h) {
+    WlConfig cfg;
+    cfg.iterations = h;
+    const double s = wl_subtree_similarity(a, b, cfg);
+    EXPECT_LE(s, prev + 1e-9) << "h=" << h;
+    prev = s;
+  }
+}
+
+TEST(WlKernel, DirectedDistinguishesOrientation) {
+  // Fan-out vs fan-in with uniform labels: undirected pooling cannot
+  // separate them, the directed variant can.
+  LabeledGraph out_star, in_star;
+  out_star.graph = Digraph(3, std::vector<Edge>{{0, 1}, {0, 2}});
+  in_star.graph = Digraph(3, std::vector<Edge>{{1, 0}, {2, 0}});
+  WlConfig directed;
+  directed.directed = true;
+  WlConfig undirected;
+  undirected.directed = false;
+  EXPECT_LT(wl_subtree_similarity(out_star, in_star, directed), 1.0 - 1e-9);
+  EXPECT_NEAR(wl_subtree_similarity(out_star, in_star, undirected), 1.0, 1e-12);
+}
+
+TEST(WlKernel, UnlabeledGraphsSupported) {
+  LabeledGraph a, b;
+  a.graph = Digraph(3, std::vector<Edge>{{0, 1}, {1, 2}});
+  b.graph = Digraph(3, std::vector<Edge>{{0, 1}, {1, 2}});
+  EXPECT_NEAR(wl_subtree_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(WlKernel, EmptyGraphHasZeroNormalizedSimilarity) {
+  LabeledGraph empty;
+  const auto g = chain(3);
+  EXPECT_EQ(wl_subtree_similarity(empty, g), 0.0);
+  EXPECT_EQ(wl_subtree_kernel(empty, g), 0.0);
+}
+
+TEST(WlFeaturizer, SharedDictionaryAlignsFeatures) {
+  WlSubtreeFeaturizer f;
+  const auto a = chain(4);
+  const auto v1 = f.featurize(a);
+  const auto v2 = f.featurize(a);
+  EXPECT_EQ(v1.items, v2.items);
+}
+
+TEST(WlFeaturizer, FeatureCountMatchesIterationsTimesVertices) {
+  WlConfig cfg;
+  cfg.iterations = 3;
+  WlSubtreeFeaturizer f(cfg);
+  const auto g = chain(5);
+  const auto v = f.featurize(g);
+  double total = 0.0;
+  for (const auto& [id, count] : v.items) total += count;
+  // Each vertex contributes one feature per iteration 0..h.
+  EXPECT_DOUBLE_EQ(total, 5.0 * (cfg.iterations + 1));
+}
+
+TEST(WlKernel, IterationWeightsEmptyMatchesAllOnes) {
+  const auto a = chain(5);
+  const auto b = map_reduce(4);
+  WlConfig weighted;
+  weighted.iteration_weights = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(wl_subtree_kernel(a, b, weighted), wl_subtree_kernel(a, b), 1e-9);
+}
+
+TEST(WlKernel, IterationWeightsScaleContributions) {
+  const auto a = chain(4);
+  // Only iteration 0 active == vertex-label histogram kernel.
+  WlConfig zero_only;
+  zero_only.iteration_weights = {1.0, 0.0, 0.0, 0.0};
+  WlConfig h0;
+  h0.iterations = 0;
+  EXPECT_NEAR(wl_subtree_kernel(a, a, zero_only), wl_subtree_kernel(a, a, h0),
+              1e-9);
+  // Doubling every weight doubles the raw kernel.
+  WlConfig doubled;
+  doubled.iteration_weights = {2.0, 2.0, 2.0, 2.0};
+  EXPECT_NEAR(wl_subtree_kernel(a, a, doubled), 2.0 * wl_subtree_kernel(a, a),
+              1e-9);
+}
+
+TEST(WlKernel, IterationWeightsValidated) {
+  const auto a = chain(3);
+  WlConfig wrong_arity;
+  wrong_arity.iteration_weights = {1.0, 1.0};  // needs iterations+1 == 4
+  EXPECT_THROW(wl_subtree_kernel(a, a, wrong_arity), util::InvalidArgument);
+  WlConfig negative;
+  negative.iteration_weights = {1.0, -1.0, 1.0, 1.0};
+  EXPECT_THROW(wl_subtree_kernel(a, a, negative), util::InvalidArgument);
+}
+
+TEST(WlKernel, IterationWeightsPreserveNormalizationAxioms) {
+  const auto a = chain(5);
+  const auto b = map_reduce(3);
+  WlConfig decay;
+  decay.iteration_weights = {1.0, 0.5, 0.25, 0.125};
+  EXPECT_NEAR(wl_subtree_similarity(a, a, decay), 1.0, 1e-12);
+  const double s = wl_subtree_similarity(a, b, decay);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0 + 1e-12);
+  // Emphasizing iteration 0 raises similarity toward the histogram tie.
+  WlConfig flat;
+  EXPECT_GT(s, wl_subtree_similarity(a, b, flat));
+}
+
+TEST(SparseVector, DotAndNorm) {
+  SparseVector a{{{0, 1.0}, {2, 2.0}}};
+  SparseVector b{{{1, 5.0}, {2, 3.0}}};
+  EXPECT_DOUBLE_EQ(a.dot(b), 6.0);
+  EXPECT_DOUBLE_EQ(a.norm() * a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.dot(SparseVector{}), 0.0);
+}
+
+/// Property sweep: on random trace-like shapes, the WL kernel stays
+/// symmetric, normalized to [0,1], and exactly 1 on isomorphic copies.
+class WlPropertyP : public ::testing::TestWithParam<int> {};
+
+TEST_P(WlPropertyP, KernelAxiomsOnRandomShapes) {
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<LabeledGraph> graphs;
+  static constexpr graph::ShapePattern kShapes[] = {
+      graph::ShapePattern::StraightChain, graph::ShapePattern::InvertedTriangle,
+      graph::ShapePattern::Diamond, graph::ShapePattern::Trapezium};
+  for (int i = 0; i < 8; ++i) {
+    LabeledGraph g;
+    const int n = rng.uniform_int(2, 14);
+    g.graph = trace::synthesize_shape(kShapes[i % 4], n, rng);
+    g.labels.resize(n);
+    for (int v = 0; v < n; ++v) {
+      g.labels[v] = g.graph.in_degree(v) == 0 ? 'M' : 'R';
+    }
+    graphs.push_back(std::move(g));
+  }
+  for (const auto& a : graphs) {
+    EXPECT_NEAR(wl_subtree_similarity(a, a), 1.0, 1e-12);
+    for (const auto& b : graphs) {
+      const double ab = wl_subtree_similarity(a, b);
+      const double ba = wl_subtree_similarity(b, a);
+      EXPECT_NEAR(ab, ba, 1e-12);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0 + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WlPropertyP, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cwgl::kernel

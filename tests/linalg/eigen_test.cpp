@@ -1,0 +1,208 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256StarStar rng(seed);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform_real(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+TEST(JacobiEigen, DiagonalMatrixTrivial) {
+  const Matrix a = Matrix::from_rows({{3, 0}, {0, 1}});
+  const auto eig = jacobi_eigen(a);
+  ASSERT_EQ(eig.values.size(), 2u);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+}
+
+TEST(JacobiEigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const Matrix a = Matrix::from_rows({{2, 1}, {1, 2}});
+  const auto eig = jacobi_eigen(a);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+}
+
+TEST(JacobiEigen, ValuesAscending) {
+  const auto eig = jacobi_eigen(random_symmetric(12, 42));
+  for (std::size_t i = 1; i < eig.values.size(); ++i) {
+    EXPECT_LE(eig.values[i - 1], eig.values[i]);
+  }
+}
+
+TEST(JacobiEigen, ReconstructionQLambdaQt) {
+  const Matrix a = random_symmetric(10, 7);
+  const auto eig = jacobi_eigen(a);
+  // Rebuild A = Q diag(lambda) Q^T.
+  Matrix lambda(10, 10);
+  for (std::size_t i = 0; i < 10; ++i) lambda(i, i) = eig.values[i];
+  const Matrix rebuilt =
+      eig.vectors.multiply(lambda).multiply(eig.vectors.transposed());
+  EXPECT_LT(a.max_abs_diff(rebuilt), 1e-9);
+}
+
+TEST(JacobiEigen, VectorsOrthonormal) {
+  const auto eig = jacobi_eigen(random_symmetric(9, 13));
+  const Matrix qtq = eig.vectors.transposed().multiply(eig.vectors);
+  EXPECT_LT(qtq.max_abs_diff(Matrix::identity(9)), 1e-10);
+}
+
+TEST(JacobiEigen, EigenpairsSatisfyAvEqualsLambdaV) {
+  const Matrix a = random_symmetric(8, 99);
+  const auto eig = jacobi_eigen(a);
+  for (std::size_t k = 0; k < 8; ++k) {
+    std::vector<double> v(8);
+    for (std::size_t i = 0; i < 8; ++i) v[i] = eig.vectors(i, k);
+    const auto av = a.multiply(std::span<const double>(v));
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_NEAR(av[i], eig.values[k] * v[i], 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigen, TraceEqualsSumOfEigenvalues) {
+  const Matrix a = random_symmetric(15, 5);
+  const auto eig = jacobi_eigen(a);
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < 15; ++i) trace += a(i, i);
+  for (double v : eig.values) sum += v;
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(JacobiEigen, AsymmetricThrows) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_THROW(jacobi_eigen(a), util::InvalidArgument);
+}
+
+TEST(JacobiEigen, OneByOne) {
+  const Matrix a = Matrix::from_rows({{5}});
+  const auto eig = jacobi_eigen(a);
+  ASSERT_EQ(eig.values.size(), 1u);
+  EXPECT_DOUBLE_EQ(eig.values[0], 5.0);
+}
+
+TEST(JacobiEigen, GraphLaplacianHasZeroEigenvalue) {
+  // Path graph P3 Laplacian: [[1,-1,0],[-1,2,-1],[0,-1,1]] — eigenvalues
+  // 0, 1, 3.
+  const Matrix l = Matrix::from_rows({{1, -1, 0}, {-1, 2, -1}, {0, -1, 1}});
+  const auto eig = jacobi_eigen(l);
+  EXPECT_NEAR(eig.values[0], 0.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-10);
+}
+
+TEST(SmallestEigenpairs, MatchesJacobiOnSmallMatrix) {
+  const Matrix a = random_symmetric(10, 31);
+  const auto full = jacobi_eigen(a);
+  const auto partial = smallest_eigenpairs(a, 3);
+  ASSERT_EQ(partial.values.size(), 3u);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(partial.values[c], full.values[c], 1e-8);
+  }
+}
+
+TEST(SmallestEigenpairs, MatchesJacobiOnLargeMatrix) {
+  // n = 60 > the internal Jacobi-fallback threshold: exercises the actual
+  // subspace iteration.
+  const Matrix a = random_symmetric(60, 33);
+  const auto full = jacobi_eigen(a);
+  const auto partial = smallest_eigenpairs(a, 5);
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_NEAR(partial.values[c], full.values[c], 1e-6) << c;
+  }
+}
+
+TEST(SmallestEigenpairs, EigenpairsSatisfyAvEqualsLambdaV) {
+  // Residual tolerance is gap-limited: a random dense spectrum has
+  // near-degenerate neighbors, where individual eigenvectors are
+  // ill-conditioned even though the invariant subspace (and the Ritz
+  // values) are accurate. 1e-4 reflects the solver's documented accuracy.
+  const Matrix a = random_symmetric(50, 37);
+  const auto partial = smallest_eigenpairs(a, 4);
+  for (int c = 0; c < 4; ++c) {
+    std::vector<double> v(50);
+    for (std::size_t r = 0; r < 50; ++r) v[r] = partial.vectors(r, c);
+    const auto av = a.multiply(std::span<const double>(v));
+    for (std::size_t r = 0; r < 50; ++r) {
+      EXPECT_NEAR(av[r], partial.values[c] * v[r], 1e-4);
+    }
+  }
+}
+
+TEST(SmallestEigenpairs, VectorsOrthonormal) {
+  const Matrix a = random_symmetric(40, 41);
+  const auto partial = smallest_eigenpairs(a, 6);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      double dot = 0.0;
+      for (std::size_t r = 0; r < 40; ++r) {
+        dot += partial.vectors(r, i) * partial.vectors(r, j);
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(SmallestEigenpairs, LaplacianNullVectorFound) {
+  // P4 path Laplacian: smallest eigenvalue 0 with the constant eigenvector.
+  const Matrix l = Matrix::from_rows({{1, -1, 0, 0},
+                                      {-1, 2, -1, 0},
+                                      {0, -1, 2, -1},
+                                      {0, 0, -1, 1}});
+  const auto partial = smallest_eigenpairs(l, 2);
+  EXPECT_NEAR(partial.values[0], 0.0, 1e-8);
+  const double first = partial.vectors(0, 0);
+  for (std::size_t r = 1; r < 4; ++r) {
+    EXPECT_NEAR(std::abs(partial.vectors(r, 0)), std::abs(first), 1e-6);
+  }
+}
+
+TEST(SmallestEigenpairs, Validation) {
+  const Matrix a = random_symmetric(5, 43);
+  EXPECT_THROW(smallest_eigenpairs(a, 0), util::InvalidArgument);
+  EXPECT_THROW(smallest_eigenpairs(a, 6), util::InvalidArgument);
+  const Matrix asym = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_THROW(smallest_eigenpairs(asym, 1), util::InvalidArgument);
+}
+
+TEST(SmallestEigenpairs, Deterministic) {
+  const Matrix a = random_symmetric(48, 47);
+  const auto p1 = smallest_eigenpairs(a, 4);
+  const auto p2 = smallest_eigenpairs(a, 4);
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(p1.values[c], p2.values[c]);
+}
+
+TEST(IsPositiveSemidefinite, GramMatrixIsPsd) {
+  // B^T B is always PSD.
+  const Matrix b = random_symmetric(6, 21);
+  const Matrix gram = b.transposed().multiply(b);
+  EXPECT_TRUE(is_positive_semidefinite(gram));
+}
+
+TEST(IsPositiveSemidefinite, IndefiniteRejected) {
+  const Matrix a = Matrix::from_rows({{0, 1}, {1, 0}});  // eigenvalues -1, 1
+  EXPECT_FALSE(is_positive_semidefinite(a));
+}
+
+TEST(IsPositiveSemidefinite, EmptyMatrixIsPsd) {
+  EXPECT_TRUE(is_positive_semidefinite(Matrix()));
+}
+
+}  // namespace
+}  // namespace cwgl::linalg

@@ -1,0 +1,107 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cwgl::linalg {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, FromRowsAndAccess) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), util::InvalidArgument);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix i = Matrix::identity(2);
+  EXPECT_EQ(a.multiply(i), a);
+  EXPECT_EQ(i.multiply(a), a);
+}
+
+TEST(Matrix, KnownProduct) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix b = Matrix::from_rows({{7, 8}, {9, 10}, {11, 12}});
+  const Matrix c = a.multiply(b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), util::InvalidArgument);
+}
+
+TEST(Matrix, MatVec) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const std::vector<double> x{1.0, 1.0};
+  const auto y = a.multiply(std::span<const double>(x));
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, MatVecDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const std::vector<double> x{1.0};
+  EXPECT_THROW(a.multiply(std::span<const double>(x)), util::InvalidArgument);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix a = Matrix::from_rows({{3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{1, 2.5}, {3, 3}});
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 1.0);
+  EXPECT_THROW(a.max_abs_diff(Matrix(3, 3)), util::InvalidArgument);
+}
+
+TEST(Matrix, SymmetryCheck) {
+  EXPECT_TRUE(Matrix::from_rows({{1, 2}, {2, 1}}).is_symmetric());
+  EXPECT_FALSE(Matrix::from_rows({{1, 2}, {3, 1}}).is_symmetric());
+  EXPECT_FALSE(Matrix(2, 3).is_symmetric());  // non-square
+  EXPECT_TRUE(Matrix::from_rows({{1, 2}, {2.0 + 1e-13, 1}}).is_symmetric(1e-12));
+}
+
+TEST(Matrix, RowSpanIsWritable) {
+  Matrix m(2, 2);
+  auto r = m.row(1);
+  r[0] = 9.0;
+  EXPECT_EQ(m(1, 0), 9.0);
+}
+
+}  // namespace
+}  // namespace cwgl::linalg

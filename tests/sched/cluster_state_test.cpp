@@ -1,0 +1,77 @@
+#include "sched/cluster_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cwgl::sched {
+namespace {
+
+TEST(ClusterState, ConstructionValidation) {
+  EXPECT_THROW(ClusterState(0, 100, 100), util::InvalidArgument);
+  EXPECT_THROW(ClusterState(1, 0, 100), util::InvalidArgument);
+  EXPECT_THROW(ClusterState(1, 100, -1), util::InvalidArgument);
+  const ClusterState c(4, 9600, 100);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c.total_cpu(), 4 * 9600.0);
+}
+
+TEST(ClusterState, FirstFitPicksLowestIndex) {
+  ClusterState c(3, 100, 100);
+  EXPECT_EQ(c.place_first_fit(60, 10), 0);
+  EXPECT_EQ(c.place_first_fit(60, 10), 1);  // no longer fits on 0
+  EXPECT_EQ(c.place_first_fit(30, 10), 0);  // back-fills machine 0
+}
+
+TEST(ClusterState, PlacementFailsWhenFull) {
+  ClusterState c(1, 100, 100);
+  EXPECT_EQ(c.place_first_fit(80, 50), 0);
+  EXPECT_EQ(c.place_first_fit(30, 10), -1);
+  EXPECT_EQ(c.place_best_fit(30, 10), -1);
+}
+
+TEST(ClusterState, MemoryConstraintBinds) {
+  ClusterState c(1, 100, 10);
+  EXPECT_EQ(c.place_first_fit(10, 8), 0);
+  EXPECT_EQ(c.place_first_fit(10, 5), -1);  // cpu fits, memory does not
+}
+
+TEST(ClusterState, BestFitPicksTightestMachine) {
+  ClusterState c(3, 100, 100);
+  ASSERT_EQ(c.place_first_fit(70, 10), 0);  // machine 0: 30 free
+  ASSERT_EQ(c.place_first_fit(0.0 + 50, 10), 1);  // machine 1: 50 free
+  // 25 cpu fits machines 0 (slack 5), 1 (slack 25), 2 (slack 75): best = 0.
+  EXPECT_EQ(c.place_best_fit(25, 10), 0);
+}
+
+TEST(ClusterState, ReleaseRestoresCapacity) {
+  ClusterState c(1, 100, 100);
+  ASSERT_EQ(c.place_first_fit(100, 100), 0);
+  EXPECT_EQ(c.place_first_fit(1, 1), -1);
+  c.release(0, 100, 100);
+  EXPECT_EQ(c.place_first_fit(1, 1), 0);
+}
+
+TEST(ClusterState, DoubleReleaseDetected) {
+  ClusterState c(1, 100, 100);
+  ASSERT_EQ(c.place_first_fit(50, 50), 0);
+  c.release(0, 50, 50);
+  EXPECT_THROW(c.release(0, 50, 50), util::InvalidArgument);
+}
+
+TEST(ClusterState, ReleaseOutOfRangeThrows) {
+  ClusterState c(2, 100, 100);
+  EXPECT_THROW(c.release(5, 1, 1), util::InvalidArgument);
+}
+
+TEST(ClusterState, UtilizationTracksUsage) {
+  ClusterState c(2, 100, 100);
+  EXPECT_DOUBLE_EQ(c.cpu_utilization(), 0.0);
+  c.place_first_fit(100, 10);
+  EXPECT_DOUBLE_EQ(c.cpu_utilization(), 0.5);
+  c.place_first_fit(100, 10);
+  EXPECT_DOUBLE_EQ(c.cpu_utilization(), 1.0);
+}
+
+}  // namespace
+}  // namespace cwgl::sched

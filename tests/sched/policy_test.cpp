@@ -1,0 +1,151 @@
+#include "sched/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sched/cluster_state.hpp"
+#include "sched/simulator.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::sched {
+namespace {
+
+/// Builds a 3-job context: job0 = heavy chain, job1 = light single task,
+/// job2 = medium fan, with distinct arrivals and hints.
+struct Fixture {
+  std::vector<SimJob> jobs;
+  std::vector<std::vector<double>> ranks;
+  std::vector<GroupProfile> profiles;
+  PolicyContext ctx;
+
+  Fixture() {
+    SimJob heavy;
+    heavy.name = "heavy";
+    heavy.arrival = 2.0;
+    heavy.dag = graph::Digraph(2, std::vector<graph::Edge>{{0, 1}});
+    heavy.tasks = {SimTask{100, 1, 50}, SimTask{100, 1, 50}};
+    heavy.hint_group = 1;
+
+    SimJob light;
+    light.name = "light";
+    light.arrival = 0.0;
+    light.dag = graph::Digraph(1, {});
+    light.tasks = {SimTask{10, 1, 1}};
+    light.hint_group = 0;
+
+    SimJob medium;
+    medium.name = "medium";
+    medium.arrival = 1.0;
+    medium.dag = graph::Digraph(3, std::vector<graph::Edge>{{0, 2}, {1, 2}});
+    medium.tasks = {SimTask{20, 1, 5}, SimTask{20, 1, 5}, SimTask{20, 1, 5}};
+    medium.hint_group = -1;  // unhinted
+
+    jobs = {heavy, light, medium};
+    for (const SimJob& j : jobs) ranks.push_back(upward_ranks(j));
+    profiles.resize(2);
+    profiles[0].expected_work = 10.0;
+    profiles[1].expected_work = 10000.0;
+    ctx.jobs = jobs;
+    ctx.task_rank = ranks;
+    ctx.profiles = profiles;
+  }
+
+  std::vector<ReadyTask> all_roots() const {
+    return {{0, 0, 5.0}, {1, 0, 5.0}, {2, 0, 5.0}, {2, 1, 5.0}};
+  }
+};
+
+TEST(FifoPolicy, OrdersByJobArrival) {
+  Fixture f;
+  auto ready = f.all_roots();
+  FifoPolicy{}.prioritize(ready, f.ctx);
+  EXPECT_EQ(ready[0].job, 1u);  // arrival 0
+  EXPECT_EQ(ready[1].job, 2u);  // arrival 1
+  EXPECT_EQ(ready[2].job, 2u);
+  EXPECT_EQ(ready[3].job, 0u);  // arrival 2
+}
+
+TEST(CriticalPathFirstPolicy, OrdersByUpwardRank) {
+  Fixture f;
+  auto ready = f.all_roots();
+  CriticalPathFirstPolicy{}.prioritize(ready, f.ctx);
+  // heavy root rank = 100, medium roots rank = 10, light rank = 1.
+  EXPECT_EQ(ready[0].job, 0u);
+  EXPECT_EQ(ready[1].job, 2u);
+  EXPECT_EQ(ready[2].job, 2u);
+  EXPECT_EQ(ready[3].job, 1u);
+}
+
+TEST(ShortestJobFirstPolicy, OrdersByTotalWork) {
+  Fixture f;
+  auto ready = f.all_roots();
+  ShortestJobFirstPolicy{}.prioritize(ready, f.ctx);
+  // light total work 10, medium 300, heavy 10000.
+  EXPECT_EQ(ready[0].job, 1u);
+  EXPECT_EQ(ready[1].job, 2u);
+  EXPECT_EQ(ready[3].job, 0u);
+}
+
+TEST(GroupHintPolicy, OrdersByPredictedGroupWork) {
+  Fixture f;
+  auto ready = f.all_roots();
+  GroupHintPolicy{}.prioritize(ready, f.ctx);
+  // light's group predicts 10, heavy's 10000, unhinted medium goes last.
+  EXPECT_EQ(ready[0].job, 1u);
+  EXPECT_EQ(ready[1].job, 0u);
+  EXPECT_EQ(ready[2].job, 2u);
+  EXPECT_EQ(ready[3].job, 2u);
+}
+
+TEST(GroupHintPolicy, DeterministicTieBreakWithinGroup) {
+  Fixture f;
+  auto a = f.all_roots();
+  auto b = f.all_roots();
+  std::reverse(b.begin(), b.end());
+  GroupHintPolicy{}.prioritize(a, f.ctx);
+  GroupHintPolicy{}.prioritize(b, f.ctx);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job, b[i].job);
+    EXPECT_EQ(a[i].vertex, b[i].vertex);
+  }
+}
+
+TEST(AllPolicies, NamesAreDistinctAndStable) {
+  FifoPolicy fifo;
+  CriticalPathFirstPolicy cpf;
+  ShortestJobFirstPolicy sjf;
+  GroupHintPolicy hint;
+  EXPECT_EQ(fifo.name(), "fifo");
+  EXPECT_EQ(cpf.name(), "critical-path-first");
+  EXPECT_EQ(sjf.name(), "shortest-job-first");
+  EXPECT_EQ(hint.name(), "group-hint");
+}
+
+TEST(ClusterStateOnline, ReservationAffectsPlacement) {
+  ClusterState c(1, 100, 100);
+  c.set_online_reserved(0, 70);
+  EXPECT_EQ(c.place_first_fit(40, 1), -1);  // only 30 free
+  EXPECT_EQ(c.place_first_fit(30, 1), 0);
+  EXPECT_NEAR(c.machine(0).cpu_free(), 0.0, 1e-12);
+}
+
+TEST(ClusterStateOnline, OvercommitAfterReservationRaise) {
+  ClusterState c(1, 100, 100);
+  ASSERT_EQ(c.place_first_fit(60, 1), 0);
+  EXPECT_DOUBLE_EQ(c.machine(0).overcommit(), 0.0);
+  c.set_online_reserved(0, 70);
+  EXPECT_DOUBLE_EQ(c.machine(0).overcommit(), 30.0);
+}
+
+TEST(ClusterStateOnline, ReservationClampedToCapacity) {
+  ClusterState c(1, 100, 100);
+  c.set_online_reserved(0, 500.0);
+  EXPECT_DOUBLE_EQ(c.machine(0).cpu_online_reserved, 100.0);
+  c.set_online_reserved(0, -5.0);
+  EXPECT_DOUBLE_EQ(c.machine(0).cpu_online_reserved, 0.0);
+  EXPECT_THROW(c.set_online_reserved(3, 1.0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cwgl::sched

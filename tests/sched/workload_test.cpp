@@ -1,0 +1,61 @@
+#include "sched/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cwgl::sched {
+namespace {
+
+core::JobDag sample_dag(std::string name) {
+  core::JobDag dag;
+  dag.job_name = std::move(name);
+  dag.dag = graph::Digraph(2, std::vector<graph::Edge>{{0, 1}});
+  dag.tasks.resize(2);
+  dag.tasks[0].plan_cpu = 100.0;
+  dag.tasks[0].plan_mem = 0.5;
+  dag.tasks[0].instance_num = 4;
+  dag.tasks[0].start_time = 100;
+  dag.tasks[0].end_time = 160;
+  dag.tasks[1].plan_cpu = 50.0;
+  dag.tasks[1].plan_mem = 0.25;
+  dag.tasks[1].instance_num = 0;  // degenerate record
+  dag.tasks[1].start_time = 0;    // missing timestamps
+  dag.tasks[1].end_time = 0;
+  return dag;
+}
+
+TEST(JobsFromDags, DemandAndDurationDerived) {
+  const std::vector<core::JobDag> dags{sample_dag("j_1"), sample_dag("j_2")};
+  const auto jobs = jobs_from_dags(dags, 30.0, 45.0);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].name, "j_1");
+  EXPECT_DOUBLE_EQ(jobs[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(jobs[1].arrival, 30.0);
+  // Task 0: plan_cpu 100 x 4 instances, duration from trace timestamps.
+  EXPECT_DOUBLE_EQ(jobs[0].tasks[0].cpu, 400.0);
+  EXPECT_DOUBLE_EQ(jobs[0].tasks[0].duration, 60.0);
+  // Task 1: zero instances clamp to 1; missing times use the fallback.
+  EXPECT_DOUBLE_EQ(jobs[0].tasks[1].cpu, 50.0);
+  EXPECT_DOUBLE_EQ(jobs[0].tasks[1].duration, 45.0);
+  EXPECT_EQ(jobs[0].dag.num_edges(), 1);
+  EXPECT_EQ(jobs[0].hint_group, -1);
+}
+
+TEST(AttachHints, AssignsAndValidates) {
+  const std::vector<core::JobDag> dags{sample_dag("j_1"), sample_dag("j_2")};
+  auto jobs = jobs_from_dags(dags, 1.0);
+  const std::vector<int> labels{3, 1};
+  attach_hints(jobs, labels);
+  EXPECT_EQ(jobs[0].hint_group, 3);
+  EXPECT_EQ(jobs[1].hint_group, 1);
+  const std::vector<int> wrong{1};
+  EXPECT_THROW(attach_hints(jobs, wrong), util::InvalidArgument);
+}
+
+TEST(JobsFromDags, EmptyInput) {
+  EXPECT_TRUE(jobs_from_dags({}, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace cwgl::sched

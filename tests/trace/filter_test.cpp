@@ -1,0 +1,220 @@
+#include "trace/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/generator.hpp"
+
+namespace cwgl::trace {
+namespace {
+
+TaskRecord make_task(std::string job, std::string name,
+                     Status status = Status::Terminated,
+                     std::int64_t start = 100, std::int64_t end = 200) {
+  TaskRecord t;
+  t.job_name = std::move(job);
+  t.task_name = std::move(name);
+  t.status = status;
+  t.start_time = start;
+  t.end_time = end;
+  t.instance_num = 2;
+  t.plan_cpu = 100.0;
+  t.plan_mem = 0.5;
+  return t;
+}
+
+Trace two_job_trace() {
+  Trace trace;
+  trace.tasks.push_back(make_task("j_1", "M1"));
+  trace.tasks.push_back(make_task("j_1", "R2_1"));
+  trace.tasks.push_back(make_task("j_2", "task_xyz"));
+  trace.tasks.push_back(make_task("j_1", "R3_2"));
+  return trace;
+}
+
+TEST(TraceIndex, GroupsByJobPreservingOrder) {
+  const Trace trace = two_job_trace();
+  const TraceIndex index(trace);
+  ASSERT_EQ(index.jobs().size(), 2u);
+  EXPECT_EQ(index.jobs()[0].job_name, "j_1");
+  EXPECT_EQ(index.jobs()[0].tasks, (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_EQ(index.jobs()[1].job_name, "j_2");
+}
+
+TEST(PassesIntegrity, AllTerminatedPasses) {
+  const Trace trace = two_job_trace();
+  const TraceIndex index(trace);
+  EXPECT_TRUE(passes_integrity(trace, index.jobs()[0]));
+}
+
+TEST(PassesIntegrity, AnyNonTerminatedFails) {
+  for (Status bad : {Status::Running, Status::Waiting, Status::Failed,
+                     Status::Cancelled, Status::Interrupted}) {
+    Trace trace = two_job_trace();
+    trace.tasks[1].status = bad;
+    const TraceIndex index(trace);
+    EXPECT_FALSE(passes_integrity(trace, index.jobs()[0]))
+        << to_string(bad);
+  }
+}
+
+TEST(PassesAvailability, GoodRecordsPass) {
+  const Trace trace = two_job_trace();
+  const TraceIndex index(trace);
+  EXPECT_TRUE(passes_availability(trace, index.jobs()[0]));
+}
+
+TEST(PassesAvailability, ZeroStartFails) {
+  Trace trace = two_job_trace();
+  trace.tasks[0].start_time = 0;
+  const TraceIndex index(trace);
+  EXPECT_FALSE(passes_availability(trace, index.jobs()[0]));
+}
+
+TEST(PassesAvailability, EndBeforeStartFails) {
+  Trace trace = two_job_trace();
+  trace.tasks[0].end_time = trace.tasks[0].start_time - 1;
+  const TraceIndex index(trace);
+  EXPECT_FALSE(passes_availability(trace, index.jobs()[0]));
+}
+
+TEST(PassesAvailability, MissingResourcesFail) {
+  Trace trace = two_job_trace();
+  trace.tasks[0].plan_cpu = 0.0;
+  const TraceIndex index(trace);
+  EXPECT_FALSE(passes_availability(trace, index.jobs()[0]));
+}
+
+TEST(IsDagJob, DependencyJobQualifies) {
+  const Trace trace = two_job_trace();
+  const TraceIndex index(trace);
+  EXPECT_TRUE(is_dag_job(trace, index.jobs()[0]));
+}
+
+TEST(IsDagJob, IndependentJobDoesNot) {
+  const Trace trace = two_job_trace();
+  const TraceIndex index(trace);
+  EXPECT_FALSE(is_dag_job(trace, index.jobs()[1]));
+}
+
+TEST(IsDagJob, TwoTasksWithoutDepsDoNotQualify) {
+  Trace trace;
+  trace.tasks.push_back(make_task("j_3", "M1"));
+  trace.tasks.push_back(make_task("j_3", "M2"));
+  const TraceIndex index(trace);
+  EXPECT_FALSE(is_dag_job(trace, index.jobs()[0]));
+}
+
+TEST(SelectJobs, AppliesAllCriteria) {
+  Trace trace = two_job_trace();
+  const TraceIndex index(trace);
+  SamplingCriteria criteria;
+  const auto picked = select_jobs(index, criteria);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(index.jobs()[picked[0]].job_name, "j_1");
+}
+
+TEST(SelectJobs, SizeBoundsRespected) {
+  const Trace trace = two_job_trace();
+  const TraceIndex index(trace);
+  SamplingCriteria criteria;
+  criteria.min_tasks = 4;
+  EXPECT_TRUE(select_jobs(index, criteria).empty());
+  criteria.min_tasks = 2;
+  criteria.max_tasks = 2;
+  EXPECT_TRUE(select_jobs(index, criteria).empty());
+}
+
+TEST(SelectJobs, CriteriaCanBeDisabled) {
+  Trace trace = two_job_trace();
+  trace.tasks[0].status = Status::Failed;
+  const TraceIndex index(trace);
+  SamplingCriteria criteria;
+  EXPECT_TRUE(select_jobs(index, criteria).empty());
+  criteria.require_integrity = false;
+  EXPECT_EQ(select_jobs(index, criteria).size(), 1u);
+}
+
+TEST(VariabilitySample, DeterministicAndWithinCandidates) {
+  GeneratorConfig cfg;
+  cfg.seed = 3;
+  cfg.num_jobs = 500;
+  cfg.emit_instances = false;
+  const Trace trace = TraceGenerator(cfg).generate();
+  const TraceIndex index(trace);
+  const auto eligible = select_jobs(index, SamplingCriteria{});
+  const auto a = variability_sample(index, eligible, 50, 99);
+  const auto b = variability_sample(index, eligible, 50, 99);
+  EXPECT_EQ(a, b);
+  const std::set<std::size_t> eligible_set(eligible.begin(), eligible.end());
+  for (std::size_t j : a) EXPECT_TRUE(eligible_set.count(j));
+  const std::set<std::size_t> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), a.size());
+}
+
+TEST(VariabilitySample, StratifiesAcrossSizes) {
+  GeneratorConfig cfg;
+  cfg.seed = 5;
+  cfg.num_jobs = 3000;
+  cfg.emit_instances = false;
+  const Trace trace = TraceGenerator(cfg).generate();
+  const TraceIndex index(trace);
+  const auto eligible = select_jobs(index, SamplingCriteria{});
+  const auto picked = variability_sample(index, eligible, 100, 7);
+  ASSERT_EQ(picked.size(), 100u);
+  std::set<std::size_t> sizes_in_sample, sizes_available;
+  for (std::size_t j : eligible) sizes_available.insert(index.jobs()[j].tasks.size());
+  for (std::size_t j : picked) sizes_in_sample.insert(index.jobs()[j].tasks.size());
+  // Round-robin stratification must cover every size available (there are
+  // far fewer than 100 distinct sizes in range 2..31).
+  EXPECT_EQ(sizes_in_sample, sizes_available);
+  EXPECT_GE(sizes_in_sample.size(), 15u);  // the paper reports 17
+}
+
+TEST(VariabilitySample, CountLargerThanCandidatesReturnsAll) {
+  const Trace trace = two_job_trace();
+  const TraceIndex index(trace);
+  const std::vector<std::size_t> candidates{0, 1};
+  const auto picked = variability_sample(index, candidates, 10, 1);
+  EXPECT_EQ(picked.size(), 2u);
+}
+
+TEST(VariabilitySample, EmptyCandidates) {
+  const Trace trace = two_job_trace();
+  const TraceIndex index(trace);
+  EXPECT_TRUE(variability_sample(index, {}, 10, 1).empty());
+}
+
+TEST(NaturalSample, DeterministicDistinctSubset) {
+  std::vector<std::size_t> candidates(200);
+  for (std::size_t i = 0; i < candidates.size(); ++i) candidates[i] = i * 3;
+  const auto a = natural_sample(candidates, 50, 9);
+  const auto b = natural_sample(candidates, 50, 9);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 50u);
+  const std::set<std::size_t> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), 50u);
+  const std::set<std::size_t> pool(candidates.begin(), candidates.end());
+  for (std::size_t v : a) EXPECT_TRUE(pool.count(v));
+}
+
+TEST(NaturalSample, CountExceedingPoolReturnsAll) {
+  const std::vector<std::size_t> candidates{4, 7, 9};
+  const auto picked = natural_sample(candidates, 10, 1);
+  EXPECT_EQ(picked.size(), 3u);
+}
+
+TEST(NaturalSample, FollowsPopulationWeights) {
+  // 90% of candidates marked "small" (even) -> sample should be ~90% even.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < 900; ++i) candidates.push_back(i * 2);
+  for (std::size_t i = 0; i < 100; ++i) candidates.push_back(i * 2 + 1);
+  const auto picked = natural_sample(candidates, 200, 5);
+  std::size_t even = 0;
+  for (std::size_t v : picked) even += (v % 2 == 0);
+  EXPECT_NEAR(static_cast<double>(even) / picked.size(), 0.9, 0.07);
+}
+
+}  // namespace
+}  // namespace cwgl::trace

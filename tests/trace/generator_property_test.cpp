@@ -1,0 +1,114 @@
+// Property sweeps over generator configurations: every combination must
+// yield structurally valid, deterministic workloads whose realized
+// statistics track the configured knobs.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/algorithms.hpp"
+#include "trace/filter.hpp"
+#include "trace/generator.hpp"
+#include "trace/taskname.hpp"
+
+namespace cwgl::trace {
+namespace {
+
+class GeneratorConfigP
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {
+ protected:
+  GeneratorConfig make_config() const {
+    const auto [dag_fraction, p_tiny, seed] = GetParam();
+    GeneratorConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    cfg.num_jobs = 600;
+    cfg.dag_fraction = dag_fraction;
+    cfg.p_tiny = p_tiny;
+    cfg.emit_instances = false;
+    return cfg;
+  }
+};
+
+TEST_P(GeneratorConfigP, EveryDagJobIsValidAndDepthBounded) {
+  const auto cfg = make_config();
+  const auto jobs = TraceGenerator(cfg).generate_jobs();
+  for (const auto& job : jobs) {
+    ASSERT_TRUE(graph::is_dag(job.dag)) << job.job_name;
+    if (!job.is_dag) continue;
+    EXPECT_GE(job.dag.num_vertices(), cfg.min_tasks);
+    EXPECT_LE(job.dag.num_vertices(), cfg.max_tasks);
+    EXPECT_LE(graph::critical_path_length(job.dag), cfg.max_depth)
+        << job.job_name;
+    // Every emitted name must decode and agree with the vertex count.
+    for (const auto& t : job.tasks) {
+      EXPECT_TRUE(is_dag_task_name(t.task_name)) << t.task_name;
+    }
+  }
+}
+
+TEST_P(GeneratorConfigP, DagFractionTracksConfig) {
+  const auto cfg = make_config();
+  const auto jobs = TraceGenerator(cfg).generate_jobs();
+  std::size_t dags = 0;
+  for (const auto& job : jobs) dags += job.is_dag;
+  EXPECT_NEAR(static_cast<double>(dags) / jobs.size(), cfg.dag_fraction, 0.08);
+}
+
+TEST_P(GeneratorConfigP, TinyShareGrowsWithPTiny) {
+  const auto cfg = make_config();
+  if (cfg.p_tiny < 0.5) return;  // only meaningful at the high setting
+  const auto jobs = TraceGenerator(cfg).generate_jobs();
+  std::size_t dags = 0, tiny = 0;
+  for (const auto& job : jobs) {
+    if (!job.is_dag) continue;
+    ++dags;
+    tiny += job.dag.num_vertices() <= 4;
+  }
+  ASSERT_GT(dags, 0u);
+  EXPECT_GT(static_cast<double>(tiny) / dags, 0.5);
+}
+
+TEST_P(GeneratorConfigP, DeterministicPerConfig) {
+  const auto cfg = make_config();
+  const auto a = TraceGenerator(cfg).generate_job(7);
+  const auto b = TraceGenerator(cfg).generate_job(7);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].to_fields(), b.tasks[i].to_fields());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigGrid, GeneratorConfigP,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 0.8),   // dag_fraction
+                       ::testing::Values(0.0, 0.45, 0.8),  // p_tiny
+                       ::testing::Values(1, 2)));          // seed
+
+/// Filters must stay consistent under every config: selected jobs always
+/// satisfy the criteria they were selected by.
+class FilterConsistencyP : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterConsistencyP, SelectedJobsSatisfyCriteria) {
+  GeneratorConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(GetParam());
+  cfg.num_jobs = 800;
+  cfg.emit_instances = false;
+  const Trace trace = TraceGenerator(cfg).generate();
+  const TraceIndex index(trace);
+  SamplingCriteria criteria;
+  criteria.min_tasks = 3;
+  criteria.max_tasks = 12;
+  for (std::size_t j : select_jobs(index, criteria)) {
+    const JobGroup& job = index.jobs()[j];
+    EXPECT_GE(job.tasks.size(), 3u);
+    EXPECT_LE(job.tasks.size(), 12u);
+    EXPECT_TRUE(passes_integrity(trace, job));
+    EXPECT_TRUE(passes_availability(trace, job));
+    EXPECT_TRUE(is_dag_job(trace, job));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterConsistencyP, ::testing::Range(1, 5));
+
+}  // namespace
+}  // namespace cwgl::trace

@@ -1,0 +1,270 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "trace/filter.hpp"
+#include "trace/taskname.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::trace {
+namespace {
+
+GeneratorConfig small_config() {
+  GeneratorConfig cfg;
+  cfg.seed = 123;
+  cfg.num_jobs = 400;
+  cfg.emit_instances = false;
+  return cfg;
+}
+
+TEST(TraceGenerator, DeterministicForSeed) {
+  const TraceGenerator gen_a(small_config());
+  const TraceGenerator gen_b(small_config());
+  const Trace a = gen_a.generate();
+  const Trace b = gen_b.generate();
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].to_fields(), b.tasks[i].to_fields());
+  }
+}
+
+TEST(TraceGenerator, DifferentSeedsDiffer) {
+  GeneratorConfig cfg = small_config();
+  const Trace a = TraceGenerator(cfg).generate();
+  cfg.seed = 456;
+  const Trace b = TraceGenerator(cfg).generate();
+  bool any_diff = a.tasks.size() != b.tasks.size();
+  for (std::size_t i = 0; !any_diff && i < a.tasks.size(); ++i) {
+    any_diff = a.tasks[i].task_name != b.tasks[i].task_name;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TraceGenerator, JobsRegenerableInIsolation) {
+  const TraceGenerator gen(small_config());
+  const auto all = gen.generate_jobs();
+  const GeneratedJob lone = gen.generate_job(17);
+  ASSERT_LT(17u, all.size());
+  EXPECT_EQ(lone.job_name, all[17].job_name);
+  ASSERT_EQ(lone.tasks.size(), all[17].tasks.size());
+  for (std::size_t i = 0; i < lone.tasks.size(); ++i) {
+    EXPECT_EQ(lone.tasks[i].to_fields(), all[17].tasks[i].to_fields());
+  }
+}
+
+TEST(TraceGenerator, DagFractionNearConfig) {
+  GeneratorConfig cfg = small_config();
+  cfg.num_jobs = 2000;
+  const auto jobs = TraceGenerator(cfg).generate_jobs();
+  std::size_t dags = 0;
+  for (const auto& j : jobs) dags += j.is_dag;
+  EXPECT_NEAR(static_cast<double>(dags) / jobs.size(), cfg.dag_fraction, 0.05);
+}
+
+TEST(TraceGenerator, DagJobsAreValidDags) {
+  const auto jobs = TraceGenerator(small_config()).generate_jobs();
+  for (const auto& job : jobs) {
+    EXPECT_TRUE(graph::is_dag(job.dag)) << job.job_name;
+    if (job.is_dag) {
+      EXPECT_GE(job.dag.num_vertices(), 2);
+      EXPECT_LE(job.dag.num_vertices(), 31);
+    }
+  }
+}
+
+TEST(TraceGenerator, TaskNamesEncodeTheGroundTruthDag) {
+  const auto jobs = TraceGenerator(small_config()).generate_jobs();
+  for (const auto& job : jobs) {
+    if (!job.is_dag) continue;
+    // Rebuild the DAG from the emitted task names and compare edge sets.
+    std::map<int, int> index_to_vertex;
+    std::vector<TaskName> parsed;
+    for (std::size_t v = 0; v < job.tasks.size(); ++v) {
+      const auto t = parse_task_name(job.tasks[v].task_name);
+      ASSERT_TRUE(t.has_value()) << job.tasks[v].task_name;
+      index_to_vertex[t->index] = static_cast<int>(v);
+      parsed.push_back(*t);
+    }
+    std::vector<graph::Edge> edges;
+    for (std::size_t v = 0; v < parsed.size(); ++v) {
+      for (int dep : parsed[v].deps) {
+        ASSERT_TRUE(index_to_vertex.count(dep));
+        edges.push_back({index_to_vertex[dep], static_cast<int>(v)});
+      }
+    }
+    EXPECT_EQ(graph::Digraph(job.dag.num_vertices(), edges), job.dag)
+        << job.job_name;
+  }
+}
+
+TEST(TraceGenerator, NonDagJobsUseOpaqueNames) {
+  const auto jobs = TraceGenerator(small_config()).generate_jobs();
+  for (const auto& job : jobs) {
+    if (job.is_dag) continue;
+    for (const auto& t : job.tasks) {
+      EXPECT_FALSE(is_dag_task_name(t.task_name)) << t.task_name;
+      EXPECT_EQ(t.task_name.rfind("task_", 0), 0u) << t.task_name;
+    }
+  }
+}
+
+TEST(TraceGenerator, ParentIndicesAlwaysSmaller) {
+  // The trace numbering convention: dependencies carry smaller indices.
+  const auto jobs = TraceGenerator(small_config()).generate_jobs();
+  for (const auto& job : jobs) {
+    if (!job.is_dag) continue;
+    for (const auto& t : job.tasks) {
+      const auto parsed = parse_task_name(t.task_name);
+      ASSERT_TRUE(parsed.has_value());
+      for (int dep : parsed->deps) EXPECT_LT(dep, parsed->index);
+    }
+  }
+}
+
+TEST(TraceGenerator, TerminatedTasksHaveCoherentTimes) {
+  GeneratorConfig cfg = small_config();
+  const auto trace = TraceGenerator(cfg).generate();
+  for (const auto& t : trace.tasks) {
+    if (t.status == Status::Terminated && t.start_time > 0) {
+      EXPECT_GT(t.end_time, t.start_time) << t.task_name;
+      EXPECT_GE(t.start_time, cfg.window_start);
+    }
+    if (t.status == Status::Waiting) {
+      EXPECT_EQ(t.end_time, 0) << t.task_name;
+    }
+    if (t.status == Status::Running) {
+      EXPECT_EQ(t.end_time, 0) << t.task_name;
+    }
+  }
+}
+
+TEST(TraceGenerator, ChildStartsAfterParentEnds) {
+  const auto jobs = TraceGenerator(small_config()).generate_jobs();
+  for (const auto& job : jobs) {
+    if (!job.is_dag) continue;
+    for (const auto& e : job.dag.edges()) {
+      const auto& parent = job.tasks[e.from];
+      const auto& child = job.tasks[e.to];
+      if (parent.status == Status::Terminated &&
+          child.status == Status::Terminated && parent.start_time > 0 &&
+          child.start_time > 0) {
+        EXPECT_GE(child.start_time, parent.end_time);
+      }
+    }
+  }
+}
+
+TEST(TraceGenerator, ShapeMixRoughlyHonored) {
+  GeneratorConfig cfg = small_config();
+  cfg.num_jobs = 4000;
+  const auto jobs = TraceGenerator(cfg).generate_jobs();
+  std::size_t chains = 0, triangles = 0, dags = 0;
+  for (const auto& job : jobs) {
+    if (!job.is_dag) continue;
+    ++dags;
+    chains += job.intended_shape == graph::ShapePattern::StraightChain;
+    triangles += job.intended_shape == graph::ShapePattern::InvertedTriangle;
+  }
+  ASSERT_GT(dags, 0u);
+  // Small sizes force some non-chain draws back to chains/triangles, so
+  // tolerances are loose; the ordering chain > triangle >> rest must hold.
+  EXPECT_NEAR(static_cast<double>(chains) / dags, 0.58, 0.08);
+  EXPECT_NEAR(static_cast<double>(triangles) / dags, 0.37, 0.08);
+}
+
+TEST(TraceGenerator, EmitsInstancesAlignedWithTasks) {
+  GeneratorConfig cfg = small_config();
+  cfg.num_jobs = 50;
+  cfg.emit_instances = true;
+  const auto jobs = TraceGenerator(cfg).generate_jobs();
+  for (const auto& job : jobs) {
+    std::size_t expected = 0;
+    std::set<std::string> names;
+    for (const auto& t : job.tasks) {
+      expected += static_cast<std::size_t>(t.instance_num);
+      names.insert(t.task_name);
+    }
+    EXPECT_EQ(job.instances.size(), expected);
+    for (const auto& inst : job.instances) {
+      EXPECT_TRUE(names.count(inst.task_name));
+      EXPECT_EQ(inst.job_name, job.job_name);
+      EXPECT_EQ(inst.machine_id.rfind("m_", 0), 0u);
+    }
+  }
+}
+
+TEST(TraceGenerator, MostJobsPassIntegrityAndSomeFail) {
+  GeneratorConfig cfg = small_config();
+  cfg.num_jobs = 2000;
+  const Trace trace = TraceGenerator(cfg).generate();
+  const TraceIndex index(trace);
+  std::size_t pass = 0;
+  for (const auto& job : index.jobs()) pass += passes_integrity(trace, job);
+  const double frac = static_cast<double>(pass) / index.jobs().size();
+  EXPECT_GT(frac, 0.9);
+  EXPECT_LT(frac, 1.0);  // fate injection must produce some violations
+}
+
+TEST(TraceGenerator, InvalidConfigThrows) {
+  GeneratorConfig cfg;
+  cfg.num_jobs = 0;
+  EXPECT_THROW(TraceGenerator{cfg}, util::InvalidArgument);
+  cfg = GeneratorConfig{};
+  cfg.min_tasks = 1;
+  EXPECT_THROW(TraceGenerator{cfg}, util::InvalidArgument);
+  cfg = GeneratorConfig{};
+  cfg.max_tasks = 1;
+  EXPECT_THROW(TraceGenerator{cfg}, util::InvalidArgument);
+  cfg = GeneratorConfig{};
+  cfg.window_end = cfg.window_start;
+  EXPECT_THROW(TraceGenerator{cfg}, util::InvalidArgument);
+}
+
+TEST(SynthesizeWidths, SumsToN) {
+  util::Xoshiro256StarStar rng(5);
+  for (int n = 2; n <= 31; ++n) {
+    for (auto shape : {graph::ShapePattern::StraightChain,
+                       graph::ShapePattern::InvertedTriangle,
+                       graph::ShapePattern::Diamond,
+                       graph::ShapePattern::Hourglass,
+                       graph::ShapePattern::Trapezium,
+                       graph::ShapePattern::Combination}) {
+      const auto widths = synthesize_widths(shape, n, rng);
+      int sum = 0;
+      for (int w : widths) {
+        EXPECT_GT(w, 0);
+        sum += w;
+      }
+      EXPECT_EQ(sum, n);
+    }
+  }
+}
+
+TEST(SynthesizeWidths, InvalidNThrows) {
+  util::Xoshiro256StarStar rng(5);
+  EXPECT_THROW(synthesize_widths(graph::ShapePattern::StraightChain, 0, rng),
+               util::InvalidArgument);
+}
+
+TEST(SynthesizeDag, RealizesExactWidthProfile) {
+  util::Xoshiro256StarStar rng(9);
+  const std::vector<int> widths{3, 5, 2, 1};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto g = synthesize_dag(widths, rng);
+    EXPECT_EQ(graph::width_profile(g), widths);
+    EXPECT_TRUE(graph::is_dag(g));
+  }
+}
+
+TEST(SynthesizeDag, RejectsNonPositiveWidths) {
+  util::Xoshiro256StarStar rng(9);
+  const std::vector<int> widths{2, 0, 1};
+  EXPECT_THROW(synthesize_dag(widths, rng), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cwgl::trace

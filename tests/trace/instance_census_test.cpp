@@ -1,0 +1,105 @@
+#include "trace/instance_census.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+
+namespace cwgl::trace {
+namespace {
+
+InstanceRecord instance(std::string machine, std::string job, std::string task,
+                        std::int64_t start, std::int64_t end, int seq = 1,
+                        int total = 1, double cpu_avg = 50.0) {
+  InstanceRecord r;
+  r.instance_name = "i";
+  r.task_name = std::move(task);
+  r.job_name = std::move(job);
+  r.status = Status::Terminated;
+  r.start_time = start;
+  r.end_time = end;
+  r.machine_id = std::move(machine);
+  r.seq_no = seq;
+  r.total_seq_no = total;
+  r.cpu_avg = cpu_avg;
+  r.mem_avg = 0.25;
+  return r;
+}
+
+TaskRecord task(std::string job, std::string name, double cpu, double mem) {
+  TaskRecord t;
+  t.task_name = std::move(name);
+  t.job_name = std::move(job);
+  t.instance_num = 1;
+  t.status = Status::Terminated;
+  t.start_time = 1;
+  t.end_time = 2;
+  t.plan_cpu = cpu;
+  t.plan_mem = mem;
+  return t;
+}
+
+TEST(InstanceCensus, EmptyTrace) {
+  const auto census = InstanceCensus::compute(Trace{});
+  EXPECT_EQ(census.instances, 0u);
+  EXPECT_EQ(census.machines_used, 0u);
+}
+
+TEST(InstanceCensus, MachineCountsAndSkew) {
+  Trace trace;
+  // Nine instances on m_1, one on m_2: m_1 is a clear hot spot.
+  for (int i = 0; i < 9; ++i) {
+    trace.instances.push_back(instance("m_1", "j_1", "M1", 1, 101));
+  }
+  trace.instances.push_back(instance("m_2", "j_1", "M1", 1, 101));
+  const auto census = InstanceCensus::compute(trace);
+  EXPECT_EQ(census.instances, 10u);
+  EXPECT_EQ(census.machines_used, 2u);
+  EXPECT_DOUBLE_EQ(census.per_machine_instances.max, 9.0);
+  // Busiest 10% of 2 machines = 1 machine = m_1 with 90% of the time.
+  EXPECT_NEAR(census.top_decile_share, 0.9, 1e-12);
+}
+
+TEST(InstanceCensus, RetryStatistics) {
+  Trace trace;
+  trace.instances.push_back(instance("m_1", "j", "M1", 0, 10));
+  trace.instances.push_back(instance("m_1", "j", "M1", 0, 10, 3, 3));
+  trace.instances.push_back(instance("m_1", "j", "M1", 0, 10, 2, 2));
+  trace.instances.push_back(instance("m_1", "j", "M1", 0, 10));
+  const auto census = InstanceCensus::compute(trace);
+  EXPECT_DOUBLE_EQ(census.retry_fraction, 0.5);
+  EXPECT_EQ(census.max_total_seq_no, 3);
+}
+
+TEST(InstanceCensus, UsageRatiosAgainstPlan) {
+  Trace trace;
+  trace.tasks.push_back(task("j_1", "M1", 100.0, 0.5));
+  trace.instances.push_back(instance("m_1", "j_1", "M1", 0, 10, 1, 1, 60.0));
+  trace.instances.push_back(instance("m_1", "j_1", "M1", 0, 10, 1, 1, 40.0));
+  // Unmatched instance: counted but contributes no ratio.
+  trace.instances.push_back(instance("m_1", "j_2", "task_x", 0, 10, 1, 1, 99.0));
+  const auto census = InstanceCensus::compute(trace);
+  EXPECT_EQ(census.cpu_usage_ratio.count, 2u);
+  EXPECT_DOUBLE_EQ(census.cpu_usage_ratio.mean, 0.5);  // (0.6 + 0.4) / 2
+  EXPECT_DOUBLE_EQ(census.mem_usage_ratio.mean, 0.5);  // 0.25 / 0.5
+}
+
+TEST(InstanceCensus, GeneratedTraceLooksProduction) {
+  GeneratorConfig cfg;
+  cfg.seed = 13;
+  cfg.num_jobs = 300;
+  cfg.emit_instances = true;
+  const auto trace = TraceGenerator(cfg).generate();
+  const auto census = InstanceCensus::compute(trace);
+  ASSERT_GT(census.instances, 500u);
+  EXPECT_GT(census.machines_used, 100u);
+  // Retry injection near the configured 5%.
+  EXPECT_NEAR(census.retry_fraction, cfg.p_instance_retry, 0.03);
+  EXPECT_GE(census.max_total_seq_no, 2);
+  // Actual usage sits below plan (over-provisioning headroom).
+  EXPECT_GT(census.cpu_usage_ratio.mean, 0.2);
+  EXPECT_LT(census.cpu_usage_ratio.mean, 1.0);
+  EXPECT_LT(census.cpu_usage_ratio.max, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace cwgl::trace

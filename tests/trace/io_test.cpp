@@ -1,0 +1,177 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "trace/generator.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::trace {
+namespace {
+
+Trace small_trace() {
+  GeneratorConfig cfg;
+  cfg.seed = 77;
+  cfg.num_jobs = 60;
+  cfg.emit_instances = true;
+  return TraceGenerator(cfg).generate();
+}
+
+TEST(TraceIo, TaskCsvRoundTrip) {
+  const Trace trace = small_trace();
+  std::stringstream buffer;
+  write_batch_task_csv(buffer, trace.tasks);
+  std::size_t skipped = 99;
+  const auto back = read_batch_task_csv(buffer, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(back.size(), trace.tasks.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].to_fields(), trace.tasks[i].to_fields());
+  }
+}
+
+TEST(TraceIo, InstanceCsvRoundTrip) {
+  const Trace trace = small_trace();
+  ASSERT_FALSE(trace.instances.empty());
+  std::stringstream buffer;
+  write_batch_instance_csv(buffer, trace.instances);
+  std::size_t skipped = 99;
+  const auto back = read_batch_instance_csv(buffer, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(back.size(), trace.instances.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].to_fields(), trace.instances[i].to_fields());
+  }
+}
+
+TEST(TraceIo, MalformedRowsSkippedNotFatal) {
+  std::stringstream buffer;
+  buffer << "M1,2,j_1,1,Terminated,10,20,100.00,0.50\n";
+  buffer << "this,row,is,broken\n";
+  buffer << "R2_1,ten,j_1,1,Terminated,10,20,100.00,0.50\n";  // bad numeric
+  buffer << "R2_1,4,j_1,1,Terminated,30,40,100.00,0.50\n";
+  std::size_t skipped = 0;
+  const auto tasks = read_batch_task_csv(buffer, &skipped);
+  EXPECT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(skipped, 2u);
+}
+
+TEST(TraceIo, DirectoryRoundTrip) {
+  const Trace trace = small_trace();
+  const auto dir = std::filesystem::temp_directory_path() / "cwgl_io_test";
+  std::filesystem::remove_all(dir);
+  write_trace(trace, dir);
+  ASSERT_TRUE(std::filesystem::exists(dir / "batch_task.csv"));
+  ASSERT_TRUE(std::filesystem::exists(dir / "batch_instance.csv"));
+  std::size_t skipped = 0;
+  const Trace back = read_trace(dir, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(back.tasks.size(), trace.tasks.size());
+  EXPECT_EQ(back.instances.size(), trace.instances.size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceIo, MissingInstanceFileTolerated) {
+  const Trace trace = small_trace();
+  const auto dir = std::filesystem::temp_directory_path() / "cwgl_io_test2";
+  std::filesystem::remove_all(dir);
+  write_trace(trace, dir);
+  std::filesystem::remove(dir / "batch_instance.csv");
+  const Trace back = read_trace(dir);
+  EXPECT_EQ(back.tasks.size(), trace.tasks.size());
+  EXPECT_TRUE(back.instances.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceIoStream, GroupsConsecutiveRowsByJob) {
+  const Trace trace = small_trace();
+  std::stringstream buffer;
+  write_batch_task_csv(buffer, trace.tasks);
+  std::vector<std::string> jobs_seen;
+  std::size_t rows_seen = 0;
+  const auto stats = for_each_job_in_task_csv(
+      buffer, [&](const std::string& job, const std::vector<TaskRecord>& tasks) {
+        jobs_seen.push_back(job);
+        rows_seen += tasks.size();
+        for (const auto& t : tasks) EXPECT_EQ(t.job_name, job);
+        return true;
+      });
+  EXPECT_EQ(stats.rows, trace.tasks.size());
+  EXPECT_EQ(rows_seen, trace.tasks.size());
+  EXPECT_EQ(stats.jobs, jobs_seen.size());
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_EQ(stats.fragmented, 0u);
+  // The generator emits jobs contiguously, so groups == distinct jobs.
+  const std::set<std::string> distinct(jobs_seen.begin(), jobs_seen.end());
+  EXPECT_EQ(distinct.size(), jobs_seen.size());
+}
+
+TEST(TraceIoStream, FragmentedJobsDetected) {
+  std::stringstream buffer;
+  buffer << "M1,1,j_1,1,Terminated,10,20,100.00,0.50\n";
+  buffer << "M1,1,j_2,1,Terminated,10,20,100.00,0.50\n";
+  buffer << "R2_1,1,j_1,1,Terminated,30,40,100.00,0.50\n";  // j_1 reappears
+  std::size_t groups = 0;
+  const auto stats = for_each_job_in_task_csv(
+      buffer, [&](const std::string&, const std::vector<TaskRecord>&) {
+        ++groups;
+        return true;
+      });
+  EXPECT_EQ(groups, 3u);
+  EXPECT_EQ(stats.jobs, 3u);
+  EXPECT_EQ(stats.fragmented, 1u);
+}
+
+TEST(TraceIoStream, EarlyStopHonored) {
+  const Trace trace = small_trace();
+  std::stringstream buffer;
+  write_batch_task_csv(buffer, trace.tasks);
+  std::size_t groups = 0;
+  const auto stats = for_each_job_in_task_csv(
+      buffer, [&](const std::string&, const std::vector<TaskRecord>&) {
+        return ++groups < 3;
+      });
+  EXPECT_EQ(groups, 3u);
+  EXPECT_EQ(stats.jobs, 3u);
+}
+
+TEST(TraceIoStream, MalformedRowsCountedNotFatal) {
+  std::stringstream buffer;
+  buffer << "M1,1,j_1,1,Terminated,10,20,100.00,0.50\n";
+  buffer << "garbage row\n";
+  buffer << "R2_1,1,j_1,1,Terminated,30,40,100.00,0.50\n";
+  std::size_t rows = 0;
+  const auto stats = for_each_job_in_task_csv(
+      buffer, [&](const std::string&, const std::vector<TaskRecord>& tasks) {
+        rows += tasks.size();
+        return true;
+      });
+  EXPECT_EQ(stats.malformed, 1u);
+  EXPECT_EQ(rows, 2u);
+  EXPECT_EQ(stats.jobs, 1u);
+}
+
+TEST(TraceIoStream, EmptyInput) {
+  std::stringstream buffer;
+  const auto stats = for_each_job_in_task_csv(
+      buffer,
+      [&](const std::string&, const std::vector<TaskRecord>&) { return true; });
+  EXPECT_EQ(stats.rows, 0u);
+  EXPECT_EQ(stats.jobs, 0u);
+}
+
+TEST(TraceIo, MissingTaskFileThrows) {
+  const auto dir = std::filesystem::temp_directory_path() / "cwgl_io_missing";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  EXPECT_THROW(read_trace(dir), util::Error);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cwgl::trace

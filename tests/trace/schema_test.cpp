@@ -1,0 +1,137 @@
+#include "trace/schema.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwgl::trace {
+namespace {
+
+TEST(Status, RoundTripAllKnown) {
+  for (Status s : {Status::Waiting, Status::Running, Status::Terminated,
+                   Status::Failed, Status::Cancelled, Status::Interrupted}) {
+    EXPECT_EQ(parse_status(to_string(s)), s);
+  }
+}
+
+TEST(Status, UnknownTextMapsToUnknown) {
+  EXPECT_EQ(parse_status("Banana"), Status::Unknown);
+  EXPECT_EQ(parse_status(""), Status::Unknown);
+  EXPECT_EQ(parse_status("terminated"), Status::Unknown);  // case-sensitive
+}
+
+TaskRecord sample_task() {
+  TaskRecord t;
+  t.task_name = "R2_1";
+  t.instance_num = 10;
+  t.job_name = "j_42";
+  t.task_type = 1;
+  t.status = Status::Terminated;
+  t.start_time = 1000;
+  t.end_time = 1500;
+  t.plan_cpu = 100.0;
+  t.plan_mem = 0.55;
+  return t;
+}
+
+TEST(TaskRecord, FieldsRoundTrip) {
+  const TaskRecord t = sample_task();
+  const auto fields = t.to_fields();
+  ASSERT_EQ(fields.size(), 9u);
+  const auto back = TaskRecord::from_fields(fields);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->task_name, t.task_name);
+  EXPECT_EQ(back->instance_num, t.instance_num);
+  EXPECT_EQ(back->job_name, t.job_name);
+  EXPECT_EQ(back->status, t.status);
+  EXPECT_EQ(back->start_time, t.start_time);
+  EXPECT_EQ(back->end_time, t.end_time);
+  EXPECT_DOUBLE_EQ(back->plan_cpu, t.plan_cpu);
+  EXPECT_DOUBLE_EQ(back->plan_mem, t.plan_mem);
+}
+
+TEST(TaskRecord, ColumnOrderMatchesAlibabaV2018) {
+  const auto fields = sample_task().to_fields();
+  // task_name, instance_num, job_name, task_type, status, start, end,
+  // plan_cpu, plan_mem
+  EXPECT_EQ(fields[0], "R2_1");
+  EXPECT_EQ(fields[1], "10");
+  EXPECT_EQ(fields[2], "j_42");
+  EXPECT_EQ(fields[4], "Terminated");
+  EXPECT_EQ(fields[5], "1000");
+}
+
+TEST(TaskRecord, FromFieldsRejectsWrongArity) {
+  std::vector<std::string> fields = sample_task().to_fields();
+  fields.pop_back();
+  EXPECT_FALSE(TaskRecord::from_fields(fields).has_value());
+  fields.push_back("0.5");
+  fields.push_back("extra");
+  EXPECT_FALSE(TaskRecord::from_fields(fields).has_value());
+}
+
+TEST(TaskRecord, FromFieldsRejectsBadNumerics) {
+  auto fields = sample_task().to_fields();
+  fields[1] = "ten";
+  EXPECT_FALSE(TaskRecord::from_fields(fields).has_value());
+  fields = sample_task().to_fields();
+  fields[5] = "12.5.1";
+  EXPECT_FALSE(TaskRecord::from_fields(fields).has_value());
+}
+
+TEST(TaskRecord, UnknownStatusStillParses) {
+  auto fields = sample_task().to_fields();
+  fields[4] = "Exotic";
+  const auto back = TaskRecord::from_fields(fields);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, Status::Unknown);
+}
+
+InstanceRecord sample_instance() {
+  InstanceRecord r;
+  r.instance_name = "inst_1";
+  r.task_name = "M1";
+  r.job_name = "j_42";
+  r.task_type = 1;
+  r.status = Status::Terminated;
+  r.start_time = 1000;
+  r.end_time = 1100;
+  r.machine_id = "m_77";
+  r.seq_no = 1;
+  r.total_seq_no = 1;
+  r.cpu_avg = 55.5;
+  r.cpu_max = 80.0;
+  r.mem_avg = 0.4;
+  r.mem_max = 0.6;
+  return r;
+}
+
+TEST(InstanceRecord, FieldsRoundTrip) {
+  const InstanceRecord r = sample_instance();
+  const auto fields = r.to_fields();
+  ASSERT_EQ(fields.size(), 14u);
+  const auto back = InstanceRecord::from_fields(fields);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->instance_name, r.instance_name);
+  EXPECT_EQ(back->machine_id, r.machine_id);
+  EXPECT_DOUBLE_EQ(back->cpu_avg, r.cpu_avg);
+  EXPECT_DOUBLE_EQ(back->mem_max, r.mem_max);
+}
+
+TEST(InstanceRecord, FromFieldsRejectsWrongArity) {
+  auto fields = sample_instance().to_fields();
+  fields.pop_back();
+  EXPECT_FALSE(InstanceRecord::from_fields(fields).has_value());
+}
+
+TEST(InstanceRecord, FromFieldsRejectsBadNumerics) {
+  auto fields = sample_instance().to_fields();
+  fields[10] = "not-a-number";
+  EXPECT_FALSE(InstanceRecord::from_fields(fields).has_value());
+}
+
+TEST(TaskRecord, DurationViaMeta) {
+  TaskRecord t = sample_task();
+  EXPECT_EQ(t.end_time - t.start_time, 500);
+}
+
+}  // namespace
+}  // namespace cwgl::trace

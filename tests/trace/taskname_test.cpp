@@ -1,0 +1,109 @@
+#include "trace/taskname.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cwgl::trace {
+namespace {
+
+TEST(ParseTaskName, SimpleMapTask) {
+  const auto t = parse_task_name("M1");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->type, 'M');
+  EXPECT_EQ(t->index, 1);
+  EXPECT_TRUE(t->deps.empty());
+}
+
+TEST(ParseTaskName, SingleDependency) {
+  const auto t = parse_task_name("R2_1");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->type, 'R');
+  EXPECT_EQ(t->index, 2);
+  EXPECT_EQ(t->deps, (std::vector<int>{1}));
+}
+
+TEST(ParseTaskName, PaperExampleFullFanIn) {
+  const auto t = parse_task_name("R5_4_3_2_1");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->type, 'R');
+  EXPECT_EQ(t->index, 5);
+  EXPECT_EQ(t->deps, (std::vector<int>{4, 3, 2, 1}));
+}
+
+TEST(ParseTaskName, JoinTask) {
+  const auto t = parse_task_name("J3_1_2");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->type, 'J');
+  EXPECT_EQ(t->deps, (std::vector<int>{1, 2}));
+}
+
+TEST(ParseTaskName, MultiLetterPrefixUsesFirstLetter) {
+  const auto t = parse_task_name("MR12_3");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->type, 'M');
+  EXPECT_EQ(t->index, 12);
+  EXPECT_EQ(t->deps, (std::vector<int>{3}));
+}
+
+TEST(ParseTaskName, MultiDigitIndices) {
+  const auto t = parse_task_name("R23_11_9");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->index, 23);
+  EXPECT_EQ(t->deps, (std::vector<int>{11, 9}));
+}
+
+TEST(ParseTaskName, IndependentTaskRejected) {
+  EXPECT_FALSE(parse_task_name("task_Zxg3Fh9q").has_value());
+}
+
+TEST(ParseTaskName, RejectsMalformedNames) {
+  EXPECT_FALSE(parse_task_name("").has_value());
+  EXPECT_FALSE(parse_task_name("M").has_value());        // no index
+  EXPECT_FALSE(parse_task_name("123").has_value());      // no letter
+  EXPECT_FALSE(parse_task_name("M1_").has_value());      // trailing underscore
+  EXPECT_FALSE(parse_task_name("M1__2").has_value());    // double underscore
+  EXPECT_FALSE(parse_task_name("M_1").has_value());      // underscore before index
+  EXPECT_FALSE(parse_task_name("M1_x").has_value());     // non-numeric dep
+  EXPECT_FALSE(parse_task_name("M0").has_value());       // indices are 1-based
+  EXPECT_FALSE(parse_task_name("M1_0").has_value());     // deps are 1-based
+  EXPECT_FALSE(parse_task_name("M1 ").has_value());      // stray whitespace
+  EXPECT_FALSE(parse_task_name("M1_2a").has_value());    // residue after dep
+}
+
+TEST(EncodeTaskName, MatchesTraceSpelling) {
+  EXPECT_EQ(encode_task_name('M', 1, {}), "M1");
+  const std::vector<int> deps{4, 3, 2, 1};
+  EXPECT_EQ(encode_task_name('R', 5, deps), "R5_4_3_2_1");
+}
+
+TEST(IsDagTaskName, Classification) {
+  EXPECT_TRUE(is_dag_task_name("M1"));
+  EXPECT_TRUE(is_dag_task_name("R2_1"));
+  EXPECT_FALSE(is_dag_task_name("task_abc"));
+  EXPECT_FALSE(is_dag_task_name(""));
+}
+
+/// Property: encode(parse(x)) == x for generated names across the grammar.
+class TaskNameRoundTripP : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaskNameRoundTripP, EncodeParseRoundTrip) {
+  util::Xoshiro256StarStar rng(static_cast<std::uint64_t>(GetParam()));
+  static constexpr char kTypes[] = {'M', 'R', 'J'};
+  for (int trial = 0; trial < 200; ++trial) {
+    TaskName t;
+    t.type = kTypes[rng.uniform_int(0, 2)];
+    t.index = rng.uniform_int(1, 99);
+    const int ndeps = rng.uniform_int(0, 6);
+    for (int d = 0; d < ndeps; ++d) t.deps.push_back(rng.uniform_int(1, 99));
+    const std::string encoded = encode_task_name(t);
+    const auto parsed = parse_task_name(encoded);
+    ASSERT_TRUE(parsed.has_value()) << encoded;
+    EXPECT_EQ(*parsed, t) << encoded;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaskNameRoundTripP, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace cwgl::trace

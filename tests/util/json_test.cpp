@@ -1,0 +1,137 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cwgl::util {
+namespace {
+
+std::string render(void (*build)(JsonWriter&)) {
+  std::ostringstream out;
+  JsonWriter j(out);
+  build(j);
+  EXPECT_TRUE(j.complete());
+  return out.str();
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(render([](JsonWriter& j) {
+              j.begin_object();
+              j.end_object();
+            }),
+            "{}");
+  EXPECT_EQ(render([](JsonWriter& j) {
+              j.begin_array();
+              j.end_array();
+            }),
+            "[]");
+}
+
+TEST(JsonWriter, ObjectWithMixedFields) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_object();
+    j.field("name", "cwgl");
+    j.field("count", 42);
+    j.field("ratio", 0.5);
+    j.field("ok", true);
+    j.key("nothing");
+    j.null();
+    j.end_object();
+  });
+  EXPECT_EQ(text,
+            "{\"name\":\"cwgl\",\"count\":42,\"ratio\":0.5,\"ok\":true,"
+            "\"nothing\":null}");
+}
+
+TEST(JsonWriter, ArrayCommas) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_array();
+    j.value(1);
+    j.value(2);
+    j.value(3);
+    j.end_array();
+  });
+  EXPECT_EQ(text, "[1,2,3]");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_object();
+    j.key("rows");
+    j.begin_array();
+    j.begin_object();
+    j.field("x", 1);
+    j.end_object();
+    j.begin_object();
+    j.field("x", 2);
+    j.end_object();
+    j.end_array();
+    j.end_object();
+  });
+  EXPECT_EQ(text, "{\"rows\":[{\"x\":1},{\"x\":2}]}");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  const std::string text = render([](JsonWriter& j) {
+    j.value("a\"b\\c\nd\te");
+  });
+  EXPECT_EQ(text, "\"a\\\"b\\\\c\\nd\\te\"");
+}
+
+TEST(JsonWriter, ControlCharactersEscaped) {
+  std::ostringstream out;
+  JsonWriter j(out);
+  j.value(std::string_view("\x01", 1));
+  EXPECT_EQ(out.str(), "\"\\u0001\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_array();
+    j.value(std::nan(""));
+    j.value(std::numeric_limits<double>::infinity());
+    j.value(1.5);
+    j.end_array();
+  });
+  EXPECT_EQ(text, "[null,null,1.5]");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    EXPECT_THROW(j.key("k"), InvalidArgument);  // key outside object
+  }
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    EXPECT_THROW(j.value(1), InvalidArgument);  // value without key
+  }
+  {
+    JsonWriter j(out);
+    j.begin_array();
+    EXPECT_THROW(j.end_object(), InvalidArgument);  // mismatched close
+  }
+  {
+    JsonWriter j(out);
+    j.value(1);
+    EXPECT_THROW(j.value(2), InvalidArgument);  // two roots
+  }
+}
+
+TEST(JsonWriter, CompleteOnlyWhenBalanced) {
+  std::ostringstream out;
+  JsonWriter j(out);
+  EXPECT_FALSE(j.complete());
+  j.begin_object();
+  EXPECT_FALSE(j.complete());
+  j.end_object();
+  EXPECT_TRUE(j.complete());
+}
+
+}  // namespace
+}  // namespace cwgl::util

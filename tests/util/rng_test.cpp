@@ -1,0 +1,188 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace cwgl::util {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256StarStar a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, UniformIntStaysInClosedRange) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int v = rng.uniform_int(-3, 12);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 12);
+  }
+}
+
+TEST(Xoshiro, UniformIntDegenerateRange) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Xoshiro, UniformIntCoversAllValues) {
+  Xoshiro256StarStar rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro, Uniform01InHalfOpenUnitInterval) {
+  Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, Uniform01MeanNearHalf) {
+  Xoshiro256StarStar rng(5);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro, BernoulliEdgeProbabilities) {
+  Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Xoshiro, BernoulliFrequencyMatchesP) {
+  Xoshiro256StarStar rng(17);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Xoshiro, DiscretePicksOnlyPositiveWeightIndices) {
+  Xoshiro256StarStar rng(23);
+  const double weights[] = {0.0, 1.0, 0.0, 2.0};
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t pick = rng.discrete(weights);
+    EXPECT_TRUE(pick == 1 || pick == 3);
+  }
+}
+
+TEST(Xoshiro, DiscreteProportions) {
+  Xoshiro256StarStar rng(29);
+  const double weights[] = {1.0, 3.0};
+  int ones = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ones += (rng.discrete(weights) == 1);
+  EXPECT_NEAR(static_cast<double>(ones) / kN, 0.75, 0.01);
+}
+
+TEST(Xoshiro, DiscreteZeroTotalFallsBackToZero) {
+  Xoshiro256StarStar rng(31);
+  const double weights[] = {0.0, 0.0};
+  EXPECT_EQ(rng.discrete(weights), 0u);
+}
+
+TEST(Xoshiro, TruncatedGeometricRespectsBounds) {
+  Xoshiro256StarStar rng(37);
+  for (int i = 0; i < 10000; ++i) {
+    const int v = rng.truncated_geometric(2, 31, 0.3);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 31);
+  }
+}
+
+TEST(Xoshiro, TruncatedGeometricDecays) {
+  Xoshiro256StarStar rng(41);
+  int low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const int v = rng.truncated_geometric(2, 31, 0.3);
+    low += (v <= 5);
+    high += (v >= 20);
+  }
+  EXPECT_GT(low, high * 10);
+}
+
+TEST(Xoshiro, TruncatedGeometricPOneReturnsLo) {
+  Xoshiro256StarStar rng(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.truncated_geometric(4, 9, 1.0), 4);
+}
+
+TEST(Xoshiro, NormalMomentsMatch) {
+  Xoshiro256StarStar rng(47);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Xoshiro, ShufflePreservesMultiset) {
+  Xoshiro256StarStar rng(53);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Xoshiro, SampleWithoutReplacementDistinct) {
+  Xoshiro256StarStar rng(59);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto picks = rng.sample_without_replacement(50, 10);
+    ASSERT_EQ(picks.size(), 10u);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (std::size_t p : picks) EXPECT_LT(p, 50u);
+  }
+}
+
+TEST(Xoshiro, SampleWithoutReplacementAllWhenKGeN) {
+  Xoshiro256StarStar rng(61);
+  const auto picks = rng.sample_without_replacement(5, 9);
+  ASSERT_EQ(picks.size(), 5u);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, Deterministic) {
+  EXPECT_EQ(hash_combine(42, 99), hash_combine(42, 99));
+}
+
+}  // namespace
+}  // namespace cwgl::util

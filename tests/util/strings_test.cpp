@@ -1,0 +1,95 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwgl::util {
+namespace {
+
+TEST(Split, BasicSplit) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, AdjacentSeparatorsYieldEmpties) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Split, LeadingAndTrailingSeparators) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, EmptyInputGivesOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Join, WithSeparator) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, "-"), "a-b-c");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(ToInt, ParsesValidIntegers) {
+  EXPECT_EQ(to_int("42").value(), 42);
+  EXPECT_EQ(to_int("-17").value(), -17);
+  EXPECT_EQ(to_int("0").value(), 0);
+}
+
+TEST(ToInt, RejectsGarbage) {
+  EXPECT_FALSE(to_int("").has_value());
+  EXPECT_FALSE(to_int("12x").has_value());
+  EXPECT_FALSE(to_int("x12").has_value());
+  EXPECT_FALSE(to_int("1.5").has_value());
+  EXPECT_FALSE(to_int(" 1").has_value());
+  EXPECT_FALSE(to_int("99999999999999999999999").has_value());
+}
+
+TEST(ToDouble, ParsesValidDoubles) {
+  EXPECT_DOUBLE_EQ(to_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(to_double("-0.25").value(), -0.25);
+  EXPECT_DOUBLE_EQ(to_double("3").value(), 3.0);
+}
+
+TEST(ToDouble, RejectsGarbage) {
+  EXPECT_FALSE(to_double("").has_value());
+  EXPECT_FALSE(to_double("1.2.3").has_value());
+  EXPECT_FALSE(to_double("abc").has_value());
+}
+
+TEST(AllDigits, OnlyAcceptsNonEmptyDigitRuns) {
+  EXPECT_TRUE(all_digits("0123"));
+  EXPECT_FALSE(all_digits(""));
+  EXPECT_FALSE(all_digits("12a"));
+  EXPECT_FALSE(all_digits("-1"));
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // never truncates
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(FormatDouble, FixedDecimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace cwgl::util

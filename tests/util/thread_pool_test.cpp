@@ -1,0 +1,107 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace cwgl::util {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedWork) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  pool.shutdown();  // must not hang or crash
+}
+
+TEST(ThreadPool, ArgumentsForwarded) {
+  ThreadPool pool(1);
+  auto f = pool.submit([](int a, int b) { return a + b; }, 3, 4);
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(pool, 0, visits.size(), [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SumMatchesSequential) {
+  ThreadPool pool(4);
+  std::atomic<long long> total{0};
+  parallel_for_chunked(pool, 0, 10000, 128,
+                       [&](std::size_t lo, std::size_t hi) {
+                         long long acc = 0;
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           acc += static_cast<long long>(i);
+                         }
+                         total += acc;
+                       });
+  EXPECT_EQ(total.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ParallelFor, ExceptionFromChunkRethrown) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("bad index");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  parallel_for_chunked(pool, 0, 10, 1,
+                       [&](std::size_t, std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+}  // namespace
+}  // namespace cwgl::util
