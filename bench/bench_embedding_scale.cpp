@@ -19,6 +19,7 @@
 #include "core/similarity.hpp"
 #include "kernel/embedding.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 using namespace cwgl;
@@ -61,6 +62,36 @@ void print_figure() {
               << util::pad_left(util::format_double(exact_ms, 1), 18)
               << util::pad_left(util::format_double(embed_ms, 1), 17)
               << util::pad_left(util::format_double(ari, 3), 15) << "\n";
+  }
+
+  // Embeddings are pure per-graph functions, so pooled rows must match the
+  // serial matrix bitwise while scaling with cores.
+  std::cout << "\nserial vs parallel embedding (4 threads)\n"
+            << util::pad_left("jobs", 6) << util::pad_left("serial ms", 11)
+            << util::pad_left("par ms", 10) << util::pad_left("speedup", 9)
+            << util::pad_left("max|diff|", 12) << "\n";
+  util::ThreadPool pool(4);
+  for (std::size_t n : {200u, 400u, 800u}) {
+    const auto sample = bench::make_experiment_set(20000, n);
+    const auto corpus = to_corpus(sample);
+    kernel::EmbeddingConfig cfg;
+    cfg.wl.iterations = 1;
+    cfg.dimensions = 256;
+
+    util::WallTimer serial_timer;
+    const auto serial = kernel::wl_embedding_matrix(corpus, cfg);
+    const double serial_ms = serial_timer.millis();
+
+    util::WallTimer parallel_timer;
+    const auto parallel = kernel::wl_embedding_matrix(corpus, cfg, &pool);
+    const double parallel_ms = parallel_timer.millis();
+
+    std::cout << util::pad_left(std::to_string(corpus.size()), 6)
+              << util::pad_left(util::format_double(serial_ms, 1), 11)
+              << util::pad_left(util::format_double(parallel_ms, 1), 10)
+              << util::pad_left(util::format_double(serial_ms / parallel_ms, 2), 9)
+              << util::pad_left(util::format_double(serial.max_abs_diff(parallel), 15), 19)
+              << "\n";
   }
 }
 

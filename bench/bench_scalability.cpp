@@ -35,6 +35,38 @@ void print_figure() {
               << util::pad_left(util::format_double(ms, 1), 10)
               << util::pad_left(util::format_double(ms / pairs, 4), 10) << "\n";
   }
+
+  // Differential: the concurrent featurization path (sharded dictionary +
+  // pooled featurize/dot) against the serial reference. "max|diff|" is the
+  // elementwise deviation between the two Gram matrices — the determinism
+  // contract requires <= 1e-12.
+  std::cout << "\nserial vs parallel gram (4 threads, featurization + dots)\n"
+            << util::pad_left("corpus", 8) << util::pad_left("serial ms", 11)
+            << util::pad_left("par ms", 10) << util::pad_left("speedup", 9)
+            << util::pad_left("max|diff|", 12) << "\n";
+  util::ThreadPool pool(4);
+  for (std::size_t n : {100u, 250u, 500u}) {
+    const auto sample = bench::make_experiment_set(20000, n);
+    std::vector<kernel::LabeledGraph> corpus;
+    for (const auto& job : sample) corpus.push_back(job.to_labeled());
+
+    kernel::WlSubtreeFeaturizer serial_f;
+    util::WallTimer serial_timer;
+    const auto serial = kernel::gram_matrix(serial_f, corpus);
+    const double serial_ms = serial_timer.millis();
+
+    kernel::WlSubtreeFeaturizer parallel_f;
+    util::WallTimer parallel_timer;
+    const auto parallel = kernel::gram_matrix(parallel_f, corpus, {}, &pool);
+    const double parallel_ms = parallel_timer.millis();
+
+    std::cout << util::pad_left(std::to_string(corpus.size()), 8)
+              << util::pad_left(util::format_double(serial_ms, 1), 11)
+              << util::pad_left(util::format_double(parallel_ms, 1), 10)
+              << util::pad_left(util::format_double(serial_ms / parallel_ms, 2), 9)
+              << util::pad_left(util::format_double(serial.max_abs_diff(parallel), 15), 19)
+              << "\n";
+  }
 }
 
 void BM_GramVsCorpusSize(benchmark::State& state) {

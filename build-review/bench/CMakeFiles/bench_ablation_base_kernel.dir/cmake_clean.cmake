@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_base_kernel.dir/bench_ablation_base_kernel.cpp.o"
+  "CMakeFiles/bench_ablation_base_kernel.dir/bench_ablation_base_kernel.cpp.o.d"
+  "bench_ablation_base_kernel"
+  "bench_ablation_base_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_base_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

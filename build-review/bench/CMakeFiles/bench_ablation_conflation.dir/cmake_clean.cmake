@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_conflation.dir/bench_ablation_conflation.cpp.o"
+  "CMakeFiles/bench_ablation_conflation.dir/bench_ablation_conflation.cpp.o.d"
+  "bench_ablation_conflation"
+  "bench_ablation_conflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_conflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

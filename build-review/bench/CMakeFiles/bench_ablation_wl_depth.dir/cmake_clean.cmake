@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wl_depth.dir/bench_ablation_wl_depth.cpp.o"
+  "CMakeFiles/bench_ablation_wl_depth.dir/bench_ablation_wl_depth.cpp.o.d"
+  "bench_ablation_wl_depth"
+  "bench_ablation_wl_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wl_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_ged.dir/bench_baseline_ged.cpp.o"
+  "CMakeFiles/bench_baseline_ged.dir/bench_baseline_ged.cpp.o.d"
+  "bench_baseline_ged"
+  "bench_baseline_ged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_ged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

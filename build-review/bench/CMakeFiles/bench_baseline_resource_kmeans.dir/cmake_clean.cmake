@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_resource_kmeans.dir/bench_baseline_resource_kmeans.cpp.o"
+  "CMakeFiles/bench_baseline_resource_kmeans.dir/bench_baseline_resource_kmeans.cpp.o.d"
+  "bench_baseline_resource_kmeans"
+  "bench_baseline_resource_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_resource_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_colocation.dir/bench_colocation.cpp.o"
+  "CMakeFiles/bench_colocation.dir/bench_colocation.cpp.o.d"
+  "bench_colocation"
+  "bench_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

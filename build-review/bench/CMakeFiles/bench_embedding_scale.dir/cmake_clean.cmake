@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_embedding_scale.dir/bench_embedding_scale.cpp.o"
+  "CMakeFiles/bench_embedding_scale.dir/bench_embedding_scale.cpp.o.d"
+  "bench_embedding_scale"
+  "bench_embedding_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_embedding_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

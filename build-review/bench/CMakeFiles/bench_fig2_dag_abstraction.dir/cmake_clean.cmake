@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_dag_abstraction.dir/bench_fig2_dag_abstraction.cpp.o"
+  "CMakeFiles/bench_fig2_dag_abstraction.dir/bench_fig2_dag_abstraction.cpp.o.d"
+  "bench_fig2_dag_abstraction"
+  "bench_fig2_dag_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_dag_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

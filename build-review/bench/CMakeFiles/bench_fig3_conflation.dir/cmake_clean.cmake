@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_conflation.dir/bench_fig3_conflation.cpp.o"
+  "CMakeFiles/bench_fig3_conflation.dir/bench_fig3_conflation.cpp.o.d"
+  "bench_fig3_conflation"
+  "bench_fig3_conflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_conflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_features_before.dir/bench_fig4_features_before.cpp.o"
+  "CMakeFiles/bench_fig4_features_before.dir/bench_fig4_features_before.cpp.o.d"
+  "bench_fig4_features_before"
+  "bench_fig4_features_before.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_features_before.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_features_after.dir/bench_fig5_features_after.cpp.o"
+  "CMakeFiles/bench_fig5_features_after.dir/bench_fig5_features_after.cpp.o.d"
+  "bench_fig5_features_after"
+  "bench_fig5_features_after.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_features_after.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_task_types.dir/bench_fig6_task_types.cpp.o"
+  "CMakeFiles/bench_fig6_task_types.dir/bench_fig6_task_types.cpp.o.d"
+  "bench_fig6_task_types"
+  "bench_fig6_task_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_task_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

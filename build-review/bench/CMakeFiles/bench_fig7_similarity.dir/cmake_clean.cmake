@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_similarity.dir/bench_fig7_similarity.cpp.o"
+  "CMakeFiles/bench_fig7_similarity.dir/bench_fig7_similarity.cpp.o.d"
+  "bench_fig7_similarity"
+  "bench_fig7_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

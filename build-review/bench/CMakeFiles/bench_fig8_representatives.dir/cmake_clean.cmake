@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_representatives.dir/bench_fig8_representatives.cpp.o"
+  "CMakeFiles/bench_fig8_representatives.dir/bench_fig8_representatives.cpp.o.d"
+  "bench_fig8_representatives"
+  "bench_fig8_representatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_representatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

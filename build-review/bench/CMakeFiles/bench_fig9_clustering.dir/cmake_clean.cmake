@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_clustering.dir/bench_fig9_clustering.cpp.o"
+  "CMakeFiles/bench_fig9_clustering.dir/bench_fig9_clustering.cpp.o.d"
+  "bench_fig9_clustering"
+  "bench_fig9_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predictor.dir/bench_predictor.cpp.o"
+  "CMakeFiles/bench_predictor.dir/bench_predictor.cpp.o.d"
+  "bench_predictor"
+  "bench_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_policies.dir/bench_sched_policies.cpp.o"
+  "CMakeFiles/bench_sched_policies.dir/bench_sched_policies.cpp.o.d"
+  "bench_sched_policies"
+  "bench_sched_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_census.dir/bench_table1_census.cpp.o"
+  "CMakeFiles/bench_table1_census.dir/bench_table1_census.cpp.o.d"
+  "bench_table1_census"
+  "bench_table1_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwgl.dir/main.cpp.o"
+  "CMakeFiles/cwgl.dir/main.cpp.o.d"
+  "cwgl"
+  "cwgl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwgl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

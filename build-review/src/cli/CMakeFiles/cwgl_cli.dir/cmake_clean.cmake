@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwgl_cli.dir/args.cpp.o"
+  "CMakeFiles/cwgl_cli.dir/args.cpp.o.d"
+  "CMakeFiles/cwgl_cli.dir/commands.cpp.o"
+  "CMakeFiles/cwgl_cli.dir/commands.cpp.o.d"
+  "libcwgl_cli.a"
+  "libcwgl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwgl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

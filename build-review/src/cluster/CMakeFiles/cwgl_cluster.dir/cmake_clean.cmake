@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwgl_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/cwgl_cluster.dir/kmeans.cpp.o.d"
+  "CMakeFiles/cwgl_cluster.dir/metrics.cpp.o"
+  "CMakeFiles/cwgl_cluster.dir/metrics.cpp.o.d"
+  "CMakeFiles/cwgl_cluster.dir/spectral.cpp.o"
+  "CMakeFiles/cwgl_cluster.dir/spectral.cpp.o.d"
+  "libcwgl_cluster.a"
+  "libcwgl_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwgl_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cpp" "src/core/CMakeFiles/cwgl_core.dir/baseline.cpp.o" "gcc" "src/core/CMakeFiles/cwgl_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/core/characterization.cpp" "src/core/CMakeFiles/cwgl_core.dir/characterization.cpp.o" "gcc" "src/core/CMakeFiles/cwgl_core.dir/characterization.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/cwgl_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/cwgl_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/comparison.cpp" "src/core/CMakeFiles/cwgl_core.dir/comparison.cpp.o" "gcc" "src/core/CMakeFiles/cwgl_core.dir/comparison.cpp.o.d"
+  "/root/repo/src/core/job_dag.cpp" "src/core/CMakeFiles/cwgl_core.dir/job_dag.cpp.o" "gcc" "src/core/CMakeFiles/cwgl_core.dir/job_dag.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/cwgl_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/cwgl_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/cwgl_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/cwgl_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/report_json.cpp" "src/core/CMakeFiles/cwgl_core.dir/report_json.cpp.o" "gcc" "src/core/CMakeFiles/cwgl_core.dir/report_json.cpp.o.d"
+  "/root/repo/src/core/report_text.cpp" "src/core/CMakeFiles/cwgl_core.dir/report_text.cpp.o" "gcc" "src/core/CMakeFiles/cwgl_core.dir/report_text.cpp.o.d"
+  "/root/repo/src/core/resource_report.cpp" "src/core/CMakeFiles/cwgl_core.dir/resource_report.cpp.o" "gcc" "src/core/CMakeFiles/cwgl_core.dir/resource_report.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/cwgl_core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/cwgl_core.dir/similarity.cpp.o.d"
+  "/root/repo/src/core/topology_census.cpp" "src/core/CMakeFiles/cwgl_core.dir/topology_census.cpp.o" "gcc" "src/core/CMakeFiles/cwgl_core.dir/topology_census.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/trace/CMakeFiles/cwgl_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/cwgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernel/CMakeFiles/cwgl_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cluster/CMakeFiles/cwgl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/cwgl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/cwgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwgl_core.dir/baseline.cpp.o"
+  "CMakeFiles/cwgl_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/cwgl_core.dir/characterization.cpp.o"
+  "CMakeFiles/cwgl_core.dir/characterization.cpp.o.d"
+  "CMakeFiles/cwgl_core.dir/clustering.cpp.o"
+  "CMakeFiles/cwgl_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/cwgl_core.dir/comparison.cpp.o"
+  "CMakeFiles/cwgl_core.dir/comparison.cpp.o.d"
+  "CMakeFiles/cwgl_core.dir/job_dag.cpp.o"
+  "CMakeFiles/cwgl_core.dir/job_dag.cpp.o.d"
+  "CMakeFiles/cwgl_core.dir/pipeline.cpp.o"
+  "CMakeFiles/cwgl_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/cwgl_core.dir/predictor.cpp.o"
+  "CMakeFiles/cwgl_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/cwgl_core.dir/report_json.cpp.o"
+  "CMakeFiles/cwgl_core.dir/report_json.cpp.o.d"
+  "CMakeFiles/cwgl_core.dir/report_text.cpp.o"
+  "CMakeFiles/cwgl_core.dir/report_text.cpp.o.d"
+  "CMakeFiles/cwgl_core.dir/resource_report.cpp.o"
+  "CMakeFiles/cwgl_core.dir/resource_report.cpp.o.d"
+  "CMakeFiles/cwgl_core.dir/similarity.cpp.o"
+  "CMakeFiles/cwgl_core.dir/similarity.cpp.o.d"
+  "CMakeFiles/cwgl_core.dir/topology_census.cpp.o"
+  "CMakeFiles/cwgl_core.dir/topology_census.cpp.o.d"
+  "libcwgl_core.a"
+  "libcwgl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwgl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwgl_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/cwgl_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/cwgl_graph.dir/canonical.cpp.o"
+  "CMakeFiles/cwgl_graph.dir/canonical.cpp.o.d"
+  "CMakeFiles/cwgl_graph.dir/conflation.cpp.o"
+  "CMakeFiles/cwgl_graph.dir/conflation.cpp.o.d"
+  "CMakeFiles/cwgl_graph.dir/digraph.cpp.o"
+  "CMakeFiles/cwgl_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/cwgl_graph.dir/dot.cpp.o"
+  "CMakeFiles/cwgl_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/cwgl_graph.dir/isomorphism.cpp.o"
+  "CMakeFiles/cwgl_graph.dir/isomorphism.cpp.o.d"
+  "CMakeFiles/cwgl_graph.dir/patterns.cpp.o"
+  "CMakeFiles/cwgl_graph.dir/patterns.cpp.o.d"
+  "libcwgl_graph.a"
+  "libcwgl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwgl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

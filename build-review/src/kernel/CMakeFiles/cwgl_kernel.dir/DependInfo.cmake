@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/base_kernels.cpp" "src/kernel/CMakeFiles/cwgl_kernel.dir/base_kernels.cpp.o" "gcc" "src/kernel/CMakeFiles/cwgl_kernel.dir/base_kernels.cpp.o.d"
+  "/root/repo/src/kernel/embedding.cpp" "src/kernel/CMakeFiles/cwgl_kernel.dir/embedding.cpp.o" "gcc" "src/kernel/CMakeFiles/cwgl_kernel.dir/embedding.cpp.o.d"
+  "/root/repo/src/kernel/ged.cpp" "src/kernel/CMakeFiles/cwgl_kernel.dir/ged.cpp.o" "gcc" "src/kernel/CMakeFiles/cwgl_kernel.dir/ged.cpp.o.d"
+  "/root/repo/src/kernel/gram.cpp" "src/kernel/CMakeFiles/cwgl_kernel.dir/gram.cpp.o" "gcc" "src/kernel/CMakeFiles/cwgl_kernel.dir/gram.cpp.o.d"
+  "/root/repo/src/kernel/label_dict.cpp" "src/kernel/CMakeFiles/cwgl_kernel.dir/label_dict.cpp.o" "gcc" "src/kernel/CMakeFiles/cwgl_kernel.dir/label_dict.cpp.o.d"
+  "/root/repo/src/kernel/types.cpp" "src/kernel/CMakeFiles/cwgl_kernel.dir/types.cpp.o" "gcc" "src/kernel/CMakeFiles/cwgl_kernel.dir/types.cpp.o.d"
+  "/root/repo/src/kernel/wl.cpp" "src/kernel/CMakeFiles/cwgl_kernel.dir/wl.cpp.o" "gcc" "src/kernel/CMakeFiles/cwgl_kernel.dir/wl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/cwgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/cwgl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/cwgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

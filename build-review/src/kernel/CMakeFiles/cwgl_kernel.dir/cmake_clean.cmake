@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwgl_kernel.dir/base_kernels.cpp.o"
+  "CMakeFiles/cwgl_kernel.dir/base_kernels.cpp.o.d"
+  "CMakeFiles/cwgl_kernel.dir/embedding.cpp.o"
+  "CMakeFiles/cwgl_kernel.dir/embedding.cpp.o.d"
+  "CMakeFiles/cwgl_kernel.dir/ged.cpp.o"
+  "CMakeFiles/cwgl_kernel.dir/ged.cpp.o.d"
+  "CMakeFiles/cwgl_kernel.dir/gram.cpp.o"
+  "CMakeFiles/cwgl_kernel.dir/gram.cpp.o.d"
+  "CMakeFiles/cwgl_kernel.dir/label_dict.cpp.o"
+  "CMakeFiles/cwgl_kernel.dir/label_dict.cpp.o.d"
+  "CMakeFiles/cwgl_kernel.dir/types.cpp.o"
+  "CMakeFiles/cwgl_kernel.dir/types.cpp.o.d"
+  "CMakeFiles/cwgl_kernel.dir/wl.cpp.o"
+  "CMakeFiles/cwgl_kernel.dir/wl.cpp.o.d"
+  "libcwgl_kernel.a"
+  "libcwgl_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwgl_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwgl_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/cwgl_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/cwgl_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/cwgl_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/cwgl_linalg.dir/solve.cpp.o"
+  "CMakeFiles/cwgl_linalg.dir/solve.cpp.o.d"
+  "libcwgl_linalg.a"
+  "libcwgl_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwgl_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwgl_sched.dir/cluster_state.cpp.o"
+  "CMakeFiles/cwgl_sched.dir/cluster_state.cpp.o.d"
+  "CMakeFiles/cwgl_sched.dir/policy.cpp.o"
+  "CMakeFiles/cwgl_sched.dir/policy.cpp.o.d"
+  "CMakeFiles/cwgl_sched.dir/simulator.cpp.o"
+  "CMakeFiles/cwgl_sched.dir/simulator.cpp.o.d"
+  "CMakeFiles/cwgl_sched.dir/workload.cpp.o"
+  "CMakeFiles/cwgl_sched.dir/workload.cpp.o.d"
+  "libcwgl_sched.a"
+  "libcwgl_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwgl_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

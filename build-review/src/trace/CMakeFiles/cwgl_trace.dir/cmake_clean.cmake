@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwgl_trace.dir/filter.cpp.o"
+  "CMakeFiles/cwgl_trace.dir/filter.cpp.o.d"
+  "CMakeFiles/cwgl_trace.dir/generator.cpp.o"
+  "CMakeFiles/cwgl_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/cwgl_trace.dir/instance_census.cpp.o"
+  "CMakeFiles/cwgl_trace.dir/instance_census.cpp.o.d"
+  "CMakeFiles/cwgl_trace.dir/io.cpp.o"
+  "CMakeFiles/cwgl_trace.dir/io.cpp.o.d"
+  "CMakeFiles/cwgl_trace.dir/schema.cpp.o"
+  "CMakeFiles/cwgl_trace.dir/schema.cpp.o.d"
+  "CMakeFiles/cwgl_trace.dir/taskname.cpp.o"
+  "CMakeFiles/cwgl_trace.dir/taskname.cpp.o.d"
+  "libcwgl_trace.a"
+  "libcwgl_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwgl_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcwgl_trace.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwgl_util.dir/csv.cpp.o"
+  "CMakeFiles/cwgl_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cwgl_util.dir/json.cpp.o"
+  "CMakeFiles/cwgl_util.dir/json.cpp.o.d"
+  "CMakeFiles/cwgl_util.dir/rng.cpp.o"
+  "CMakeFiles/cwgl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cwgl_util.dir/stats.cpp.o"
+  "CMakeFiles/cwgl_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cwgl_util.dir/strings.cpp.o"
+  "CMakeFiles/cwgl_util.dir/strings.cpp.o.d"
+  "CMakeFiles/cwgl_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/cwgl_util.dir/thread_pool.cpp.o.d"
+  "libcwgl_util.a"
+  "libcwgl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwgl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

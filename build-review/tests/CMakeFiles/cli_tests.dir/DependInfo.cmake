@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cli/args_test.cpp" "tests/CMakeFiles/cli_tests.dir/cli/args_test.cpp.o" "gcc" "tests/CMakeFiles/cli_tests.dir/cli/args_test.cpp.o.d"
+  "/root/repo/tests/cli/commands_test.cpp" "tests/CMakeFiles/cli_tests.dir/cli/commands_test.cpp.o" "gcc" "tests/CMakeFiles/cli_tests.dir/cli/commands_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/cwgl_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sched/CMakeFiles/cwgl_sched.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cluster/CMakeFiles/cwgl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernel/CMakeFiles/cwgl_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/cwgl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/cwgl_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/cwgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/cwgl_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cli/CMakeFiles/cwgl_cli.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_tests.dir/cli/args_test.cpp.o"
+  "CMakeFiles/cli_tests.dir/cli/args_test.cpp.o.d"
+  "CMakeFiles/cli_tests.dir/cli/commands_test.cpp.o"
+  "CMakeFiles/cli_tests.dir/cli/commands_test.cpp.o.d"
+  "cli_tests"
+  "cli_tests.pdb"
+  "cli_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_tests.dir/cluster/kmeans_test.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/kmeans_test.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/metrics_test.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/metrics_test.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/spectral_test.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/spectral_test.cpp.o.d"
+  "cluster_tests"
+  "cluster_tests.pdb"
+  "cluster_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

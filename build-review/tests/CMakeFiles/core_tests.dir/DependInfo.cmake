@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baseline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/baseline_test.cpp.o.d"
+  "/root/repo/tests/core/characterization_test.cpp" "tests/CMakeFiles/core_tests.dir/core/characterization_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/characterization_test.cpp.o.d"
+  "/root/repo/tests/core/clustering_test.cpp" "tests/CMakeFiles/core_tests.dir/core/clustering_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/clustering_test.cpp.o.d"
+  "/root/repo/tests/core/comparison_test.cpp" "tests/CMakeFiles/core_tests.dir/core/comparison_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/comparison_test.cpp.o.d"
+  "/root/repo/tests/core/job_dag_test.cpp" "tests/CMakeFiles/core_tests.dir/core/job_dag_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/job_dag_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/predictor_test.cpp" "tests/CMakeFiles/core_tests.dir/core/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/predictor_test.cpp.o.d"
+  "/root/repo/tests/core/report_json_test.cpp" "tests/CMakeFiles/core_tests.dir/core/report_json_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/report_json_test.cpp.o.d"
+  "/root/repo/tests/core/resource_report_test.cpp" "tests/CMakeFiles/core_tests.dir/core/resource_report_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/resource_report_test.cpp.o.d"
+  "/root/repo/tests/core/similarity_test.cpp" "tests/CMakeFiles/core_tests.dir/core/similarity_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/similarity_test.cpp.o.d"
+  "/root/repo/tests/core/topology_census_test.cpp" "tests/CMakeFiles/core_tests.dir/core/topology_census_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/topology_census_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/cwgl_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sched/CMakeFiles/cwgl_sched.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cluster/CMakeFiles/cwgl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernel/CMakeFiles/cwgl_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/cwgl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/cwgl_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/cwgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/cwgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/baseline_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/baseline_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/characterization_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/characterization_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/clustering_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/clustering_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/comparison_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/comparison_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/job_dag_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/job_dag_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/predictor_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/predictor_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/report_json_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/report_json_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/resource_report_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/resource_report_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/similarity_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/similarity_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/topology_census_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/topology_census_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

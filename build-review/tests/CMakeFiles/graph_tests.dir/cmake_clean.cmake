@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_tests.dir/graph/algorithms_property_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/algorithms_property_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/algorithms_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/algorithms_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/canonical_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/canonical_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/conflation_property_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/conflation_property_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/conflation_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/conflation_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/digraph_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/digraph_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/dot_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/dot_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/isomorphism_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/isomorphism_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/patterns_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/patterns_test.cpp.o.d"
+  "graph_tests"
+  "graph_tests.pdb"
+  "graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

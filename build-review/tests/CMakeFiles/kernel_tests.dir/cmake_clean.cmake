@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_tests.dir/kernel/base_kernels_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/kernel/base_kernels_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/embedding_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/kernel/embedding_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/ged_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/kernel/ged_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/gram_property_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/kernel/gram_property_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/gram_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/kernel/gram_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/label_dict_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/kernel/label_dict_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/wl_parallel_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/kernel/wl_parallel_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/wl_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/kernel/wl_test.cpp.o.d"
+  "kernel_tests"
+  "kernel_tests.pdb"
+  "kernel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_tests.dir/linalg/eigen_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/eigen_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/matrix_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/matrix_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/solve_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/solve_test.cpp.o.d"
+  "linalg_tests"
+  "linalg_tests.pdb"
+  "linalg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/cluster_state_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/cluster_state_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/policy_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/policy_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/simulator_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/simulator_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/workload_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/workload_test.cpp.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_tests.dir/trace/filter_test.cpp.o"
+  "CMakeFiles/trace_tests.dir/trace/filter_test.cpp.o.d"
+  "CMakeFiles/trace_tests.dir/trace/generator_property_test.cpp.o"
+  "CMakeFiles/trace_tests.dir/trace/generator_property_test.cpp.o.d"
+  "CMakeFiles/trace_tests.dir/trace/generator_test.cpp.o"
+  "CMakeFiles/trace_tests.dir/trace/generator_test.cpp.o.d"
+  "CMakeFiles/trace_tests.dir/trace/instance_census_test.cpp.o"
+  "CMakeFiles/trace_tests.dir/trace/instance_census_test.cpp.o.d"
+  "CMakeFiles/trace_tests.dir/trace/io_test.cpp.o"
+  "CMakeFiles/trace_tests.dir/trace/io_test.cpp.o.d"
+  "CMakeFiles/trace_tests.dir/trace/schema_test.cpp.o"
+  "CMakeFiles/trace_tests.dir/trace/schema_test.cpp.o.d"
+  "CMakeFiles/trace_tests.dir/trace/taskname_test.cpp.o"
+  "CMakeFiles/trace_tests.dir/trace/taskname_test.cpp.o.d"
+  "trace_tests"
+  "trace_tests.pdb"
+  "trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/csv_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/json_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/json_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/stats_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/strings_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/strings_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/thread_pool_stress_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/thread_pool_stress_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o.d"
+  "util_tests"
+  "util_tests.pdb"
+  "util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/util_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/graph_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/linalg_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/kernel_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cluster_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/sched_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cli_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/core_tests[1]_include.cmake")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/kmeans.cpp" "src/cluster/CMakeFiles/cwgl_cluster.dir/kmeans.cpp.o" "gcc" "src/cluster/CMakeFiles/cwgl_cluster.dir/kmeans.cpp.o.d"
+  "/root/repo/src/cluster/metrics.cpp" "src/cluster/CMakeFiles/cwgl_cluster.dir/metrics.cpp.o" "gcc" "src/cluster/CMakeFiles/cwgl_cluster.dir/metrics.cpp.o.d"
+  "/root/repo/src/cluster/spectral.cpp" "src/cluster/CMakeFiles/cwgl_cluster.dir/spectral.cpp.o" "gcc" "src/cluster/CMakeFiles/cwgl_cluster.dir/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/cwgl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/cwgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/graph/CMakeFiles/cwgl_graph.dir/algorithms.cpp.o" "gcc" "src/graph/CMakeFiles/cwgl_graph.dir/algorithms.cpp.o.d"
+  "/root/repo/src/graph/canonical.cpp" "src/graph/CMakeFiles/cwgl_graph.dir/canonical.cpp.o" "gcc" "src/graph/CMakeFiles/cwgl_graph.dir/canonical.cpp.o.d"
+  "/root/repo/src/graph/conflation.cpp" "src/graph/CMakeFiles/cwgl_graph.dir/conflation.cpp.o" "gcc" "src/graph/CMakeFiles/cwgl_graph.dir/conflation.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/cwgl_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/cwgl_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/cwgl_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/cwgl_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/isomorphism.cpp" "src/graph/CMakeFiles/cwgl_graph.dir/isomorphism.cpp.o" "gcc" "src/graph/CMakeFiles/cwgl_graph.dir/isomorphism.cpp.o.d"
+  "/root/repo/src/graph/patterns.cpp" "src/graph/CMakeFiles/cwgl_graph.dir/patterns.cpp.o" "gcc" "src/graph/CMakeFiles/cwgl_graph.dir/patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/cwgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cluster_state.cpp" "src/sched/CMakeFiles/cwgl_sched.dir/cluster_state.cpp.o" "gcc" "src/sched/CMakeFiles/cwgl_sched.dir/cluster_state.cpp.o.d"
+  "/root/repo/src/sched/policy.cpp" "src/sched/CMakeFiles/cwgl_sched.dir/policy.cpp.o" "gcc" "src/sched/CMakeFiles/cwgl_sched.dir/policy.cpp.o.d"
+  "/root/repo/src/sched/simulator.cpp" "src/sched/CMakeFiles/cwgl_sched.dir/simulator.cpp.o" "gcc" "src/sched/CMakeFiles/cwgl_sched.dir/simulator.cpp.o.d"
+  "/root/repo/src/sched/workload.cpp" "src/sched/CMakeFiles/cwgl_sched.dir/workload.cpp.o" "gcc" "src/sched/CMakeFiles/cwgl_sched.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/cwgl_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/cwgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/cwgl_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/cwgl_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kernel/CMakeFiles/cwgl_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/cwgl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/cwgl_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/filter.cpp" "src/trace/CMakeFiles/cwgl_trace.dir/filter.cpp.o" "gcc" "src/trace/CMakeFiles/cwgl_trace.dir/filter.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/cwgl_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/cwgl_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/instance_census.cpp" "src/trace/CMakeFiles/cwgl_trace.dir/instance_census.cpp.o" "gcc" "src/trace/CMakeFiles/cwgl_trace.dir/instance_census.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/cwgl_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/cwgl_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/schema.cpp" "src/trace/CMakeFiles/cwgl_trace.dir/schema.cpp.o" "gcc" "src/trace/CMakeFiles/cwgl_trace.dir/schema.cpp.o.d"
+  "/root/repo/src/trace/taskname.cpp" "src/trace/CMakeFiles/cwgl_trace.dir/taskname.cpp.o" "gcc" "src/trace/CMakeFiles/cwgl_trace.dir/taskname.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/cwgl_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/cwgl_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernel/base_kernels_test.cpp" "tests/CMakeFiles/kernel_tests.dir/kernel/base_kernels_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_tests.dir/kernel/base_kernels_test.cpp.o.d"
+  "/root/repo/tests/kernel/embedding_test.cpp" "tests/CMakeFiles/kernel_tests.dir/kernel/embedding_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_tests.dir/kernel/embedding_test.cpp.o.d"
+  "/root/repo/tests/kernel/ged_test.cpp" "tests/CMakeFiles/kernel_tests.dir/kernel/ged_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_tests.dir/kernel/ged_test.cpp.o.d"
+  "/root/repo/tests/kernel/gram_property_test.cpp" "tests/CMakeFiles/kernel_tests.dir/kernel/gram_property_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_tests.dir/kernel/gram_property_test.cpp.o.d"
+  "/root/repo/tests/kernel/gram_test.cpp" "tests/CMakeFiles/kernel_tests.dir/kernel/gram_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_tests.dir/kernel/gram_test.cpp.o.d"
+  "/root/repo/tests/kernel/label_dict_test.cpp" "tests/CMakeFiles/kernel_tests.dir/kernel/label_dict_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_tests.dir/kernel/label_dict_test.cpp.o.d"
+  "/root/repo/tests/kernel/wl_parallel_test.cpp" "tests/CMakeFiles/kernel_tests.dir/kernel/wl_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_tests.dir/kernel/wl_parallel_test.cpp.o.d"
+  "/root/repo/tests/kernel/wl_test.cpp" "tests/CMakeFiles/kernel_tests.dir/kernel/wl_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_tests.dir/kernel/wl_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/cwgl_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sched/CMakeFiles/cwgl_sched.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/cwgl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kernel/CMakeFiles/cwgl_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/cwgl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/cwgl_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/cwgl_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/cwgl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

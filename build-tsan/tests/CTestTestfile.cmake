@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/graph_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/linalg_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/kernel_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cluster_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sched_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cli_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_tests[1]_include.cmake")

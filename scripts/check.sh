@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI gate: build the tree and run the full ctest suite three ways —
+#   plain        no instrumentation (the tier-1 configuration)
+#   asan-ubsan   AddressSanitizer + UndefinedBehaviorSanitizer
+#   tsan         ThreadSanitizer (exercises the sharded label dictionary,
+#                pooled featurization, and the work-helping thread pool
+#                under the race detector)
+#
+# Usage: scripts/check.sh [jobs]
+# Build dirs are build-check-<name>; set CWGL_CHECK_KEEP=1 to keep them.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+FAILED=()
+
+run_config() {
+  local name="$1" sanitize="$2"
+  local build_dir="build-check-${name}"
+  echo
+  echo "=== [${name}] configure (CWGL_SANITIZE='${sanitize}') ==="
+  cmake -B "${build_dir}" -S . \
+    -DCWGL_SANITIZE="${sanitize}" \
+    -DCWGL_BUILD_BENCHMARKS=OFF \
+    -DCWGL_BUILD_EXAMPLES=OFF
+  echo "=== [${name}] build ==="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== [${name}] ctest ==="
+  if ! ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"; then
+    FAILED+=("${name}")
+  fi
+  if [[ "${CWGL_CHECK_KEEP:-0}" != "1" ]]; then
+    rm -rf "${build_dir}"
+  fi
+}
+
+run_config plain ""
+run_config asan-ubsan "address,undefined"
+run_config tsan "thread"
+
+echo
+if ((${#FAILED[@]})); then
+  echo "check.sh: FAILED configurations: ${FAILED[*]}"
+  exit 1
+fi
+echo "check.sh: all configurations passed (plain, asan-ubsan, tsan)"

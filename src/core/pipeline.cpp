@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace cwgl::core {
 
 namespace {
@@ -48,9 +50,18 @@ PipelineResult CharacterizationPipeline::run(const trace::Trace& trace,
   result.conflation = ConflationReport::compute(result.sample);
   result.structure_before = StructuralReport::compute(result.sample);
 
-  std::vector<JobDag> conflated;
-  conflated.reserve(result.sample.size());
-  for (const JobDag& job : result.sample) conflated.push_back(conflate_job(job));
+  // Conflation is pure per job, so it rides the same pool as featurization.
+  std::vector<JobDag> conflated(result.sample.size());
+  const auto conflate_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      conflated[i] = conflate_job(result.sample[i]);
+    }
+  };
+  if (pool != nullptr) {
+    util::parallel_for_chunked(*pool, 0, conflated.size(), 16, conflate_range);
+  } else {
+    conflate_range(0, conflated.size());
+  }
   result.structure_after = StructuralReport::compute(conflated);
 
   result.task_types = TaskTypeReport::compute(result.sample);

@@ -1,18 +1,23 @@
 #pragma once
 
+#include "kernel/label_dict.hpp"
 #include "kernel/types.hpp"
 
 namespace cwgl::kernel {
 
 /// Vertex-label histogram features: k(G,G') counts matching label pairs.
 /// The weakest baseline — blind to all structure.
+///
+/// All three baseline featurizers intern through a sharded dictionary, so
+/// like the WL featurizer they may be driven concurrently (thread_safe()).
 class VertexHistogramFeaturizer final : public Featurizer {
  public:
   SparseVector featurize(const LabeledGraph& g) override;
   std::string_view name() const noexcept override { return "vertex-histogram"; }
+  bool thread_safe() const noexcept override { return true; }
 
  private:
-  SignatureDictionary dict_;
+  ShardedSignatureDictionary dict_;
 };
 
 /// Directed-edge label-pair histogram features: one count per
@@ -21,9 +26,10 @@ class EdgeHistogramFeaturizer final : public Featurizer {
  public:
   SparseVector featurize(const LabeledGraph& g) override;
   std::string_view name() const noexcept override { return "edge-histogram"; }
+  bool thread_safe() const noexcept override { return true; }
 
  private:
-  SignatureDictionary dict_;
+  ShardedSignatureDictionary dict_;
 };
 
 /// Shortest-path kernel (Borgwardt & Kriegel 2005 style): one count per
@@ -34,9 +40,10 @@ class ShortestPathFeaturizer final : public Featurizer {
  public:
   SparseVector featurize(const LabeledGraph& g) override;
   std::string_view name() const noexcept override { return "shortest-path"; }
+  bool thread_safe() const noexcept override { return true; }
 
  private:
-  SignatureDictionary dict_;
+  ShardedSignatureDictionary dict_;
 };
 
 }  // namespace cwgl::kernel

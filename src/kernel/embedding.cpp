@@ -88,11 +88,19 @@ std::vector<double> wl_embed(const LabeledGraph& g, const EmbeddingConfig& confi
 }
 
 linalg::Matrix wl_embedding_matrix(std::span<const LabeledGraph> corpus,
-                                   const EmbeddingConfig& config) {
+                                   const EmbeddingConfig& config,
+                                   util::ThreadPool* pool) {
   linalg::Matrix out(corpus.size(), static_cast<std::size_t>(config.dimensions));
-  for (std::size_t i = 0; i < corpus.size(); ++i) {
-    const auto row = wl_embed(corpus[i], config);
-    for (std::size_t c = 0; c < row.size(); ++c) out(i, c) = row[c];
+  const auto embed_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto row = wl_embed(corpus[i], config);
+      for (std::size_t c = 0; c < row.size(); ++c) out(i, c) = row[c];
+    }
+  };
+  if (pool != nullptr) {
+    util::parallel_for_chunked(*pool, 0, corpus.size(), 16, embed_range);
+  } else {
+    embed_range(0, corpus.size());
   }
   return out;
 }

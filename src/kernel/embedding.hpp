@@ -7,6 +7,7 @@
 #include "kernel/types.hpp"
 #include "kernel/wl.hpp"
 #include "linalg/matrix.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cwgl::kernel {
 
@@ -32,7 +33,12 @@ struct EmbeddingConfig {
 std::vector<double> wl_embed(const LabeledGraph& g, const EmbeddingConfig& config = {});
 
 /// Embeds a corpus into an n x dimensions matrix (row i = corpus[i]).
+///
+/// Embeddings are pure per-graph functions (no shared dictionary), so rows
+/// fan out on `pool` when provided — bitwise identical to the serial result
+/// regardless of thread count.
 linalg::Matrix wl_embedding_matrix(std::span<const LabeledGraph> corpus,
-                                   const EmbeddingConfig& config = {});
+                                   const EmbeddingConfig& config = {},
+                                   util::ThreadPool* pool = nullptr);
 
 }  // namespace cwgl::kernel

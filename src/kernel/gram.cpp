@@ -10,9 +10,16 @@ namespace cwgl::kernel {
 linalg::Matrix gram_matrix(Featurizer& f, std::span<const LabeledGraph> corpus,
                            const GramOptions& options, util::ThreadPool* pool) {
   const std::size_t n = corpus.size();
-  std::vector<SparseVector> features;
-  features.reserve(n);
-  for (const LabeledGraph& g : corpus) features.push_back(f.featurize(g));
+  std::vector<SparseVector> features(n);
+  const auto featurize_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) features[i] = f.featurize(corpus[i]);
+  };
+  if (pool != nullptr && f.thread_safe()) {
+    util::parallel_for_chunked(*pool, 0, n, options.featurize_grain,
+                               featurize_range);
+  } else {
+    featurize_range(0, n);
+  }
 
   linalg::Matrix gram(n, n);
   const auto fill_row = [&](std::size_t i) {

@@ -13,13 +13,22 @@ struct GramOptions {
   /// Cosine-normalize so every diagonal entry is 1 and all values lie in
   /// [0,1] — the similarity-map form the paper plots in Fig. 7.
   bool normalize = true;
+  /// Graphs per chunk when featurization runs on the pool. Job DAGs are
+  /// tiny (tens of vertices, microseconds each), so chunks amortize the
+  /// submit/future overhead; 16 is a good default for 2-31-task jobs.
+  std::size_t featurize_grain = 16;
 };
 
 /// Builds the symmetric kernel (Gram) matrix of a corpus.
 ///
-/// Featurization runs sequentially through `f` (it owns a shared signature
-/// dictionary); the O(n^2/2) dot products run on `pool` when provided.
-/// Row/column i corresponds to corpus[i].
+/// When `pool` is provided and `f.thread_safe()` (the WL and histogram
+/// featurizers are — their shared dictionary is sharded and lock-striped),
+/// featurization itself fans out across the pool in chunks of
+/// `options.featurize_grain` graphs; otherwise it runs serially through
+/// `f`. The O(n^2/2) dot products run on `pool` whenever it is provided.
+/// Kernel values are independent of the schedule: concurrent interning
+/// permutes private feature ids, and the kernel only compares ids for
+/// equality. Row/column i corresponds to corpus[i].
 linalg::Matrix gram_matrix(Featurizer& f, std::span<const LabeledGraph> corpus,
                            const GramOptions& options = {},
                            util::ThreadPool* pool = nullptr);

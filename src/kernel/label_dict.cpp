@@ -1,0 +1,26 @@
+#include "kernel/label_dict.hpp"
+
+namespace cwgl::kernel {
+
+std::size_t ShardedSignatureDictionary::shard_index(std::string_view key) noexcept {
+  // Fibonacci-mix the container hash so shard selection stays uncorrelated
+  // with the map's own bucket placement (libstdc++ buckets by modulo).
+  const auto h = static_cast<std::uint64_t>(std::hash<std::string_view>{}(key));
+  return static_cast<std::size_t>((h * 0x9e3779b97f4a7c15ULL) >> 32) &
+         (kShardCount - 1);
+}
+
+int ShardedSignatureDictionary::intern(std::string_view key) {
+  Shard& shard = shards_[shard_index(key)];
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) return it->second;
+  // Draw the id inside the critical section so a signature is never
+  // assigned two ids; relaxed suffices because the shard mutex already
+  // orders the paired insert.
+  const int id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+  shard.map.emplace(std::string(key), id);
+  return id;
+}
+
+}  // namespace cwgl::kernel

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace cwgl::kernel {
+
+/// Thread-safe signature interner: the concurrent counterpart of
+/// `SignatureDictionary`, sharded by signature hash so that featurization of
+/// a corpus can fan out across a thread pool.
+///
+/// Each signature is owned by exactly one of `kShardCount` striped-lock hash
+/// maps (shard = mixed hash of the bytes), so two threads interning
+/// different signatures almost never contend. Ids are drawn from a single
+/// atomic counter *inside* the owning shard's critical section, which keeps
+/// the id space dense (every id in [0, size()) is assigned exactly once)
+/// while letting shards proceed independently.
+///
+/// Determinism contract: under concurrent interning the id ASSIGNED to a
+/// given signature depends on thread scheduling, but the id is stable for
+/// the lifetime of the dictionary, distinct signatures always get distinct
+/// ids, and equal signatures always get equal ids. Kernels built on top
+/// only ever compare ids for equality (sorted-merge dot products), so every
+/// kernel value is invariant under the id permutation — this is what makes
+/// parallel featurization deterministic in value even though the raw ids
+/// are not. When used from a single thread, ids are assigned in first-seen
+/// order, exactly matching the serial `SignatureDictionary`.
+class ShardedSignatureDictionary {
+ public:
+  ShardedSignatureDictionary() = default;
+
+  ShardedSignatureDictionary(const ShardedSignatureDictionary&) = delete;
+  ShardedSignatureDictionary& operator=(const ShardedSignatureDictionary&) = delete;
+
+  /// Returns the id of `key`, assigning the next free id on first sight.
+  /// Safe to call concurrently from any number of threads.
+  int intern(std::string_view key);
+
+  /// Number of distinct signatures interned so far. When racing with
+  /// writers the value is a snapshot; after all writers are joined it is
+  /// exact.
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(next_id_.load(std::memory_order_acquire));
+  }
+
+ private:
+  // Power of two so shard selection is a mask; 16 shards keep contention
+  // negligible for any realistic pool width while staying cache-compact.
+  static constexpr std::size_t kShardCount = 16;
+
+  /// Transparent hashing so lookups take string_view without allocating.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::string, int, Hash, std::equal_to<>> map;
+  };
+
+  static std::size_t shard_index(std::string_view key) noexcept;
+
+  std::atomic<int> next_id_{0};
+  std::array<Shard, kShardCount> shards_;
+};
+
+}  // namespace cwgl::kernel

@@ -39,7 +39,8 @@ struct SparseVector {
 
 /// Interns arbitrary byte-string signatures to dense consecutive ids.
 /// Shared across a corpus so identical substructures map to the same
-/// feature dimension in every graph.
+/// feature dimension in every graph. Single-threaded; the concurrent
+/// counterpart is `ShardedSignatureDictionary` in kernel/label_dict.hpp.
 class SignatureDictionary {
  public:
   /// Returns the id of `key`, assigning the next free id on first sight.
@@ -53,9 +54,14 @@ class SignatureDictionary {
 
 /// Abstract graph-to-feature-vector transform backing a kernel.
 ///
-/// Implementations share a SignatureDictionary internally, so a single
-/// instance must featurize a whole corpus (calls are NOT thread-safe);
-/// the resulting vectors can then be dotted in parallel.
+/// Implementations intern signatures into a dictionary shared across all
+/// calls, so a single instance must featurize a whole corpus for the
+/// resulting vectors to be comparable. Implementations whose dictionary is
+/// a `ShardedSignatureDictionary` report `thread_safe() == true` and may be
+/// driven concurrently from many threads; `gram_matrix` uses this to fan
+/// featurization out on its pool. Kernel values are invariant to how the
+/// concurrent id assignment interleaves because ids are only ever compared
+/// for equality (see DESIGN.md "Concurrency model").
 class Featurizer {
  public:
   virtual ~Featurizer() = default;
@@ -65,6 +71,11 @@ class Featurizer {
 
   /// Identifier used in reports ("wl-subtree", "vertex-histogram", ...).
   virtual std::string_view name() const noexcept = 0;
+
+  /// True when featurize() may be called concurrently from multiple
+  /// threads. Defaults to false; implementations backed by a sharded
+  /// dictionary override it.
+  virtual bool thread_safe() const noexcept { return false; }
 };
 
 /// Raw (unnormalized) kernel value between two graphs under `f`.

@@ -21,9 +21,7 @@ void append_int(std::string& sig, int v) {
 }  // namespace
 
 WlSubtreeFeaturizer::WlSubtreeFeaturizer(WlConfig config)
-    : config_(std::move(config)) {}
-
-SparseVector WlSubtreeFeaturizer::featurize(const LabeledGraph& g) {
+    : config_(std::move(config)) {
   if (!config_.iteration_weights.empty()) {
     if (config_.iteration_weights.size() !=
         static_cast<std::size_t>(config_.iterations) + 1) {
@@ -37,6 +35,9 @@ SparseVector WlSubtreeFeaturizer::featurize(const LabeledGraph& g) {
       }
     }
   }
+}
+
+SparseVector WlSubtreeFeaturizer::featurize(const LabeledGraph& g) {
   // Scale features by sqrt(w_i) so the kernel contribution of iteration i
   // scales by exactly w_i.
   const auto weight = [&](int it) {
@@ -90,7 +91,10 @@ SparseVector WlSubtreeFeaturizer::featurize(const LabeledGraph& g) {
     }
     color.swap(next);
   }
-  last_colors_ = color;
+  {
+    std::lock_guard lock(last_colors_mutex_);
+    last_colors_ = std::move(color);
+  }
   return SparseVector::from_counts(counts);
 }
 

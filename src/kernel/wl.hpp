@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
+#include "kernel/label_dict.hpp"
 #include "kernel/types.hpp"
 
 namespace cwgl::kernel {
@@ -23,8 +25,9 @@ struct WlConfig {
   /// Optional per-iteration weights w_0..w_h realizing the general form of
   /// the paper's Eq. (1): k = sum_i w_i k_i(G^i, G'^i). Empty means all 1.
   /// Must have exactly `iterations + 1` non-negative entries when set
-  /// (validated at featurize time). Larger early weights emphasize coarse
-  /// label statistics; larger late weights emphasize deep subtree context.
+  /// (validated once, at featurizer construction). Larger early weights
+  /// emphasize coarse label statistics; larger late weights emphasize deep
+  /// subtree context.
   std::vector<double> iteration_weights;
 };
 
@@ -37,6 +40,15 @@ struct WlConfig {
 ///
 /// A single instance interns signatures into one shared dictionary, so the
 /// whole corpus must pass through the same instance for comparable vectors.
+///
+/// The dictionary is sharded and lock-striped, so featurize() is safe to
+/// call concurrently from many threads (thread_safe() == true). Kernel
+/// values are identical whichever schedule interleaves the interning; only
+/// the private feature ids differ (see DESIGN.md "Concurrency model").
+///
+/// Throws util::InvalidArgument at construction when
+/// `config.iteration_weights` is set but malformed (wrong arity or a
+/// negative entry) — featurize() itself never re-validates.
 class WlSubtreeFeaturizer final : public Featurizer {
  public:
   explicit WlSubtreeFeaturizer(WlConfig config = {});
@@ -45,15 +57,23 @@ class WlSubtreeFeaturizer final : public Featurizer {
 
   std::string_view name() const noexcept override { return "wl-subtree"; }
 
+  bool thread_safe() const noexcept override { return true; }
+
   const WlConfig& config() const noexcept { return config_; }
 
+  /// Number of distinct (iteration, signature) features interned so far.
+  std::size_t dictionary_size() const noexcept { return dict_.size(); }
+
   /// The final per-vertex compressed colors of the last featurized graph —
-  /// exposed for refinement-convergence tests.
+  /// exposed for refinement-convergence tests. Only meaningful when the
+  /// previous featurize() calls were serial (under concurrency "last" is
+  /// whichever call stored most recently).
   const std::vector<int>& last_colors() const noexcept { return last_colors_; }
 
  private:
   WlConfig config_;
-  SignatureDictionary dict_;
+  ShardedSignatureDictionary dict_;
+  std::mutex last_colors_mutex_;
   std::vector<int> last_colors_;
 };
 

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace cwgl::util {
 
@@ -41,6 +42,18 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::run_pending_task() {
+  std::function<void()> job;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    job = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  job();
+  return true;
+}
+
 ThreadPool& default_pool() {
   static ThreadPool pool;
   return pool;
@@ -66,6 +79,12 @@ void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {
+    // Help-while-waiting: drain queued tasks (ours or anyone's) until this
+    // chunk resolves, so a pool task blocked here can never starve its own
+    // chunks of a worker.
+    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!pool.run_pending_task()) f.wait();
+    }
     try {
       f.get();
     } catch (...) {

@@ -55,7 +55,15 @@ class ThreadPool {
     return result;
   }
 
-  /// Stops accepting work and joins workers after the queue drains.
+  /// Pops one queued task and runs it on the calling thread; returns false
+  /// when the queue is empty. This lets a thread that is blocked waiting on
+  /// pool work help drain the queue instead — `parallel_for_chunked` uses
+  /// it so nested invocations from inside pool tasks make progress even
+  /// when every worker is occupied by a waiting parent task.
+  bool run_pending_task();
+
+  /// Stops accepting work and joins workers after the queue drains — tasks
+  /// already queued at the time of the call still run to completion.
   /// Idempotent; also called by the destructor.
   void shutdown();
 
@@ -79,8 +87,10 @@ ThreadPool& default_pool();
 /// chunks finish; the first exception thrown by any chunk is rethrown.
 ///
 /// With a single worker (or end - begin <= grain) the loop runs inline on
-/// the calling thread, so the function is safe to call re-entrantly from a
-/// pool task.
+/// the calling thread. With more workers the caller "helps": while waiting
+/// for its chunks it drains pending pool tasks via `run_pending_task`, so
+/// calling re-entrantly from pool tasks is deadlock-free even when every
+/// worker is simultaneously inside a nested parallel_for.
 void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
                           std::size_t grain,
                           const std::function<void(std::size_t, std::size_t)>& fn);

@@ -1,0 +1,70 @@
+// Property coverage for node conflation on random job DAGs: conflation is
+// a fixpoint operation, so applying it to its own output must change
+// nothing — conflate(conflate(g)) == conflate(g) — and the result can
+// never be larger than the input. Previously only hand-built examples
+// covered this.
+
+#include "graph/conflation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/proptest.hpp"
+
+namespace cwgl::graph {
+namespace {
+
+TEST(ConflationProperty, ConflationIsIdempotent) {
+  proptest::run_cases(0xC0F1A001, 20, [](util::Xoshiro256StarStar& rng) {
+    const auto g = proptest::random_job_graph(rng, 2, 20);
+    const ConflationResult once = conflate(g.graph, g.labels);
+    const ConflationResult twice = conflate(once.graph, once.labels);
+
+    EXPECT_EQ(twice.graph, once.graph);
+    EXPECT_EQ(twice.labels, once.labels);
+    // The second pass must find nothing to merge: identity mapping,
+    // every group a singleton.
+    for (std::size_t v = 0; v < twice.mapping.size(); ++v) {
+      EXPECT_EQ(twice.mapping[v], static_cast<int>(v));
+    }
+    for (int m : twice.multiplicity) EXPECT_EQ(m, 1);
+  });
+}
+
+TEST(ConflationProperty, ConflationNeverGrowsTheGraph) {
+  proptest::run_cases(0xC0F1A002, 20, [](util::Xoshiro256StarStar& rng) {
+    const auto g = proptest::random_job_graph(rng, 2, 20);
+    const ConflationResult result = conflate(g.graph, g.labels);
+    EXPECT_LE(result.graph.num_vertices(), g.graph.num_vertices());
+    EXPECT_LE(result.graph.num_edges(), g.graph.num_edges());
+    // Multiplicities account for every original vertex exactly once.
+    int total = 0;
+    for (int m : result.multiplicity) total += m;
+    EXPECT_EQ(total, g.graph.num_vertices());
+  });
+}
+
+TEST(ConflationProperty, ConflationCommutesWithVertexPermutation) {
+  // Conflating a relabeled copy must yield an isomorphic result — the
+  // merged vertex count and label multiset cannot depend on vertex order.
+  proptest::run_cases(0xC0F1A003, 20, [](util::Xoshiro256StarStar& rng) {
+    const auto g = proptest::random_job_graph(rng, 2, 16);
+    const auto perm = proptest::random_permutation(g.graph.num_vertices(), rng);
+    const auto h = proptest::permuted(g, perm);
+
+    const ConflationResult cg = conflate(g.graph, g.labels);
+    const ConflationResult ch = conflate(h.graph, h.labels);
+    EXPECT_EQ(cg.graph.num_vertices(), ch.graph.num_vertices());
+    EXPECT_EQ(cg.graph.num_edges(), ch.graph.num_edges());
+
+    auto sorted_labels = [](std::vector<int> labels) {
+      std::sort(labels.begin(), labels.end());
+      return labels;
+    };
+    EXPECT_EQ(sorted_labels(cg.labels), sorted_labels(ch.labels));
+  });
+}
+
+}  // namespace
+}  // namespace cwgl::graph

@@ -1,0 +1,69 @@
+// Property coverage for kernel_to_distance, which the clustering stage
+// (silhouette, medoids) leans on but was previously only spot-checked on
+// hand-built matrices: the induced feature-space metric must be
+// non-negative, symmetric, zero on the diagonal, and satisfy the triangle
+// inequality on Gram matrices of random job-DAG corpora.
+
+#include <gtest/gtest.h>
+
+#include "kernel/gram.hpp"
+#include "kernel/wl.hpp"
+#include "support/proptest.hpp"
+
+namespace cwgl::kernel {
+namespace {
+
+linalg::Matrix random_distance_matrix(util::Xoshiro256StarStar& rng,
+                                      std::size_t corpus_size,
+                                      bool normalize) {
+  const auto corpus = proptest::random_corpus(rng, corpus_size);
+  WlSubtreeFeaturizer f;
+  GramOptions options;
+  options.normalize = normalize;
+  return kernel_to_distance(gram_matrix(f, corpus, options));
+}
+
+TEST(KernelDistanceProperty, NonNegativeSymmetricZeroDiagonal) {
+  proptest::run_cases(0xD157A001, 6, [](util::Xoshiro256StarStar& rng) {
+    const bool normalize = rng.bernoulli(0.5);
+    const auto dist = random_distance_matrix(rng, 18, normalize);
+    for (std::size_t i = 0; i < dist.rows(); ++i) {
+      EXPECT_NEAR(dist(i, i), 0.0, 1e-9);
+      for (std::size_t j = 0; j < dist.cols(); ++j) {
+        EXPECT_GE(dist(i, j), 0.0);
+        EXPECT_NEAR(dist(i, j), dist(j, i), 1e-12);
+      }
+    }
+  });
+}
+
+TEST(KernelDistanceProperty, TriangleInequalityOnRandomCorpora) {
+  // d is the Euclidean metric of the WL feature space, so the triangle
+  // inequality must hold for every vertex triple (up to fp slack).
+  proptest::run_cases(0xD157A002, 5, [](util::Xoshiro256StarStar& rng) {
+    const bool normalize = rng.bernoulli(0.5);
+    const auto dist = random_distance_matrix(rng, 15, normalize);
+    const std::size_t n = dist.rows();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+          EXPECT_LE(dist(i, k), dist(i, j) + dist(j, k) + 1e-9)
+              << "triple (" << i << "," << j << "," << k << ")";
+        }
+      }
+    }
+  });
+}
+
+TEST(KernelDistanceProperty, IdenticalGraphsAreAtDistanceZero) {
+  proptest::run_cases(0xD157A003, 6, [](util::Xoshiro256StarStar& rng) {
+    auto corpus = proptest::random_corpus(rng, 6);
+    corpus.push_back(corpus.front());  // exact duplicate of graph 0
+    WlSubtreeFeaturizer f;
+    const auto dist = kernel_to_distance(gram_matrix(f, corpus));
+    EXPECT_NEAR(dist(0, corpus.size() - 1), 0.0, 1e-6);
+  });
+}
+
+}  // namespace
+}  // namespace cwgl::kernel

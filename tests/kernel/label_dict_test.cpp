@@ -1,0 +1,113 @@
+#include "kernel/label_dict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cwgl::kernel {
+namespace {
+
+std::string key_of(int i) { return "sig-" + std::to_string(i); }
+
+TEST(ShardedSignatureDictionary, SerialAssignsFirstSeenOrder) {
+  // Single-threaded use must match the serial SignatureDictionary exactly:
+  // ids are dense and in first-seen order.
+  ShardedSignatureDictionary dict;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dict.intern(key_of(i)), i);
+  }
+  EXPECT_EQ(dict.size(), 100u);
+}
+
+TEST(ShardedSignatureDictionary, RepeatLookupIsStable) {
+  ShardedSignatureDictionary dict;
+  const int a = dict.intern("alpha");
+  const int b = dict.intern("beta");
+  EXPECT_NE(a, b);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(dict.intern("alpha"), a);
+    EXPECT_EQ(dict.intern("beta"), b);
+  }
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(ShardedSignatureDictionary, EmbeddedNulBytesAreDistinctKeys) {
+  // Signatures are raw little-endian byte strings, so NUL is a payload
+  // byte, not a terminator.
+  ShardedSignatureDictionary dict;
+  const std::string with_nul("a\0b", 3);
+  const std::string without_nul("ab", 2);
+  EXPECT_NE(dict.intern(with_nul), dict.intern(without_nul));
+}
+
+TEST(ShardedSignatureDictionary, ConcurrentInternStormIsConsistent) {
+  // 8 threads intern an overlapping key universe as fast as they can. The
+  // dictionary must (a) never hand one key two ids, (b) never hand two keys
+  // one id, and (c) keep the id space dense.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  constexpr int kUniverse = 257;
+
+  ShardedSignatureDictionary dict;
+  std::vector<std::vector<std::pair<int, int>>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dict, &seen, t] {
+      seen[t].reserve(kIters);
+      for (int i = 0; i < kIters; ++i) {
+        const int k = (i * (t + 1) + t) % kUniverse;
+        seen[t].emplace_back(k, dict.intern(key_of(k)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  ASSERT_EQ(dict.size(), static_cast<std::size_t>(kUniverse));
+
+  // (a) every thread's recorded id for a key matches the final mapping.
+  std::vector<int> final_id(kUniverse);
+  for (int k = 0; k < kUniverse; ++k) final_id[k] = dict.intern(key_of(k));
+  for (int t = 0; t < kThreads; ++t) {
+    for (const auto& [k, id] : seen[t]) {
+      ASSERT_EQ(id, final_id[k]) << "thread " << t << " key " << k;
+    }
+  }
+
+  // (b) + (c): ids are a permutation of [0, kUniverse).
+  std::set<int> ids(final_id.begin(), final_id.end());
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kUniverse));
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), kUniverse - 1);
+}
+
+TEST(ShardedSignatureDictionary, ConcurrentDisjointKeysStayDense) {
+  // Threads interning disjoint ranges still share one dense id space.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  ShardedSignatureDictionary dict;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dict, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        dict.intern(key_of(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  ASSERT_EQ(dict.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::set<int> ids;
+  for (int k = 0; k < kThreads * kPerThread; ++k) {
+    ids.insert(dict.intern(key_of(k)));
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(*ids.rbegin(), kThreads * kPerThread - 1);
+}
+
+}  // namespace
+}  // namespace cwgl::kernel

@@ -207,6 +207,24 @@ TEST(WlKernel, IterationWeightsValidated) {
   EXPECT_THROW(wl_subtree_kernel(a, a, negative), util::InvalidArgument);
 }
 
+TEST(WlFeaturizer, InvalidIterationWeightsRejectedAtConstruction) {
+  // Regression: validation happens once, in the constructor — a malformed
+  // config must fail before any graph is featurized, not on first use.
+  WlConfig wrong_arity;
+  wrong_arity.iteration_weights = {1.0, 1.0};  // needs iterations+1 == 4
+  EXPECT_THROW(WlSubtreeFeaturizer{wrong_arity}, util::InvalidArgument);
+
+  WlConfig negative;
+  negative.iteration_weights = {1.0, -1.0, 1.0, 1.0};
+  EXPECT_THROW(WlSubtreeFeaturizer{negative}, util::InvalidArgument);
+
+  // A valid weighted config constructs and featurizes without throwing.
+  WlConfig valid;
+  valid.iteration_weights = {1.0, 0.5, 0.25, 0.125};
+  WlSubtreeFeaturizer f(valid);
+  EXPECT_NO_THROW(f.featurize(chain(4)));
+}
+
 TEST(WlKernel, IterationWeightsPreserveNormalizationAxioms) {
   const auto a = chain(5);
   const auto b = map_reduce(3);

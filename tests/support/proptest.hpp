@@ -1,0 +1,125 @@
+#pragma once
+
+// Minimal property-based testing support layered over gtest.
+//
+// Three pieces:
+//  - run_cases: a repeat-N runner that derives one independent RNG stream
+//    per case from (suite seed, case index) and SCOPED_TRACEs the derived
+//    seed, so any failure message names the exact seed to rerun in
+//    isolation: `util::Xoshiro256StarStar rng(<seed>ULL);`.
+//  - random job-DAG generators reusing trace::synthesize_shape, so
+//    properties are checked over the same shape taxonomy the paper's
+//    workloads draw from (chains, inverted triangles, diamonds, ...).
+//  - vertex-permutation helpers for isomorphism-invariance properties.
+//
+// Everything is inline: this header is shared by test sources across
+// several test binaries.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/patterns.hpp"
+#include "kernel/types.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::proptest {
+
+/// The RNG seed of case `index` under `suite_seed`.
+inline std::uint64_t case_seed(std::uint64_t suite_seed, int index) {
+  return util::hash_combine(suite_seed, static_cast<std::uint64_t>(index));
+}
+
+/// Runs `body(rng)` once per case, each with an independent deterministic
+/// RNG stream. Stops early on a fatal (ASSERT_*) failure. Non-fatal
+/// (EXPECT_*) failures carry the case's seed via SCOPED_TRACE.
+template <typename Body>
+void run_cases(std::uint64_t suite_seed, int cases, Body&& body) {
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t seed = case_seed(suite_seed, i);
+    SCOPED_TRACE(::testing::Message()
+                 << "property case " << i << "/" << cases
+                 << " — rerun with util::Xoshiro256StarStar rng(" << seed
+                 << "ULL)");
+    util::Xoshiro256StarStar rng(seed);
+    body(rng);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+/// A random labeled job DAG: shape drawn uniformly from the paper's
+/// taxonomy, size in [min_tasks, max_tasks], task-type labels assigned the
+/// way the trace does (sources are Maps, sinks sometimes Joins).
+inline kernel::LabeledGraph random_job_graph(util::Xoshiro256StarStar& rng,
+                                             int min_tasks = 2,
+                                             int max_tasks = 14) {
+  static constexpr graph::ShapePattern kShapes[] = {
+      graph::ShapePattern::StraightChain,
+      graph::ShapePattern::InvertedTriangle,
+      graph::ShapePattern::Diamond,
+      graph::ShapePattern::Hourglass,
+      graph::ShapePattern::Trapezium,
+      graph::ShapePattern::Combination,
+  };
+  const auto shape = kShapes[rng.uniform_int(0, 5)];
+  const int n = rng.uniform_int(min_tasks, max_tasks);
+  kernel::LabeledGraph g;
+  g.graph = trace::synthesize_shape(shape, n, rng);
+  g.labels.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    if (g.graph.in_degree(v) == 0) {
+      g.labels[static_cast<std::size_t>(v)] = 'M';
+    } else if (g.graph.out_degree(v) == 0 && rng.bernoulli(0.3)) {
+      g.labels[static_cast<std::size_t>(v)] = 'J';
+    } else {
+      g.labels[static_cast<std::size_t>(v)] = 'R';
+    }
+  }
+  return g;
+}
+
+/// A corpus of `count` random job DAGs.
+inline std::vector<kernel::LabeledGraph> random_corpus(
+    util::Xoshiro256StarStar& rng, std::size_t count, int min_tasks = 2,
+    int max_tasks = 14) {
+  std::vector<kernel::LabeledGraph> corpus;
+  corpus.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    corpus.push_back(random_job_graph(rng, min_tasks, max_tasks));
+  }
+  return corpus;
+}
+
+/// A uniformly random permutation of [0, n).
+inline std::vector<int> random_permutation(int n,
+                                           util::Xoshiro256StarStar& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  return perm;
+}
+
+/// The graph with vertex v renamed to perm[v] (an isomorphic copy).
+inline kernel::LabeledGraph permuted(const kernel::LabeledGraph& g,
+                                     std::span<const int> perm) {
+  std::vector<graph::Edge> edges;
+  for (const graph::Edge& e : g.graph.edges()) {
+    edges.push_back({perm[static_cast<std::size_t>(e.from)],
+                     perm[static_cast<std::size_t>(e.to)]});
+  }
+  kernel::LabeledGraph out;
+  out.graph = graph::Digraph(g.graph.num_vertices(), edges);
+  out.labels.resize(static_cast<std::size_t>(g.graph.num_vertices()));
+  for (int v = 0; v < g.graph.num_vertices(); ++v) {
+    out.labels[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])] =
+        g.label(v);
+  }
+  return out;
+}
+
+}  // namespace cwgl::proptest
