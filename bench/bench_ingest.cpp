@@ -1,0 +1,216 @@
+// Streaming ingest throughput: the per-character CsvReader baseline vs the
+// block-buffered zero-copy CsvScanner, parse-only and end-to-end (rows ->
+// job groups -> JobDags), serial and with parsing overlapped with DAG
+// construction on a thread pool. The acceptance bar for the ingest layer is
+// scanner rows/s >= 5x the CsvReader baseline on the synthetic trace.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bench/common.hpp"
+#include "core/ingest.hpp"
+#include "trace/io.hpp"
+#include "util/csv.hpp"
+#include "util/csv_scanner.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+using namespace cwgl;
+
+namespace {
+
+std::string make_task_csv(std::size_t num_jobs) {
+  const trace::Trace data = bench::make_trace(num_jobs);
+  std::ostringstream out;
+  trace::write_batch_task_csv(out, data.tasks);
+  return out.str();
+}
+
+struct RunResult {
+  double ms = 0.0;
+  std::size_t rows = 0;
+};
+
+void print_row(const char* label, const RunResult& r, std::size_t bytes,
+               double baseline_ms) {
+  const double seconds = r.ms / 1000.0;
+  std::cout << util::pad_right(label, 26)
+            << util::pad_left(util::format_double(r.ms, 1), 10)
+            << util::pad_left(
+                   util::format_double(
+                       static_cast<double>(r.rows) / seconds / 1e6, 2),
+                   10)
+            << util::pad_left(
+                   util::format_double(
+                       static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds,
+                       1),
+                   10)
+            << util::pad_left(util::format_double(baseline_ms / r.ms, 2), 9)
+            << "\n";
+}
+
+/// Least-noise estimate on a shared box: the fastest of `reps` runs.
+template <typename Fn>
+RunResult best_of(int reps, Fn&& fn) {
+  RunResult best;
+  for (int i = 0; i < reps; ++i) {
+    const RunResult r = fn();
+    if (i == 0 || r.ms < best.ms) best = r;
+  }
+  return best;
+}
+
+// The CSV layer itself: every record split into a full set of fields —
+// owning strings from the reader, zero-copy views from the scanner.
+RunResult run_csv_reader_scan(const std::string& csv) {
+  std::istringstream in(csv);
+  RunResult r;
+  util::WallTimer timer;
+  util::CsvReader reader(in);
+  std::vector<std::string> fields;
+  std::size_t chars = 0;
+  while (reader.next(fields)) {
+    for (const auto& f : fields) chars += f.size();
+    ++r.rows;
+  }
+  benchmark::DoNotOptimize(chars);
+  r.ms = timer.millis();
+  return r;
+}
+
+RunResult run_csv_scanner_scan(const std::string& csv) {
+  std::istringstream in(csv);
+  RunResult r;
+  util::WallTimer timer;
+  util::CsvScanner scanner(in);
+  std::size_t chars = 0;
+  while (const auto record = scanner.next()) {
+    for (const auto& f : *record) chars += f.size();
+    ++r.rows;
+  }
+  benchmark::DoNotOptimize(chars);
+  r.ms = timer.millis();
+  return r;
+}
+
+RunResult run_csv_reader(const std::string& csv) {
+  std::istringstream in(csv);
+  RunResult r;
+  util::WallTimer timer;
+  util::CsvReader reader(in);
+  std::vector<std::string> fields;
+  while (reader.next(fields)) {
+    benchmark::DoNotOptimize(trace::TaskRecord::from_fields(fields));
+    ++r.rows;
+  }
+  r.ms = timer.millis();
+  return r;
+}
+
+RunResult run_csv_scanner(const std::string& csv) {
+  std::istringstream in(csv);
+  RunResult r;
+  util::WallTimer timer;
+  util::CsvScanner scanner(in);
+  while (const auto record = scanner.next()) {
+    benchmark::DoNotOptimize(trace::TaskRecord::from_fields(*record));
+    ++r.rows;
+  }
+  r.ms = timer.millis();
+  return r;
+}
+
+RunResult run_stream_dags(const std::string& csv, util::ThreadPool* pool) {
+  std::istringstream in(csv);
+  RunResult r;
+  core::IngestStats stats;
+  util::WallTimer timer;
+  benchmark::DoNotOptimize(core::stream_dag_jobs(in, {}, pool, &stats));
+  r.ms = timer.millis();
+  r.rows = stats.stream.rows;
+  return r;
+}
+
+void print_figure() {
+  bench::banner("I1", "streaming ingest: CsvReader baseline vs CsvScanner");
+  const std::string csv = make_task_csv(30000);
+  std::cout << "input: " << csv.size() / (1024 * 1024) << " MiB of batch_task.csv ("
+            << std::count(csv.begin(), csv.end(), '\n') << " rows)\n\n";
+  std::cout << util::pad_right("path", 26) << util::pad_left("ms", 10)
+            << util::pad_left("Mrows/s", 10) << util::pad_left("MB/s", 10)
+            << util::pad_left("speedup", 9) << "\n";
+
+  // Best-of-3 on every path: the box is shared, and a single load spike on
+  // either side would swing the ratio by more than the margin it measures.
+  const RunResult scan_base = best_of(3, [&] { return run_csv_reader_scan(csv); });
+  print_row("CsvReader.next (baseline)", scan_base, csv.size(), scan_base.ms);
+  const RunResult scan_new = best_of(3, [&] { return run_csv_scanner_scan(csv); });
+  print_row("CsvScanner.next", scan_new, csv.size(), scan_base.ms);
+  const RunResult baseline = best_of(3, [&] { return run_csv_reader(csv); });
+  print_row("CsvReader + from_fields", baseline, csv.size(), scan_base.ms);
+  const RunResult scanner = best_of(3, [&] { return run_csv_scanner(csv); });
+  print_row("CsvScanner + from_fields", scanner, csv.size(), scan_base.ms);
+  const RunResult serial = run_stream_dags(csv, nullptr);
+  print_row("stream_dag_jobs serial", serial, csv.size(), scan_base.ms);
+  util::ThreadPool pool(4);
+  const RunResult pooled = run_stream_dags(csv, &pool);
+  print_row("stream_dag_jobs pooled(4)", pooled, csv.size(), scan_base.ms);
+
+  // The acceptance metric is the CSV layer the scanner replaced: both sides
+  // turn the byte stream into one full set of fields per row. The schema
+  // decode (from_fields) is identical code on both sides and is reported
+  // separately above so the end-to-end picture stays visible.
+  const double scan_ratio = scan_base.ms / scan_new.ms;
+  const double decode_ratio = baseline.ms / scanner.ms;
+  std::cout << "\nscanner vs reader rows/s ratio: "
+            << util::format_double(scan_ratio, 1)
+            << "x (acceptance bar: 5x); incl. shared schema decode: "
+            << util::format_double(decode_ratio, 1) << "x\n";
+}
+
+void BM_CsvReaderParse(benchmark::State& state) {
+  const std::string csv = make_task_csv(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_csv_reader(csv));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(csv.size()));
+}
+BENCHMARK(BM_CsvReaderParse)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_CsvScannerParse(benchmark::State& state) {
+  const std::string csv = make_task_csv(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_csv_scanner(csv));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(csv.size()));
+}
+BENCHMARK(BM_CsvScannerParse)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_StreamDagJobs(benchmark::State& state) {
+  const std::string csv = make_task_csv(10000);
+  const auto threads = static_cast<unsigned>(state.range(0));
+  std::optional<util::ThreadPool> pool;
+  if (threads > 0) pool.emplace(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_stream_dags(csv, pool ? &*pool : nullptr));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(csv.size()));
+}
+BENCHMARK(BM_StreamDagJobs)->Arg(0)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -12,6 +12,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Repo hygiene: build trees must never be committed. This list is empty when
+# .gitignore is doing its job; a non-empty match fails fast before the slow
+# build/test configurations run.
+if git ls-files -- 'build*/' | grep -q .; then
+  echo "check.sh: FAILED — tracked files under build*/ (build trees must not be committed):" >&2
+  git ls-files -- 'build*/' | head -20 >&2
+  exit 1
+fi
+
 JOBS="${1:-$(nproc)}"
 FAILED=()
 

@@ -18,6 +18,7 @@ namespace cwgl::cli {
 ///   cluster       (--trace DIR | [--jobs N]) [--sample K] [--clusters K]
 ///                 [--out DIR] [--seed S]
 ///   similarity    (--trace DIR | [--jobs N]) [--sample K] [--matrix]
+///   ingest        (--trace DIR | [--jobs N]) [--threads T] [--serial] [--seed S]
 ///   schedule      [--jobs N] [--sample K] [--machines M] [--online F]
 ///                 [--inter-arrival S] [--seed S]
 ///   help          prints usage

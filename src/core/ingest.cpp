@@ -1,0 +1,140 @@
+#include "core/ingest.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "util/bounded_queue.hpp"
+
+namespace cwgl::core {
+
+namespace {
+
+/// One job's rows, owned (moved out of the reader's grouping loop).
+struct RawGroup {
+  std::string job_name;
+  std::vector<trace::TaskRecord> tasks;
+};
+
+/// A run of consecutive groups; first_seq restores trace order at the end.
+struct Batch {
+  std::size_t first_seq = 0;
+  std::vector<RawGroup> groups;
+};
+
+struct WorkerResult {
+  std::vector<std::pair<std::size_t, JobDag>> built;
+  std::size_t eligible = 0;
+};
+
+std::vector<JobDag> stream_serial(std::istream& in,
+                                  const IngestOptions& options,
+                                  IngestStats& stats) {
+  std::vector<JobDag> out;
+  stats.stream = trace::consume_jobs_in_task_csv(
+      in, [&](std::string&& job, std::vector<trace::TaskRecord>&& tasks) {
+        if (!trace::passes_criteria(tasks, options.criteria)) return true;
+        ++stats.eligible;
+        if (auto dag = build_job_dag(std::move(job), tasks)) {
+          ++stats.dags;
+          out.push_back(std::move(*dag));
+        }
+        return true;
+      });
+  return out;
+}
+
+std::vector<JobDag> stream_pooled(std::istream& in, const IngestOptions& options,
+                                  util::ThreadPool& pool, IngestStats& stats) {
+  util::BoundedQueue<Batch> queue(options.queue_capacity);
+  const std::size_t batch_jobs = std::max<std::size_t>(1, options.batch_jobs);
+
+  std::vector<std::future<WorkerResult>> futures;
+  futures.reserve(pool.size());
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    futures.push_back(pool.submit([&queue, &options] {
+      WorkerResult result;
+      while (auto batch = queue.pop()) {
+        std::size_t seq = batch->first_seq;
+        for (RawGroup& group : batch->groups) {
+          const std::size_t s = seq++;
+          if (!trace::passes_criteria(group.tasks, options.criteria)) continue;
+          ++result.eligible;
+          if (auto dag = build_job_dag(std::move(group.job_name), group.tasks)) {
+            result.built.emplace_back(s, std::move(*dag));
+          }
+        }
+      }
+      return result;
+    }));
+  }
+
+  // The reader owns the stream: scan, parse, and group on a dedicated
+  // thread so I/O and parsing overlap DAG construction on the workers. A
+  // rejected push means the queue was closed below us (a worker failed) —
+  // returning false early-stops the CSV stream.
+  std::exception_ptr reader_error;
+  std::thread reader([&] {
+    try {
+      Batch batch;
+      std::size_t seq = 0;
+      stats.stream = trace::consume_jobs_in_task_csv(
+          in, [&](std::string&& job, std::vector<trace::TaskRecord>&& tasks) {
+            if (batch.groups.empty()) batch.first_seq = seq;
+            batch.groups.push_back(RawGroup{std::move(job), std::move(tasks)});
+            ++seq;
+            if (batch.groups.size() < batch_jobs) return true;
+            const bool accepted = queue.push(std::move(batch));
+            batch = Batch{};
+            return accepted;
+          });
+      if (!batch.groups.empty()) queue.push(std::move(batch));
+    } catch (...) {
+      reader_error = std::current_exception();
+    }
+    queue.close();
+  });
+
+  std::vector<std::pair<std::size_t, JobDag>> built;
+  std::exception_ptr worker_error;
+  for (auto& future : futures) {
+    try {
+      WorkerResult result = future.get();
+      stats.eligible += result.eligible;
+      built.insert(built.end(), std::make_move_iterator(result.built.begin()),
+                   std::make_move_iterator(result.built.end()));
+    } catch (...) {
+      if (!worker_error) worker_error = std::current_exception();
+      queue.close();  // unblock the reader so join() below cannot hang
+    }
+  }
+  reader.join();
+  if (reader_error) std::rethrow_exception(reader_error);
+  if (worker_error) std::rethrow_exception(worker_error);
+
+  std::sort(built.begin(), built.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<JobDag> out;
+  out.reserve(built.size());
+  for (auto& [seq, dag] : built) out.push_back(std::move(dag));
+  stats.dags = out.size();
+  return out;
+}
+
+}  // namespace
+
+std::vector<JobDag> stream_dag_jobs(std::istream& task_csv,
+                                    const IngestOptions& options,
+                                    util::ThreadPool* pool,
+                                    IngestStats* stats) {
+  IngestStats local;
+  std::vector<JobDag> out = (pool == nullptr || pool->size() < 2)
+                                ? stream_serial(task_csv, options, local)
+                                : stream_pooled(task_csv, options, *pool, local);
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace cwgl::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "core/job_dag.hpp"
+#include "trace/filter.hpp"
+#include "trace/io.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cwgl::core {
+
+/// Tuning knobs for the streaming DAG ingest.
+struct IngestOptions {
+  /// Job eligibility (same Section IV-B semantics as build_all_dag_jobs).
+  trace::SamplingCriteria criteria;
+  /// Bounded-queue capacity in *batches*: caps reader lead over the workers
+  /// at queue_capacity * batch_jobs job groups, keeping memory bounded on a
+  /// 270 GB input no matter how fast parsing runs.
+  std::size_t queue_capacity = 64;
+  /// Job groups per queue item (batching amortizes queue synchronization).
+  std::size_t batch_jobs = 64;
+};
+
+/// What the ingest saw, for throughput/quality reporting.
+struct IngestStats {
+  trace::StreamStats stream;   ///< rows/jobs/malformed/fragmented
+  std::size_t eligible = 0;    ///< job groups passing the criteria
+  std::size_t dags = 0;        ///< JobDags actually built
+};
+
+/// Builds every eligible DAG job straight from a `batch_task.csv` stream
+/// without materializing a Trace — the zero-copy front half of the pipeline.
+///
+/// With `pool == nullptr` (or a single-thread pool) everything runs inline
+/// on the calling thread. Otherwise a dedicated reader thread scans, parses,
+/// and groups rows (CsvScanner → TaskRecord spans → job groups) and feeds a
+/// bounded queue while pool workers filter groups and build JobDags, so
+/// parsing overlaps DAG construction. Output order matches the serial path
+/// (trace order) regardless of scheduling.
+///
+/// Unlike the TraceIndex-based build_all_dag_jobs, a job whose rows
+/// re-occur after its group was emitted yields separate groups (counted in
+/// stats.stream.fragmented) — true of both paths only for sorted traces,
+/// which the released trace is. Must not be called from inside a task
+/// running on `pool` (the caller blocks on pool results).
+///
+/// Throws util::ParseError on unterminated quoted fields, like CsvScanner.
+std::vector<JobDag> stream_dag_jobs(std::istream& task_csv,
+                                    const IngestOptions& options = {},
+                                    util::ThreadPool* pool = nullptr,
+                                    IngestStats* stats = nullptr);
+
+}  // namespace cwgl::core

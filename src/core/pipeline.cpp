@@ -77,11 +77,25 @@ PipelineResult CharacterizationPipeline::run(const trace::Trace& trace,
   return result;
 }
 
+std::vector<JobDag> CharacterizationPipeline::build_all_dags(
+    std::istream& task_csv, util::ThreadPool* pool, IngestStats* stats) const {
+  return build_all_dag_jobs(task_csv, config_.criteria, pool, stats);
+}
+
 std::vector<JobDag> build_all_dag_jobs(const trace::Trace& trace,
                                        const trace::SamplingCriteria& criteria) {
   const trace::TraceIndex index(trace);
   const auto eligible = trace::select_jobs(index, criteria);
   return build_jobs_from_groups(trace, index, eligible);
+}
+
+std::vector<JobDag> build_all_dag_jobs(std::istream& task_csv,
+                                       const trace::SamplingCriteria& criteria,
+                                       util::ThreadPool* pool,
+                                       IngestStats* stats) {
+  IngestOptions options;
+  options.criteria = criteria;
+  return stream_dag_jobs(task_csv, options, pool, stats);
 }
 
 }  // namespace cwgl::core

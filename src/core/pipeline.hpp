@@ -1,10 +1,12 @@
 #pragma once
 
+#include <iosfwd>
 #include <span>
 #include <vector>
 
 #include "core/characterization.hpp"
 #include "core/clustering.hpp"
+#include "core/ingest.hpp"
 #include "core/job_dag.hpp"
 #include "core/similarity.hpp"
 #include "trace/filter.hpp"
@@ -63,6 +65,13 @@ class CharacterizationPipeline {
   /// Builds the filtered, variability-stratified experiment set.
   std::vector<JobDag> build_sample(const trace::Trace& trace) const;
 
+  /// Streams a `batch_task.csv` and builds every DAG job passing this
+  /// pipeline's criteria, without materializing the trace. With a pool,
+  /// parsing overlaps DAG construction (see core::stream_dag_jobs).
+  std::vector<JobDag> build_all_dags(std::istream& task_csv,
+                                     util::ThreadPool* pool = nullptr,
+                                     IngestStats* stats = nullptr) const;
+
   /// Full analysis of a trace. `pool` parallelizes the Gram matrix.
   PipelineResult run(const trace::Trace& trace,
                      util::ThreadPool* pool = nullptr) const;
@@ -75,5 +84,13 @@ class CharacterizationPipeline {
 /// census-scale figures (Fig. 3 runs over the full filtered workload).
 std::vector<JobDag> build_all_dag_jobs(const trace::Trace& trace,
                                        const trace::SamplingCriteria& criteria);
+
+/// Streaming overload: same result on sorted (non-fragmented) traces, but
+/// reads straight from a `batch_task.csv` stream with bounded memory —
+/// this is the entry point sized for the real 270 GB file.
+std::vector<JobDag> build_all_dag_jobs(std::istream& task_csv,
+                                       const trace::SamplingCriteria& criteria,
+                                       util::ThreadPool* pool = nullptr,
+                                       IngestStats* stats = nullptr);
 
 }  // namespace cwgl::core

@@ -22,17 +22,28 @@ TraceIndex::TraceIndex(const Trace& trace) : trace_(&trace) {
   }
 }
 
+namespace {
+
+bool record_terminated(const TaskRecord& t) {
+  return t.status == Status::Terminated;
+}
+
+bool record_available(const TaskRecord& t) {
+  return t.start_time > 0 && t.end_time >= t.start_time && t.plan_cpu > 0.0 &&
+         t.plan_mem > 0.0 && t.instance_num > 0;
+}
+
+}  // namespace
+
 bool passes_integrity(const Trace& trace, const JobGroup& job) {
   return std::all_of(job.tasks.begin(), job.tasks.end(), [&](std::size_t i) {
-    return trace.tasks[i].status == Status::Terminated;
+    return record_terminated(trace.tasks[i]);
   });
 }
 
 bool passes_availability(const Trace& trace, const JobGroup& job) {
   return std::all_of(job.tasks.begin(), job.tasks.end(), [&](std::size_t i) {
-    const TaskRecord& t = trace.tasks[i];
-    return t.start_time > 0 && t.end_time >= t.start_time && t.plan_cpu > 0.0 &&
-           t.plan_mem > 0.0 && t.instance_num > 0;
+    return record_available(trace.tasks[i]);
   });
 }
 
@@ -45,6 +56,35 @@ bool is_dag_job(const Trace& trace, const JobGroup& job) {
     any_dep = any_dep || !parsed->deps.empty();
   }
   return any_dep;
+}
+
+bool passes_integrity(std::span<const TaskRecord> tasks) {
+  return std::all_of(tasks.begin(), tasks.end(), record_terminated);
+}
+
+bool passes_availability(std::span<const TaskRecord> tasks) {
+  return std::all_of(tasks.begin(), tasks.end(), record_available);
+}
+
+bool is_dag_job(std::span<const TaskRecord> tasks) {
+  if (tasks.size() < 2) return false;
+  bool any_dep = false;
+  for (const TaskRecord& t : tasks) {
+    const auto parsed = parse_task_name(t.task_name);
+    if (!parsed) return false;
+    any_dep = any_dep || !parsed->deps.empty();
+  }
+  return any_dep;
+}
+
+bool passes_criteria(std::span<const TaskRecord> tasks,
+                     const SamplingCriteria& criteria) {
+  const int size = static_cast<int>(tasks.size());
+  if (size < criteria.min_tasks || size > criteria.max_tasks) return false;
+  if (criteria.require_integrity && !passes_integrity(tasks)) return false;
+  if (criteria.require_availability && !passes_availability(tasks)) return false;
+  if (criteria.require_dag && !is_dag_job(tasks)) return false;
+  return true;
 }
 
 std::vector<std::size_t> select_jobs(const TraceIndex& index,

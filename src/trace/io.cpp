@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "util/csv.hpp"
+#include "util/csv_scanner.hpp"
 #include "util/error.hpp"
 
 namespace cwgl::trace {
@@ -26,7 +27,7 @@ void write_batch_instance_csv(std::ostream& out,
 std::vector<TaskRecord> read_batch_task_csv(std::istream& in, std::size_t* skipped) {
   std::vector<TaskRecord> out;
   std::size_t bad = 0;
-  util::for_each_csv_record(in, [&](const std::vector<std::string>& fields) {
+  util::scan_csv_records(in, [&](std::span<const std::string_view> fields) {
     if (auto rec = TaskRecord::from_fields(fields)) {
       out.push_back(std::move(*rec));
     } else {
@@ -42,7 +43,7 @@ std::vector<InstanceRecord> read_batch_instance_csv(std::istream& in,
                                                     std::size_t* skipped) {
   std::vector<InstanceRecord> out;
   std::size_t bad = 0;
-  util::for_each_csv_record(in, [&](const std::vector<std::string>& fields) {
+  util::scan_csv_records(in, [&](std::span<const std::string_view> fields) {
     if (auto rec = InstanceRecord::from_fields(fields)) {
       out.push_back(std::move(*rec));
     } else {
@@ -54,19 +55,38 @@ std::vector<InstanceRecord> read_batch_instance_csv(std::istream& in,
   return out;
 }
 
+namespace {
+
+/// Flushes and verifies the stream; ofstream swallows write errors (short
+/// writes on a full disk just set badbit), so without this check a
+/// truncated file would be reported as success.
+void finish_file(std::ofstream& out, const std::filesystem::path& path) {
+  out.flush();
+  if (!out) {
+    throw util::Error("write_trace: I/O error writing " + path.string() +
+                      " (disk full or device error; file may be truncated)");
+  }
+}
+
+}  // namespace
+
 void write_trace(const Trace& trace, const std::filesystem::path& dir) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) throw util::Error("write_trace: cannot create " + dir.string());
   {
-    std::ofstream out(dir / "batch_task.csv");
-    if (!out) throw util::Error("write_trace: cannot open batch_task.csv");
+    const auto path = dir / "batch_task.csv";
+    std::ofstream out(path);
+    if (!out) throw util::Error("write_trace: cannot open " + path.string());
     write_batch_task_csv(out, trace.tasks);
+    finish_file(out, path);
   }
   {
-    std::ofstream out(dir / "batch_instance.csv");
-    if (!out) throw util::Error("write_trace: cannot open batch_instance.csv");
+    const auto path = dir / "batch_instance.csv";
+    std::ofstream out(path);
+    if (!out) throw util::Error("write_trace: cannot open " + path.string());
     write_batch_instance_csv(out, trace.instances);
+    finish_file(out, path);
   }
 }
 
@@ -74,12 +94,28 @@ Trace read_trace(const std::filesystem::path& dir, std::size_t* skipped) {
   Trace trace;
   std::size_t bad_tasks = 0, bad_instances = 0;
   {
-    std::ifstream in(dir / "batch_task.csv");
-    if (!in) throw util::Error("read_trace: cannot open batch_task.csv in " + dir.string());
+    const auto path = dir / "batch_task.csv";
+    std::ifstream in(path);
+    if (!in) throw util::Error("read_trace: cannot open " + path.string());
     trace.tasks = read_batch_task_csv(in, &bad_tasks);
+    if (in.bad()) {
+      throw util::Error("read_trace: I/O error while reading " + path.string());
+    }
   }
-  if (std::ifstream in(dir / "batch_instance.csv"); in) {
+  // The instance file is optional (partial downloads of the real trace), but
+  // "absent" is the only tolerated failure: a file that exists yet cannot be
+  // opened or dies mid-stream must raise, not silently yield a partial trace.
+  if (const auto path = dir / "batch_instance.csv";
+      std::filesystem::exists(path)) {
+    std::ifstream in(path);
+    if (!in) {
+      throw util::Error("read_trace: " + path.string() +
+                        " exists but cannot be opened");
+    }
     trace.instances = read_batch_instance_csv(in, &bad_instances);
+    if (in.bad()) {
+      throw util::Error("read_trace: I/O error while reading " + path.string());
+    }
   }
   if (skipped) *skipped = bad_tasks + bad_instances;
   return trace;
@@ -89,6 +125,16 @@ StreamStats for_each_job_in_task_csv(
     std::istream& in,
     const std::function<bool(const std::string& job_name,
                              const std::vector<TaskRecord>& tasks)>& fn) {
+  return consume_jobs_in_task_csv(
+      in, [&fn](std::string&& job, std::vector<TaskRecord>&& tasks) {
+        return fn(job, tasks);
+      });
+}
+
+StreamStats consume_jobs_in_task_csv(
+    std::istream& in,
+    const std::function<bool(std::string&& job_name,
+                             std::vector<TaskRecord>&& tasks)>& fn) {
   StreamStats stats;
   std::string current_job;
   std::vector<TaskRecord> group;
@@ -99,12 +145,12 @@ StreamStats for_each_job_in_task_csv(
     if (group.empty()) return true;
     ++stats.jobs;
     if (!seen_jobs.insert(current_job).second) ++stats.fragmented;
-    const bool keep_going = fn(current_job, group);
+    const bool keep_going = fn(std::string(current_job), std::move(group));
     group.clear();
     return keep_going;
   };
 
-  util::for_each_csv_record(in, [&](const std::vector<std::string>& fields) {
+  util::scan_csv_records(in, [&](std::span<const std::string_view> fields) {
     auto rec = TaskRecord::from_fields(fields);
     if (!rec) {
       ++stats.malformed;

@@ -54,4 +54,13 @@ StreamStats for_each_job_in_task_csv(
     const std::function<bool(const std::string& job_name,
                              const std::vector<TaskRecord>& tasks)>& fn);
 
+/// Move-based variant of `for_each_job_in_task_csv`: ownership of each job
+/// group transfers to `fn`, so a consumer can forward groups to worker
+/// threads without copying (the streaming ingest's reader thread does).
+/// Same grouping, early-stop, and StreamStats semantics.
+StreamStats consume_jobs_in_task_csv(
+    std::istream& in,
+    const std::function<bool(std::string&& job_name,
+                             std::vector<TaskRecord>&& tasks)>& fn);
+
 }  // namespace cwgl::trace

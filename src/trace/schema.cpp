@@ -4,16 +4,6 @@
 
 namespace cwgl::trace {
 
-Status parse_status(std::string_view text) noexcept {
-  if (text == "Waiting") return Status::Waiting;
-  if (text == "Running") return Status::Running;
-  if (text == "Terminated") return Status::Terminated;
-  if (text == "Failed") return Status::Failed;
-  if (text == "Cancelled") return Status::Cancelled;
-  if (text == "Interrupted") return Status::Interrupted;
-  return Status::Unknown;
-}
-
 std::string_view to_string(Status s) noexcept {
   switch (s) {
     case Status::Waiting: return "Waiting";
@@ -39,10 +29,9 @@ std::vector<std::string> TaskRecord::to_fields() const {
           util::format_double(plan_mem, 2)};
 }
 
-std::optional<TaskRecord> TaskRecord::from_fields(const std::vector<std::string>& f) {
+std::optional<TaskRecord> TaskRecord::from_fields(
+    std::span<const std::string_view> f) {
   if (f.size() != 9) return std::nullopt;
-  TaskRecord r;
-  r.task_name = f[0];
   const auto inst = util::to_int(f[1]);
   const auto type = util::to_int(f[3]);
   const auto start = util::to_int(f[5]);
@@ -50,6 +39,12 @@ std::optional<TaskRecord> TaskRecord::from_fields(const std::vector<std::string>
   const auto cpu = util::to_double(f[7]);
   const auto mem = util::to_double(f[8]);
   if (!inst || !type || !start || !end || !cpu || !mem) return std::nullopt;
+  // Built directly inside the returned optional (NRVO) — this runs once per
+  // row on the streaming-ingest hot path and TaskRecord holds two strings,
+  // so a move out of a local would cost measurably.
+  std::optional<TaskRecord> out(std::in_place);
+  TaskRecord& r = *out;
+  r.task_name = f[0];
   r.instance_num = static_cast<int>(*inst);
   r.job_name = f[2];
   r.task_type = static_cast<int>(*type);
@@ -58,7 +53,13 @@ std::optional<TaskRecord> TaskRecord::from_fields(const std::vector<std::string>
   r.end_time = *end;
   r.plan_cpu = *cpu;
   r.plan_mem = *mem;
-  return r;
+  return out;
+}
+
+std::optional<TaskRecord> TaskRecord::from_fields(
+    const std::vector<std::string>& f) {
+  const std::vector<std::string_view> views(f.begin(), f.end());
+  return from_fields(std::span<const std::string_view>(views));
 }
 
 std::vector<std::string> InstanceRecord::to_fields() const {
@@ -79,12 +80,8 @@ std::vector<std::string> InstanceRecord::to_fields() const {
 }
 
 std::optional<InstanceRecord> InstanceRecord::from_fields(
-    const std::vector<std::string>& f) {
+    std::span<const std::string_view> f) {
   if (f.size() != 14) return std::nullopt;
-  InstanceRecord r;
-  r.instance_name = f[0];
-  r.task_name = f[1];
-  r.job_name = f[2];
   const auto type = util::to_int(f[3]);
   const auto start = util::to_int(f[5]);
   const auto end = util::to_int(f[6]);
@@ -98,6 +95,12 @@ std::optional<InstanceRecord> InstanceRecord::from_fields(
       !mem_m) {
     return std::nullopt;
   }
+  // In-place construction (NRVO) for the same hot-path reason as TaskRecord.
+  std::optional<InstanceRecord> out(std::in_place);
+  InstanceRecord& r = *out;
+  r.instance_name = f[0];
+  r.task_name = f[1];
+  r.job_name = f[2];
   r.task_type = static_cast<int>(*type);
   r.status = parse_status(f[4]);
   r.start_time = *start;
@@ -109,7 +112,13 @@ std::optional<InstanceRecord> InstanceRecord::from_fields(
   r.cpu_max = *cpu_m;
   r.mem_avg = *mem_a;
   r.mem_max = *mem_m;
-  return r;
+  return out;
+}
+
+std::optional<InstanceRecord> InstanceRecord::from_fields(
+    const std::vector<std::string>& f) {
+  const std::vector<std::string_view> views(f.begin(), f.end());
+  return from_fields(std::span<const std::string_view>(views));
 }
 
 }  // namespace cwgl::trace

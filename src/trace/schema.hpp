@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,8 +22,23 @@ enum class Status {
 
 /// Parses the trace's status spelling ("Terminated", ...); unknown text maps
 /// to Status::Unknown rather than throwing, matching the tolerant way trace
-/// consumers must treat production data.
-Status parse_status(std::string_view text) noexcept;
+/// consumers must treat production data. Inline with first-character
+/// dispatch: this sits on the per-row hot path of the streaming CSV ingest.
+inline Status parse_status(std::string_view text) noexcept {
+  if (text.empty()) return Status::Unknown;
+  switch (text.front()) {
+    case 'W': return text == "Waiting" ? Status::Waiting : Status::Unknown;
+    case 'R': return text == "Running" ? Status::Running : Status::Unknown;
+    case 'T':
+      return text == "Terminated" ? Status::Terminated : Status::Unknown;
+    case 'F': return text == "Failed" ? Status::Failed : Status::Unknown;
+    case 'C':
+      return text == "Cancelled" ? Status::Cancelled : Status::Unknown;
+    case 'I':
+      return text == "Interrupted" ? Status::Interrupted : Status::Unknown;
+    default: return Status::Unknown;
+  }
+}
 
 /// Canonical trace spelling of a status.
 std::string_view to_string(Status s) noexcept;
@@ -46,7 +62,10 @@ struct TaskRecord {
 
   /// Parses from CSV fields; returns nullopt if the row has the wrong arity
   /// or un-parseable numerics (malformed rows exist in production traces
-  /// and are skipped, not fatal).
+  /// and are skipped, not fatal). The span overload is the zero-copy hot
+  /// path used by the streaming ingest (views need only outlive the call).
+  static std::optional<TaskRecord> from_fields(
+      std::span<const std::string_view> f);
   static std::optional<TaskRecord> from_fields(const std::vector<std::string>& f);
 };
 
@@ -72,7 +91,10 @@ struct InstanceRecord {
   /// Serializes to the fourteen CSV fields in trace column order.
   std::vector<std::string> to_fields() const;
 
-  /// Parses from CSV fields; nullopt on malformed rows.
+  /// Parses from CSV fields; nullopt on malformed rows. The span overload
+  /// is the zero-copy hot path.
+  static std::optional<InstanceRecord> from_fields(
+      std::span<const std::string_view> f);
   static std::optional<InstanceRecord> from_fields(const std::vector<std::string>& f);
 };
 

@@ -1,0 +1,259 @@
+#include "util/csv_scanner.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+
+#include "util/error.hpp"
+
+namespace cwgl::util {
+
+namespace {
+
+// Flags bytes of `word` below 0x30 ('0') by setting their high bit. Every
+// CSV special byte — ',' 0x2C, '\n' 0x0A, '\r' 0x0D, '"' 0x22 — is below
+// '0', while trace payload is almost entirely alphanumeric, so one probe
+// covers all four. Borrow propagation may over-flag a byte directly above a
+// true hit and bytes like '.' flag too, so callers must recheck the byte —
+// but a genuine special byte is never missed.
+constexpr std::uint64_t flag_special(std::uint64_t word) noexcept {
+  constexpr std::uint64_t kOnes = 0x0101010101010101ull;
+  constexpr std::uint64_t kHigh = 0x8080808080808080ull;
+  return (word - kOnes * 0x30) & ~word & kHigh;
+}
+
+/// Index (in memory order) of the lowest-address flagged byte.
+constexpr std::size_t first_flagged(std::uint64_t mask) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    return static_cast<std::size_t>(std::countr_zero(mask)) >> 3;
+  } else {
+    return static_cast<std::size_t>(std::countl_zero(mask)) >> 3;
+  }
+}
+
+constexpr std::uint64_t clear_flagged(std::uint64_t mask,
+                                      std::size_t idx) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    return mask & (mask - 1);
+  } else {
+    return mask & ~(0x8000000000000000ull >> (idx * 8));
+  }
+}
+
+}  // namespace
+
+CsvScanner::CsvScanner(std::istream& in, std::size_t block_size)
+    : in_(in), block_size_(std::max<std::size_t>(1, block_size)) {}
+
+bool CsvScanner::refill() {
+  if (begin_ > 0) {
+    std::memmove(buffer_.data(), buffer_.data() + begin_, end_ - begin_);
+    end_ -= begin_;
+    begin_ = 0;
+  }
+  if (buffer_.size() - end_ < block_size_) {
+    // Double rather than add one block so a record much larger than the
+    // block size costs O(record) amortized, not O(record^2 / block).
+    buffer_.resize(std::max(buffer_.size() * 2, end_ + block_size_));
+  }
+  in_.read(buffer_.data() + end_, static_cast<std::streamsize>(block_size_));
+  const auto got = static_cast<std::size_t>(in_.gcount());
+  end_ += got;
+  if (got < block_size_) eof_ = true;
+  return got > 0;
+}
+
+std::optional<std::span<const std::string_view>> CsvScanner::next() {
+  if (begin_ == end_ && !eof_) refill();
+  if (begin_ == end_) return std::nullopt;
+
+  // Parse attempts restart from the top whenever a refill is needed:
+  // refilling compacts the buffer (invalidating in-progress views), and a
+  // record can straddle block boundaries only O(record/block) times, so the
+  // rescan cost is bounded. Each attempt first tries the vectorized fast
+  // path (memchr terminator + quote probe + memchr field splits) that covers
+  // every record of the real traces; records containing a quote fall back to
+  // a state machine that mirrors CsvReader exactly, where `copy` switches a
+  // field from the zero-copy slice to unescaped copy-out storage the moment
+  // quoting makes the raw bytes differ from the field.
+  for (;;) {
+    fields_.clear();
+    unescaped_.clear();
+
+    // --- fast path: unquoted record fully resident in the buffer ---
+    // A single word-at-a-time sweep finds commas, the record terminator, and
+    // any quote at once; the first quote bails out to the exact state
+    // machine, and running off the buffered bytes triggers a refill.
+    {
+      const char* rec = buffer_.data() + begin_;
+      const char* lim = buffer_.data() + end_;
+      const char* field_start = rec;
+      const char* p = rec;
+      std::size_t content_len = 0;  ///< record bytes before the terminator
+      std::size_t rec_len = 0;      ///< bytes consumed including terminator
+      enum { kScanning, kDone, kRefill, kQuoted } state = kScanning;
+      while (state == kScanning) {
+        if (p >= lim) {
+          if (!eof_) {
+            state = kRefill;
+            break;
+          }
+          content_len = rec_len = static_cast<std::size_t>(lim - rec);
+          state = kDone;
+          break;
+        }
+        std::uint64_t word = 0;
+        std::size_t n = static_cast<std::size_t>(lim - p);
+        if (n >= 8) {
+          n = 8;
+          std::memcpy(&word, p, 8);  // fixed size: a single unaligned load
+        } else {
+          std::memcpy(&word, p, n);  // zero padding flags only harmless bytes
+        }
+        std::uint64_t special = flag_special(word);
+        while (special != 0) {
+          const std::size_t off = first_flagged(special);
+          special = clear_flagged(special, off);
+          if (off >= n) break;  // padding byte of the final partial word
+          const char* at = p + off;
+          const char c = *at;  // flag_special over-flags; recheck the byte
+          if (c == ',') {
+            fields_.emplace_back(field_start,
+                                 static_cast<std::size_t>(at - field_start));
+            field_start = at + 1;
+          } else if (c == '"') {
+            state = kQuoted;
+            break;
+          } else if (c == '\n' || c == '\r') {
+            content_len = static_cast<std::size_t>(at - rec);
+            if (c == '\n') {
+              rec_len = content_len + 1;
+            } else if (at + 1 == lim && !eof_) {
+              state = kRefill;  // cannot tell yet whether a CRLF pair follows
+              break;
+            } else {
+              rec_len = content_len + ((at + 1 < lim && at[1] == '\n') ? 2 : 1);
+            }
+            if (state == kScanning) state = kDone;
+            break;
+          }
+        }
+        if (state == kScanning) p += n;
+      }
+      if (state == kRefill) {
+        refill();
+        continue;
+      }
+      if (state == kDone) {
+        fields_.emplace_back(
+            field_start,
+            static_cast<std::size_t>((rec + content_len) - field_start));
+        consumed_ += rec_len;
+        begin_ += rec_len;
+        ++record_;
+        return std::span<const std::string_view>(fields_);
+      }
+      // A quote is present: take the exact CsvReader state machine below.
+      fields_.clear();
+    }
+    std::size_t p = begin_;
+    std::size_t field_begin = p;
+    std::string* copy = nullptr;
+    bool in_quotes = false;
+    bool need_refill = false;
+    std::size_t field_end = 0;  ///< position of the record terminator
+    std::size_t rec_end = 0;    ///< one past the consumed terminator bytes
+
+    const auto finish_field = [&](std::size_t at) {
+      fields_.push_back(copy ? std::string_view(*copy)
+                             : std::string_view(buffer_.data() + field_begin,
+                                                at - field_begin));
+    };
+
+    for (;;) {
+      if (p == end_) {
+        if (!eof_) {
+          need_refill = true;
+          break;
+        }
+        if (in_quotes) {
+          throw ParseError("CSV record " + std::to_string(record_ + 1) +
+                           ": unterminated quoted field");
+        }
+        field_end = rec_end = p;
+        break;
+      }
+      const char ch = buffer_[p];
+      if (in_quotes) {
+        if (ch == '"') {
+          if (p + 1 == end_ && !eof_) {
+            need_refill = true;
+            break;
+          }
+          if (p + 1 < end_ && buffer_[p + 1] == '"') {
+            copy->push_back('"');
+            p += 2;
+          } else {
+            in_quotes = false;
+            ++p;
+          }
+        } else {
+          copy->push_back(ch);
+          ++p;
+        }
+        continue;
+      }
+      if (ch == '"' && (copy ? copy->empty() : p == field_begin)) {
+        if (copy == nullptr) copy = &unescaped_.emplace_back();
+        in_quotes = true;
+        ++p;
+      } else if (ch == ',') {
+        finish_field(p);
+        ++p;
+        field_begin = p;
+        copy = nullptr;
+      } else if (ch == '\n') {
+        field_end = p;
+        rec_end = p + 1;
+        break;
+      } else if (ch == '\r') {
+        if (p + 1 == end_ && !eof_) {
+          need_refill = true;
+          break;
+        }
+        field_end = p;
+        rec_end = (p + 1 < end_ && buffer_[p + 1] == '\n') ? p + 2 : p + 1;
+        break;
+      } else {
+        if (copy != nullptr) copy->push_back(ch);
+        ++p;
+      }
+    }
+
+    if (need_refill) {
+      refill();
+      continue;
+    }
+    finish_field(field_end);
+    consumed_ += rec_end - begin_;
+    begin_ = rec_end;
+    ++record_;
+    return std::span<const std::string_view>(fields_);
+  }
+}
+
+std::size_t scan_csv_records(
+    std::istream& in,
+    const std::function<bool(std::span<const std::string_view>)>& fn) {
+  CsvScanner scanner(in);
+  std::size_t n = 0;
+  while (const auto record = scanner.next()) {
+    ++n;
+    if (!fn(*record)) break;
+  }
+  return n;
+}
+
+}  // namespace cwgl::util

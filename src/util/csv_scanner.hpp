@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cwgl::util {
+
+/// Zero-copy streaming CSV scanner.
+///
+/// Reads the input in large blocks and yields each record as a span of
+/// `string_view` fields pointing directly into the internal buffer — no
+/// per-field heap allocation on the hot path. Only fields that contain a
+/// quote are copied out (to unescape doubled quotes), which never happens in
+/// the Alibaba traces. Accepts the same dialect as `CsvReader` (RFC-4180
+/// quotes, CRLF and lone-CR line endings, embedded newlines) and produces
+/// byte-identical fields; `tests/util/csv_scanner_test.cpp` holds the
+/// differential proof.
+///
+/// Records may be arbitrarily larger than the block size: the buffer grows
+/// to fit the largest single record and is reused across records.
+class CsvScanner {
+ public:
+  static constexpr std::size_t kDefaultBlockSize = std::size_t{1} << 18;
+
+  /// Wraps (does not own) `in`. `block_size` is the granularity of refills;
+  /// tiny values are legal (the boundary-handling tests use them).
+  explicit CsvScanner(std::istream& in,
+                      std::size_t block_size = kDefaultBlockSize);
+
+  /// Scans the next record. Returns nullopt at end of input. The returned
+  /// span and every `string_view` in it are invalidated by the next call.
+  /// Throws ParseError on an unterminated quoted field.
+  std::optional<std::span<const std::string_view>> next();
+
+  /// 1-based index of the last record returned (for error messages).
+  std::size_t record_number() const noexcept { return record_; }
+
+  /// Total input bytes consumed by returned records (throughput accounting).
+  std::size_t bytes_consumed() const noexcept { return consumed_; }
+
+ private:
+  /// Compacts the live tail to the buffer front and reads one more block.
+  /// Returns false when the input is exhausted (sets eof_).
+  bool refill();
+
+  std::istream& in_;
+  std::size_t block_size_;
+  std::vector<char> buffer_;
+  std::size_t begin_ = 0;  ///< first unconsumed byte in buffer_
+  std::size_t end_ = 0;    ///< one past the last valid byte in buffer_
+  bool eof_ = false;
+  std::size_t record_ = 0;
+  std::size_t consumed_ = 0;
+  std::vector<std::string_view> fields_;
+  /// Stable storage for unescaped quoted fields (deque: growth never moves
+  /// existing elements, so views into them stay valid for the record).
+  std::deque<std::string> unescaped_;
+};
+
+/// Streams records through `fn` with the zero-copy scanner; stops early if
+/// `fn` returns false. Returns the number of records visited. The span
+/// passed to `fn` is only valid during the call.
+std::size_t scan_csv_records(
+    std::istream& in,
+    const std::function<bool(std::span<const std::string_view>)>& fn);
+
+}  // namespace cwgl::util

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdint>
 #include <cstdio>
 
 namespace cwgl::util {
@@ -34,17 +35,7 @@ std::string join(std::span<const std::string> parts, std::string_view sep) {
   return out;
 }
 
-std::optional<long long> to_int(std::string_view text) {
-  if (text.empty()) return std::nullopt;
-  long long value = 0;
-  const char* first = text.data();
-  const char* last = text.data() + text.size();
-  const auto [ptr, ec] = std::from_chars(first, last, value);
-  if (ec != std::errc() || ptr != last) return std::nullopt;
-  return value;
-}
-
-std::optional<double> to_double(std::string_view text) {
+std::optional<double> to_double_general(std::string_view text) {
   if (text.empty()) return std::nullopt;
   double value = 0.0;
   const char* first = text.data();

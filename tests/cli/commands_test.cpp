@@ -111,6 +111,34 @@ TEST(Cli, SimilarityMatrixShape) {
   EXPECT_GE(commas, 90u);
 }
 
+TEST(Cli, IngestSerialOnGeneratedJobs) {
+  const auto r = run({"ingest", "--jobs", "400", "--serial"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("mode:        serial"), std::string::npos);
+  EXPECT_NE(r.out.find("throughput:"), std::string::npos);
+  EXPECT_NE(r.out.find("DAG jobs"), std::string::npos);
+}
+
+TEST(Cli, IngestPooledOnTraceDirectory) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "cwgl_cli_ingest").string();
+  std::filesystem::remove_all(dir);
+  const auto gen = run({"generate", "--out", dir.c_str(), "--jobs", "300",
+                        "--no-instances"});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  const auto r = run({"ingest", "--trace", dir.c_str(), "--threads", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("pooled (2 workers)"), std::string::npos);
+  EXPECT_NE(r.out.find("MB/s"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, IngestMissingTraceRejected) {
+  const auto r = run({"ingest", "--trace", "/nonexistent/cwgl"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
 TEST(Cli, ScheduleComparesPolicies) {
   const auto r = run({"schedule", "--jobs", "600", "--sample", "40",
                       "--machines", "2"});

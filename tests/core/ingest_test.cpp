@@ -1,0 +1,136 @@
+#include "core/ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/pipeline.hpp"
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cwgl::core {
+namespace {
+
+trace::Trace make_trace(std::size_t jobs, std::uint64_t seed = 42) {
+  trace::GeneratorConfig cfg;
+  cfg.num_jobs = jobs;
+  cfg.seed = seed;
+  cfg.emit_instances = false;
+  return trace::TraceGenerator(cfg).generate();
+}
+
+std::string task_csv(const trace::Trace& data) {
+  std::ostringstream out;
+  trace::write_batch_task_csv(out, data.tasks);
+  return out.str();
+}
+
+void expect_same_jobs(const std::vector<JobDag>& a,
+                      const std::vector<JobDag>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job_name, b[i].job_name);
+    EXPECT_EQ(a[i].size(), b[i].size());
+    EXPECT_EQ(a[i].dag.edges(), b[i].dag.edges());
+    EXPECT_EQ(a[i].type_labels(), b[i].type_labels());
+  }
+}
+
+TEST(StreamDagJobs, SerialMatchesInMemoryBuild) {
+  const trace::Trace data = make_trace(400);
+  const auto expected = build_all_dag_jobs(data, trace::SamplingCriteria{});
+  std::istringstream in(task_csv(data));
+  IngestStats stats;
+  const auto streamed = stream_dag_jobs(in, {}, nullptr, &stats);
+  expect_same_jobs(streamed, expected);
+  EXPECT_EQ(stats.dags, streamed.size());
+  EXPECT_EQ(stats.eligible, streamed.size());
+  EXPECT_EQ(stats.stream.rows, data.tasks.size());
+  EXPECT_EQ(stats.stream.malformed, 0u);
+  EXPECT_EQ(stats.stream.fragmented, 0u);
+}
+
+TEST(StreamDagJobs, PooledMatchesSerialIncludingOrder) {
+  const trace::Trace data = make_trace(600, 7);
+  const std::string csv = task_csv(data);
+
+  std::istringstream serial_in(csv);
+  IngestStats serial_stats;
+  const auto serial = stream_dag_jobs(serial_in, {}, nullptr, &serial_stats);
+
+  util::ThreadPool pool(4);
+  // Tiny batches so many queue hand-offs (and reorderings) actually happen.
+  IngestOptions options;
+  options.batch_jobs = 3;
+  options.queue_capacity = 2;
+  std::istringstream pooled_in(csv);
+  IngestStats pooled_stats;
+  const auto pooled = stream_dag_jobs(pooled_in, options, &pool, &pooled_stats);
+
+  expect_same_jobs(pooled, serial);
+  EXPECT_EQ(pooled_stats.eligible, serial_stats.eligible);
+  EXPECT_EQ(pooled_stats.dags, serial_stats.dags);
+  EXPECT_EQ(pooled_stats.stream.rows, serial_stats.stream.rows);
+  EXPECT_EQ(pooled_stats.stream.jobs, serial_stats.stream.jobs);
+}
+
+TEST(StreamDagJobs, CriteriaAreApplied) {
+  const trace::Trace data = make_trace(300);
+  trace::SamplingCriteria criteria;
+  criteria.min_tasks = 4;
+  const auto expected = build_all_dag_jobs(data, criteria);
+  std::istringstream in(task_csv(data));
+  IngestOptions options;
+  options.criteria = criteria;
+  const auto streamed = stream_dag_jobs(in, options);
+  expect_same_jobs(streamed, expected);
+}
+
+TEST(StreamDagJobs, MalformedRowsCountedNotFatal) {
+  std::stringstream in;
+  in << "M1,1,j_1,1,Terminated,10,20,100.00,0.50\n";
+  in << "garbage\n";
+  in << "R2_1,1,j_1,1,Terminated,30,40,100.00,0.50\n";
+  IngestStats stats;
+  const auto dags = stream_dag_jobs(in, {}, nullptr, &stats);
+  EXPECT_EQ(stats.stream.malformed, 1u);
+  EXPECT_EQ(stats.stream.rows, 2u);
+  ASSERT_EQ(dags.size(), 1u);
+  EXPECT_EQ(dags[0].job_name, "j_1");
+}
+
+TEST(StreamDagJobs, ParseErrorPropagatesFromPooledRun) {
+  std::string csv = task_csv(make_trace(50));
+  csv += "\"unterminated";  // scanner throws at end of stream
+  util::ThreadPool pool(4);
+  std::istringstream in(csv);
+  EXPECT_THROW(stream_dag_jobs(in, {}, &pool), util::ParseError);
+}
+
+TEST(StreamDagJobs, EmptyInput) {
+  std::istringstream in("");
+  IngestStats stats;
+  util::ThreadPool pool(2);
+  const auto dags = stream_dag_jobs(in, {}, &pool, &stats);
+  EXPECT_TRUE(dags.empty());
+  EXPECT_EQ(stats.stream.rows, 0u);
+  EXPECT_EQ(stats.dags, 0u);
+}
+
+TEST(Pipeline, BuildAllDagsStreamingOverloadAgrees) {
+  const trace::Trace data = make_trace(300, 11);
+  PipelineConfig cfg;
+  const CharacterizationPipeline pipeline(cfg);
+  const auto expected = build_all_dag_jobs(data, cfg.criteria);
+  util::ThreadPool pool(3);
+  std::istringstream in(task_csv(data));
+  IngestStats stats;
+  const auto streamed = pipeline.build_all_dags(in, &pool, &stats);
+  expect_same_jobs(streamed, expected);
+  EXPECT_EQ(stats.dags, expected.size());
+}
+
+}  // namespace
+}  // namespace cwgl::core

@@ -165,6 +165,93 @@ TEST(TraceIoStream, EmptyInput) {
   EXPECT_EQ(stats.jobs, 0u);
 }
 
+TEST(TraceIoStream, EarlyStopDoesNotVisitLaterGroups) {
+  std::stringstream buffer;
+  buffer << "M1,1,j_1,1,Terminated,10,20,100.00,0.50\n";
+  buffer << "M1,1,j_2,1,Terminated,10,20,100.00,0.50\n";
+  buffer << "M1,1,j_3,1,Terminated,10,20,100.00,0.50\n";
+  std::vector<std::string> seen;
+  const auto stats = for_each_job_in_task_csv(
+      buffer, [&](const std::string& job, const std::vector<TaskRecord>&) {
+        seen.push_back(job);
+        return false;  // stop after the very first group
+      });
+  EXPECT_EQ(seen, (std::vector<std::string>{"j_1"}));
+  EXPECT_EQ(stats.jobs, 1u);
+  // The stop lands when j_2's first row flushes j_1, so exactly one later
+  // row was parsed and none of j_3's.
+  EXPECT_EQ(stats.rows, 2u);
+}
+
+TEST(TraceIoStream, RepeatedReoccurrencesEachCountFragmented) {
+  std::stringstream buffer;
+  for (int round = 0; round < 3; ++round) {
+    buffer << "M1,1,j_a,1,Terminated,10,20,100.00,0.50\n";
+    buffer << "M1,1,j_b,1,Terminated,10,20,100.00,0.50\n";
+  }
+  const auto stats = for_each_job_in_task_csv(
+      buffer, [](const std::string&, const std::vector<TaskRecord>&) {
+        return true;
+      });
+  EXPECT_EQ(stats.jobs, 6u);
+  // Both jobs re-occur twice after their first group: 4 fragmented groups.
+  EXPECT_EQ(stats.fragmented, 4u);
+}
+
+TEST(TraceIoStream, ConsumeVariantTransfersOwnership) {
+  const Trace trace = small_trace();
+  std::stringstream buffer;
+  write_batch_task_csv(buffer, trace.tasks);
+  std::size_t rows = 0;
+  std::vector<std::vector<TaskRecord>> groups;
+  const auto stats = consume_jobs_in_task_csv(
+      buffer, [&](std::string&&, std::vector<TaskRecord>&& tasks) {
+        rows += tasks.size();
+        groups.push_back(std::move(tasks));  // keep the moved-in storage
+        return true;
+      });
+  EXPECT_EQ(stats.rows, trace.tasks.size());
+  EXPECT_EQ(rows, trace.tasks.size());
+  EXPECT_EQ(groups.size(), stats.jobs);
+}
+
+TEST(TraceIo, WriteTraceThrowsWhenFileCannotBeOpened) {
+  const Trace trace = small_trace();
+  const auto dir = std::filesystem::temp_directory_path() / "cwgl_io_blocked";
+  std::filesystem::remove_all(dir);
+  // A directory squatting on the target filename makes the open fail.
+  std::filesystem::create_directories(dir / "batch_task.csv");
+  EXPECT_THROW(write_trace(trace, dir), util::Error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceIo, InstanceFilePresentButUnopenableThrows) {
+  const Trace trace = small_trace();
+  const auto dir = std::filesystem::temp_directory_path() / "cwgl_io_unreadable";
+  std::filesystem::remove_all(dir);
+  write_trace(trace, dir);
+  // Replace the instance file with a directory: it exists, so "absent" must
+  // not be assumed — read_trace has to raise instead of returning a partial
+  // trace with silently empty instances.
+  std::filesystem::remove(dir / "batch_instance.csv");
+  std::filesystem::create_directories(dir / "batch_instance.csv");
+  EXPECT_THROW(read_trace(dir), util::Error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceIo, InstanceFileCorruptMidStreamThrows) {
+  const Trace trace = small_trace();
+  const auto dir = std::filesystem::temp_directory_path() / "cwgl_io_corrupt";
+  std::filesystem::remove_all(dir);
+  write_trace(trace, dir);
+  {
+    std::ofstream out(dir / "batch_instance.csv", std::ios::app);
+    out << "\"unterminated quoted field";
+  }
+  EXPECT_THROW(read_trace(dir), util::Error);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(TraceIo, MissingTaskFileThrows) {
   const auto dir = std::filesystem::temp_directory_path() / "cwgl_io_missing";
   std::filesystem::remove_all(dir);

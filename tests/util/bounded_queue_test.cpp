@@ -1,0 +1,105 @@
+#include "util/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace cwgl::util {
+namespace {
+
+TEST(BoundedQueue, FifoOrderSingleThread) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.push(i));
+  for (int i = 0; i < 5; ++i) {
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+}
+
+TEST(BoundedQueue, CloseDrainsThenEnds) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.push(3));
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, ZeroCapacityClampedToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+}
+
+TEST(BoundedQueue, BackpressureBlocksProducerUntilConsumed) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(0));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    queue.push(1);  // blocks until the main thread pops
+    second_pushed = true;
+  });
+  // The producer cannot complete while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(queue.pop(), std::optional<int>(0));
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(BoundedQueue, CloseUnblocksWaitingProducer) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(0));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result = queue.push(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  producer.join();
+  EXPECT_FALSE(push_result.load());
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersDeliverEverythingOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> queue(16);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  std::vector<std::vector<int>> received(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&queue, &received, c] {
+      while (auto item = queue.pop()) received[static_cast<std::size_t>(c)].push_back(*item);
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  std::vector<int> all;
+  for (const auto& r : received) all.insert(all.end(), r.begin(), r.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(all.begin(), all.end());
+  std::vector<int> expected(all.size());
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(all, expected);
+}
+
+}  // namespace
+}  // namespace cwgl::util
