@@ -5,6 +5,12 @@
 #   tsan         ThreadSanitizer (exercises the sharded label dictionary,
 #                pooled featurization, and the work-helping thread pool
 #                under the race detector)
+# — then rebuild with -DCWGL_FAILPOINTS=ON and run the fault passes:
+#   faults        full suite with the failpoint registry compiled in
+#   faults-asan   fault-relevant tests under ASan/UBSan (injected faults
+#                 must not leak or touch freed memory on error paths)
+#   faults-tsan   fault-relevant tests under TSan (queue close / worker
+#                 failure shutdown ordering under the race detector)
 #
 # Usage: scripts/check.sh [jobs]
 # Build dirs are build-check-<name>; set CWGL_CHECK_KEEP=1 to keep them.
@@ -25,18 +31,21 @@ JOBS="${1:-$(nproc)}"
 FAILED=()
 
 run_config() {
-  local name="$1" sanitize="$2"
+  local name="$1" sanitize="$2" failpoints="${3:-OFF}" filter="${4:-}"
   local build_dir="build-check-${name}"
   echo
-  echo "=== [${name}] configure (CWGL_SANITIZE='${sanitize}') ==="
+  echo "=== [${name}] configure (CWGL_SANITIZE='${sanitize}' CWGL_FAILPOINTS=${failpoints}) ==="
   cmake -B "${build_dir}" -S . \
     -DCWGL_SANITIZE="${sanitize}" \
+    -DCWGL_FAILPOINTS="${failpoints}" \
     -DCWGL_BUILD_BENCHMARKS=OFF \
     -DCWGL_BUILD_EXAMPLES=OFF
   echo "=== [${name}] build ==="
   cmake --build "${build_dir}" -j "${JOBS}"
   echo "=== [${name}] ctest ==="
-  if ! ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"; then
+  local ctest_args=(--test-dir "${build_dir}" --output-on-failure -j "${JOBS}")
+  [[ -n "${filter}" ]] && ctest_args+=(-R "${filter}")
+  if ! ctest "${ctest_args[@]}"; then
     FAILED+=("${name}")
   fi
   if [[ "${CWGL_CHECK_KEEP:-0}" != "1" ]]; then
@@ -44,13 +53,20 @@ run_config() {
   fi
 }
 
+# Tests that exercise injected faults, quarantine, and shutdown ordering —
+# the subset worth re-running under sanitizers with failpoints compiled in.
+FAULT_FILTER='Failpoint|FaultInjection|Diagnostics|StreamDagJobs|CsvScanner|BoundedQueue|ThreadPool|Spectral'
+
 run_config plain ""
 run_config asan-ubsan "address,undefined"
 run_config tsan "thread"
+run_config faults "" ON
+run_config faults-asan "address,undefined" ON "${FAULT_FILTER}"
+run_config faults-tsan "thread" ON "${FAULT_FILTER}"
 
 echo
 if ((${#FAILED[@]})); then
   echo "check.sh: FAILED configurations: ${FAILED[*]}"
   exit 1
 fi
-echo "check.sh: all configurations passed (plain, asan-ubsan, tsan)"
+echo "check.sh: all configurations passed (plain, asan-ubsan, tsan, faults, faults-asan, faults-tsan)"

@@ -22,6 +22,7 @@
 #include "trace/generator.hpp"
 #include "trace/instance_census.hpp"
 #include "trace/io.hpp"
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -48,8 +49,11 @@ commands:
   similarity    WL similarity summary (add --matrix for the full CSV)
                   (--trace DIR | [--jobs N]) [--sample K]
   ingest        streaming ingest throughput: batch_task.csv -> DAG jobs,
-                reporting rows/s and MB/s (serial scanner vs pooled overlap)
-                  (--trace DIR | [--jobs N]) [--threads T] [--serial] [--seed S]
+                reporting rows/s and MB/s (serial scanner vs pooled overlap).
+                Lenient by default: damaged records are quarantined and
+                reported; --strict fails on the first corrupt record instead
+                  (--trace DIR | [--jobs N]) [--threads T] [--serial]
+                  [--strict] [--json] [--seed S]
   compare       workload drift between two traces (JS divergence)
                   (--trace DIR --trace-b DIR | [--jobs N] [--seed S] [--seed-b S])
   predict       fit/evaluate the completion-time predictor on a sample
@@ -240,6 +244,8 @@ int cmd_similarity(const Args& args, std::ostream& out, std::ostream& err) {
 int cmd_ingest(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string dir = args.get("trace");
   const bool serial = args.has("serial");
+  const bool strict = args.has("strict");
+  const bool diagnostics_json = args.has("json");
   const auto threads =
       static_cast<unsigned>(args.get_int("threads").value_or(0));
   // Without --trace, synthesize a task CSV in memory so the command is
@@ -273,10 +279,14 @@ int cmd_ingest(const Args& args, std::ostream& out, std::ostream& err) {
 
   std::optional<util::ThreadPool> pool;
   if (!serial) pool.emplace(threads);
+  util::Diagnostics diagnostics;
+  core::IngestOptions options;
+  options.strict = strict;
+  options.diagnostics = &diagnostics;
   core::IngestStats stats;
   util::WallTimer timer;
-  const auto dags = core::stream_dag_jobs(*in, {}, serial ? nullptr : &*pool,
-                                          &stats);
+  const auto dags = core::stream_dag_jobs(*in, options,
+                                          serial ? nullptr : &*pool, &stats);
   const double ms = timer.millis();
   const double seconds = std::max(ms, 0.001) / 1000.0;
   const double mb = static_cast<double>(input_bytes) / (1024.0 * 1024.0);
@@ -301,6 +311,12 @@ int cmd_ingest(const Args& args, std::ostream& out, std::ostream& err) {
       << " M rows/s\n";
   // Keep the DAGs alive through the timing so build cost is included.
   out << "(checksum: " << dags.size() << " dags)\n";
+  if (diagnostics_json) {
+    diagnostics.write_json(out);
+    out << "\n";
+  } else {
+    diagnostics.write_text(out);
+  }
   return 0;
 }
 

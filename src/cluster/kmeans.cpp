@@ -29,11 +29,20 @@ linalg::Matrix kmeanspp_init(const linalg::Matrix& data, int k,
   std::size_t first = static_cast<std::size_t>(rng.uniform_u64(0, n - 1));
   for (std::size_t c = 0; c < data.cols(); ++c) centers(0, c) = data(first, c);
   for (int centroid = 1; centroid < k; ++centroid) {
+    double total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       min_dist[i] =
           std::min(min_dist[i], sq_dist(data.row(i), centers.row(centroid - 1)));
+      total += min_dist[i];
     }
-    const std::size_t pick = rng.discrete(min_dist);
+    // Degenerate embedding (all points coincide with chosen centers): the
+    // D^2 weights vanish and `discrete` would deterministically pick index
+    // 0. Re-seed uniformly instead so duplicate data still yields a usable
+    // (if arbitrary) clustering rather than k copies of one point's center.
+    const std::size_t pick = total > 0.0
+                                 ? rng.discrete(min_dist)
+                                 : static_cast<std::size_t>(
+                                       rng.uniform_u64(0, n - 1));
     for (std::size_t c = 0; c < data.cols(); ++c) {
       centers(centroid, c) = data(pick, c);
     }
@@ -107,6 +116,15 @@ KMeansResult lloyd(const linalg::Matrix& data, int k, const KMeansOptions& opt,
 KMeansResult kmeans(const linalg::Matrix& data, int k, const KMeansOptions& opt) {
   if (k < 1 || static_cast<std::size_t>(k) > data.rows()) {
     throw util::InvalidArgument("kmeans: need 1 <= k <= n");
+  }
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    for (std::size_t j = 0; j < data.cols(); ++j) {
+      if (!std::isfinite(data(i, j))) {
+        throw util::InvalidArgument(
+            "kmeans: non-finite value at (" + std::to_string(i) + ", " +
+            std::to_string(j) + ")");
+      }
+    }
   }
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::max();

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "linalg/eigen.hpp"
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
 
 namespace cwgl::cluster {
@@ -18,12 +20,59 @@ SpectralResult spectral_cluster(const linalg::Matrix& similarity, int k,
     throw util::InvalidArgument("spectral_cluster: need 1 <= k <= n");
   }
 
+  SpectralResult result;
+
+  // Validate before any arithmetic: a single NaN would spread through the
+  // Laplacian and come out of the eigensolver as garbage labels with no
+  // error anywhere. Asymmetry beyond numerical noise means the caller's
+  // kernel matrix is corrupt, not merely unnormalized.
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (std::isfinite(similarity(i, j))) {
+        max_abs = std::max(max_abs, std::abs(similarity(i, j)));
+      }
+    }
+  }
+  const double asym_tol = 1e-6 * std::max(1.0, max_abs);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!std::isfinite(similarity(i, j))) {
+        if (!options.lenient) {
+          throw util::InvalidArgument(
+              "spectral_cluster: non-finite similarity at (" +
+              std::to_string(i) + ", " + std::to_string(j) + ")");
+        }
+        ++result.clamped_entries;
+      } else if (j > i &&
+                 std::abs(similarity(i, j) - similarity(j, i)) > asym_tol) {
+        if (!options.lenient) {
+          throw util::InvalidArgument(
+              "spectral_cluster: similarity is not symmetric at (" +
+              std::to_string(i) + ", " + std::to_string(j) + ")");
+        }
+        if (options.diagnostics != nullptr) {
+          options.diagnostics->count("spectral", "asymmetric-entry");
+        }
+      }
+    }
+  }
+  if (result.clamped_entries > 0 && options.diagnostics != nullptr) {
+    options.diagnostics->count("spectral", "non-finite-clamped",
+                               result.clamped_entries);
+  }
+
   // Symmetrize and clamp; self-similarity does not affect L_sym's
-  // eigenvectors' cluster structure but keeps degrees positive.
+  // eigenvectors' cluster structure but keeps degrees positive. Non-finite
+  // entries (lenient mode only — strict threw above) contribute zero.
   linalg::Matrix w(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
-      w(i, j) = std::max(0.0, 0.5 * (similarity(i, j) + similarity(j, i)));
+      const double a = similarity(i, j);
+      const double b = similarity(j, i);
+      const double av = std::isfinite(a) ? a : 0.0;
+      const double bv = std::isfinite(b) ? b : 0.0;
+      w(i, j) = std::max(0.0, 0.5 * (av + bv));
     }
   }
 
@@ -43,10 +92,25 @@ SpectralResult spectral_cluster(const linalg::Matrix& similarity, int k,
   }
 
   const bool partial = n > options.partial_eigen_threshold;
-  const auto eig = partial ? linalg::smallest_eigenpairs(lsym, k)
-                           : linalg::jacobi_eigen(lsym);
+  auto eig = partial
+                 ? linalg::smallest_eigenpairs(lsym, k,
+                                               options.partial_max_sweeps)
+                 : linalg::jacobi_eigen(lsym);
+  if (partial && !eig.converged) {
+    // Graceful degradation: the iterative solver ran out of sweeps (tight
+    // eigengaps do that). Fall back to the unconditionally stable dense
+    // decomposition rather than clustering on a half-converged subspace.
+    if (options.diagnostics != nullptr) {
+      options.diagnostics->record(
+          "spectral", "eigen-fallback",
+          "subspace iteration did not converge in " +
+              std::to_string(options.partial_max_sweeps) +
+              " sweeps (n=" + std::to_string(n) + "); using dense solver");
+    }
+    eig = linalg::jacobi_eigen(lsym);
+    result.eigen_fallback = true;
+  }
 
-  SpectralResult result;
   result.eigenvalues = eig.values;
   result.embedding = linalg::Matrix(n, k);
   for (std::size_t i = 0; i < n; ++i) {

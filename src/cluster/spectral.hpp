@@ -6,6 +6,10 @@
 #include "cluster/kmeans.hpp"
 #include "linalg/matrix.hpp"
 
+namespace cwgl::util {
+class Diagnostics;
+}
+
 namespace cwgl::cluster {
 
 /// Options for spectral clustering.
@@ -16,6 +20,16 @@ struct SpectralOptions {
   /// O(n^3) Jacobi decomposition. In partial mode `SpectralResult::
   /// eigenvalues` holds only the k computed values. 0 forces partial mode.
   std::size_t partial_eigen_threshold = 512;
+  /// Sweep budget for the partial solver before it is declared
+  /// non-converged and the dense Jacobi fallback kicks in.
+  int partial_max_sweeps = 600;
+  /// Strict (default): non-finite or materially non-symmetric similarity
+  /// entries throw util::InvalidArgument — garbage must not silently steer
+  /// the Laplacian. Lenient: non-finite entries are clamped to 0 and
+  /// asymmetry is averaged away, both reported into `diagnostics`.
+  bool lenient = false;
+  /// Optional sink for degradations (clamped entries, eigen fallback).
+  util::Diagnostics* diagnostics = nullptr;
 };
 
 /// Result of a spectral clustering run.
@@ -23,6 +37,11 @@ struct SpectralResult {
   std::vector<int> labels;            ///< cluster id per item
   std::vector<double> eigenvalues;    ///< ascending spectrum of L_sym
   linalg::Matrix embedding;           ///< n x k row-normalized eigenvector matrix
+  /// True when the partial eigensolver failed to converge within its sweep
+  /// budget and the result came from the dense Jacobi fallback instead.
+  bool eigen_fallback = false;
+  /// Non-finite similarity entries clamped to 0 (lenient mode only).
+  std::size_t clamped_entries = 0;
 };
 
 /// Ng–Jordan–Weiss normalized spectral clustering over a similarity matrix.
@@ -34,7 +53,9 @@ struct SpectralResult {
 /// the origin.
 ///
 /// Throws InvalidArgument if `similarity` is not square or k is out of
-/// range.
+/// range — and, under the default strict posture, if entries are non-finite
+/// or the matrix is asymmetric beyond numerical noise (see SpectralOptions::
+/// lenient for the degrade-and-report alternative).
 SpectralResult spectral_cluster(const linalg::Matrix& similarity, int k,
                                 const SpectralOptions& options = {});
 

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "util/bounded_queue.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace cwgl::core {
 
@@ -29,20 +31,54 @@ struct WorkerResult {
   std::size_t eligible = 0;
 };
 
+trace::TraceReadOptions read_options(const IngestOptions& options) {
+  return trace::TraceReadOptions{!options.strict, options.diagnostics};
+}
+
+/// Builds one job DAG applying the ingest's failure posture: corruption
+/// kinds (duplicate index, missing dependency, cycle) throw GraphError under
+/// strict and are quarantined into diagnostics under lenient; filtering
+/// kinds (non-DAG names) are skipped quietly in both modes, with only a
+/// count kept so reports can show how much the eligibility rules removed.
+std::optional<JobDag> build_with_posture(std::string&& job,
+                                         std::span<const trace::TaskRecord> tasks,
+                                         const IngestOptions& options) {
+  std::vector<BuildIssue> issues;
+  auto dag = build_job_dag(std::move(job), tasks, &issues);
+  if (dag) return dag;
+  for (const BuildIssue& issue : issues) {
+    if (is_corruption(issue.kind)) {
+      if (options.strict) {
+        throw util::GraphError("job " + issue.job_name + ": " + issue.message);
+      }
+      if (options.diagnostics != nullptr) {
+        options.diagnostics->record("dag", to_string(issue.kind),
+                                    issue.job_name + ": " + issue.message);
+      }
+    } else if (options.diagnostics != nullptr) {
+      options.diagnostics->count("dag", to_string(issue.kind));
+    }
+  }
+  return std::nullopt;
+}
+
 std::vector<JobDag> stream_serial(std::istream& in,
                                   const IngestOptions& options,
                                   IngestStats& stats) {
   std::vector<JobDag> out;
   stats.stream = trace::consume_jobs_in_task_csv(
-      in, [&](std::string&& job, std::vector<trace::TaskRecord>&& tasks) {
+      in,
+      [&](std::string&& job, std::vector<trace::TaskRecord>&& tasks) {
+        CWGL_FAILPOINT("ingest.reader_group");
         if (!trace::passes_criteria(tasks, options.criteria)) return true;
         ++stats.eligible;
-        if (auto dag = build_job_dag(std::move(job), tasks)) {
+        if (auto dag = build_with_posture(std::move(job), tasks, options)) {
           ++stats.dags;
           out.push_back(std::move(*dag));
         }
         return true;
-      });
+      },
+      read_options(options));
   return out;
 }
 
@@ -53,22 +89,47 @@ std::vector<JobDag> stream_pooled(std::istream& in, const IngestOptions& options
 
   std::vector<std::future<WorkerResult>> futures;
   futures.reserve(pool.size());
-  for (std::size_t w = 0; w < pool.size(); ++w) {
-    futures.push_back(pool.submit([&queue, &options] {
-      WorkerResult result;
-      while (auto batch = queue.pop()) {
-        std::size_t seq = batch->first_seq;
-        for (RawGroup& group : batch->groups) {
-          const std::size_t s = seq++;
-          if (!trace::passes_criteria(group.tasks, options.criteria)) continue;
-          ++result.eligible;
-          if (auto dag = build_job_dag(std::move(group.job_name), group.tasks)) {
-            result.built.emplace_back(s, std::move(*dag));
+  try {
+    for (std::size_t w = 0; w < pool.size(); ++w) {
+      futures.push_back(pool.submit([&queue, &options] {
+        try {
+          WorkerResult result;
+          while (auto batch = queue.pop()) {
+            CWGL_FAILPOINT("ingest.worker_batch");
+            std::size_t seq = batch->first_seq;
+            for (RawGroup& group : batch->groups) {
+              const std::size_t s = seq++;
+              if (!trace::passes_criteria(group.tasks, options.criteria))
+                continue;
+              ++result.eligible;
+              if (auto dag = build_with_posture(std::move(group.job_name),
+                                                group.tasks, options)) {
+                result.built.emplace_back(s, std::move(*dag));
+              }
+            }
           }
+          return result;
+        } catch (...) {
+          // Close *before* the exception reaches the future: the reader's
+          // next push fails immediately instead of blocking until the main
+          // thread happens to reach future.get() on this worker.
+          queue.close();
+          throw;
         }
+      }));
+    }
+  } catch (...) {
+    // A mid-loop submission failure must not unwind while already-running
+    // workers still reference the local queue: close it, settle every
+    // submitted future, then rethrow the submission error.
+    queue.close();
+    for (auto& future : futures) {
+      try {
+        future.get();
+      } catch (...) {  // NOLINT(bugprone-empty-catch): submit error wins
       }
-      return result;
-    }));
+    }
+    throw;
   }
 
   // The reader owns the stream: scan, parse, and group on a dedicated
@@ -81,7 +142,9 @@ std::vector<JobDag> stream_pooled(std::istream& in, const IngestOptions& options
       Batch batch;
       std::size_t seq = 0;
       stats.stream = trace::consume_jobs_in_task_csv(
-          in, [&](std::string&& job, std::vector<trace::TaskRecord>&& tasks) {
+          in,
+          [&](std::string&& job, std::vector<trace::TaskRecord>&& tasks) {
+            CWGL_FAILPOINT("ingest.reader_group");
             if (batch.groups.empty()) batch.first_seq = seq;
             batch.groups.push_back(RawGroup{std::move(job), std::move(tasks)});
             ++seq;
@@ -89,7 +152,8 @@ std::vector<JobDag> stream_pooled(std::istream& in, const IngestOptions& options
             const bool accepted = queue.push(std::move(batch));
             batch = Batch{};
             return accepted;
-          });
+          },
+          read_options(options));
       if (!batch.groups.empty()) queue.push(std::move(batch));
     } catch (...) {
       reader_error = std::current_exception();
@@ -107,7 +171,14 @@ std::vector<JobDag> stream_pooled(std::istream& in, const IngestOptions& options
                    std::make_move_iterator(result.built.end()));
     } catch (...) {
       if (!worker_error) worker_error = std::current_exception();
-      queue.close();  // unblock the reader so join() below cannot hang
+      queue.close();  // belt-and-braces: the worker already closed on throw
+    }
+  }
+  // Shutdown ordering on failure: with the queue closed, drain abandoned
+  // batches non-blockingly so the reader's blocked push (if any) has already
+  // been released and nothing oversized lingers, THEN join the reader.
+  if (worker_error) {
+    while (queue.try_pop()) {
     }
   }
   reader.join();

@@ -7,6 +7,7 @@
 #include "core/job_dag.hpp"
 #include "trace/filter.hpp"
 #include "trace/io.hpp"
+#include "util/diagnostics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cwgl::core {
@@ -21,6 +22,17 @@ struct IngestOptions {
   std::size_t queue_capacity = 64;
   /// Job groups per queue item (batching amortizes queue synchronization).
   std::size_t batch_jobs = 64;
+  /// Failure posture. Lenient (default, the production posture) quarantines
+  /// damaged input — malformed rows, unterminated quotes, corrupt jobs
+  /// (duplicate indices, missing dependencies, cycles) — into `diagnostics`
+  /// and keeps going. Strict raises at the first offense: util::ParseError
+  /// for CSV-level damage, util::GraphError for a corrupt job. Jobs that are
+  /// merely *filtered* (non-DAG task names, the paper's eligibility rules)
+  /// are skipped in both modes, never escalated.
+  bool strict = false;
+  /// Optional sink for quarantine counts and samples (thread-safe; shared by
+  /// the reader and all workers in pooled mode).
+  util::Diagnostics* diagnostics = nullptr;
 };
 
 /// What the ingest saw, for throughput/quality reporting.
@@ -46,7 +58,10 @@ struct IngestStats {
 /// which the released trace is. Must not be called from inside a task
 /// running on `pool` (the caller blocks on pool results).
 ///
-/// Throws util::ParseError on unterminated quoted fields, like CsvScanner.
+/// Failure posture follows `options.strict` (see IngestOptions). In pooled
+/// mode a failing worker closes the queue before its exception propagates,
+/// so the reader thread can never deadlock on a full queue; the first error
+/// (reader's preferred) is rethrown after both sides shut down cleanly.
 std::vector<JobDag> stream_dag_jobs(std::istream& task_csv,
                                     const IngestOptions& options = {},
                                     util::ThreadPool* pool = nullptr,

@@ -27,11 +27,22 @@ std::vector<std::string> JobDag::vertex_names() const {
   return names;
 }
 
+const char* to_string(BuildIssueKind kind) noexcept {
+  switch (kind) {
+    case BuildIssueKind::EmptyJob: return "empty-job";
+    case BuildIssueKind::NonDagName: return "non-dag-name";
+    case BuildIssueKind::DuplicateIndex: return "duplicate-index";
+    case BuildIssueKind::MissingDependency: return "missing-dependency";
+    case BuildIssueKind::Cycle: return "cycle";
+  }
+  return "unknown";
+}
+
 namespace {
 
 void note(std::vector<BuildIssue>* issues, const std::string& job,
-          std::string message) {
-  if (issues) issues->push_back({job, std::move(message)});
+          std::string message, BuildIssueKind kind) {
+  if (issues) issues->push_back({job, std::move(message), kind});
 }
 
 }  // namespace
@@ -40,7 +51,7 @@ std::optional<JobDag> build_job_dag(std::string job_name,
                                     std::span<const trace::TaskRecord> tasks,
                                     std::vector<BuildIssue>* issues) {
   if (tasks.empty()) {
-    note(issues, job_name, "job has no tasks");
+    note(issues, job_name, "job has no tasks", BuildIssueKind::EmptyJob);
     return std::nullopt;
   }
 
@@ -49,7 +60,8 @@ std::optional<JobDag> build_job_dag(std::string job_name,
   for (const trace::TaskRecord& t : tasks) {
     auto p = trace::parse_task_name(t.task_name);
     if (!p) {
-      note(issues, job_name, "non-DAG task name: " + t.task_name);
+      note(issues, job_name, "non-DAG task name: " + t.task_name,
+           BuildIssueKind::NonDagName);
       return std::nullopt;
     }
     parsed.push_back(std::move(*p));
@@ -62,7 +74,8 @@ std::optional<JobDag> build_job_dag(std::string job_name,
         index_to_vertex.emplace(parsed[i].index, static_cast<int>(i));
     if (!inserted) {
       note(issues, job_name,
-           "duplicate task index " + std::to_string(parsed[i].index));
+           "duplicate task index " + std::to_string(parsed[i].index),
+           BuildIssueKind::DuplicateIndex);
       return std::nullopt;
     }
   }
@@ -74,7 +87,8 @@ std::optional<JobDag> build_job_dag(std::string job_name,
       if (it == index_to_vertex.end()) {
         note(issues, job_name,
              "task " + tasks[i].task_name + " depends on missing index " +
-                 std::to_string(dep));
+                 std::to_string(dep),
+             BuildIssueKind::MissingDependency);
         return std::nullopt;
       }
       edges.push_back({it->second, static_cast<int>(i)});
@@ -85,7 +99,8 @@ std::optional<JobDag> build_job_dag(std::string job_name,
   job.job_name = std::move(job_name);
   job.dag = graph::Digraph(static_cast<int>(tasks.size()), edges);
   if (!graph::is_dag(job.dag)) {
-    note(issues, job.job_name, "task dependencies form a cycle");
+    note(issues, job.job_name, "task dependencies form a cycle",
+         BuildIssueKind::Cycle);
     return std::nullopt;
   }
   job.tasks.reserve(tasks.size());

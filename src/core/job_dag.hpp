@@ -49,10 +49,36 @@ struct JobDag {
   std::vector<std::string> vertex_names() const;
 };
 
+/// Why a job was rejected by `build_job_dag`.
+///
+/// The split matters for the pipeline's failure posture: `NonDagName` and
+/// `EmptyJob` are *normal filtering* (the trace contains plenty of
+/// independent-task jobs the paper excludes), while `DuplicateIndex`,
+/// `MissingDependency`, and `Cycle` indicate a *corrupt or inconsistent*
+/// job — strict ingest escalates only the latter group.
+enum class BuildIssueKind {
+  EmptyJob,            ///< no task rows (filtering)
+  NonDagName,          ///< task name outside the DAG grammar (filtering)
+  DuplicateIndex,      ///< two tasks claim the same index (corruption)
+  MissingDependency,   ///< dependency on an index with no task (corruption)
+  Cycle,               ///< dependencies are not acyclic (corruption)
+};
+
+/// True for kinds that indicate damaged data rather than routine filtering.
+constexpr bool is_corruption(BuildIssueKind kind) noexcept {
+  return kind == BuildIssueKind::DuplicateIndex ||
+         kind == BuildIssueKind::MissingDependency ||
+         kind == BuildIssueKind::Cycle;
+}
+
+/// Stable lowercase tag for diagnostics keys ("non-dag-name", "cycle", ...).
+const char* to_string(BuildIssueKind kind) noexcept;
+
 /// A problem encountered while building a job DAG from trace rows.
 struct BuildIssue {
   std::string job_name;
   std::string message;
+  BuildIssueKind kind = BuildIssueKind::NonDagName;
 };
 
 /// Builds a JobDag from one job's task rows.

@@ -32,8 +32,13 @@ EigenDecomposition jacobi_eigen(const Matrix& input, double tol, int max_sweeps)
   Matrix v = Matrix::identity(n);
   const double scale = std::max(1.0, a.frobenius_norm());
 
-  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
-    if (off_diagonal_norm(a) <= tol * scale) break;
+  bool converged = false;
+  for (int sweep = 0; sweep <= max_sweeps; ++sweep) {
+    if (off_diagonal_norm(a) <= tol * scale) {
+      converged = true;
+      break;
+    }
+    if (sweep == max_sweeps) break;
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         const double apq = a(p, q);
@@ -70,6 +75,7 @@ EigenDecomposition jacobi_eigen(const Matrix& input, double tol, int max_sweeps)
   }
 
   EigenDecomposition out;
+  out.converged = converged;
   out.values.resize(n);
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -134,6 +140,7 @@ EigenDecomposition smallest_eigenpairs(const Matrix& a, int k, int max_sweeps,
   if (n <= 32 || static_cast<std::size_t>(k) * 2 >= n) {
     const auto full = jacobi_eigen(a);
     EigenDecomposition out;
+    out.converged = full.converged;
     out.values.assign(full.values.begin(), full.values.begin() + k);
     out.vectors = Matrix(n, k);
     for (std::size_t r = 0; r < n; ++r) {
@@ -178,6 +185,7 @@ EigenDecomposition smallest_eigenpairs(const Matrix& a, int k, int max_sweeps,
   orthonormalize_columns(v, /*salt=*/static_cast<std::uint64_t>(k));
   std::vector<double> prev(k, 0.0);
   int settled = 0;
+  bool converged = false;
 
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     Matrix w = b.multiply(v);
@@ -224,13 +232,17 @@ EigenDecomposition smallest_eigenpairs(const Matrix& a, int k, int max_sweeps,
     // consecutive converged sweeps to let the vectors catch up.
     static constexpr int kSettleSweeps = 5;
     if (delta <= tol * std::max(1.0, std::abs(sigma))) {
-      if (++settled >= kSettleSweeps) break;
+      if (++settled >= kSettleSweeps) {
+        converged = true;
+        break;
+      }
     } else {
       settled = 0;
     }
   }
 
   EigenDecomposition out;
+  out.converged = converged;
   out.values = prev;
   out.vectors = Matrix(n, k);
   for (std::size_t r = 0; r < n; ++r) {

@@ -12,6 +12,11 @@ struct EigenDecomposition {
   std::vector<double> values;
   /// Column k of `vectors` is the unit eigenvector for values[k].
   Matrix vectors;
+  /// False when the solver hit its sweep budget before reaching `tol`. The
+  /// result is still the best available approximation (every Jacobi/subspace
+  /// step is orthogonal, so it cannot be wildly wrong) — callers that need
+  /// certainty check this and degrade to a stronger solver.
+  bool converged = true;
 };
 
 /// Cyclic Jacobi eigensolver for real symmetric matrices.

@@ -5,9 +5,34 @@
 
 #include "util/csv.hpp"
 #include "util/csv_scanner.hpp"
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace cwgl::trace {
+
+namespace {
+
+util::CsvScanPolicy scan_policy(const TraceReadOptions& options) {
+  return util::CsvScanPolicy{options.lenient, options.diagnostics};
+}
+
+/// Reassembles a row preview ("f0,f1,...") for error messages and samples.
+std::string row_preview(std::span<const std::string_view> fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += fields[i];
+    if (out.size() > 120) {
+      out.resize(120);
+      out += "...";
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 void write_batch_task_csv(std::ostream& out, std::span<const TaskRecord> tasks) {
   for (const TaskRecord& t : tasks) {
@@ -24,34 +49,56 @@ void write_batch_instance_csv(std::ostream& out,
   }
 }
 
-std::vector<TaskRecord> read_batch_task_csv(std::istream& in, std::size_t* skipped) {
+std::vector<TaskRecord> read_batch_task_csv(std::istream& in,
+                                            std::size_t* skipped,
+                                            const TraceReadOptions& options) {
   std::vector<TaskRecord> out;
   std::size_t bad = 0;
-  util::scan_csv_records(in, [&](std::span<const std::string_view> fields) {
-    if (auto rec = TaskRecord::from_fields(fields)) {
+  util::CsvScanner scanner(in, util::CsvScanner::kDefaultBlockSize,
+                           scan_policy(options));
+  while (const auto fields = scanner.next()) {
+    if (auto rec = TaskRecord::from_fields(*fields)) {
       out.push_back(std::move(*rec));
     } else {
       ++bad;
+      if (!options.lenient) {
+        throw util::ParseError("batch_task.csv record " +
+                               std::to_string(scanner.record_number()) +
+                               ": malformed row: " + row_preview(*fields));
+      }
+      if (options.diagnostics != nullptr) {
+        options.diagnostics->record("ingest", "malformed-row",
+                                    row_preview(*fields));
+      }
     }
-    return true;
-  });
-  if (skipped) *skipped = bad;
+  }
+  if (skipped) *skipped = bad + scanner.quarantined();
   return out;
 }
 
-std::vector<InstanceRecord> read_batch_instance_csv(std::istream& in,
-                                                    std::size_t* skipped) {
+std::vector<InstanceRecord> read_batch_instance_csv(
+    std::istream& in, std::size_t* skipped, const TraceReadOptions& options) {
   std::vector<InstanceRecord> out;
   std::size_t bad = 0;
-  util::scan_csv_records(in, [&](std::span<const std::string_view> fields) {
-    if (auto rec = InstanceRecord::from_fields(fields)) {
+  util::CsvScanner scanner(in, util::CsvScanner::kDefaultBlockSize,
+                           scan_policy(options));
+  while (const auto fields = scanner.next()) {
+    if (auto rec = InstanceRecord::from_fields(*fields)) {
       out.push_back(std::move(*rec));
     } else {
       ++bad;
+      if (!options.lenient) {
+        throw util::ParseError("batch_instance.csv record " +
+                               std::to_string(scanner.record_number()) +
+                               ": malformed row: " + row_preview(*fields));
+      }
+      if (options.diagnostics != nullptr) {
+        options.diagnostics->record("ingest", "malformed-instance-row",
+                                    row_preview(*fields));
+      }
     }
-    return true;
-  });
-  if (skipped) *skipped = bad;
+  }
+  if (skipped) *skipped = bad + scanner.quarantined();
   return out;
 }
 
@@ -71,6 +118,7 @@ void finish_file(std::ofstream& out, const std::filesystem::path& path) {
 }  // namespace
 
 void write_trace(const Trace& trace, const std::filesystem::path& dir) {
+  CWGL_FAILPOINT("io.write_trace");
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) throw util::Error("write_trace: cannot create " + dir.string());
@@ -90,14 +138,16 @@ void write_trace(const Trace& trace, const std::filesystem::path& dir) {
   }
 }
 
-Trace read_trace(const std::filesystem::path& dir, std::size_t* skipped) {
+Trace read_trace(const std::filesystem::path& dir, std::size_t* skipped,
+                 const TraceReadOptions& options) {
+  CWGL_FAILPOINT("io.read_trace");
   Trace trace;
   std::size_t bad_tasks = 0, bad_instances = 0;
   {
     const auto path = dir / "batch_task.csv";
     std::ifstream in(path);
     if (!in) throw util::Error("read_trace: cannot open " + path.string());
-    trace.tasks = read_batch_task_csv(in, &bad_tasks);
+    trace.tasks = read_batch_task_csv(in, &bad_tasks, options);
     if (in.bad()) {
       throw util::Error("read_trace: I/O error while reading " + path.string());
     }
@@ -112,7 +162,7 @@ Trace read_trace(const std::filesystem::path& dir, std::size_t* skipped) {
       throw util::Error("read_trace: " + path.string() +
                         " exists but cannot be opened");
     }
-    trace.instances = read_batch_instance_csv(in, &bad_instances);
+    trace.instances = read_batch_instance_csv(in, &bad_instances, options);
     if (in.bad()) {
       throw util::Error("read_trace: I/O error while reading " + path.string());
     }
@@ -134,7 +184,8 @@ StreamStats for_each_job_in_task_csv(
 StreamStats consume_jobs_in_task_csv(
     std::istream& in,
     const std::function<bool(std::string&& job_name,
-                             std::vector<TaskRecord>&& tasks)>& fn) {
+                             std::vector<TaskRecord>&& tasks)>& fn,
+    const TraceReadOptions& options) {
   StreamStats stats;
   std::string current_job;
   std::vector<TaskRecord> group;
@@ -150,23 +201,34 @@ StreamStats consume_jobs_in_task_csv(
     return keep_going;
   };
 
-  util::scan_csv_records(in, [&](std::span<const std::string_view> fields) {
-    auto rec = TaskRecord::from_fields(fields);
+  util::CsvScanner scanner(in, util::CsvScanner::kDefaultBlockSize,
+                           scan_policy(options));
+  while (const auto fields = scanner.next()) {
+    auto rec = TaskRecord::from_fields(*fields);
     if (!rec) {
       ++stats.malformed;
-      return true;
+      if (!options.lenient) {
+        throw util::ParseError("batch_task.csv record " +
+                               std::to_string(scanner.record_number()) +
+                               ": malformed row: " + row_preview(*fields));
+      }
+      if (options.diagnostics != nullptr) {
+        options.diagnostics->record("ingest", "malformed-row",
+                                    row_preview(*fields));
+      }
+      continue;
     }
     ++stats.rows;
     if (rec->job_name != current_job) {
       if (!flush()) {
         stopped = true;
-        return false;
+        break;
       }
       current_job = rec->job_name;
     }
     group.push_back(std::move(*rec));
-    return true;
-  });
+  }
+  stats.malformed += scanner.quarantined();
   if (!stopped) flush();
   return stats;
 }

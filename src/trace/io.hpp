@@ -9,7 +9,23 @@
 
 #include "trace/schema.hpp"
 
+namespace cwgl::util {
+class Diagnostics;
+}
+
 namespace cwgl::trace {
+
+/// How trace readers treat damaged input.
+///
+/// Strict (lenient == false) raises a typed util::ParseError at the first
+/// structurally damaged record — the validation posture. Lenient quarantines
+/// the record into `diagnostics` (when provided) and keeps going — the
+/// production posture, because real cluster traces contain truncated files,
+/// unterminated quotes, and shuffled columns.
+struct TraceReadOptions {
+  bool lenient = true;
+  util::Diagnostics* diagnostics = nullptr;
+};
 
 /// Writes `batch_task.csv` rows (no header, like the real trace).
 void write_batch_task_csv(std::ostream& out, std::span<const TaskRecord> tasks);
@@ -20,20 +36,26 @@ void write_batch_instance_csv(std::ostream& out,
 
 /// Reads batch_task rows; malformed rows are counted into `*skipped` (when
 /// non-null) and dropped, mirroring how production traces must be consumed.
+/// Under `options.lenient` CSV-level damage (unterminated quotes) is also
+/// quarantined; strict mode throws util::ParseError on it.
 std::vector<TaskRecord> read_batch_task_csv(std::istream& in,
-                                            std::size_t* skipped = nullptr);
+                                            std::size_t* skipped = nullptr,
+                                            const TraceReadOptions& options = {});
 
 /// Reads batch_instance rows with the same tolerance.
-std::vector<InstanceRecord> read_batch_instance_csv(std::istream& in,
-                                                    std::size_t* skipped = nullptr);
+std::vector<InstanceRecord> read_batch_instance_csv(
+    std::istream& in, std::size_t* skipped = nullptr,
+    const TraceReadOptions& options = {});
 
 /// Writes `<dir>/batch_task.csv` and `<dir>/batch_instance.csv`
 /// (creates `dir` if needed). Throws util::Error on I/O failure.
 void write_trace(const Trace& trace, const std::filesystem::path& dir);
 
 /// Reads a trace directory written by `write_trace` (the instance file is
-/// optional, matching partial downloads of the real trace).
-Trace read_trace(const std::filesystem::path& dir, std::size_t* skipped = nullptr);
+/// optional, matching partial downloads of the real trace). `*skipped`
+/// counts malformed rows plus (lenient mode) quarantined CSV records.
+Trace read_trace(const std::filesystem::path& dir, std::size_t* skipped = nullptr,
+                 const TraceReadOptions& options = {});
 
 /// Statistics of a streaming pass.
 struct StreamStats {
@@ -58,9 +80,14 @@ StreamStats for_each_job_in_task_csv(
 /// group transfers to `fn`, so a consumer can forward groups to worker
 /// threads without copying (the streaming ingest's reader thread does).
 /// Same grouping, early-stop, and StreamStats semantics.
+///
+/// Failure posture follows `options`: lenient (default) quarantines
+/// malformed rows and CSV damage into `options.diagnostics`; strict throws
+/// util::ParseError naming the first offending record.
 StreamStats consume_jobs_in_task_csv(
     std::istream& in,
     const std::function<bool(std::string&& job_name,
-                             std::vector<TaskRecord>&& tasks)>& fn);
+                             std::vector<TaskRecord>&& tasks)>& fn,
+    const TraceReadOptions& options = {});
 
 }  // namespace cwgl::trace

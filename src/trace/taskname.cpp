@@ -1,5 +1,7 @@
 #include "trace/taskname.hpp"
 
+#include <limits>
+
 #include "util/strings.hpp"
 
 namespace cwgl::trace {
@@ -22,7 +24,11 @@ std::optional<TaskName> parse_task_name(std::string_view name) {
     while (pos < name.size() && name[pos] >= '0' && name[pos] <= '9') ++pos;
     if (pos == start) return std::nullopt;
     const auto value = util::to_int(name.substr(start, pos - start));
-    if (!value || *value <= 0) return std::nullopt;
+    // The range check matters: without it "M5000000000" would silently
+    // truncate through the int cast instead of being rejected.
+    if (!value || *value <= 0 || *value > std::numeric_limits<int>::max()) {
+      return std::nullopt;
+    }
     return static_cast<int>(*value);
   };
 

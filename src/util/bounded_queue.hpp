@@ -7,6 +7,8 @@
 #include <optional>
 #include <utility>
 
+#include "util/failpoint.hpp"
+
 namespace cwgl::util {
 
 /// Bounded blocking FIFO for producer/consumer pipelines.
@@ -28,6 +30,7 @@ class BoundedQueue {
   /// Blocks until there is room or the queue is closed. Returns false (and
   /// drops `item`) when closed — producers use this as their stop signal.
   bool push(T item) {
+    CWGL_FAILPOINT("queue.push");
     std::unique_lock lock(mutex_);
     not_full_.wait(lock,
                    [&] { return closed_ || items_.size() < capacity_; });
@@ -41,8 +44,21 @@ class BoundedQueue {
   /// Blocks until an item is available or the queue is closed and drained;
   /// nullopt means no item will ever arrive again.
   std::optional<T> pop() {
+    CWGL_FAILPOINT("queue.pop");
     std::unique_lock lock(mutex_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop: an item if one is immediately available. Used to
+  /// drain abandoned items on failure paths without risking a block.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     std::optional<T> item(std::move(items_.front()));
     items_.pop_front();

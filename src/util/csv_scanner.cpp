@@ -6,7 +6,9 @@
 #include <cstring>
 #include <istream>
 
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace cwgl::util {
 
@@ -44,8 +46,10 @@ constexpr std::uint64_t clear_flagged(std::uint64_t mask,
 
 }  // namespace
 
-CsvScanner::CsvScanner(std::istream& in, std::size_t block_size)
-    : in_(in), block_size_(std::max<std::size_t>(1, block_size)) {}
+CsvScanner::CsvScanner(std::istream& in, std::size_t block_size,
+                       CsvScanPolicy policy)
+    : in_(in), block_size_(std::max<std::size_t>(1, block_size)),
+      policy_(policy) {}
 
 bool CsvScanner::refill() {
   if (begin_ > 0) {
@@ -58,11 +62,36 @@ bool CsvScanner::refill() {
     // block size costs O(record) amortized, not O(record^2 / block).
     buffer_.resize(std::max(buffer_.size() * 2, end_ + block_size_));
   }
-  in_.read(buffer_.data() + end_, static_cast<std::streamsize>(block_size_));
+  CWGL_FAILPOINT("ingest.read_block");
+  // short-read injection shrinks this refill, forcing records to straddle
+  // refills far more often than real block sizes ever would.
+  const std::size_t want = CWGL_FAILPOINT_CLAMP("ingest.read_block", block_size_);
+  in_.read(buffer_.data() + end_, static_cast<std::streamsize>(want));
   const auto got = static_cast<std::size_t>(in_.gcount());
   end_ += got;
-  if (got < block_size_) eof_ = true;
+  if (got < want) eof_ = true;
   return got > 0;
+}
+
+bool CsvScanner::quarantine_and_resync() {
+  ++quarantined_;
+  // The whole unterminated record is resident: the slow path never advances
+  // begin_ before completing a record, and refills at EOF stop growing it.
+  const char* rec = buffer_.data() + begin_;
+  const std::size_t len = end_ - begin_;
+  const char* nl = static_cast<const char*>(std::memchr(rec, '\n', len));
+  if (policy_.diagnostics != nullptr) {
+    const std::size_t line_len =
+        nl != nullptr ? static_cast<std::size_t>(nl - rec) : len;
+    policy_.diagnostics->record("csv", "unterminated-quote",
+                                std::string_view(rec, line_len));
+  }
+  if (nl == nullptr) {
+    begin_ = end_;  // no later line boundary: the damage reaches EOF
+    return false;
+  }
+  begin_ += static_cast<std::size_t>(nl - rec) + 1;
+  return begin_ < end_;
 }
 
 std::optional<std::span<const std::string_view>> CsvScanner::next() {
@@ -163,6 +192,7 @@ std::optional<std::span<const std::string_view>> CsvScanner::next() {
     std::string* copy = nullptr;
     bool in_quotes = false;
     bool need_refill = false;
+    bool need_resync = false;
     std::size_t field_end = 0;  ///< position of the record terminator
     std::size_t rec_end = 0;    ///< one past the consumed terminator bytes
 
@@ -179,8 +209,12 @@ std::optional<std::span<const std::string_view>> CsvScanner::next() {
           break;
         }
         if (in_quotes) {
-          throw ParseError("CSV record " + std::to_string(record_ + 1) +
-                           ": unterminated quoted field");
+          if (!policy_.lenient) {
+            throw ParseError("CSV record " + std::to_string(record_ + 1) +
+                             ": unterminated quoted field");
+          }
+          need_resync = true;
+          break;
         }
         field_end = rec_end = p;
         break;
@@ -232,6 +266,10 @@ std::optional<std::span<const std::string_view>> CsvScanner::next() {
       }
     }
 
+    if (need_resync) {
+      if (!quarantine_and_resync()) return std::nullopt;
+      continue;
+    }
     if (need_refill) {
       refill();
       continue;
@@ -246,8 +284,9 @@ std::optional<std::span<const std::string_view>> CsvScanner::next() {
 
 std::size_t scan_csv_records(
     std::istream& in,
-    const std::function<bool(std::span<const std::string_view>)>& fn) {
-  CsvScanner scanner(in);
+    const std::function<bool(std::span<const std::string_view>)>& fn,
+    CsvScanPolicy policy) {
+  CsvScanner scanner(in, CsvScanner::kDefaultBlockSize, policy);
   std::size_t n = 0;
   while (const auto record = scanner.next()) {
     ++n;

@@ -12,6 +12,19 @@
 
 namespace cwgl::util {
 
+class Diagnostics;
+
+/// How the scanner treats structurally damaged input.
+struct CsvScanPolicy {
+  /// Strict (default): an unterminated quoted field throws ParseError.
+  /// Lenient: the damaged record is quarantined and the scanner resyncs at
+  /// the next line boundary, so one corrupt row cannot kill a 270 GB ingest.
+  bool lenient = false;
+  /// Optional sink: quarantined records are reported as
+  /// ("csv", "unterminated-quote", <first line of the record>).
+  Diagnostics* diagnostics = nullptr;
+};
+
 /// Zero-copy streaming CSV scanner.
 ///
 /// Reads the input in large blocks and yields each record as a span of
@@ -32,11 +45,13 @@ class CsvScanner {
   /// Wraps (does not own) `in`. `block_size` is the granularity of refills;
   /// tiny values are legal (the boundary-handling tests use them).
   explicit CsvScanner(std::istream& in,
-                      std::size_t block_size = kDefaultBlockSize);
+                      std::size_t block_size = kDefaultBlockSize,
+                      CsvScanPolicy policy = {});
 
   /// Scans the next record. Returns nullopt at end of input. The returned
   /// span and every `string_view` in it are invalidated by the next call.
-  /// Throws ParseError on an unterminated quoted field.
+  /// Throws ParseError on an unterminated quoted field (strict policy);
+  /// lenient policy quarantines the record and resyncs instead.
   std::optional<std::span<const std::string_view>> next();
 
   /// 1-based index of the last record returned (for error messages).
@@ -45,19 +60,28 @@ class CsvScanner {
   /// Total input bytes consumed by returned records (throughput accounting).
   std::size_t bytes_consumed() const noexcept { return consumed_; }
 
+  /// Records dropped by the lenient policy (always 0 under strict).
+  std::size_t quarantined() const noexcept { return quarantined_; }
+
  private:
   /// Compacts the live tail to the buffer front and reads one more block.
   /// Returns false when the input is exhausted (sets eof_).
   bool refill();
 
+  /// Drops the unterminated record, reports it, and repositions at the next
+  /// line boundary. Returns false when no further line exists.
+  bool quarantine_and_resync();
+
   std::istream& in_;
   std::size_t block_size_;
+  CsvScanPolicy policy_;
   std::vector<char> buffer_;
   std::size_t begin_ = 0;  ///< first unconsumed byte in buffer_
   std::size_t end_ = 0;    ///< one past the last valid byte in buffer_
   bool eof_ = false;
   std::size_t record_ = 0;
   std::size_t consumed_ = 0;
+  std::size_t quarantined_ = 0;
   std::vector<std::string_view> fields_;
   /// Stable storage for unescaped quoted fields (deque: growth never moves
   /// existing elements, so views into them stay valid for the record).
@@ -69,6 +93,7 @@ class CsvScanner {
 /// passed to `fn` is only valid during the call.
 std::size_t scan_csv_records(
     std::istream& in,
-    const std::function<bool(std::span<const std::string_view>)>& fn);
+    const std::function<bool(std::span<const std::string_view>)>& fn,
+    CsvScanPolicy policy = {});
 
 }  // namespace cwgl::util

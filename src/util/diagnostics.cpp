@@ -1,0 +1,104 @@
+#include "util/diagnostics.hpp"
+
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace cwgl::util {
+
+namespace {
+
+constexpr std::size_t kMaxSampleBytes = 160;
+
+std::string clip(std::string_view sample) {
+  if (sample.size() <= kMaxSampleBytes) return std::string(sample);
+  return std::string(sample.substr(0, kMaxSampleBytes)) + "...";
+}
+
+}  // namespace
+
+void Diagnostics::count(std::string_view stage, std::string_view kind,
+                        std::uint64_t n) {
+  std::lock_guard lock(mutex_);
+  Entry& e = entries_[{std::string(stage), std::string(kind)}];
+  if (e.count == 0) {
+    e.stage = stage;
+    e.kind = kind;
+  }
+  e.count += n;
+}
+
+void Diagnostics::record(std::string_view stage, std::string_view kind,
+                         std::string_view sample) {
+  std::lock_guard lock(mutex_);
+  Entry& e = entries_[{std::string(stage), std::string(kind)}];
+  if (e.count == 0) {
+    e.stage = stage;
+    e.kind = kind;
+  }
+  ++e.count;
+  if (e.samples.size() < max_samples_) e.samples.push_back(clip(sample));
+}
+
+std::uint64_t Diagnostics::total() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t sum = 0;
+  for (const auto& [key, e] : entries_) sum += e.count;
+  return sum;
+}
+
+std::uint64_t Diagnostics::count_of(std::string_view stage,
+                                    std::string_view kind) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find({std::string(stage), std::string(kind)});
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+std::vector<Diagnostics::Entry> Diagnostics::entries() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) out.push_back(e);
+  return out;
+}
+
+void Diagnostics::write_text(std::ostream& out) const {
+  const auto snapshot = entries();
+  if (snapshot.empty()) {
+    out << "diagnostics: clean (nothing quarantined)\n";
+    return;
+  }
+  std::uint64_t sum = 0;
+  for (const auto& e : snapshot) sum += e.count;
+  out << "diagnostics: " << sum << " event(s) quarantined or degraded\n";
+  for (const auto& e : snapshot) {
+    out << "  " << e.stage << "/" << e.kind << ": " << e.count << "\n";
+    for (const auto& s : e.samples) out << "    e.g. " << s << "\n";
+  }
+}
+
+void Diagnostics::write_json(std::ostream& out) const {
+  const auto snapshot = entries();
+  std::uint64_t sum = 0;
+  for (const auto& e : snapshot) sum += e.count;
+  JsonWriter j(out);
+  j.begin_object();
+  j.field("total", sum);
+  j.key("entries");
+  j.begin_array();
+  for (const auto& e : snapshot) {
+    j.begin_object();
+    j.field("stage", e.stage);
+    j.field("kind", e.kind);
+    j.field("count", e.count);
+    j.key("samples");
+    j.begin_array();
+    for (const auto& s : e.samples) j.value(s);
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+}
+
+}  // namespace cwgl::util

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cwgl::util {
+
+/// Thread-safe structured sink for quarantine/degradation events.
+///
+/// Every stage of the fault-tolerant pipeline (CSV scan, row parse, DAG
+/// build, clustering) reports what it had to drop or work around as a
+/// (stage, kind) counter plus a bounded sample of offending records — enough
+/// to audit a dirty trace without unbounded memory. One Diagnostics instance
+/// is shared across the reader and all worker threads of an ingest.
+class Diagnostics {
+ public:
+  /// `max_samples` bounds how many example records are kept per
+  /// (stage, kind); further records only bump the counter.
+  explicit Diagnostics(std::size_t max_samples = 8) : max_samples_(max_samples) {}
+
+  Diagnostics(const Diagnostics&) = delete;
+  Diagnostics& operator=(const Diagnostics&) = delete;
+
+  /// Bumps (stage, kind) by `n` without attaching a sample.
+  void count(std::string_view stage, std::string_view kind, std::uint64_t n = 1);
+
+  /// Bumps (stage, kind) and keeps `sample` (truncated to ~160 bytes) while
+  /// fewer than `max_samples` examples are stored for that key.
+  void record(std::string_view stage, std::string_view kind,
+              std::string_view sample);
+
+  /// Sum of every counter.
+  std::uint64_t total() const;
+
+  /// Counter for one (stage, kind); 0 when never reported.
+  std::uint64_t count_of(std::string_view stage, std::string_view kind) const;
+
+  bool empty() const { return total() == 0; }
+
+  struct Entry {
+    std::string stage;
+    std::string kind;
+    std::uint64_t count = 0;
+    std::vector<std::string> samples;
+  };
+
+  /// Snapshot of all entries, sorted by (stage, kind).
+  std::vector<Entry> entries() const;
+
+  /// Human-readable report, one line per (stage, kind) plus indented samples.
+  void write_text(std::ostream& out) const;
+
+  /// Machine-readable report: {"total": N, "entries": [{stage, kind, count,
+  /// samples}, ...]}.
+  void write_json(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::string, std::string>, Entry> entries_;
+  std::size_t max_samples_;
+};
+
+}  // namespace cwgl::util

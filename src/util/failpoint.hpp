@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cwgl::util {
+
+/// Raised by a failpoint configured in `error` mode. Derives from Error so
+/// the fault is indistinguishable from a genuine library failure to callers
+/// — exactly what fault-injection tests need to exercise.
+class FailpointError : public Error {
+ public:
+  explicit FailpointError(const std::string& what) : Error(what) {}
+};
+
+/// Deterministic fault injection for robustness testing.
+///
+/// Library code marks injection sites with `CWGL_FAILPOINT("site.name")`
+/// (and `CWGL_FAILPOINT_CLAMP("site.name", n)` where a read size can be
+/// shortened). When the tree is built with `-DCWGL_FAILPOINTS=ON` the macros
+/// call into this registry; otherwise they compile to nothing, so release
+/// builds carry zero overhead.
+///
+/// Sites are activated by a spec string, either passed to `configure()` or
+/// read from the `CWGL_FAILPOINTS` environment variable on first hit:
+///
+///   CWGL_FAILPOINTS="ingest.read_block=error@0.01;queue.push=delay:5ms"
+///
+/// Spec grammar (';'-separated entries):
+///   <site>=<mode>[:<arg>][@<prob>][*<limit>]
+///   seed=<uint64>           // seeds the per-site deterministic RNG streams
+/// Modes:
+///   error          throw util::FailpointError
+///   throw          throw std::runtime_error (a foreign, non-library error)
+///   delay[:Nms|Nus]  sleep (default 1ms) then continue
+///   short-read[:N]   CWGL_FAILPOINT_CLAMP returns at most N (default 1)
+/// `@p` triggers with probability p per visit (deterministic, seeded per
+/// site); `*N` stops triggering after N triggers. Both default to "always".
+namespace failpoint {
+
+/// Replaces the active configuration. Throws InvalidArgument on a malformed
+/// spec. An empty spec deactivates everything (like `clear()`).
+void configure(std::string_view spec);
+
+/// Deactivates all sites and forgets visit statistics.
+void clear();
+
+/// True when the library was compiled with failpoint sites
+/// (-DCWGL_FAILPOINTS=ON), i.e. the CWGL_FAILPOINT macros are live.
+constexpr bool compiled_in() noexcept {
+#if defined(CWGL_FAILPOINTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// True if `site` is named in the active configuration.
+bool configured(std::string_view site);
+
+/// Executes the configured action for `site` (may throw or sleep). Called by
+/// CWGL_FAILPOINT; safe — and a fast no-op — when nothing is configured.
+void hit(const char* site);
+
+/// Returns `n`, clamped down when `site` is configured in short-read mode
+/// and triggers on this visit. Called by CWGL_FAILPOINT_CLAMP.
+std::size_t clamp(const char* site, std::size_t n);
+
+/// Visit/trigger counts per configured site, for assertions and reports.
+struct SiteReport {
+  std::string site;
+  std::uint64_t visits = 0;    ///< times the site was reached
+  std::uint64_t triggers = 0;  ///< times the fault actually fired
+};
+std::vector<SiteReport> report();
+
+}  // namespace failpoint
+}  // namespace cwgl::util
+
+#if defined(CWGL_FAILPOINTS_ENABLED)
+#define CWGL_FAILPOINT(site) ::cwgl::util::failpoint::hit(site)
+#define CWGL_FAILPOINT_CLAMP(site, n) ::cwgl::util::failpoint::clamp(site, (n))
+#else
+#define CWGL_FAILPOINT(site) ((void)0)
+#define CWGL_FAILPOINT_CLAMP(site, n) (n)
+#endif

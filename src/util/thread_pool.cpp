@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/failpoint.hpp"
+
 namespace cwgl::util {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -73,11 +75,22 @@ void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t step = (total + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
-  for (std::size_t c = begin; c < end; c += step) {
-    const std::size_t hi = std::min(c + step, end);
-    futures.push_back(pool.submit([&fn, c, hi] { fn(c, hi); }));
-  }
   std::exception_ptr first_error;
+  try {
+    for (std::size_t c = begin; c < end; c += step) {
+      const std::size_t hi = std::min(c + step, end);
+      futures.push_back(pool.submit([&fn, c, hi] {
+        // Exceptions (including injected ones) surface through the future
+        // and are rethrown below after every chunk resolves.
+        CWGL_FAILPOINT("pool.chunk");
+        fn(c, hi);
+      }));
+    }
+  } catch (...) {
+    // A failed submission must not unwind while already-queued chunks still
+    // reference `fn` (which lives in our caller's frame): settle them first.
+    first_error = std::current_exception();
+  }
   for (auto& f : futures) {
     // Help-while-waiting: drain queued tasks (ours or anyone's) until this
     // chunk resolves, so a pool task blocked here can never starve its own

@@ -11,6 +11,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/failpoint.hpp"
+
 namespace cwgl::util {
 
 /// Fixed-size worker pool with a single FIFO queue.
@@ -40,6 +42,9 @@ class ThreadPool {
   auto submit(F&& fn, Args&&... args)
       -> std::future<std::invoke_result_t<F, Args...>> {
     using R = std::invoke_result_t<F, Args...>;
+    // May throw (error mode): callers must tolerate a submission failing
+    // after earlier submissions already queued work against shared state.
+    CWGL_FAILPOINT("pool.submit");
     auto task = std::make_shared<std::packaged_task<R()>>(
         [f = std::forward<F>(fn),
          ... a = std::forward<Args>(args)]() mutable -> R {

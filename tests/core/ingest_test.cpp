@@ -7,6 +7,7 @@
 #include "core/pipeline.hpp"
 #include "trace/generator.hpp"
 #include "trace/io.hpp"
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -101,12 +102,95 @@ TEST(StreamDagJobs, MalformedRowsCountedNotFatal) {
   EXPECT_EQ(dags[0].job_name, "j_1");
 }
 
-TEST(StreamDagJobs, ParseErrorPropagatesFromPooledRun) {
+TEST(StreamDagJobs, StrictParseErrorPropagatesFromPooledRun) {
   std::string csv = task_csv(make_trace(50));
-  csv += "\"unterminated";  // scanner throws at end of stream
+  csv += "\"unterminated";  // scanner throws at end of stream (strict mode)
   util::ThreadPool pool(4);
   std::istringstream in(csv);
-  EXPECT_THROW(stream_dag_jobs(in, {}, &pool), util::ParseError);
+  IngestOptions options;
+  options.strict = true;
+  EXPECT_THROW(stream_dag_jobs(in, options, &pool), util::ParseError);
+}
+
+TEST(StreamDagJobs, LenientQuarantinesUnterminatedQuote) {
+  const trace::Trace data = make_trace(50);
+  std::string csv = task_csv(data);
+  csv += "\"unterminated";  // damaged tail record
+  util::Diagnostics diagnostics;
+  IngestOptions options;
+  options.diagnostics = &diagnostics;
+  util::ThreadPool pool(4);
+  std::istringstream in(csv);
+  IngestStats stats;
+  const auto dags = stream_dag_jobs(in, options, &pool, &stats);
+  // Every intact job still comes through; the damage is counted, not fatal.
+  std::istringstream clean_in(task_csv(data));
+  const auto clean = stream_dag_jobs(clean_in, {});
+  expect_same_jobs(dags, clean);
+  EXPECT_EQ(stats.stream.malformed, 1u);
+  EXPECT_EQ(diagnostics.count_of("csv", "unterminated-quote"), 1u);
+}
+
+TEST(StreamDagJobs, StrictEscalatesCorruptJobsButNotFiltering) {
+  // j_bad's second task depends on index 9, which does not exist.
+  std::stringstream corrupt;
+  corrupt << "M1,1,j_bad,1,Terminated,10,20,100.00,0.50\n";
+  corrupt << "R2_9,1,j_bad,1,Terminated,30,40,100.00,0.50\n";
+  IngestOptions strict;
+  strict.strict = true;
+  EXPECT_THROW(stream_dag_jobs(corrupt, strict), util::GraphError);
+
+  // A non-DAG task name is routine filtering, not corruption: strict mode
+  // skips it exactly like lenient mode does. (require_dag is disabled so
+  // the job reaches the DAG builder instead of being filtered earlier.)
+  std::stringstream independent;
+  independent << "task_xyz,1,j_ind,1,Terminated,10,20,100.00,0.50\n";
+  independent << "task_abc,1,j_ind,1,Terminated,10,20,100.00,0.50\n";
+  IngestOptions permissive = strict;
+  permissive.criteria.require_dag = false;
+  IngestStats stats;
+  const auto dags = stream_dag_jobs(independent, permissive, nullptr, &stats);
+  EXPECT_TRUE(dags.empty());
+  EXPECT_EQ(stats.eligible, 1u);
+}
+
+TEST(StreamDagJobs, LenientCountsCorruptJobsIntoDiagnostics) {
+  std::stringstream in;
+  // Cyclic job: M1 depends on 2, R2 depends on 1.
+  in << "M1_2,1,j_cycle,1,Terminated,10,20,100.00,0.50\n";
+  in << "R2_1,1,j_cycle,1,Terminated,30,40,100.00,0.50\n";
+  // Healthy job after the corrupt one must still be built.
+  in << "M1,1,j_ok,1,Terminated,10,20,100.00,0.50\n";
+  in << "R2_1,1,j_ok,1,Terminated,30,40,100.00,0.50\n";
+  util::Diagnostics diagnostics;
+  IngestOptions options;
+  options.diagnostics = &diagnostics;
+  IngestStats stats;
+  const auto dags = stream_dag_jobs(in, options, nullptr, &stats);
+  ASSERT_EQ(dags.size(), 1u);
+  EXPECT_EQ(dags[0].job_name, "j_ok");
+  EXPECT_EQ(diagnostics.count_of("dag", "cycle"), 1u);
+}
+
+TEST(StreamDagJobs, PooledStrictCyclicJobDoesNotDeadlock) {
+  // Regression for the shutdown ordering: a worker that throws mid-stream
+  // must close the queue so the reader's blocked push is released. With a
+  // tiny queue and batch size the reader is guaranteed to be pushing when
+  // the worker dies; before the close-on-throw fix this test hung.
+  std::ostringstream csv;
+  csv << "M1_2,1,j_cycle,1,Terminated,10,20,100.00,0.50\n";
+  csv << "R2_1,1,j_cycle,1,Terminated,30,40,100.00,0.50\n";
+  for (int j = 0; j < 2000; ++j) {
+    csv << "M1,1,j_f" << j << ",1,Terminated,10,20,100.00,0.50\n";
+    csv << "R2_1,1,j_f" << j << ",1,Terminated,30,40,100.00,0.50\n";
+  }
+  util::ThreadPool pool(4);
+  IngestOptions options;
+  options.strict = true;
+  options.batch_jobs = 1;
+  options.queue_capacity = 1;
+  std::istringstream in(csv.str());
+  EXPECT_THROW(stream_dag_jobs(in, options, &pool), util::GraphError);
 }
 
 TEST(StreamDagJobs, EmptyInput) {

@@ -248,7 +248,16 @@ TEST(TraceIo, InstanceFileCorruptMidStreamThrows) {
     std::ofstream out(dir / "batch_instance.csv", std::ios::app);
     out << "\"unterminated quoted field";
   }
-  EXPECT_THROW(read_trace(dir), util::Error);
+  TraceReadOptions strict;
+  strict.lenient = false;
+  EXPECT_THROW(read_trace(dir, nullptr, strict), util::Error);
+  // The default (lenient) read quarantines the damaged record instead of
+  // failing, and reports it through the skipped counter.
+  std::size_t skipped = 0;
+  const Trace recovered = read_trace(dir, &skipped);
+  EXPECT_EQ(recovered.tasks.size(), trace.tasks.size());
+  EXPECT_EQ(recovered.instances.size(), trace.instances.size());
+  EXPECT_EQ(skipped, 1u);
   std::filesystem::remove_all(dir);
 }
 

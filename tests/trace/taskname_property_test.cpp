@@ -1,0 +1,124 @@
+// Property/fuzz suite for trace::parse_task_name over adversarial inputs.
+//
+// The parser is the pipeline's first line of defense: every byte of the
+// task_name column of a 270 GB trace flows through it, so it must never
+// crash, never loop, and never accept a string that encode_task_name cannot
+// reproduce.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "support/proptest.hpp"
+#include "trace/taskname.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::trace {
+namespace {
+
+/// Random bytes drawn from a hostile alphabet: digits, letters, separators,
+/// signs, NULs, high bytes — everything a corrupt CSV column could contain.
+std::string random_hostile_string(util::Xoshiro256StarStar& rng,
+                                  int max_len = 24) {
+  static constexpr char kAlphabet[] =
+      "MRJmrj0123456789__--++..  \t\",\0\x7f\xff";
+  // sizeof includes the terminating NUL, which we deliberately keep: NUL
+  // bytes inside names must not confuse the parser.
+  const int len = rng.uniform_int(0, max_len);
+  std::string s;
+  s.reserve(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    s.push_back(kAlphabet[rng.uniform_int(0, sizeof(kAlphabet) - 1)]);
+  }
+  return s;
+}
+
+TEST(TaskNameProperty, NeverCrashesOnHostileInput) {
+  proptest::run_cases(0xF00D, 3000, [](util::Xoshiro256StarStar& rng) {
+    const std::string name = random_hostile_string(rng);
+    // Must return (nullopt or a value) — never throw, never crash.
+    const auto parsed = parse_task_name(name);
+    if (parsed) {
+      // Accepted names normalize: encoding the parse and re-parsing must be
+      // a fixed point. (Exact string round-trip does not hold — the grammar
+      // tolerates multi-letter prefixes and leading zeros, which the
+      // encoder canonicalizes away.)
+      const auto again = parse_task_name(encode_task_name(*parsed));
+      ASSERT_TRUE(again.has_value()) << name;
+      EXPECT_EQ(*again, *parsed) << name;
+    }
+  });
+}
+
+TEST(TaskNameProperty, RoundTripsEveryGrammaticalName) {
+  proptest::run_cases(0xBEEF, 2000, [](util::Xoshiro256StarStar& rng) {
+    TaskName t;
+    static constexpr char kTypes[] = {'M', 'R', 'J', 'A', 'z'};
+    t.type = kTypes[rng.uniform_int(0, 4)];
+    t.index = rng.uniform_int(1, 9999);
+    const int deps = rng.uniform_int(0, 6);
+    for (int i = 0; i < deps; ++i) {
+      t.deps.push_back(rng.uniform_int(1, 9999));
+    }
+    const std::string encoded = encode_task_name(t);
+    const auto parsed = parse_task_name(encoded);
+    ASSERT_TRUE(parsed.has_value()) << encoded;
+    EXPECT_EQ(parsed->type, t.type);
+    EXPECT_EQ(parsed->index, t.index);
+    EXPECT_EQ(parsed->deps, t.deps);
+  });
+}
+
+TEST(TaskNameProperty, AdversarialEdgeCases) {
+  // Hand-picked strings that historically break hand-rolled parsers.
+  const char* rejected[] = {
+      "",            // empty
+      "M",           // type but no index
+      "1",           // index but no type
+      "M0",          // zero index (grammar says positive)
+      "M-1",         // negative index
+      "M1_",         // trailing separator, no dep
+      "M1__2",       // empty dep between separators
+      "M1_0",        // zero dep
+      "M1_-3",       // negative dep
+      "M1_2_",       // trailing separator after deps
+      "M 1",         // interior space
+      "M1 ",         // trailing space
+      " M1",         // leading space
+      "M1_2x",       // trailing junk after dep
+      "M1x_2",       // junk between index and separator
+      "task_Zxg3Fh", // the trace's independent-task spelling
+      "M99999999999999999999",      // index overflow (> 18 digits)
+      "M1_99999999999999999999",    // dep overflow
+      "M5000000000",                // fits long long, overflows int
+      "M1_5000000000",              // dep that overflows int
+      "\xffM1",      // high byte prefix
+  };
+  for (const char* name : rejected) {
+    EXPECT_FALSE(parse_task_name(name).has_value()) << '"' << name << '"';
+  }
+
+  // Embedded NUL needs an explicit length (a literal would truncate).
+  EXPECT_FALSE(parse_task_name(std::string("M1\0_2", 5)).has_value());
+
+  // And grammatical names that must parse.
+  EXPECT_TRUE(parse_task_name("M1").has_value());
+  EXPECT_TRUE(parse_task_name("R2_1").has_value());
+  EXPECT_TRUE(parse_task_name("J4_2_3").has_value());
+  EXPECT_TRUE(parse_task_name("MRGG12_10_9_8").has_value());
+}
+
+TEST(TaskNameProperty, LongInputsStayLinear) {
+  // A pathological 1 MB name must be rejected quickly, not crash or hang.
+  std::string huge(1 << 20, '_');
+  huge[0] = 'M';
+  huge[1] = '1';
+  EXPECT_FALSE(parse_task_name(huge).has_value());
+
+  std::string digits = "M" + std::string(1 << 20, '9');
+  EXPECT_FALSE(parse_task_name(digits).has_value());
+}
+
+}  // namespace
+}  // namespace cwgl::trace

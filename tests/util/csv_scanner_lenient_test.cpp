@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/csv_scanner.hpp"
+#include "util/diagnostics.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::util {
+namespace {
+
+std::vector<std::vector<std::string>> scan_all(std::istream& in,
+                                               CsvScanPolicy policy,
+                                               std::size_t block = 16) {
+  CsvScanner scanner(in, block, policy);
+  std::vector<std::vector<std::string>> records;
+  while (const auto fields = scanner.next()) {
+    records.emplace_back(fields->begin(), fields->end());
+  }
+  return records;
+}
+
+TEST(CsvScannerLenient, StrictStillThrowsOnUnterminatedQuote) {
+  std::istringstream in("a,b\n\"unterminated");
+  CsvScanner scanner(in);
+  ASSERT_TRUE(scanner.next().has_value());
+  EXPECT_THROW(scanner.next(), ParseError);
+}
+
+TEST(CsvScannerLenient, QuarantinesDamagedTailRecord) {
+  std::istringstream in("a,b\nc,d\n\"unterminated");
+  const auto records = scan_all(in, {.lenient = true});
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(records[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvScannerLenient, ResyncsAtNextLineAndKeepsGoing) {
+  // The unterminated quote swallows the rest of its line plus the newline;
+  // lenient mode must resume at the line after the damage.
+  std::istringstream in("a,b\n\"oops,x\nc,d\ne,f\n");
+  Diagnostics diagnostics;
+  CsvScanner scanner(in, 8, {.lenient = true, .diagnostics = &diagnostics});
+  std::vector<std::vector<std::string>> records;
+  while (const auto fields = scanner.next()) {
+    records.emplace_back(fields->begin(), fields->end());
+  }
+  // The damaged record consumes until EOF (no closing quote), so everything
+  // after "a,b" is quarantined as ONE record and resync lands... wherever
+  // the first newline inside the swallowed bytes is: "c,d" and "e,f" are
+  // recovered.
+  ASSERT_GE(records.size(), 1u);
+  EXPECT_EQ(records[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(scanner.quarantined(), 1u);
+  EXPECT_EQ(diagnostics.count_of("csv", "unterminated-quote"), 1u);
+  // Recovery: the records after the damaged line came through.
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[1], (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ(records[2], (std::vector<std::string>{"e", "f"}));
+}
+
+TEST(CsvScannerLenient, CleanInputIdenticalUnderBothPolicies) {
+  const std::string csv =
+      "a,b,c\n\"quoted,comma\",2,3\r\nx,\"doubled\"\"quote\",z\n";
+  std::istringstream strict_in(csv);
+  std::istringstream lenient_in(csv);
+  const auto strict = scan_all(strict_in, {});
+  const auto lenient = scan_all(lenient_in, {.lenient = true});
+  EXPECT_EQ(strict, lenient);
+  std::istringstream counter(csv);
+  CsvScanner scanner(counter, 16, {.lenient = true});
+  while (scanner.next()) {
+  }
+  EXPECT_EQ(scanner.quarantined(), 0u);
+}
+
+TEST(CsvScannerLenient, ScanCsvRecordsForwardsPolicy) {
+  std::istringstream in("a,b\n\"unterminated");
+  std::size_t visited = 0;
+  const auto total = scan_csv_records(
+      in,
+      [&](std::span<const std::string_view>) {
+        ++visited;
+        return true;
+      },
+      {.lenient = true});
+  EXPECT_EQ(visited, 1u);
+  EXPECT_EQ(total, 1u);
+}
+
+}  // namespace
+}  // namespace cwgl::util

@@ -1,0 +1,108 @@
+#include "util/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cwgl::util {
+namespace {
+
+TEST(Diagnostics, StartsEmpty) {
+  Diagnostics d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.total(), 0u);
+  EXPECT_EQ(d.count_of("ingest", "malformed-row"), 0u);
+  EXPECT_TRUE(d.entries().empty());
+}
+
+TEST(Diagnostics, CountAndRecordAccumulate) {
+  Diagnostics d;
+  d.count("ingest", "malformed-row", 3);
+  d.record("ingest", "malformed-row", "bad,row,here");
+  d.record("csv", "unterminated-quote", "\"oops");
+  EXPECT_EQ(d.total(), 5u);
+  EXPECT_EQ(d.count_of("ingest", "malformed-row"), 4u);
+  EXPECT_EQ(d.count_of("csv", "unterminated-quote"), 1u);
+  const auto entries = d.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  // Sorted by (stage, kind): "csv" < "ingest".
+  EXPECT_EQ(entries[0].stage, "csv");
+  ASSERT_EQ(entries[0].samples.size(), 1u);
+  EXPECT_EQ(entries[0].samples[0], "\"oops");
+  EXPECT_EQ(entries[1].stage, "ingest");
+  ASSERT_EQ(entries[1].samples.size(), 1u);
+}
+
+TEST(Diagnostics, SamplesAreBounded) {
+  Diagnostics d(/*max_samples=*/2);
+  for (int i = 0; i < 10; ++i) {
+    d.record("s", "k", "sample " + std::to_string(i));
+  }
+  const auto entries = d.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].count, 10u);
+  EXPECT_EQ(entries[0].samples.size(), 2u);
+}
+
+TEST(Diagnostics, LongSamplesAreClipped) {
+  Diagnostics d;
+  d.record("s", "k", std::string(1000, 'x'));
+  const auto entries = d.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  ASSERT_EQ(entries[0].samples.size(), 1u);
+  EXPECT_LT(entries[0].samples[0].size(), 200u);
+}
+
+TEST(Diagnostics, TextReportCleanAndDirty) {
+  Diagnostics d;
+  std::ostringstream clean;
+  d.write_text(clean);
+  EXPECT_NE(clean.str().find("clean"), std::string::npos);
+
+  d.record("ingest", "malformed-row", "garbage");
+  std::ostringstream dirty;
+  d.write_text(dirty);
+  EXPECT_NE(dirty.str().find("ingest/malformed-row"), std::string::npos);
+  EXPECT_NE(dirty.str().find("garbage"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonReportIsWellFormedEnough) {
+  Diagnostics d;
+  d.record("csv", "unterminated-quote", "\"oops");
+  d.count("dag", "cycle");
+  std::ostringstream out;
+  d.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"total\":"), std::string::npos);
+  EXPECT_NE(json.find("\"csv\""), std::string::npos);
+  EXPECT_NE(json.find("\"cycle\""), std::string::npos);
+  // The embedded quote must be escaped, not emitted raw.
+  EXPECT_NE(json.find("\\\"oops"), std::string::npos);
+}
+
+TEST(Diagnostics, ConcurrentReportersDoNotLoseCounts) {
+  Diagnostics d;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&d, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (i % 2 == 0) {
+          d.count("stage", "kind");
+        } else {
+          d.record("stage", "kind", "thread " + std::to_string(t));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(d.total(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace cwgl::util
