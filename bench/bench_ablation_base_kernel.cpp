@@ -20,7 +20,7 @@
 #include "kernel/gram.hpp"
 #include "kernel/wl.hpp"
 #include "util/strings.hpp"
-#include "util/timer.hpp"
+#include "obs/stopwatch.hpp"
 
 using namespace cwgl;
 
@@ -41,7 +41,8 @@ std::unique_ptr<kernel::Featurizer> make_featurizer(int which) {
   }
 }
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("A2", "ablation: base kernel choice (Eq. 1 admits any)");
   const auto sample = bench::make_experiment_set();
   const auto corpus = to_corpus(sample);
@@ -56,7 +57,7 @@ void print_figure() {
             << "\n";
   for (int which = 0; which < 4; ++which) {
     auto featurizer = make_featurizer(which);
-    util::WallTimer timer;
+    obs::Stopwatch timer;
     const auto gram = kernel::gram_matrix(*featurizer, corpus);
     const double ms = timer.millis();
     const auto clustering = core::ClusteringAnalysis::compute(gram, sample, {});
@@ -87,7 +88,11 @@ BENCHMARK(BM_BaseKernelGram)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("ablation_base_kernel");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

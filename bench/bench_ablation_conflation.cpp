@@ -15,13 +15,14 @@
 #include "core/clustering.hpp"
 #include "core/similarity.hpp"
 #include "util/strings.hpp"
-#include "util/timer.hpp"
+#include "obs/stopwatch.hpp"
 
 using namespace cwgl;
 
 namespace {
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("A3", "ablation: conflation on/off before graph learning");
   const auto sample = bench::make_experiment_set();
   std::vector<core::JobDag> conflated;
@@ -40,7 +41,7 @@ void print_figure() {
                    1)
             << "% reduction)\n";
 
-  util::WallTimer timer;
+  obs::Stopwatch timer;
   const auto raw_sim = core::SimilarityAnalysis::compute(sample);
   const double raw_ms = timer.millis();
   timer.reset();
@@ -85,7 +86,11 @@ BENCHMARK(BM_SimilarityConflated)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("ablation_conflation");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

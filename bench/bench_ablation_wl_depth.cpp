@@ -20,7 +20,8 @@ using namespace cwgl;
 
 namespace {
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("A1", "ablation: WL iteration depth h (paper fixes h; we sweep)");
   const auto sample = bench::make_experiment_set();
   util::ThreadPool pool;
@@ -64,7 +65,11 @@ BENCHMARK(BM_WlDepth)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("ablation_wl_depth");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

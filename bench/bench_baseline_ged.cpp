@@ -20,7 +20,7 @@
 #include "util/error.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
-#include "util/timer.hpp"
+#include "obs/stopwatch.hpp"
 
 using namespace cwgl;
 
@@ -47,7 +47,8 @@ std::vector<kernel::LabeledGraph> jobs_of_size(int n, std::size_t count,
   return out;
 }
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("A4", "baseline: exact GED vs WL kernel cost and agreement");
   std::cout << util::pad_left("size", 6) << util::pad_left("pairs", 7)
             << util::pad_left("GED ms/pair", 13)
@@ -56,7 +57,7 @@ void print_figure() {
   for (int n = 2; n <= 9; ++n) {
     const auto graphs = jobs_of_size(n, 6, 1000 + n);
     std::vector<double> ged_sims, wl_sims;
-    util::WallTimer ged_timer;
+    obs::Stopwatch ged_timer;
     std::size_t pairs = 0;
     bool ged_exhausted = false;
     kernel::GedOptions ged_options;
@@ -74,7 +75,7 @@ void print_figure() {
       }
     }
     const double ged_ms = ged_timer.millis();
-    util::WallTimer wl_timer;
+    obs::Stopwatch wl_timer;
     std::size_t wl_pairs = 0;
     for (std::size_t i = 0; i < graphs.size(); ++i) {
       for (std::size_t j = i + 1; j < graphs.size(); ++j) {
@@ -122,7 +123,11 @@ BENCHMARK(BM_WlPair)->DenseRange(2, 8)->Arg(16)->Arg(31)->Unit(benchmark::kMicro
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("baseline_ged");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

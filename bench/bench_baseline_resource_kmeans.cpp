@@ -25,7 +25,8 @@ using namespace cwgl;
 
 namespace {
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("A7", "resource-feature k-means [14] vs topology clustering");
   const auto sample = bench::make_experiment_set();
   util::ThreadPool pool;
@@ -89,7 +90,11 @@ BENCHMARK(BM_TopologyClustering)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("baseline_resource_kmeans");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

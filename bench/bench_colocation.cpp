@@ -61,7 +61,8 @@ sched::SimulatorConfig cluster_with_online(double base_fraction) {
   return cfg;
 }
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("A9", "batch under online/offline co-location (Section II-B)");
   const Fixture f = make_fixture();
   const sched::FifoPolicy fifo;
@@ -101,7 +102,11 @@ BENCHMARK(BM_ColocatedSimulation)->Arg(0)->Arg(40)->Unit(benchmark::kMillisecond
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("colocation");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

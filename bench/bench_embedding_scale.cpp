@@ -20,7 +20,7 @@
 #include "kernel/embedding.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
+#include "obs/stopwatch.hpp"
 
 using namespace cwgl;
 
@@ -32,7 +32,8 @@ std::vector<kernel::LabeledGraph> to_corpus(std::span<const core::JobDag> jobs) 
   return corpus;
 }
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("A8", "hashed WL embeddings vs exact gram + spectral");
   std::cout << util::pad_left("jobs", 6) << util::pad_left("gram+spectral ms", 18)
             << util::pad_left("embed+kmeans ms", 17)
@@ -41,13 +42,13 @@ void print_figure() {
     const auto sample = bench::make_experiment_set(20000, n);
     const auto corpus = to_corpus(sample);
 
-    util::WallTimer exact_timer;
+    obs::Stopwatch exact_timer;
     const auto similarity = core::SimilarityAnalysis::compute(sample);
     const auto spectral =
         core::ClusteringAnalysis::compute(similarity.gram, sample, {});
     const double exact_ms = exact_timer.millis();
 
-    util::WallTimer embed_timer;
+    obs::Stopwatch embed_timer;
     kernel::EmbeddingConfig cfg;
     cfg.wl.iterations = 1;  // match the pipeline's paper-faithful depth
     cfg.dimensions = 256;
@@ -78,11 +79,11 @@ void print_figure() {
     cfg.wl.iterations = 1;
     cfg.dimensions = 256;
 
-    util::WallTimer serial_timer;
+    obs::Stopwatch serial_timer;
     const auto serial = kernel::wl_embedding_matrix(corpus, cfg);
     const double serial_ms = serial_timer.millis();
 
-    util::WallTimer parallel_timer;
+    obs::Stopwatch parallel_timer;
     const auto parallel = kernel::wl_embedding_matrix(corpus, cfg, &pool);
     const double parallel_ms = parallel_timer.millis();
 
@@ -125,7 +126,11 @@ BENCHMARK(BM_EmbedSingleJob)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("embedding_scale");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -17,7 +17,8 @@ using namespace cwgl;
 
 namespace {
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("Fig 2", "job-level abstraction of DAG batch workload");
   const auto sample = bench::make_experiment_set(20000, 100);
 
@@ -61,7 +62,11 @@ BENCHMARK(BM_BuildJobDags)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("fig2_dag_abstraction");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -15,7 +15,8 @@ using namespace cwgl;
 
 namespace {
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("Fig 3", "size of DAG jobs before and after node conflation");
   // The figure covers the filtered workload at scale, not just 100 samples.
   const trace::Trace data = bench::make_trace(20000);
@@ -48,7 +49,11 @@ BENCHMARK(BM_ConflateWorkload)->Arg(2000)->Arg(8000)->Unit(benchmark::kMilliseco
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("fig3_conflation");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -18,7 +18,8 @@ using namespace cwgl;
 
 namespace {
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("Fig 5", "job features after node conflation");
   const auto sample = bench::make_experiment_set();
   std::vector<core::JobDag> conflated;
@@ -50,7 +51,11 @@ BENCHMARK(BM_ConflateThenFeatures)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("fig5_features_after");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

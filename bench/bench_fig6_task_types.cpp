@@ -18,7 +18,8 @@ using namespace cwgl;
 
 namespace {
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("Fig 6", "distribution of Map-Join-Reduce tasks");
   const auto sample = bench::make_experiment_set();
   const auto report = core::TaskTypeReport::compute(sample);
@@ -51,7 +52,11 @@ BENCHMARK(BM_TaskTypeReport)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("fig6_task_types");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -18,7 +18,8 @@ using namespace cwgl;
 
 namespace {
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("Fig 7", "pairwise WL similarity map of the experiment set");
   const auto sample = bench::make_experiment_set();
   util::ThreadPool pool;
@@ -49,7 +50,11 @@ BENCHMARK(BM_SimilarityMap)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMilli
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("fig7_similarity");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -75,7 +75,8 @@ void run_variant(core::SamplingMode mode, const char* label) {
   }
 }
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("Fig 9", "properties of job DAGs in cluster groups");
   run_variant(core::SamplingMode::VariabilityStratified,
               "variability-stratified (17-size coverage)");
@@ -97,7 +98,11 @@ BENCHMARK(BM_SpectralClustering)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecon
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("fig9_clustering");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

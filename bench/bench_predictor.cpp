@@ -63,7 +63,8 @@ Split make_split() {
   return s;
 }
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("A10", "foreseeing job completion time from submission-time info");
   const Split s = make_split();
 
@@ -137,7 +138,11 @@ BENCHMARK(BM_PredictSingleJob)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("predictor");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

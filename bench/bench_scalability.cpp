@@ -11,13 +11,13 @@
 #include "kernel/gram.hpp"
 #include "kernel/wl.hpp"
 #include "util/strings.hpp"
-#include "util/timer.hpp"
+#include "obs/stopwatch.hpp"
 
 using namespace cwgl;
 
 namespace {
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
   bench::banner("A5", "scalability: corpus size, threads, end-to-end pipeline");
   std::cout << util::pad_left("corpus", 8) << util::pad_left("gram ms", 10)
             << util::pad_left("ms/pair", 10) << "\n";
@@ -26,7 +26,7 @@ void print_figure() {
     std::vector<kernel::LabeledGraph> corpus;
     for (const auto& job : sample) corpus.push_back(job.to_labeled());
     kernel::WlSubtreeFeaturizer featurizer;
-    util::WallTimer timer;
+    obs::Stopwatch timer;
     const auto gram = kernel::gram_matrix(featurizer, corpus);
     const double ms = timer.millis();
     const double pairs =
@@ -34,6 +34,7 @@ void print_figure() {
     std::cout << util::pad_left(std::to_string(corpus.size()), 8)
               << util::pad_left(util::format_double(ms, 1), 10)
               << util::pad_left(util::format_double(ms / pairs, 4), 10) << "\n";
+    reporter.set("gram_" + std::to_string(corpus.size()) + "_ms", ms);
   }
 
   // Differential: the concurrent featurization path (sharded dictionary +
@@ -51,12 +52,12 @@ void print_figure() {
     for (const auto& job : sample) corpus.push_back(job.to_labeled());
 
     kernel::WlSubtreeFeaturizer serial_f;
-    util::WallTimer serial_timer;
+    obs::Stopwatch serial_timer;
     const auto serial = kernel::gram_matrix(serial_f, corpus);
     const double serial_ms = serial_timer.millis();
 
     kernel::WlSubtreeFeaturizer parallel_f;
-    util::WallTimer parallel_timer;
+    obs::Stopwatch parallel_timer;
     const auto parallel = kernel::gram_matrix(parallel_f, corpus, {}, &pool);
     const double parallel_ms = parallel_timer.millis();
 
@@ -66,6 +67,10 @@ void print_figure() {
               << util::pad_left(util::format_double(serial_ms / parallel_ms, 2), 9)
               << util::pad_left(util::format_double(serial.max_abs_diff(parallel), 15), 19)
               << "\n";
+    const std::string prefix = "gram_par_" + std::to_string(corpus.size());
+    reporter.set(prefix + "_serial_ms", serial_ms);
+    reporter.set(prefix + "_pooled_ms", parallel_ms);
+    reporter.set(prefix + "_speedup", serial_ms / parallel_ms, "x");
   }
 }
 
@@ -110,7 +115,11 @@ BENCHMARK(BM_EndToEndPipeline)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisec
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("scalability");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

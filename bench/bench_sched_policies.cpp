@@ -52,7 +52,8 @@ Fixture make_fixture(std::size_t sample_size = 200) {
   return f;
 }
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("A6", "scheduling with topology-cluster hints vs baselines");
   const Fixture f = make_fixture();
   sched::SimulatorConfig sim_cfg;
@@ -121,7 +122,11 @@ BENCHMARK(BM_SimulateGroupHint)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecon
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("sched_policies");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

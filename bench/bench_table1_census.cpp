@@ -18,7 +18,8 @@ using namespace cwgl;
 
 namespace {
 
-void print_figure() {
+void print_figure(bench::Reporter& reporter) {
+  (void)reporter;
   bench::banner("T1", "whole-trace census (Sections II-B, IV-B, V-B)");
   const trace::Trace data = bench::make_trace(20000);
   const auto census = core::TraceCensus::compute(data);
@@ -77,7 +78,11 @@ BENCHMARK(BM_PatternCensus)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  bench::Reporter reporter("table1_census");
+  obs::Stopwatch figure_watch;
+  print_figure(reporter);
+  reporter.set("figure_total_ms", figure_watch.millis());
+  reporter.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Compare two cwgl-bench-v1 result files metric by metric.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [--max-regress PCT]
+
+Both files are BENCH_<name>.json as written by bench::Reporter
+(bench/common.hpp): {"schema": "cwgl-bench-v1", "bench": ..., "machine":
+{...}, "metrics": {name: {unit, reps, median, p90, min, max}}}.
+
+Exit codes:
+    0  compared fine (deltas are informational by default)
+    1  --max-regress given and a time-unit metric regressed past the bar
+    2  structural problem: unreadable file, wrong schema, or a baseline
+       metric missing from the current run — the files are not comparable
+
+Deltas are computed on medians. Percentages are signed so that positive
+means "current is slower/bigger than baseline". Only time-unit metrics
+(ms/us/ns) count against --max-regress; ratios and throughputs are
+reported but never gate, since "bigger" is better for those.
+
+Stdlib only — runnable anywhere Python 3 exists, no pip involved.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "cwgl-bench-v1"
+TIME_UNITS = {"ms", "us", "ns", "s"}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        print(
+            f"bench_diff: {path}: expected schema {SCHEMA!r}, "
+            f"got {doc.get('schema')!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    if not isinstance(doc.get("metrics"), dict):
+        print(f"bench_diff: {path}: no metrics object", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two cwgl-bench-v1 result files."
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) if any time-unit metric's median regresses "
+        "by more than PCT percent",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+
+    if base.get("bench") != curr.get("bench"):
+        print(
+            f"bench_diff: comparing different benches: "
+            f"{base.get('bench')!r} vs {curr.get('bench')!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    if base.get("machine") != curr.get("machine"):
+        print(
+            "note: machine fingerprints differ — absolute deltas reflect "
+            "hardware as much as code"
+        )
+
+    missing = sorted(set(base["metrics"]) - set(curr["metrics"]))
+    if missing:
+        print(
+            f"bench_diff: current run is missing {len(missing)} baseline "
+            f"metric(s): {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    extra = sorted(set(curr["metrics"]) - set(base["metrics"]))
+    if extra:
+        print(f"note: current adds metric(s) not in baseline: {', '.join(extra)}")
+
+    print(f"bench: {base.get('bench')}")
+    header = f"{'metric':<28}{'unit':>8}{'baseline':>12}{'current':>12}{'delta':>9}"
+    print(header)
+    print("-" * len(header))
+
+    regressions = []
+    for name in sorted(base["metrics"]):
+        b = base["metrics"][name]
+        c = curr["metrics"][name]
+        unit = b.get("unit", "")
+        b_med = float(b.get("median", 0.0))
+        c_med = float(c.get("median", 0.0))
+        if b_med != 0.0:
+            pct = 100.0 * (c_med - b_med) / b_med
+            delta = f"{pct:+.1f}%"
+        else:
+            pct = 0.0
+            delta = "n/a"
+        flag = ""
+        if (
+            args.max_regress is not None
+            and unit in TIME_UNITS
+            and b_med != 0.0
+            and pct > args.max_regress
+        ):
+            regressions.append((name, pct))
+            flag = "  << regression"
+        print(f"{name:<28}{unit:>8}{b_med:>12.4g}{c_med:>12.4g}{delta:>9}{flag}")
+
+    if regressions:
+        print(
+            f"bench_diff: {len(regressions)} metric(s) regressed past "
+            f"{args.max_regress}%: "
+            + ", ".join(f"{n} ({p:+.1f}%)" for n, p in regressions),
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,11 @@
 #                 must not leak or touch freed memory on error paths)
 #   faults-tsan   fault-relevant tests under TSan (queue close / worker
 #                 failure shutdown ordering under the race detector)
+# — and finally the bench-smoke pass: bench_ingest + bench_scalability on
+#   tiny inputs (CWGL_BENCH_JOBS=500), each emitting BENCH_<name>.json,
+#   structurally compared against the committed bench/baselines/ files with
+#   scripts/bench_diff.py (deltas informational; a missing metric or broken
+#   schema fails the pass).
 #
 # Usage: scripts/check.sh [jobs]
 # Build dirs are build-check-<name>; set CWGL_CHECK_KEEP=1 to keep them.
@@ -57,16 +62,53 @@ run_config() {
 # the subset worth re-running under sanitizers with failpoints compiled in.
 FAULT_FILTER='Failpoint|FaultInjection|Diagnostics|StreamDagJobs|CsvScanner|BoundedQueue|ThreadPool|Spectral'
 
+# Smoke the machine-readable bench pipeline end to end: tiny-input runs of
+# the two benches with committed baselines must produce cwgl-bench-v1 JSON
+# whose metric set still matches bench/baselines/. Timing deltas are
+# informational — the committed numbers came from some other box.
+run_bench_smoke() {
+  local name="bench-smoke" build_dir="build-check-bench-smoke"
+  echo
+  echo "=== [${name}] configure (benchmarks ON) ==="
+  cmake -B "${build_dir}" -S . \
+    -DCWGL_BUILD_BENCHMARKS=ON \
+    -DCWGL_BUILD_EXAMPLES=OFF
+  echo "=== [${name}] build ==="
+  cmake --build "${build_dir}" -j "${JOBS}" --target bench_ingest bench_scalability
+  echo "=== [${name}] run + diff ==="
+  local out="${build_dir}/bench-out"
+  mkdir -p "${out}"
+  local ok=1
+  local b
+  for b in ingest scalability; do
+    if ! CWGL_BENCH_JOBS=500 CWGL_BENCH_REPS=1 CWGL_BENCH_OUT="${out}" \
+        "${build_dir}/bench/bench_${b}" "--benchmark_filter=^\$"; then
+      echo "bench_${b} failed" >&2
+      ok=0
+      continue
+    fi
+    if ! python3 scripts/bench_diff.py \
+        "bench/baselines/BENCH_${b}.json" "${out}/BENCH_${b}.json"; then
+      ok=0
+    fi
+  done
+  ((ok)) || FAILED+=("${name}")
+  if [[ "${CWGL_CHECK_KEEP:-0}" != "1" ]]; then
+    rm -rf "${build_dir}"
+  fi
+}
+
 run_config plain ""
 run_config asan-ubsan "address,undefined"
 run_config tsan "thread"
 run_config faults "" ON
 run_config faults-asan "address,undefined" ON "${FAULT_FILTER}"
 run_config faults-tsan "thread" ON "${FAULT_FILTER}"
+run_bench_smoke
 
 echo
 if ((${#FAILED[@]})); then
   echo "check.sh: FAILED configurations: ${FAILED[*]}"
   exit 1
 fi
-echo "check.sh: all configurations passed (plain, asan-ubsan, tsan, faults, faults-asan, faults-tsan)"
+echo "check.sh: all configurations passed (plain, asan-ubsan, tsan, faults, faults-asan, faults-tsan, bench-smoke)"

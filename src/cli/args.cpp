@@ -13,7 +13,16 @@ Args Args::parse(int argc, const char* const* argv, int start_index) {
       throw util::InvalidArgument("unexpected argument: " + std::string(token) +
                                   " (options look like --key value)");
     }
-    const std::string key(token.substr(2));
+    const std::string_view body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      // --key=value form: the value may be empty and may itself start with
+      // "--" (e.g. --filter=--foo), which the space-separated form can't say.
+      args.values_[std::string(body.substr(0, eq))] =
+          std::string(body.substr(eq + 1));
+      continue;
+    }
+    const std::string key(body);
     if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
       args.values_[key] = argv[++i];
     } else {

@@ -9,11 +9,13 @@
 
 namespace cwgl::cli {
 
-/// Minimal `--key value` / `--flag` command-line parser for the cwgl tool.
+/// Minimal `--key value` / `--key=value` / `--flag` command-line parser for
+/// the cwgl tool.
 ///
-/// Grammar: `cwgl <command> [--key value | --flag]...`. Keys start with
-/// "--"; a key followed by another key (or end of input) is a boolean flag.
-/// Unknown keys are collected so commands can reject typos explicitly.
+/// Grammar: `cwgl <command> [--key value | --key=value | --flag]...`. Keys
+/// start with "--"; a key followed by another key (or end of input) is a
+/// boolean flag; `--key=` supplies an explicit empty value. Unknown keys are
+/// collected so commands can reject typos explicitly.
 class Args {
  public:
   /// Parses everything after the command word.

@@ -9,6 +9,9 @@
 
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 #include "core/comparison.hpp"
 #include "core/ingest.hpp"
 #include "core/pipeline.hpp"
@@ -24,6 +27,7 @@
 #include "trace/io.hpp"
 #include "util/diagnostics.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
 
@@ -41,8 +45,11 @@ commands:
   census        whole-trace statistics (DAG share, resources, shapes)
                   (--trace DIR | [--jobs N]) [--seed S]
   characterize  the full paper pipeline, printing every figure's data
+                (alias: pipeline). --json embeds "timings" and, with
+                --metrics, a "metrics" snapshot
                   (--trace DIR | [--jobs N]) [--sample K] [--natural]
                   [--clusters K] [--wl-iterations H] [--seed S] [--json]
+                  [--metrics[=FILE]] [--trace-out FILE]
   cluster       similarity map + spectral groups + medoid .dot files
                   (--trace DIR | [--jobs N]) [--sample K] [--clusters K]
                   [--out DIR] [--seed S]
@@ -52,8 +59,13 @@ commands:
                 reporting rows/s and MB/s (serial scanner vs pooled overlap).
                 Lenient by default: damaged records are quarantined and
                 reported; --strict fails on the first corrupt record instead
+                With --json the whole report is one JSON document (schema
+                cwgl-ingest-v1: elapsed_ms, throughput.rows_per_s, ...).
+                --metrics[=FILE] snapshots pipeline metrics; --trace-out FILE
+                writes Chrome trace-event JSON (Perfetto-loadable)
                   (--trace DIR | [--jobs N]) [--threads T] [--serial]
-                  [--strict] [--json] [--seed S]
+                  [--strict] [--json] [--seed S] [--metrics[=FILE]]
+                  [--trace-out FILE]
   compare       workload drift between two traces (JS divergence)
                   (--trace DIR --trace-b DIR | [--jobs N] [--seed S] [--seed-b S])
   predict       fit/evaluate the completion-time predictor on a sample
@@ -100,6 +112,74 @@ core::PipelineConfig pipeline_config(const Args& args) {
     cfg.similarity.wl.iterations = static_cast<int>(*h);
   }
   return cfg;
+}
+
+/// Observability switches shared by `ingest` and `characterize`:
+/// `--metrics[=FILE]` snapshots the global registry after the run (inline in
+/// the report, or to FILE when given) and `--trace-out FILE` records spans
+/// as Chrome trace-event JSON. Either switch opens the registry's timing
+/// gate for the duration of the command so latency histograms fill in.
+struct ObsOptions {
+  bool metrics = false;
+  std::string metrics_file;
+  std::string trace_file;
+
+  bool engaged() const { return metrics || !trace_file.empty(); }
+};
+
+/// Parses the switches and arms collection. The registry is reset first so
+/// the snapshot covers exactly this command's work — which also makes two
+/// identical serial runs produce identical counter values.
+ObsOptions start_observation(const Args& args) {
+  ObsOptions o;
+  o.metrics = args.has("metrics");
+  o.metrics_file = args.get("metrics");
+  o.trace_file = args.get("trace-out");
+  if (o.engaged()) {
+    auto& registry = obs::MetricsRegistry::global();
+    registry.reset();
+    registry.set_timing_enabled(true);
+  }
+  if (!o.trace_file.empty()) obs::Tracer::global().start();
+  return o;
+}
+
+/// Disarms collection and writes the side files. Returns the snapshot JSON
+/// for inline embedding when --metrics was given, "" otherwise.
+std::string finish_observation(const ObsOptions& o, std::ostream& err) {
+  if (!o.engaged()) return "";
+  obs::MetricsRegistry::global().set_timing_enabled(false);
+  if (!o.trace_file.empty()) {
+    auto& tracer = obs::Tracer::global();
+    tracer.stop();
+    std::ofstream file(o.trace_file);
+    if (file) {
+      tracer.write_json(file);
+      file << "\n";
+    } else {
+      err << "warning: cannot write trace to " << o.trace_file << "\n";
+    }
+  }
+  if (!o.metrics) return "";
+  const auto snapshot = obs::MetricsRegistry::global().snapshot();
+  std::ostringstream json;
+  snapshot.write_json(json);
+  if (!o.metrics_file.empty()) {
+    std::ofstream file(o.metrics_file);
+    if (file) {
+      file << json.str() << "\n";
+    } else {
+      err << "warning: cannot write metrics to " << o.metrics_file << "\n";
+    }
+  }
+  return json.str();
+}
+
+/// Text-mode tail: prints the snapshot inline unless it went to a file.
+void print_metrics_text(const ObsOptions& o, std::ostream& out) {
+  if (!o.metrics || !o.metrics_file.empty()) return;
+  out << "\nmetrics:\n";
+  obs::MetricsRegistry::global().snapshot().write_text(out);
 }
 
 int reject_unknown(const Args& args, std::ostream& err) {
@@ -157,20 +237,31 @@ int cmd_census(const Args& args, std::ostream& out, std::ostream& err) {
 
 int cmd_characterize(const Args& args, std::ostream& out, std::ostream& err) {
   const bool as_json = args.has("json");
+  const ObsOptions obs_opts = start_observation(args);
   std::ostringstream sink;  // keep the JSON stream pure of progress chatter
   std::ostream& progress = as_json ? static_cast<std::ostream&>(sink) : out;
+  util::WallTimer total_timer;
+  util::WallTimer load_timer;
   const trace::Trace data = load_or_generate(args, progress);
+  const double load_ms = load_timer.millis();
   const core::PipelineConfig cfg = pipeline_config(args);
   if (const int rc = reject_unknown(args, err)) return rc;
   util::ThreadPool pool;
   util::WallTimer timer;
   const auto result = core::CharacterizationPipeline(cfg).run(data, &pool);
+  const double pipeline_ms = timer.millis();
+  const std::string metrics_json = finish_observation(obs_opts, err);
   if (as_json) {
-    core::write_json(out, result);
+    core::ReportExtras extras;
+    extras.timings_ms = {{"load_ms", load_ms},
+                         {"pipeline_ms", pipeline_ms},
+                         {"total_ms", total_timer.millis()}};
+    extras.metrics_json = metrics_json;
+    core::write_json(out, result, extras);
     out << "\n";
     return 0;
   }
-  out << "pipeline completed in " << util::format_double(timer.millis(), 1)
+  out << "pipeline completed in " << util::format_double(pipeline_ms, 1)
       << " ms\n\n";
   core::print_trace_census(out, result.census);
   out << "\n";
@@ -192,6 +283,7 @@ int cmd_characterize(const Args& args, std::ostream& out, std::ostream& err) {
   out << "\n";
   core::print_resource_report(out,
                               core::ResourceUsageReport::compute(result.sample));
+  print_metrics_text(obs_opts, out);
   return 0;
 }
 
@@ -245,9 +337,10 @@ int cmd_ingest(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string dir = args.get("trace");
   const bool serial = args.has("serial");
   const bool strict = args.has("strict");
-  const bool diagnostics_json = args.has("json");
+  const bool as_json = args.has("json");
   const auto threads =
       static_cast<unsigned>(args.get_int("threads").value_or(0));
+  const ObsOptions obs_opts = start_observation(args);
   // Without --trace, synthesize a task CSV in memory so the command is
   // self-contained (the bytes parsed are identical to the on-disk format).
   std::stringstream generated;
@@ -290,10 +383,61 @@ int cmd_ingest(const Args& args, std::ostream& out, std::ostream& err) {
   const double ms = timer.millis();
   const double seconds = std::max(ms, 0.001) / 1000.0;
   const double mb = static_cast<double>(input_bytes) / (1024.0 * 1024.0);
+  const double rows_per_s = static_cast<double>(stats.stream.rows) / seconds;
   // stream_dag_jobs falls back to the serial path when the pool has fewer
   // than two workers (e.g. --threads defaulting on a single-core machine);
   // report the mode that actually ran, not the one requested.
   const bool pooled = !serial && pool->size() >= 2;
+  const std::string metrics_json = finish_observation(obs_opts, err);
+
+  if (as_json) {
+    // One machine-readable document (schema documented in the README):
+    // mode/input/quality/built, elapsed wall-clock, throughput, the
+    // diagnostics report, and the metrics snapshot when --metrics was given.
+    util::JsonWriter j(out);
+    j.begin_object();
+    j.field("schema", "cwgl-ingest-v1");
+    j.field("mode", pooled ? "pooled" : "serial");
+    j.field("workers", pooled ? pool->size() : std::size_t{1});
+    j.key("input");
+    j.begin_object();
+    j.field("bytes", static_cast<unsigned long long>(input_bytes));
+    j.field("rows", stats.stream.rows);
+    j.field("job_groups", stats.stream.jobs);
+    j.end_object();
+    j.key("quality");
+    j.begin_object();
+    j.field("malformed_rows", stats.stream.malformed);
+    j.field("fragmented_jobs", stats.stream.fragmented);
+    j.end_object();
+    j.key("built");
+    j.begin_object();
+    j.field("dags", stats.dags);
+    j.field("eligible", stats.eligible);
+    j.end_object();
+    j.field("elapsed_ms", ms);
+    j.key("throughput");
+    j.begin_object();
+    j.field("rows_per_s", rows_per_s);
+    j.field("mb_per_s", mb / seconds);
+    j.end_object();
+    // Keep the DAGs alive through the timing so build cost is included.
+    j.field("dag_count", dags.size());
+    j.key("diagnostics");
+    {
+      std::ostringstream diag;
+      diagnostics.write_json(diag);
+      j.raw(diag.str());
+    }
+    if (!metrics_json.empty()) {
+      j.key("metrics");
+      j.raw(metrics_json);
+    }
+    j.end_object();
+    out << "\n";
+    return 0;
+  }
+
   out << "mode:        "
       << (pooled ? "pooled (" + std::to_string(pool->size()) + " workers)"
                  : "serial")
@@ -306,17 +450,11 @@ int cmd_ingest(const Args& args, std::ostream& out, std::ostream& err) {
       << " eligible)\n";
   out << "time:        " << util::format_double(ms, 1) << " ms\n";
   out << "throughput:  " << util::format_double(mb / seconds, 1) << " MB/s, "
-      << util::format_double(
-             static_cast<double>(stats.stream.rows) / seconds / 1e6, 2)
-      << " M rows/s\n";
+      << util::format_double(rows_per_s / 1e6, 2) << " M rows/s\n";
   // Keep the DAGs alive through the timing so build cost is included.
   out << "(checksum: " << dags.size() << " dags)\n";
-  if (diagnostics_json) {
-    diagnostics.write_json(out);
-    out << "\n";
-  } else {
-    diagnostics.write_text(out);
-  }
+  diagnostics.write_text(out);
+  print_metrics_text(obs_opts, out);
   return 0;
 }
 
@@ -440,7 +578,9 @@ int run_command(std::string_view command, const Args& args, std::ostream& out,
   try {
     if (command == "generate") return cmd_generate(args, out, err);
     if (command == "census") return cmd_census(args, out, err);
-    if (command == "characterize") return cmd_characterize(args, out, err);
+    if (command == "characterize" || command == "pipeline") {
+      return cmd_characterize(args, out, err);
+    }
     if (command == "cluster") return cmd_cluster(args, out, err);
     if (command == "similarity") return cmd_similarity(args, out, err);
     if (command == "ingest") return cmd_ingest(args, out, err);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -126,14 +128,25 @@ KMeansResult kmeans(const linalg::Matrix& data, int k, const KMeansOptions& opt)
       }
     }
   }
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& iterations = registry.counter("cluster.kmeans.iterations");
+  obs::Counter& restarts = registry.counter("cluster.kmeans.restarts");
+  obs::Span span("cluster.kmeans");
+  span.arg("points", data.rows());
+  span.arg("k", static_cast<std::uint64_t>(k));
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::max();
+  std::uint64_t total_iterations = 0;
   for (int restart = 0; restart < std::max(1, opt.restarts); ++restart) {
     util::Xoshiro256StarStar rng(
         util::hash_combine(opt.seed, static_cast<std::uint64_t>(restart)));
     KMeansResult r = lloyd(data, k, opt, rng);
+    restarts.add();
+    iterations.add(static_cast<std::uint64_t>(r.iterations));
+    total_iterations += static_cast<std::uint64_t>(r.iterations);
     if (r.inertia < best.inertia) best = std::move(r);
   }
+  span.arg("iterations", total_iterations);
   return best;
 }
 

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "linalg/eigen.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/diagnostics.hpp"
 #include "util/error.hpp"
 
@@ -92,6 +94,9 @@ SpectralResult spectral_cluster(const linalg::Matrix& similarity, int k,
   }
 
   const bool partial = n > options.partial_eigen_threshold;
+  obs::Span eigen_span("cluster.eigensolve");
+  eigen_span.arg("n", n);
+  eigen_span.arg("partial", partial ? 1 : 0);
   auto eig = partial
                  ? linalg::smallest_eigenpairs(lsym, k,
                                                options.partial_max_sweeps)
@@ -107,9 +112,16 @@ SpectralResult spectral_cluster(const linalg::Matrix& similarity, int k,
               std::to_string(options.partial_max_sweeps) +
               " sweeps (n=" + std::to_string(n) + "); using dense solver");
     }
-    eig = linalg::jacobi_eigen(lsym);
+    {
+      obs::Span fallback_span("cluster.eigensolve.jacobi_fallback");
+      fallback_span.arg("n", n);
+      eig = linalg::jacobi_eigen(lsym);
+    }
+    obs::MetricsRegistry::global().counter("cluster.spectral.fallbacks").add();
     result.eigen_fallback = true;
   }
+  eigen_span.arg("fallback", result.eigen_fallback ? 1 : 0);
+  eigen_span.end();
 
   result.eigenvalues = eig.values;
   result.embedding = linalg::Matrix(n, k);

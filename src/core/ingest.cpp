@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
@@ -93,9 +95,12 @@ std::vector<JobDag> stream_pooled(std::istream& in, const IngestOptions& options
     for (std::size_t w = 0; w < pool.size(); ++w) {
       futures.push_back(pool.submit([&queue, &options] {
         try {
+          obs::Span span("ingest.worker");
           WorkerResult result;
+          std::size_t batches = 0;
           while (auto batch = queue.pop()) {
             CWGL_FAILPOINT("ingest.worker_batch");
+            ++batches;
             std::size_t seq = batch->first_seq;
             for (RawGroup& group : batch->groups) {
               const std::size_t s = seq++;
@@ -108,6 +113,9 @@ std::vector<JobDag> stream_pooled(std::istream& in, const IngestOptions& options
               }
             }
           }
+          span.arg("batches", batches);
+          span.arg("eligible", result.eligible);
+          span.arg("built", result.built.size());
           return result;
         } catch (...) {
           // Close *before* the exception reaches the future: the reader's
@@ -138,6 +146,7 @@ std::vector<JobDag> stream_pooled(std::istream& in, const IngestOptions& options
   // returning false early-stops the CSV stream.
   std::exception_ptr reader_error;
   std::thread reader([&] {
+    obs::Span span("ingest.reader");
     try {
       Batch batch;
       std::size_t seq = 0;
@@ -200,10 +209,22 @@ std::vector<JobDag> stream_dag_jobs(std::istream& task_csv,
                                     const IngestOptions& options,
                                     util::ThreadPool* pool,
                                     IngestStats* stats) {
+  obs::Span span("ingest.stream");
   IngestStats local;
   std::vector<JobDag> out = (pool == nullptr || pool->size() < 2)
                                 ? stream_serial(task_csv, options, local)
                                 : stream_pooled(task_csv, options, *pool, local);
+  span.arg("rows", local.stream.rows);
+  span.arg("jobs", local.stream.jobs);
+  span.arg("quarantined", local.stream.malformed);
+  span.arg("dags", local.dags);
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("ingest.stream.rows").add(local.stream.rows);
+  registry.counter("ingest.stream.jobs").add(local.stream.jobs);
+  registry.counter("ingest.stream.malformed").add(local.stream.malformed);
+  registry.counter("ingest.stream.fragmented").add(local.stream.fragmented);
+  registry.counter("ingest.dag.eligible").add(local.eligible);
+  registry.counter("ingest.dag.built").add(local.dags);
   if (stats) *stats = local;
   return out;
 }

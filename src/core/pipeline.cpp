@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "obs/tracer.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cwgl::core {
@@ -43,37 +44,63 @@ std::vector<JobDag> CharacterizationPipeline::build_sample(
 
 PipelineResult CharacterizationPipeline::run(const trace::Trace& trace,
                                              util::ThreadPool* pool) const {
+  obs::Span pipeline_span("pipeline.run");
   PipelineResult result;
-  result.census = TraceCensus::compute(trace);
-  result.sample = build_sample(trace);
+  {
+    obs::Span span("pipeline.census");
+    result.census = TraceCensus::compute(trace);
+  }
+  {
+    obs::Span span("pipeline.sample");
+    result.sample = build_sample(trace);
+    span.arg("jobs", result.sample.size());
+  }
 
-  result.conflation = ConflationReport::compute(result.sample);
-  result.structure_before = StructuralReport::compute(result.sample);
+  {
+    obs::Span span("pipeline.structure");
+    result.conflation = ConflationReport::compute(result.sample);
+    result.structure_before = StructuralReport::compute(result.sample);
+  }
 
   // Conflation is pure per job, so it rides the same pool as featurization.
   std::vector<JobDag> conflated(result.sample.size());
-  const auto conflate_range = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      conflated[i] = conflate_job(result.sample[i]);
+  {
+    obs::Span span("pipeline.conflation");
+    span.arg("jobs", conflated.size());
+    const auto conflate_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        conflated[i] = conflate_job(result.sample[i]);
+      }
+    };
+    if (pool != nullptr) {
+      util::parallel_for_chunked(*pool, 0, conflated.size(), 16, conflate_range);
+    } else {
+      conflate_range(0, conflated.size());
     }
-  };
-  if (pool != nullptr) {
-    util::parallel_for_chunked(*pool, 0, conflated.size(), 16, conflate_range);
-  } else {
-    conflate_range(0, conflated.size());
+    result.structure_after = StructuralReport::compute(conflated);
   }
-  result.structure_after = StructuralReport::compute(conflated);
 
-  result.task_types = TaskTypeReport::compute(result.sample);
-  result.patterns = PatternCensus::compute(result.sample);
+  {
+    obs::Span span("pipeline.task_types");
+    result.task_types = TaskTypeReport::compute(result.sample);
+    result.patterns = PatternCensus::compute(result.sample);
+  }
 
   const std::vector<JobDag>& analysis_set =
       config_.analyze_conflated ? conflated : result.sample;
-  result.similarity =
-      SimilarityAnalysis::compute(analysis_set, config_.similarity, pool);
-  result.clustering = ClusteringAnalysis::compute(result.similarity.gram,
-                                                  analysis_set,
-                                                  config_.clustering);
+  {
+    obs::Span span("pipeline.similarity");
+    span.arg("jobs", analysis_set.size());
+    result.similarity =
+        SimilarityAnalysis::compute(analysis_set, config_.similarity, pool);
+  }
+  {
+    obs::Span span("pipeline.clustering");
+    result.clustering = ClusteringAnalysis::compute(result.similarity.gram,
+                                                    analysis_set,
+                                                    config_.clustering);
+  }
+  pipeline_span.arg("sampled_jobs", result.sample.size());
   return result;
 }
 

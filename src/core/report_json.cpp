@@ -263,9 +263,9 @@ void write_json(std::ostream& out, const ResourceUsageReport& report) {
   resource_body(j, report);
 }
 
-void write_json(std::ostream& out, const PipelineResult& result) {
-  JsonWriter j(out);
-  j.begin_object();
+namespace {
+
+void pipeline_members(JsonWriter& j, const PipelineResult& result) {
   j.key("census");
   census_body(j, result.census);
   j.key("fig3");
@@ -282,6 +282,32 @@ void write_json(std::ostream& out, const PipelineResult& result) {
   similarity_body(j, result.similarity);
   j.key("fig9");
   clustering_body(j, result.clustering);
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const PipelineResult& result) {
+  JsonWriter j(out);
+  j.begin_object();
+  pipeline_members(j, result);
+  j.end_object();
+}
+
+void write_json(std::ostream& out, const PipelineResult& result,
+                const ReportExtras& extras) {
+  JsonWriter j(out);
+  j.begin_object();
+  pipeline_members(j, result);
+  if (!extras.timings_ms.empty()) {
+    j.key("timings");
+    j.begin_object();
+    for (const auto& [name, ms] : extras.timings_ms) j.field(name, ms);
+    j.end_object();
+  }
+  if (!extras.metrics_json.empty()) {
+    j.key("metrics");
+    j.raw(extras.metrics_json);
+  }
   j.end_object();
 }
 

@@ -1,6 +1,9 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "core/resource_report.hpp"
@@ -25,5 +28,19 @@ void write_json(std::ostream& out, const ResourceUsageReport& report);
 /// The whole pipeline result as one JSON object keyed by figure
 /// ("census", "fig3", "fig4", "fig5", "fig6", "patterns", "fig7", "fig9").
 void write_json(std::ostream& out, const PipelineResult& result);
+
+/// Observability extras appended to the pipeline report by the CLI.
+struct ReportExtras {
+  /// Stage name → elapsed milliseconds, emitted in the given order under
+  /// the "timings" key. Empty = key omitted.
+  std::vector<std::pair<std::string, double>> timings_ms;
+  /// Pre-serialized metrics snapshot (MetricsSnapshot::write_json output),
+  /// embedded verbatim under the "metrics" key. Empty = key omitted.
+  std::string metrics_json;
+};
+
+/// Same figure-keyed object with "timings" and "metrics" members appended.
+void write_json(std::ostream& out, const PipelineResult& result,
+                const ReportExtras& extras);
 
 }  // namespace cwgl::core

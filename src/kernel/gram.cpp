@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/tracer.hpp"
 #include "util/error.hpp"
 
 namespace cwgl::kernel {
@@ -10,8 +11,12 @@ namespace cwgl::kernel {
 linalg::Matrix gram_matrix(Featurizer& f, std::span<const LabeledGraph> corpus,
                            const GramOptions& options, util::ThreadPool* pool) {
   const std::size_t n = corpus.size();
+  obs::Span span("kernel.gram");
+  span.arg("graphs", n);
   std::vector<SparseVector> features(n);
   const auto featurize_range = [&](std::size_t lo, std::size_t hi) {
+    obs::Span chunk("kernel.featurize.chunk");
+    chunk.arg("graphs", hi - lo);
     for (std::size_t i = lo; i < hi; ++i) features[i] = f.featurize(corpus[i]);
   };
   if (pool != nullptr && f.thread_safe()) {

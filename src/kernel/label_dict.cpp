@@ -1,5 +1,7 @@
 #include "kernel/label_dict.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace cwgl::kernel {
 
 std::size_t ShardedSignatureDictionary::shard_index(std::string_view key) noexcept {
@@ -11,8 +13,22 @@ std::size_t ShardedSignatureDictionary::shard_index(std::string_view key) noexce
 }
 
 int ShardedSignatureDictionary::intern(std::string_view key) {
+  // Instrument handles resolved once per process (registry entries are
+  // stable), so the hot path below only ever touches relaxed atomics.
+  static obs::Counter& contention =
+      obs::MetricsRegistry::global().counter("kernel.dict.shard_contention");
+  static obs::Counter& interned =
+      obs::MetricsRegistry::global().counter("kernel.wl.labels_interned");
   Shard& shard = shards_[shard_index(key)];
-  std::lock_guard lock(shard.mutex);
+  // try_lock first purely to observe contention: a failed attempt means
+  // another thread holds this shard right now, which is the event the
+  // `kernel.dict.shard_contention` counter measures (how often the 16-way
+  // sharding actually fails to separate concurrent interns).
+  std::unique_lock lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    contention.add();
+    lock.lock();
+  }
   const auto it = shard.map.find(key);
   if (it != shard.map.end()) return it->second;
   // Draw the id inside the critical section so a signature is never
@@ -20,6 +36,7 @@ int ShardedSignatureDictionary::intern(std::string_view key) {
   // orders the paired insert.
   const int id = next_id_.fetch_add(1, std::memory_order_acq_rel);
   shard.map.emplace(std::string(key), id);
+  interned.add();
   return id;
 }
 

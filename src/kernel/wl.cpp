@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace cwgl::kernel {
@@ -95,6 +96,9 @@ SparseVector WlSubtreeFeaturizer::featurize(const LabeledGraph& g) {
     std::lock_guard lock(last_colors_mutex_);
     last_colors_ = std::move(color);
   }
+  static obs::Counter& featurized =
+      obs::MetricsRegistry::global().counter("kernel.wl.featurized");
+  featurized.add();
   return SparseVector::from_counts(counts);
 }
 

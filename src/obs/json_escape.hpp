@@ -1,0 +1,32 @@
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+namespace cwgl::obs {
+
+/// Minimal JSON string escape for metric/span names (plain ASCII by
+/// convention; this keeps output well-formed even if one is not). obs sits
+/// below util in the layering, so it cannot reuse util::JsonWriter.
+inline void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace cwgl::obs

@@ -1,0 +1,183 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json_escape.hpp"
+
+namespace cwgl::obs {
+
+namespace {
+
+std::string_view stage_subsystem(std::string_view name) {
+  std::size_t dot = name.find('.');
+  if (dot == std::string_view::npos) return name;
+  dot = name.find('.', dot + 1);
+  return dot == std::string_view::npos ? name : name.substr(0, dot);
+}
+
+}  // namespace
+
+std::size_t thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the quantile sample, 1-based; walk buckets cumulatively.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Upper bound of bucket b: values with bit width b are < 2^b.
+      return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::bucket_counts()
+    const noexcept {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::vector<std::string> MetricsSnapshot::subsystems() const {
+  std::vector<std::string> out;
+  const auto add = [&](std::string_view name) {
+    const std::string_view prefix = stage_subsystem(name);
+    for (const auto& existing : out) {
+      if (existing == prefix) return;
+    }
+    out.emplace_back(prefix);
+  };
+  for (const auto& c : counters) add(c.name);
+  for (const auto& g : gauges) add(g.name);
+  for (const auto& h : histograms) add(h.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MetricsSnapshot::write_text(std::ostream& out) const {
+  for (const auto& c : counters) {
+    out << "  " << c.name << " " << c.value << "\n";
+  }
+  for (const auto& g : gauges) {
+    out << "  " << g.name << " " << g.value << " (max " << g.max << ")\n";
+  }
+  for (const auto& h : histograms) {
+    out << "  " << h.name << " count=" << h.count << " sum=" << h.sum
+        << " p50=" << h.p50 << " p90=" << h.p90 << " max=" << h.max << "\n";
+  }
+}
+
+void MetricsSnapshot::write_json(std::ostream& out) const {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : counters) {
+    if (!first) out << ",";
+    first = false;
+    write_json_string(out, c.name);
+    out << ":" << c.value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges) {
+    if (!first) out << ",";
+    first = false;
+    write_json_string(out, g.name);
+    out << ":{\"value\":" << g.value << ",\"max\":" << g.max << "}";
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out << ",";
+    first = false;
+    write_json_string(out, h.name);
+    out << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"p50\":" << h.p50 << ",\"p90\":" << h.p90
+        << ",\"p99\":" << h.p99 << ",\"max\":" << h.max << "}";
+  }
+  out << "}}";
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value(), g->max_value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back({name, h->count(), h->sum(), h->max(),
+                               h->quantile(0.50), h->quantile(0.90),
+                               h->quantile(0.99)});
+  }
+  return snap;  // maps iterate sorted, so entries are sorted by name
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* const instance = new MetricsRegistry();
+  return *instance;
+}
+
+}  // namespace cwgl::obs

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cwgl::obs {
+
+/// Monotonic wall-clock stopwatch — the one timing primitive shared by the
+/// CLI reports, the benches, and the observability subsystem itself, so
+/// every "ms" printed anywhere in the tree is measured the same way.
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Resets the epoch to now.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset.
+  double millis() const { return seconds() * 1e3; }
+
+  /// Whole microseconds elapsed — the unit of the latency histograms and
+  /// trace-event timestamps.
+  std::uint64_t micros() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace cwgl::obs

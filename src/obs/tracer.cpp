@@ -1,0 +1,98 @@
+#include "obs/tracer.hpp"
+
+#include <ostream>
+
+#include "obs/json_escape.hpp"
+
+namespace cwgl::obs {
+
+void Tracer::start() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  tids_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+int Tracer::tid_locked(std::thread::id id) {
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const int tid = static_cast<int>(tids_.size());
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void Tracer::record_begin(std::string_view name) {
+  // Timestamp inside the lock: a single thread's events then carry
+  // monotonically non-decreasing ts in record order, which is what the
+  // nesting validity of the B/E stream rests on.
+  std::lock_guard lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'B';
+  e.ts_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  e.tid = tid_locked(std::this_thread::get_id());
+  events_.push_back(std::move(e));
+}
+
+void Tracer::record_end(
+    std::string_view name,
+    std::vector<std::pair<std::string, std::uint64_t>> args) {
+  std::lock_guard lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'E';
+  e.ts_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  e.tid = tid_locked(std::this_thread::get_id());
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+void Tracer::write_json(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":";
+    write_json_string(out, e.name);
+    out << ",\"cat\":\"cwgl\",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":"
+        << e.tid << ",\"ts\":" << e.ts_us;
+    if (!e.args.empty()) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : e.args) {
+        if (!first_arg) out << ",";
+        first_arg = false;
+        write_json_string(out, key);
+        out << ":" << value;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "]}";
+}
+
+Tracer& Tracer::global() {
+  static Tracer* const instance = new Tracer();
+  return *instance;
+}
+
+}  // namespace cwgl::obs

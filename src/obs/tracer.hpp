@@ -1,0 +1,123 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cwgl::obs {
+
+/// One Chrome trace-event duration record ('B' begins a span, 'E' ends it).
+struct TraceEvent {
+  std::string name;
+  char phase = 'B';       ///< 'B' or 'E'
+  std::uint64_t ts_us = 0;  ///< microseconds since Tracer::start()
+  int tid = 0;            ///< dense per-tracer thread id
+  /// Counter attributes, attached to the 'E' event of a span.
+  std::vector<std::pair<std::string, std::uint64_t>> args;
+};
+
+/// Collector of RAII `Span` scopes, serialized as Chrome trace-event JSON
+/// (loadable in chrome://tracing and Perfetto).
+///
+/// Disabled by default: a `Span` constructed against a stopped tracer costs
+/// one relaxed atomic load and reads no clock. `start()` arms collection;
+/// each span then appends a 'B' event at construction and an 'E' event at
+/// destruction (mutex-protected — spans mark pipeline stages and batches,
+/// not per-row work, so the lock is cold). Because both events come from the
+/// span's own thread, per-thread B/E nesting is well-formed by construction.
+///
+/// Call `stop()` only after every span in flight has been destroyed, then
+/// `write_json()`; stopping mid-span drops that span's 'E' and the file
+/// would show it as never ending.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears any previous events, re-bases timestamps at now, arms spans.
+  void start();
+
+  /// Disarms span collection; collected events stay until the next start().
+  void stop();
+
+  /// Snapshot of collected events in record order (tests).
+  std::vector<TraceEvent> events() const;
+
+  /// {"displayTimeUnit":"ms","traceEvents":[...]}.
+  void write_json(std::ostream& out) const;
+
+  /// The process-wide tracer the pipeline spans report into. Immortal, like
+  /// the global metrics registry.
+  static Tracer& global();
+
+  // Implementation interface for Span; not for direct use.
+  void record_begin(std::string_view name);
+  void record_end(std::string_view name,
+                  std::vector<std::pair<std::string, std::uint64_t>> args);
+
+ private:
+  int tid_locked(std::thread::id id);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, int> tids_;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// RAII span scope. When the tracer is stopped, construction and
+/// destruction each cost one relaxed atomic load; when started, the scope
+/// becomes a B/E pair carrying `arg()` attributes on the end event.
+class Span {
+ public:
+  explicit Span(std::string_view name, Tracer& tracer = Tracer::global())
+      : tracer_(tracer), active_(tracer.enabled()) {
+    if (active_) {
+      name_ = name;
+      tracer_.record_begin(name_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a counter attribute to the span's end event.
+  void arg(std::string_view key, std::uint64_t value) {
+    if (active_) args_.emplace_back(key, value);
+  }
+
+  bool active() const noexcept { return active_; }
+
+  /// Closes the span before the end of the scope (e.g. to exclude cleanup
+  /// work from the measured region). Idempotent; the destructor becomes a
+  /// no-op afterwards.
+  void end() {
+    if (active_) {
+      tracer_.record_end(name_, std::move(args_));
+      active_ = false;
+    }
+  }
+
+  ~Span() { end(); }
+
+ private:
+  Tracer& tracer_;
+  bool active_;
+  std::string name_;
+  std::vector<std::pair<std::string, std::uint64_t>> args_;
+};
+
+}  // namespace cwgl::obs

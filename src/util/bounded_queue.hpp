@@ -7,6 +7,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/failpoint.hpp"
 
 namespace cwgl::util {
@@ -18,11 +19,22 @@ namespace cwgl::util {
 /// blocks while it is empty. `close()` ends the conversation: blocked and
 /// future pushes return false, and pops drain the remaining items before
 /// returning nullopt. All operations are safe to call from any thread.
+///
+/// Observability: all instances aggregate into the global registry —
+/// `queue.items.pushed` and the `queue.occupancy.peak` high-water gauge are
+/// always on; the `queue.push.wait_us`/`queue.pop.wait_us` block-time
+/// histograms additionally need the registry's timing gate (they read
+/// clocks around the condition-variable waits).
 template <typename T>
 class BoundedQueue {
  public:
   explicit BoundedQueue(std::size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+      : capacity_(capacity == 0 ? 1 : capacity),
+        registry_(&obs::MetricsRegistry::global()),
+        pushed_(&registry_->counter("queue.items.pushed")),
+        occupancy_(&registry_->gauge("queue.occupancy.peak")),
+        push_wait_us_(&registry_->histogram("queue.push.wait_us")),
+        pop_wait_us_(&registry_->histogram("queue.pop.wait_us")) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -31,12 +43,16 @@ class BoundedQueue {
   /// drops `item`) when closed — producers use this as their stop signal.
   bool push(T item) {
     CWGL_FAILPOINT("queue.push");
+    obs::ScopedLatency wait(*registry_, *push_wait_us_);
     std::unique_lock lock(mutex_);
     not_full_.wait(lock,
                    [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    const auto depth = static_cast<std::int64_t>(items_.size());
     lock.unlock();
+    pushed_->add();
+    occupancy_->record_max(depth);
     not_empty_.notify_one();
     return true;
   }
@@ -45,6 +61,7 @@ class BoundedQueue {
   /// nullopt means no item will ever arrive again.
   std::optional<T> pop() {
     CWGL_FAILPOINT("queue.pop");
+    obs::ScopedLatency wait(*registry_, *pop_wait_us_);
     std::unique_lock lock(mutex_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
@@ -92,6 +109,11 @@ class BoundedQueue {
   std::deque<T> items_;
   std::size_t capacity_;
   bool closed_ = false;
+  obs::MetricsRegistry* registry_;
+  obs::Counter* pushed_;
+  obs::Gauge* occupancy_;
+  obs::Histogram* push_wait_us_;
+  obs::Histogram* pop_wait_us_;
 };
 
 }  // namespace cwgl::util

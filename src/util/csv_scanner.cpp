@@ -6,6 +6,7 @@
 #include <cstring>
 #include <istream>
 
+#include "obs/metrics.hpp"
 #include "util/diagnostics.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
@@ -50,6 +51,25 @@ CsvScanner::CsvScanner(std::istream& in, std::size_t block_size,
                        CsvScanPolicy policy)
     : in_(in), block_size_(std::max<std::size_t>(1, block_size)),
       policy_(policy) {}
+
+CsvScanner::~CsvScanner() { flush_metrics(); }
+
+void CsvScanner::flush_metrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  if (record_ > flushed_records_) {
+    registry.counter("ingest.scanner.rows").add(record_ - flushed_records_);
+    flushed_records_ = record_;
+  }
+  if (consumed_ > flushed_bytes_) {
+    registry.counter("ingest.scanner.bytes").add(consumed_ - flushed_bytes_);
+    flushed_bytes_ = consumed_;
+  }
+  if (quarantined_ > flushed_quarantined_) {
+    registry.counter("ingest.scanner.quarantined")
+        .add(quarantined_ - flushed_quarantined_);
+    flushed_quarantined_ = quarantined_;
+  }
+}
 
 bool CsvScanner::refill() {
   if (begin_ > 0) {
@@ -96,7 +116,10 @@ bool CsvScanner::quarantine_and_resync() {
 
 std::optional<std::span<const std::string_view>> CsvScanner::next() {
   if (begin_ == end_ && !eof_) refill();
-  if (begin_ == end_) return std::nullopt;
+  if (begin_ == end_) {
+    flush_metrics();
+    return std::nullopt;
+  }
 
   // Parse attempts restart from the top whenever a refill is needed:
   // refilling compacts the buffer (invalidating in-progress views), and a
@@ -267,7 +290,10 @@ std::optional<std::span<const std::string_view>> CsvScanner::next() {
     }
 
     if (need_resync) {
-      if (!quarantine_and_resync()) return std::nullopt;
+      if (!quarantine_and_resync()) {
+        flush_metrics();
+        return std::nullopt;
+      }
       continue;
     }
     if (need_refill) {

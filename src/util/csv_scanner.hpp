@@ -38,6 +38,11 @@ struct CsvScanPolicy {
 ///
 /// Records may be arbitrarily larger than the block size: the buffer grows
 /// to fit the largest single record and is reused across records.
+///
+/// Observability: totals are folded into the global metrics registry
+/// (`ingest.scanner.rows`/`.bytes`/`.quarantined`) when the scanner reaches
+/// end of input or is destroyed — a batched flush, so the per-record hot
+/// path carries zero instrumentation cost.
 class CsvScanner {
  public:
   static constexpr std::size_t kDefaultBlockSize = std::size_t{1} << 18;
@@ -47,6 +52,12 @@ class CsvScanner {
   explicit CsvScanner(std::istream& in,
                       std::size_t block_size = kDefaultBlockSize,
                       CsvScanPolicy policy = {});
+
+  CsvScanner(const CsvScanner&) = delete;
+  CsvScanner& operator=(const CsvScanner&) = delete;
+
+  /// Flushes the not-yet-reported totals to the metrics registry.
+  ~CsvScanner();
 
   /// Scans the next record. Returns nullopt at end of input. The returned
   /// span and every `string_view` in it are invalidated by the next call.
@@ -72,6 +83,11 @@ class CsvScanner {
   /// line boundary. Returns false when no further line exists.
   bool quarantine_and_resync();
 
+  /// Reports rows/bytes/quarantines accumulated since the last flush to the
+  /// global metrics registry. Called at end of input and from the
+  /// destructor; idempotent for unchanged totals.
+  void flush_metrics();
+
   std::istream& in_;
   std::size_t block_size_;
   CsvScanPolicy policy_;
@@ -82,6 +98,9 @@ class CsvScanner {
   std::size_t record_ = 0;
   std::size_t consumed_ = 0;
   std::size_t quarantined_ = 0;
+  std::size_t flushed_records_ = 0;
+  std::size_t flushed_bytes_ = 0;
+  std::size_t flushed_quarantined_ = 0;
   std::vector<std::string_view> fields_;
   /// Stable storage for unescaped quoted fields (deque: growth never moves
   /// existing elements, so views into them stay valid for the record).

@@ -1,7 +1,9 @@
 #include "util/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 
 #include "util/error.hpp"
@@ -108,8 +110,296 @@ void JsonWriter::null() {
   out_ << "null";
 }
 
+void JsonWriter::raw(std::string_view json) {
+  before_value();
+  out_ << json;
+}
+
 bool JsonWriter::complete() const noexcept {
   return stack_.empty() && root_written_;
+}
+
+bool JsonValue::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&data_)) return *b;
+  throw InvalidArgument("JsonValue: not a bool");
+}
+
+double JsonValue::as_number() const {
+  if (const double* d = std::get_if<double>(&data_)) return *d;
+  throw InvalidArgument("JsonValue: not a number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&data_)) return *s;
+  throw InvalidArgument("JsonValue: not a string");
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (const Array* a = std::get_if<Array>(&data_)) return *a;
+  throw InvalidArgument("JsonValue: not an array");
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (const Object* o = std::get_if<Object>(&data_)) return *o;
+  throw InvalidArgument("JsonValue: not an object");
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  if (const JsonValue* v = find(key)) return *v;
+  throw InvalidArgument("JsonValue: missing key \"" + std::string(key) + "\"");
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  const Object* o = std::get_if<Object>(&data_);
+  if (o == nullptr) return nullptr;
+  const auto it = o->find(key);
+  return it != o->end() ? &it->second : nullptr;
+}
+
+bool JsonValue::contains(std::string_view key) const noexcept {
+  return find(key) != nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over an in-memory document. Depth is bounded to
+/// keep adversarial inputs from overflowing the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("JSON at byte " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{': v = parse_object(); break;
+      case '[': v = parse_array(); break;
+      case '"': v = JsonValue(parse_string()); break;
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        v = JsonValue(true);
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        v = JsonValue(false);
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        break;
+      default: v = parse_number(); break;
+    }
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.insert_or_assign(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return JsonValue(std::move(members));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array elements;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(elements));
+    }
+    for (;;) {
+      elements.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return JsonValue(std::move(elements));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: a low surrogate must follow for a full code point.
+      if (pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+          text_[pos_ + 1] == 'u') {
+        pos_ += 2;
+        const unsigned lo = parse_hex4();
+        if (lo < 0xDC00 || lo > 0xDFFF) fail("unpaired surrogate");
+        cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+      } else {
+        fail("unpaired surrogate");
+      }
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // leading zero must stand alone
+    } else {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("invalid number: digit must follow '.'");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("invalid number: digit must follow exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return JsonValue(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
 }
 
 void JsonWriter::write_escaped(std::string_view text) {

@@ -2,7 +2,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
 #include <string_view>
+#include <variant>
 #include <vector>
 
 namespace cwgl::util {
@@ -45,6 +49,11 @@ class JsonWriter {
   void value(bool flag);
   void null();
 
+  /// Emits `json` verbatim as one value — for embedding a sub-document that
+  /// another component already serialized (diagnostics, metrics snapshots).
+  /// The caller vouches that `json` is a single well-formed JSON value.
+  void raw(std::string_view json);
+
   /// Convenience: key + value in one call.
   template <typename T>
   void field(std::string_view name, T&& v) {
@@ -65,5 +74,56 @@ class JsonWriter {
   std::vector<bool> first_;  ///< per open container: no element yet
   bool root_written_ = false;
 };
+
+/// Parsed JSON document node: the read-side counterpart of JsonWriter.
+///
+/// A small recursive value type (null / bool / number / string / array /
+/// object) sufficient for round-tripping everything this tree emits — CLI
+/// `--json` reports, metrics snapshots, trace-event files, bench JSON. Not a
+/// general-purpose DOM: numbers are held as double (fine for the counters
+/// and timings we serialize), objects preserve no key order (std::map), and
+/// documents are parsed fully into memory.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue, std::less<>>;
+
+  JsonValue() = default;  ///< null
+  explicit JsonValue(std::nullptr_t) {}
+  explicit JsonValue(bool b) : data_(b) {}
+  explicit JsonValue(double d) : data_(d) {}
+  explicit JsonValue(std::string s) : data_(std::move(s)) {}
+  explicit JsonValue(Array a) : data_(std::move(a)) {}
+  explicit JsonValue(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const noexcept { return std::holds_alternative<std::monostate>(data_); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(data_); }
+  bool is_number() const noexcept { return std::holds_alternative<double>(data_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const noexcept { return std::holds_alternative<Array>(data_); }
+  bool is_object() const noexcept { return std::holds_alternative<Object>(data_); }
+
+  /// Checked accessors: throw InvalidArgument when the kind does not match.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; throws when not an object or key absent.
+  const JsonValue& at(std::string_view key) const;
+  /// Object member lookup; nullptr when not an object or key absent.
+  const JsonValue* find(std::string_view key) const noexcept;
+  /// True when this is an object containing `key`.
+  bool contains(std::string_view key) const noexcept;
+
+ private:
+  std::variant<std::monostate, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses a complete JSON document (RFC 8259). Throws ParseError on syntax
+/// errors (with byte offset) and on trailing non-whitespace after the root
+/// value. Accepts everything JsonWriter emits.
+JsonValue parse_json(std::string_view text);
 
 }  // namespace cwgl::util

@@ -7,7 +7,26 @@
 
 namespace cwgl::util {
 
+namespace {
+
+std::uint64_t elapsed_us(obs::Stopwatch::clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          obs::Stopwatch::clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned threads) {
+  auto& registry = obs::MetricsRegistry::global();
+  metrics_ = Metrics{&registry,
+                     &registry.counter("pool.task.submitted"),
+                     &registry.counter("pool.task.completed"),
+                     &registry.counter("pool.worker.busy_us"),
+                     &registry.gauge("pool.queue.depth"),
+                     &registry.histogram("pool.task.wait_us"),
+                     &registry.histogram("pool.task.run_us")};
   unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
   if (n == 0) n = 1;
   workers_.reserve(n);
@@ -30,29 +49,48 @@ void ThreadPool::shutdown() {
   }
 }
 
+void ThreadPool::run_task(QueuedTask&& task) {
+  const bool timing = metrics_.registry->timing_enabled();
+  if (timing && task.enqueued != obs::Stopwatch::clock::time_point{}) {
+    metrics_.wait_us->record(elapsed_us(task.enqueued));
+  }
+  if (timing) {
+    const auto started = obs::Stopwatch::clock::now();
+    task.run();  // packaged_task captures exceptions; never throws here
+    const std::uint64_t us = elapsed_us(started);
+    metrics_.run_us->record(us);
+    metrics_.busy_us->add(us);
+  } else {
+    task.run();
+  }
+  metrics_.completed->add();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    QueuedTask task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      job = std::move(queue_.front());
+      task = std::move(queue_.front());
       queue_.pop_front();
+      metrics_.depth->set(static_cast<std::int64_t>(queue_.size()));
     }
-    job();  // packaged_task captures exceptions; never throws here
+    run_task(std::move(task));
   }
 }
 
 bool ThreadPool::run_pending_task() {
-  std::function<void()> job;
+  QueuedTask task;
   {
     std::lock_guard lock(mutex_);
     if (queue_.empty()) return false;
-    job = std::move(queue_.front());
+    task = std::move(queue_.front());
     queue_.pop_front();
+    metrics_.depth->set(static_cast<std::int64_t>(queue_.size()));
   }
-  job();
+  run_task(std::move(task));
   return true;
 }
 

@@ -11,6 +11,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/failpoint.hpp"
 
 namespace cwgl::util {
@@ -21,6 +22,13 @@ namespace cwgl::util {
 /// use packaged tasks so exceptions propagate through the returned future).
 /// The pool joins all workers on destruction after draining the queue; tasks
 /// submitted after `shutdown()` throw.
+///
+/// Observability: every pool reports into the global metrics registry —
+/// `pool.task.submitted`/`pool.task.completed` counters and the
+/// `pool.queue.depth` gauge (whose max is the queue's high-water mark) are
+/// always on; the `pool.task.wait_us`/`pool.task.run_us` latency histograms
+/// and the `pool.worker.busy_us` utilization counter additionally need the
+/// registry's timing gate (they read clocks).
 class ThreadPool {
  public:
   /// Creates `threads` workers. `threads == 0` selects
@@ -51,11 +59,20 @@ class ThreadPool {
           return std::invoke(std::move(f), std::move(a)...);
         });
     std::future<R> result = task->get_future();
+    QueuedTask item;
+    item.run = [task]() { (*task)(); };
+    if (metrics_.registry->timing_enabled()) {
+      item.enqueued = obs::Stopwatch::clock::now();
+    }
+    std::size_t depth;
     {
       std::lock_guard lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
-      queue_.emplace_back([task]() { (*task)(); });
+      queue_.push_back(std::move(item));
+      depth = queue_.size();
     }
+    metrics_.submitted->add();
+    metrics_.depth->set(static_cast<std::int64_t>(depth));
     cv_.notify_one();
     return result;
   }
@@ -73,13 +90,36 @@ class ThreadPool {
   void shutdown();
 
  private:
+  /// A queued closure plus its enqueue timestamp (stamped only when the
+  /// metrics timing gate is open; a default time_point means "not stamped").
+  struct QueuedTask {
+    std::function<void()> run;
+    obs::Stopwatch::clock::time_point enqueued{};
+  };
+
+  /// Instrument handles resolved once at construction so the per-task hot
+  /// path is relaxed atomics, never a registry lookup.
+  struct Metrics {
+    obs::MetricsRegistry* registry;
+    obs::Counter* submitted;
+    obs::Counter* completed;
+    obs::Counter* busy_us;
+    obs::Gauge* depth;
+    obs::Histogram* wait_us;
+    obs::Histogram* run_us;
+  };
+
   void worker_loop();
 
+  /// Dequeue bookkeeping + execution shared by workers and helpers.
+  void run_task(QueuedTask&& task);
+
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  Metrics metrics_;
 };
 
 /// Process-wide default pool, lazily created with hardware concurrency.

@@ -1,28 +1,12 @@
 #pragma once
 
-#include <chrono>
+#include "obs/stopwatch.hpp"
 
 namespace cwgl::util {
 
 /// Monotonic wall-clock stopwatch for coarse timing in reports and benches.
-class WallTimer {
- public:
-  WallTimer() : start_(clock::now()) {}
-
-  /// Resets the epoch to now.
-  void reset() { start_ = clock::now(); }
-
-  /// Seconds elapsed since construction or the last reset.
-  double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
-  }
-
-  /// Milliseconds elapsed since construction or the last reset.
-  double millis() const { return seconds() * 1e3; }
-
- private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
-};
+/// One implementation for the whole tree: this is obs::Stopwatch, aliased
+/// so existing util call sites keep reading naturally.
+using WallTimer = obs::Stopwatch;
 
 }  // namespace cwgl::util

@@ -20,6 +20,20 @@ TEST(Args, KeyValuePairs) {
   EXPECT_EQ(args.get_int("jobs").value(), 500);
 }
 
+TEST(Args, EqualsFormJoinsKeyAndValue) {
+  const Args args = parse({"--jobs=500", "--out=/tmp/x", "--metrics"});
+  EXPECT_EQ(args.get_int("jobs").value(), 500);
+  EXPECT_EQ(args.get("out"), "/tmp/x");
+  EXPECT_TRUE(args.has("metrics"));
+}
+
+TEST(Args, EqualsFormAllowsEmptyAndEmbeddedEquals) {
+  const Args args = parse({"--out=", "--expr=a=b"});
+  EXPECT_EQ(args.get("out", "fallback"), "");
+  // Only the first '=' splits; the rest belongs to the value.
+  EXPECT_EQ(args.get("expr"), "a=b");
+}
+
 TEST(Args, MissingKeyUsesFallback) {
   const Args args = parse({});
   EXPECT_EQ(args.get("trace", "default"), "default");

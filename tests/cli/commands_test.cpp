@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <set>
 #include <sstream>
+
+#include "util/json.hpp"
 
 namespace cwgl::cli {
 namespace {
@@ -185,6 +189,102 @@ TEST(Cli, MissingTraceDirectoryIsCleanError) {
   const auto r = run({"census", "--trace", "/nonexistent/cwgl"});
   EXPECT_EQ(r.code, 1);
   EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, IngestJsonReportHasThroughputAndDiagnostics) {
+  const auto r = run({"ingest", "--jobs", "400", "--serial", "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const util::JsonValue doc = util::parse_json(r.out);
+  EXPECT_EQ(doc.at("schema").as_string(), "cwgl-ingest-v1");
+  EXPECT_EQ(doc.at("mode").as_string(), "serial");
+  EXPECT_GT(doc.at("input").at("rows").as_number(), 0.0);
+  EXPECT_GE(doc.at("elapsed_ms").as_number(), 0.0);
+  EXPECT_GT(doc.at("throughput").at("rows_per_s").as_number(), 0.0);
+  EXPECT_GT(doc.at("built").at("dags").as_number(), 0.0);
+  EXPECT_TRUE(doc.at("diagnostics").is_object());
+  // No --metrics flag: the snapshot is not embedded.
+  EXPECT_FALSE(doc.contains("metrics"));
+}
+
+TEST(Cli, IngestMetricsFlagEmbedsSnapshotInJson) {
+  const auto r = run({"ingest", "--jobs", "400", "--serial", "--json",
+                      "--metrics"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const util::JsonValue doc = util::parse_json(r.out);
+  const util::JsonValue& counters = doc.at("metrics").at("counters");
+  EXPECT_GT(counters.at("ingest.scanner.rows").as_number(), 0.0);
+  EXPECT_GT(counters.at("ingest.dag.built").as_number(), 0.0);
+}
+
+TEST(Cli, IngestMetricsTextSection) {
+  const auto r = run({"ingest", "--jobs", "400", "--serial", "--metrics"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("metrics:"), std::string::npos);
+  EXPECT_NE(r.out.find("ingest.stream.rows"), std::string::npos);
+}
+
+TEST(Cli, IngestMetricsFileAndTraceOut) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "cwgl_cli_obs").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string metrics_path = dir + "/metrics.json";
+  const std::string trace_path = dir + "/trace.json";
+  const auto r = run({"ingest", "--jobs", "400", "--threads", "2",
+                      ("--metrics=" + metrics_path).c_str(), "--trace-out",
+                      trace_path.c_str()});
+  EXPECT_EQ(r.code, 0) << r.err;
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  };
+
+  const util::JsonValue metrics = util::parse_json(slurp(metrics_path));
+  EXPECT_GT(metrics.at("counters").at("ingest.stream.rows").as_number(), 0.0);
+
+  const util::JsonValue trace = util::parse_json(slurp(trace_path));
+  EXPECT_EQ(trace.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = trace.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+  bool saw_stream = false;
+  for (const auto& e : events) {
+    if (e.at("name").as_string() == "ingest.stream") saw_stream = true;
+  }
+  EXPECT_TRUE(saw_stream);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, CharacterizeJsonEmbedsTimingsAndMetrics) {
+  const auto r = run({"characterize", "--jobs", "600", "--sample", "15",
+                      "--json", "--metrics"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const util::JsonValue doc = util::parse_json(r.out);
+  EXPECT_GE(doc.at("timings").at("pipeline_ms").as_number(), 0.0);
+  EXPECT_GE(doc.at("timings").at("total_ms").as_number(), 0.0);
+  const auto subsystems = [&doc] {
+    std::set<std::string> subs;
+    for (const auto& [name, value] :
+         doc.at("metrics").at("counters").as_object()) {
+      const auto second_dot = name.find('.', name.find('.') + 1);
+      subs.insert(name.substr(0, second_dot));
+    }
+    return subs;
+  }();
+  // The acceptance bar: one pipeline run covers at least 5 subsystems.
+  EXPECT_GE(subsystems.size(), 5u) << [&subsystems] {
+    std::string joined;
+    for (const auto& s : subsystems) joined += s + " ";
+    return joined;
+  }();
+}
+
+TEST(Cli, PipelineAliasMatchesCharacterize) {
+  const auto r = run({"pipeline", "--jobs", "500", "--sample", "10"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Fig 3"), std::string::npos);
 }
 
 }  // namespace

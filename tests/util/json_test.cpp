@@ -133,5 +133,90 @@ TEST(JsonWriter, CompleteOnlyWhenBalanced) {
   EXPECT_TRUE(j.complete());
 }
 
+TEST(JsonWriter, RawEmbedsPreSerializedValue) {
+  std::ostringstream out;
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("metrics");
+  j.raw(R"({"counters":{"a.b.c":1}})");
+  j.field("after", 2);
+  j.end_object();
+  EXPECT_TRUE(j.complete());
+  EXPECT_EQ(out.str(), R"({"metrics":{"counters":{"a.b.c":1}},"after":2})");
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_EQ(parse_json("-1.5e2").as_number(), -150.0);
+  EXPECT_EQ(parse_json(R"("hi")").as_string(), "hi");
+}
+
+TEST(JsonParse, NestedContainers) {
+  const JsonValue doc = parse_json(
+      R"({"name":"cwgl","tags":[1,2,3],"nested":{"ok":true,"x":null}})");
+  EXPECT_EQ(doc.at("name").as_string(), "cwgl");
+  const auto& tags = doc.at("tags").as_array();
+  ASSERT_EQ(tags.size(), 3u);
+  EXPECT_EQ(tags[1].as_number(), 2.0);
+  EXPECT_TRUE(doc.at("nested").at("ok").as_bool());
+  EXPECT_TRUE(doc.at("nested").at("x").is_null());
+  EXPECT_TRUE(doc.contains("name"));
+  EXPECT_FALSE(doc.contains("missing"));
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\t")").as_string(), "a\"b\\c\nd\t");
+  // \u via BMP and a surrogate pair (U+1F600 -> 4-byte UTF-8).
+  EXPECT_EQ(parse_json(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("\uD83D\uDE00")").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  std::ostringstream out;
+  JsonWriter j(out);
+  j.begin_object();
+  j.field("count", 3);
+  j.field("label", "a \"quoted\" name");
+  j.key("values");
+  j.begin_array();
+  j.value(1.5);
+  j.value(false);
+  j.end_array();
+  j.end_object();
+  const JsonValue doc = parse_json(out.str());
+  EXPECT_EQ(doc.at("count").as_number(), 3.0);
+  EXPECT_EQ(doc.at("label").as_string(), "a \"quoted\" name");
+  EXPECT_EQ(doc.at("values").as_array()[0].as_number(), 1.5);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_json(""), ParseError);
+  EXPECT_THROW(parse_json("{"), ParseError);
+  EXPECT_THROW(parse_json("[1,]"), ParseError);
+  EXPECT_THROW(parse_json("{\"a\":1,}"), ParseError);
+  EXPECT_THROW(parse_json("01"), ParseError);       // leading zero
+  EXPECT_THROW(parse_json("1 2"), ParseError);      // trailing content
+  EXPECT_THROW(parse_json("\"\\x\""), ParseError);  // bad escape
+  EXPECT_THROW(parse_json("nul"), ParseError);
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_THROW(parse_json(deep), ParseError);
+}
+
+TEST(JsonParse, AccessorsCheckKind) {
+  const JsonValue doc = parse_json("[1]");
+  EXPECT_THROW(doc.as_object(), InvalidArgument);
+  EXPECT_THROW(doc.at("key"), InvalidArgument);
+  EXPECT_EQ(doc.as_array()[0].as_number(), 1.0);
+  EXPECT_THROW(doc.as_array()[0].as_string(), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace cwgl::util
