@@ -1,0 +1,81 @@
+// Online-serving throughput: fit a WL/cluster model once, then measure
+// batched classification of incoming job DAGs against the frozen snapshot —
+// jobs/s plus p50/p90 per-job latency, serial vs pooled. This is the bench
+// behind bench/baselines/BENCH_serve.json, which check.sh's serve-smoke
+// pass diffs structurally on every run.
+
+#include <cstddef>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "model/fit.hpp"
+#include "serve/classifier.hpp"
+#include "serve/engine.hpp"
+#include "trace/filter.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cwgl::bench {
+namespace {
+
+serve::Classifier fit_classifier() {
+  const trace::Trace data = make_trace(2000, kMasterSeed);
+  core::PipelineConfig cfg;
+  cfg.sample_size = 100;
+  core::FittedFeatures fitted;
+  const auto result =
+      core::CharacterizationPipeline(cfg).run(data, nullptr, &fitted);
+  return serve::Classifier(
+      model::build_model(result, std::move(fitted), cfg));
+}
+
+void run() {
+  banner("serve", "online classification against a fitted model snapshot");
+  Reporter reporter("serve");
+
+  const serve::Classifier classifier = fit_classifier();
+  const trace::Trace incoming = make_trace(4000, kMasterSeed + 1);
+  const std::vector<core::JobDag> jobs =
+      core::build_all_dag_jobs(incoming, trace::SamplingCriteria{});
+  std::cout << "model: " << classifier.model().num_clusters()
+            << " clusters, " << classifier.dictionary_size()
+            << " WL signatures; incoming batch: " << jobs.size()
+            << " DAG jobs\n";
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  util::ThreadPool pool(hw);
+
+  serve::BatchStats serial{};
+  reporter.time("classify_serial",
+                [&] { serial = serve::classify_batch(classifier, jobs); });
+  serve::BatchStats pooled{};
+  reporter.time("classify_pooled", [&] {
+    pooled = serve::classify_batch(classifier, jobs, &pool);
+  });
+
+  reporter.set("jobs_per_second_serial", serial.jobs_per_second, "jobs/s");
+  reporter.set("jobs_per_second_pooled", pooled.jobs_per_second, "jobs/s");
+  reporter.set("p50_latency_us", pooled.p50_latency_us, "us");
+  reporter.set("p90_latency_us", pooled.p90_latency_us, "us");
+  reporter.set("oov_job_fraction",
+               jobs.empty() ? 0.0
+                            : static_cast<double>(pooled.oov_jobs) /
+                                  static_cast<double>(jobs.size()),
+               "fraction");
+
+  std::cout << "serial: " << static_cast<std::size_t>(serial.jobs_per_second)
+            << " jobs/s   pooled(" << hw
+            << "): " << static_cast<std::size_t>(pooled.jobs_per_second)
+            << " jobs/s   p50 " << pooled.p50_latency_us << " us   p90 "
+            << pooled.p90_latency_us << " us\n";
+  std::cout << "wrote " << reporter.output_path() << "\n";
+}
+
+}  // namespace
+}  // namespace cwgl::bench
+
+int main() {
+  cwgl::bench::run();
+  return 0;
+}

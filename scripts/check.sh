@@ -15,7 +15,10 @@
 #   tiny inputs (CWGL_BENCH_JOBS=500), each emitting BENCH_<name>.json,
 #   structurally compared against the committed bench/baselines/ files with
 #   scripts/bench_diff.py (deltas informational; a missing metric or broken
-#   schema fails the pass).
+#   schema fails the pass)
+# — plus the serve-smoke pass: cwgl fit -> predict -> serve-bench on the
+#   bundled example trace, and bench_serve diffed against
+#   bench/baselines/BENCH_serve.json.
 #
 # Usage: scripts/check.sh [jobs]
 # Build dirs are build-check-<name>; set CWGL_CHECK_KEEP=1 to keep them.
@@ -60,7 +63,9 @@ run_config() {
 
 # Tests that exercise injected faults, quarantine, and shutdown ordering —
 # the subset worth re-running under sanitizers with failpoints compiled in.
-FAULT_FILTER='Failpoint|FaultInjection|Diagnostics|StreamDagJobs|CsvScanner|BoundedQueue|ThreadPool|Spectral'
+# ModelFormat/GoldenModel ride along so the every-bit-flip corruption loop
+# and the model.write/model.read failpoints run under ASan/UBSan and TSan.
+FAULT_FILTER='Failpoint|FaultInjection|Diagnostics|StreamDagJobs|CsvScanner|BoundedQueue|ThreadPool|Spectral|ModelFormat|GoldenModel'
 
 # Smoke the machine-readable bench pipeline end to end: tiny-input runs of
 # the two benches with committed baselines must produce cwgl-bench-v1 JSON
@@ -98,6 +103,56 @@ run_bench_smoke() {
   fi
 }
 
+# Model store + serving smoke: fit a snapshot on the bundled example trace,
+# classify the committed probe jobs against it, and run the serving bench —
+# the full `cwgl fit -> predict -> serve-bench` sequence a deployment would
+# use. BENCH_serve.json is structurally diffed against the committed
+# baseline (timing deltas informational, like bench-smoke).
+run_serve_smoke() {
+  local name="serve-smoke" build_dir="build-check-serve-smoke"
+  echo
+  echo "=== [${name}] configure ==="
+  cmake -B "${build_dir}" -S . \
+    -DCWGL_BUILD_BENCHMARKS=ON \
+    -DCWGL_BUILD_EXAMPLES=OFF
+  echo "=== [${name}] build ==="
+  cmake --build "${build_dir}" -j "${JOBS}" --target cwgl bench_serve
+  echo "=== [${name}] fit + predict + serve-bench ==="
+  local cwgl="${build_dir}/src/cli/cwgl"
+  local out="${build_dir}/serve-out"
+  mkdir -p "${out}"
+  local ok=1
+  if ! "${cwgl}" fit --trace tests/data/example_trace --sample 60 \
+      --clusters 4 --out "${out}/model.cwgl"; then
+    echo "serve-smoke: fit failed" >&2
+    ok=0
+  fi
+  if ((ok)) && ! "${cwgl}" predict --model "${out}/model.cwgl" \
+      tests/data/probe_jobs.csv --json > "${out}/predict.json"; then
+    echo "serve-smoke: predict failed" >&2
+    ok=0
+  fi
+  if ((ok)) && ! "${cwgl}" serve-bench --model "${out}/model.cwgl" \
+      --jobs 200 --repeat 1 --json > "${out}/serve_bench.json"; then
+    echo "serve-smoke: serve-bench failed" >&2
+    ok=0
+  fi
+  if ((ok)); then
+    if ! CWGL_BENCH_JOBS=500 CWGL_BENCH_REPS=1 CWGL_BENCH_OUT="${out}" \
+        "${build_dir}/bench/bench_serve"; then
+      echo "serve-smoke: bench_serve failed" >&2
+      ok=0
+    elif ! python3 scripts/bench_diff.py \
+        "bench/baselines/BENCH_serve.json" "${out}/BENCH_serve.json"; then
+      ok=0
+    fi
+  fi
+  ((ok)) || FAILED+=("${name}")
+  if [[ "${CWGL_CHECK_KEEP:-0}" != "1" ]]; then
+    rm -rf "${build_dir}"
+  fi
+}
+
 run_config plain ""
 run_config asan-ubsan "address,undefined"
 run_config tsan "thread"
@@ -105,10 +160,11 @@ run_config faults "" ON
 run_config faults-asan "address,undefined" ON "${FAULT_FILTER}"
 run_config faults-tsan "thread" ON "${FAULT_FILTER}"
 run_bench_smoke
+run_serve_smoke
 
 echo
 if ((${#FAILED[@]})); then
   echo "check.sh: FAILED configurations: ${FAILED[*]}"
   exit 1
 fi
-echo "check.sh: all configurations passed (plain, asan-ubsan, tsan, faults, faults-asan, faults-tsan, bench-smoke)"
+echo "check.sh: all configurations passed (plain, asan-ubsan, tsan, faults, faults-asan, faults-tsan, bench-smoke, serve-smoke)"

@@ -1,5 +1,7 @@
 #include "cli/args.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -10,8 +12,8 @@ Args Args::parse(int argc, const char* const* argv, int start_index) {
   for (int i = start_index; i < argc; ++i) {
     std::string_view token = argv[i];
     if (token.size() < 3 || token.substr(0, 2) != "--") {
-      throw util::InvalidArgument("unexpected argument: " + std::string(token) +
-                                  " (options look like --key value)");
+      args.positionals_.emplace_back(token);
+      continue;
     }
     const std::string_view body = token.substr(2);
     const std::size_t eq = body.find('=');
@@ -30,6 +32,12 @@ Args Args::parse(int argc, const char* const* argv, int start_index) {
     }
   }
   return args;
+}
+
+std::string Args::positional(std::size_t index, std::string_view fallback) const {
+  positionals_claimed_ = std::max(positionals_claimed_, index + 1);
+  return index < positionals_.size() ? positionals_[index]
+                                     : std::string(fallback);
 }
 
 std::string Args::get(std::string_view key, std::string_view fallback) const {
@@ -71,6 +79,9 @@ std::vector<std::string> Args::unused() const {
   std::vector<std::string> out;
   for (const auto& [key, value] : values_) {
     if (!touched_.count(key)) out.push_back(key);
+  }
+  for (std::size_t i = positionals_claimed_; i < positionals_.size(); ++i) {
+    out.push_back(positionals_[i]);
   }
   return out;
 }

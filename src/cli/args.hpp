@@ -9,17 +9,27 @@
 
 namespace cwgl::cli {
 
-/// Minimal `--key value` / `--key=value` / `--flag` command-line parser for
+/// Minimal `--key value` / `--key=value` / `--flag` / positional parser for
 /// the cwgl tool.
 ///
-/// Grammar: `cwgl <command> [--key value | --key=value | --flag]...`. Keys
-/// start with "--"; a key followed by another key (or end of input) is a
-/// boolean flag; `--key=` supplies an explicit empty value. Unknown keys are
-/// collected so commands can reject typos explicitly.
+/// Grammar: `cwgl <command> [--key value | --key=value | --flag | operand]...`.
+/// Keys start with "--"; a key followed by another key (or end of input) is a
+/// boolean flag; `--key=` supplies an explicit empty value. A bare token not
+/// consumed as some key's value is a positional operand (`cwgl predict
+/// --model m.cwgl jobs.csv`), kept in appearance order. Note the one
+/// ambiguity this grammar has: a bare token right after a value-less flag is
+/// taken as that flag's value — put positionals first or use `--flag=`
+/// when mixing. Unknown keys and unclaimed positionals are collected so
+/// commands can reject typos and stray operands explicitly.
 class Args {
  public:
   /// Parses everything after the command word.
   static Args parse(int argc, const char* const* argv, int start_index);
+
+  /// Positional operand by position, or `fallback` when there are fewer.
+  std::string positional(std::size_t index, std::string_view fallback = "") const;
+
+  std::size_t positional_count() const noexcept { return positionals_.size(); }
 
   /// String option or fallback.
   std::string get(std::string_view key, std::string_view fallback = "") const;
@@ -33,13 +43,17 @@ class Args {
   /// True if `--key` appeared (with or without a value).
   bool has(std::string_view key) const;
 
-  /// Keys that were parsed but never queried by the command — typo guard.
-  /// Call after all get()/has() lookups.
+  /// Keys that were parsed but never queried by the command, plus
+  /// positionals beyond every index the command asked for — typo/stray-
+  /// operand guard. Call after all get()/has()/positional() lookups.
   std::vector<std::string> unused() const;
 
  private:
   std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positionals_;
   mutable std::set<std::string, std::less<>> touched_;
+  /// One past the highest positional index the command queried.
+  mutable std::size_t positionals_claimed_ = 0;
 };
 
 }  // namespace cwgl::cli

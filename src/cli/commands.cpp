@@ -16,6 +16,10 @@
 #include "core/ingest.hpp"
 #include "core/pipeline.hpp"
 #include "core/predictor.hpp"
+#include "model/fit.hpp"
+#include "model/format.hpp"
+#include "serve/classifier.hpp"
+#include "serve/engine.hpp"
 #include "core/report_json.hpp"
 #include "core/report_text.hpp"
 #include "core/topology_census.hpp"
@@ -68,8 +72,22 @@ commands:
                   [--trace-out FILE]
   compare       workload drift between two traces (JS divergence)
                   (--trace DIR --trace-b DIR | [--jobs N] [--seed S] [--seed-b S])
-  predict       fit/evaluate the completion-time predictor on a sample
+  fit           run the pipeline and persist the fitted WL/cluster model as a
+                cwgl-model-v1 snapshot, then self-check that the snapshot
+                reproduces the pipeline's own cluster assignments
+                  (--trace DIR | [--jobs N]) [--out FILE] [--sample K]
+                  [--clusters K] [--wl-iterations H] [--seed S] [--natural]
+                  [--conflated]
+  predict       with --model: classify the DAG jobs of a batch_task.csv
+                against a fitted snapshot (cluster, similarity, structure
+                forecast; --json emits schema cwgl-predict-v1).
+                Without --model: fit/evaluate the completion-time predictor
+                  --model FILE TASK_CSV [--json]
                   (--trace DIR | [--jobs N]) [--sample K] [--seed S]
+  serve-bench   batched multithreaded classification throughput against a
+                fitted snapshot (--json emits schema cwgl-serve-bench-v1)
+                  --model FILE [--jobs N] [--threads T] [--repeat R]
+                  [--seed S] [--json] [--metrics[=FILE]] [--trace-out FILE]
   schedule      simulate scheduling policies on a characterized workload
                   [--jobs N] [--sample K] [--machines M] [--online F]
                   [--inter-arrival S] [--seed S]
@@ -489,7 +507,221 @@ int cmd_compare(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmd_fit(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string out_path = args.get("out", "model.cwgl");
+  const trace::Trace data = load_or_generate(args, out);
+  core::PipelineConfig cfg = pipeline_config(args);
+  if (args.has("conflated")) cfg.analyze_conflated = true;
+  if (const int rc = reject_unknown(args, err)) return rc;
+
+  util::ThreadPool pool;
+  util::WallTimer timer;
+  core::FittedFeatures fitted;
+  const auto result =
+      core::CharacterizationPipeline(cfg).run(data, &pool, &fitted);
+  const auto snapshot = model::build_model(result, std::move(fitted), cfg);
+  model::save_model(snapshot, out_path);
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(out_path, ec);
+
+  out << "fitted " << snapshot.num_clusters() << " clusters over "
+      << snapshot.training_jobs() << " jobs (" << snapshot.dictionary.size()
+      << " WL signatures) in " << util::format_double(timer.millis(), 1)
+      << " ms\n";
+  out << "wrote " << out_path << " (" << bytes << " bytes)\n";
+
+  // Round-trip self-check: reload the snapshot from disk and classify every
+  // training job through it — each must land back in its own cluster, or
+  // the model does not faithfully represent the fit.
+  const serve::Classifier classifier(model::load_model(out_path));
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < result.sample.size(); ++i) {
+    if (classifier.classify(result.sample[i]).cluster ==
+        result.clustering.labels[i]) {
+      ++agree;
+    }
+  }
+  out << "self-check: " << agree << "/" << result.sample.size()
+      << " training jobs reproduce their cluster\n";
+  if (agree != result.sample.size()) {
+    err << "fit: self-check FAILED — snapshot disagrees with the pipeline\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// `predict --model`: classify incoming jobs against a fitted snapshot.
+int cmd_classify(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string model_path = args.get("model");
+  const std::string input = args.positional(0, args.get("input"));
+  const bool as_json = args.has("json");
+  if (model_path.empty() || input.empty()) {
+    err << "predict: classification needs a snapshot and a task CSV "
+           "(cwgl predict --model FILE TASK_CSV)\n";
+    return 2;
+  }
+  if (const int rc = reject_unknown(args, err)) return rc;
+
+  const serve::Classifier classifier(model::load_model(model_path));
+  std::ifstream file(input);
+  if (!file) {
+    err << "predict: cannot open " << input << "\n";
+    return 2;
+  }
+  std::size_t skipped = 0;
+  trace::Trace incoming;
+  incoming.tasks = trace::read_batch_task_csv(file, &skipped);
+  const auto jobs =
+      core::build_all_dag_jobs(incoming, trace::SamplingCriteria{});
+  if (jobs.empty()) {
+    err << "predict: no classifiable DAG jobs in " << input << " ("
+        << incoming.tasks.size() << " rows, " << skipped << " malformed)\n";
+    return 2;
+  }
+
+  if (as_json) {
+    util::JsonWriter j(out);
+    j.begin_object();
+    j.field("schema", "cwgl-predict-v1");
+    j.field("model", model_path);
+    j.field("clusters", classifier.model().num_clusters());
+    j.key("jobs");
+    j.begin_array();
+    for (const core::JobDag& job : jobs) {
+      const serve::Prediction p = classifier.classify(job);
+      j.begin_object();
+      j.field("job", job.job_name);
+      j.field("tasks", static_cast<std::size_t>(job.size()));
+      j.field("cluster", std::string(1, p.cluster_letter));
+      j.field("similarity", p.similarity);
+      j.field("nearest", p.nearest_job);
+      j.field("oov_hits", p.oov_hits);
+      j.key("predicted");
+      j.begin_object();
+      j.field("critical_path", p.predicted_critical_path);
+      j.field("width", p.predicted_width);
+      j.end_object();
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    out << "\n";
+    return 0;
+  }
+
+  out << "classified " << jobs.size() << " DAG jobs against " << model_path
+      << " (" << classifier.model().num_clusters() << " clusters)\n";
+  out << util::pad_right("job", 14) << util::pad_left("tasks", 6)
+      << util::pad_left("group", 6) << util::pad_left("similarity", 12)
+      << util::pad_left("oov", 5) << "  nearest / forecast (cp, width)\n";
+  for (const core::JobDag& job : jobs) {
+    const serve::Prediction p = classifier.classify(job);
+    out << util::pad_right(job.job_name, 14)
+        << util::pad_left(std::to_string(job.size()), 6)
+        << util::pad_left(std::string(1, p.cluster_letter), 6)
+        << util::pad_left(util::format_double(p.similarity, 4), 12)
+        << util::pad_left(std::to_string(p.oov_hits), 5) << "  "
+        << p.nearest_job << " ("
+        << util::format_double(p.predicted_critical_path, 1) << ", "
+        << util::format_double(p.predicted_width, 1) << ")\n";
+  }
+  return 0;
+}
+
+int cmd_serve_bench(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string model_path = args.get("model");
+  const bool as_json = args.has("json");
+  const auto num_jobs =
+      static_cast<std::size_t>(args.get_int("jobs").value_or(2000));
+  const auto threads =
+      static_cast<unsigned>(args.get_int("threads").value_or(0));
+  const auto repeat = static_cast<int>(args.get_int("repeat").value_or(3));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(99));
+  const ObsOptions obs_opts = start_observation(args);
+  if (model_path.empty()) {
+    err << "serve-bench: --model FILE is required\n";
+    return 2;
+  }
+  if (const int rc = reject_unknown(args, err)) return rc;
+
+  const serve::Classifier classifier(model::load_model(model_path));
+  trace::GeneratorConfig gcfg;
+  gcfg.num_jobs = num_jobs;
+  gcfg.seed = seed;
+  gcfg.emit_instances = false;
+  const trace::Trace data = trace::TraceGenerator(gcfg).generate();
+  const auto jobs =
+      core::build_all_dag_jobs(data, trace::SamplingCriteria{});
+  if (jobs.empty()) {
+    err << "serve-bench: generated workload contains no DAG jobs\n";
+    return 2;
+  }
+
+  util::ThreadPool pool(threads);
+  const std::size_t dict_before = classifier.dictionary_size();
+  serve::BatchStats best;
+  for (int r = 0; r < std::max(repeat, 1); ++r) {
+    const serve::BatchStats stats =
+        serve::classify_batch(classifier, jobs, &pool);
+    if (stats.jobs_per_second > best.jobs_per_second) best = stats;
+  }
+  // The serving contract: inference must never grow the frozen dictionary.
+  if (classifier.dictionary_size() != dict_before) {
+    err << "serve-bench: dictionary grew under inference — serving contract "
+           "violated\n";
+    return 1;
+  }
+  const std::string metrics_json = finish_observation(obs_opts, err);
+
+  if (as_json) {
+    util::JsonWriter j(out);
+    j.begin_object();
+    j.field("schema", "cwgl-serve-bench-v1");
+    j.field("model", model_path);
+    j.field("jobs", best.jobs);
+    j.field("threads", pool.size());
+    j.field("repeat", static_cast<std::size_t>(std::max(repeat, 1)));
+    j.field("jobs_per_second", best.jobs_per_second);
+    j.key("latency_us");
+    j.begin_object();
+    j.field("p50", best.p50_latency_us);
+    j.field("p90", best.p90_latency_us);
+    j.field("p99", best.p99_latency_us);
+    j.field("max", best.max_latency_us);
+    j.end_object();
+    j.field("oov_jobs", best.oov_jobs);
+    if (!metrics_json.empty()) {
+      j.key("metrics");
+      j.raw(metrics_json);
+    }
+    j.end_object();
+    out << "\n";
+    return 0;
+  }
+
+  out << "served " << best.jobs << " jobs on " << pool.size()
+      << " threads (best of " << std::max(repeat, 1) << ")\n";
+  out << "throughput:  " << util::format_double(best.jobs_per_second / 1e3, 1)
+      << " K jobs/s\n";
+  out << "latency:     p50 " << util::format_double(best.p50_latency_us, 0)
+      << " us, p90 " << util::format_double(best.p90_latency_us, 0)
+      << " us, p99 " << util::format_double(best.p99_latency_us, 0)
+      << " us, max " << util::format_double(best.max_latency_us, 0) << " us\n";
+  out << "oov jobs:    " << best.oov_jobs << " of " << best.jobs << "\n";
+  out << "groups:      ";
+  for (std::size_t c = 0; c < best.cluster_counts.size(); ++c) {
+    out << (c > 0 ? "  " : "") << model::FittedModel::letter(c) << "="
+        << best.cluster_counts[c];
+  }
+  out << "\n";
+  print_metrics_text(obs_opts, out);
+  return 0;
+}
+
 int cmd_predict(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.has("model") || args.positional_count() > 0) {
+    return cmd_classify(args, out, err);
+  }
   const trace::Trace data = load_or_generate(args, out);
   core::PipelineConfig cfg = pipeline_config(args);
   if (const int rc = reject_unknown(args, err)) return rc;
@@ -585,7 +817,9 @@ int run_command(std::string_view command, const Args& args, std::ostream& out,
     if (command == "similarity") return cmd_similarity(args, out, err);
     if (command == "ingest") return cmd_ingest(args, out, err);
     if (command == "compare") return cmd_compare(args, out, err);
+    if (command == "fit") return cmd_fit(args, out, err);
     if (command == "predict") return cmd_predict(args, out, err);
+    if (command == "serve-bench") return cmd_serve_bench(args, out, err);
     if (command == "schedule") return cmd_schedule(args, out, err);
     if (command == "help" || command == "--help" || command == "-h") {
       out << kUsage;

@@ -43,7 +43,8 @@ std::vector<JobDag> CharacterizationPipeline::build_sample(
 }
 
 PipelineResult CharacterizationPipeline::run(const trace::Trace& trace,
-                                             util::ThreadPool* pool) const {
+                                             util::ThreadPool* pool,
+                                             FittedFeatures* fitted) const {
   obs::Span pipeline_span("pipeline.run");
   PipelineResult result;
   {
@@ -91,8 +92,8 @@ PipelineResult CharacterizationPipeline::run(const trace::Trace& trace,
   {
     obs::Span span("pipeline.similarity");
     span.arg("jobs", analysis_set.size());
-    result.similarity =
-        SimilarityAnalysis::compute(analysis_set, config_.similarity, pool);
+    result.similarity = SimilarityAnalysis::compute(
+        analysis_set, config_.similarity, pool, fitted);
   }
   {
     obs::Span span("pipeline.clustering");

@@ -72,9 +72,14 @@ class CharacterizationPipeline {
                                      util::ThreadPool* pool = nullptr,
                                      IngestStats* stats = nullptr) const;
 
-  /// Full analysis of a trace. `pool` parallelizes the Gram matrix.
+  /// Full analysis of a trace. `pool` parallelizes the Gram matrix. When
+  /// `fitted` is non-null the similarity stage additionally exports its
+  /// fitted state (feature vectors + frozen dictionary of the analysis set —
+  /// the conflated set when `analyze_conflated`); this is the train-side
+  /// hook the model store builds a serving snapshot from.
   PipelineResult run(const trace::Trace& trace,
-                     util::ThreadPool* pool = nullptr) const;
+                     util::ThreadPool* pool = nullptr,
+                     FittedFeatures* fitted = nullptr) const;
 
  private:
   PipelineConfig config_;

@@ -9,7 +9,8 @@ namespace cwgl::core {
 
 SimilarityAnalysis SimilarityAnalysis::compute(std::span<const JobDag> jobs,
                                                const SimilarityOptions& options,
-                                               util::ThreadPool* pool) {
+                                               util::ThreadPool* pool,
+                                               FittedFeatures* fitted) {
   std::vector<kernel::LabeledGraph> corpus;
   corpus.reserve(jobs.size());
   for (const JobDag& job : jobs) {
@@ -23,7 +24,25 @@ SimilarityAnalysis SimilarityAnalysis::compute(std::span<const JobDag> jobs,
   gram_options.normalize = options.normalize;
 
   SimilarityAnalysis out;
-  out.gram = kernel::gram_matrix(featurizer, corpus, gram_options, pool);
+  if (fitted != nullptr) {
+    // Export path: featurize serially so dictionary ids land in first-seen
+    // order (deterministic model bytes), keep the vectors, and reuse the
+    // shared Gram back half so values match the fused path bitwise.
+    fitted->vectors.clear();
+    fitted->vectors.reserve(corpus.size());
+    for (const kernel::LabeledGraph& g : corpus) {
+      fitted->vectors.push_back(featurizer.featurize(g));
+    }
+    fitted->dictionary.clear();
+    fitted->dictionary.reserve(featurizer.dictionary_size());
+    for (auto& [signature, id] : featurizer.dictionary_entries()) {
+      (void)id;  // entries() is sorted by id and serial ids are dense
+      fitted->dictionary.push_back(std::move(signature));
+    }
+    out.gram = kernel::gram_from_features(fitted->vectors, gram_options, pool);
+  } else {
+    out.gram = kernel::gram_matrix(featurizer, corpus, gram_options, pool);
+  }
   out.job_names.reserve(jobs.size());
   for (const JobDag& job : jobs) out.job_names.push_back(job.job_name);
   return out;

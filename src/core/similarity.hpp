@@ -29,6 +29,22 @@ struct SimilarityOptions {
   bool use_type_labels = true;  ///< label vertices by task type (M/R/J)
 };
 
+/// The fitted state of a similarity run, exported for the model store: the
+/// raw (pre-normalization) WL feature vector of every analyzed job plus the
+/// frozen signature dictionary that gives those vectors meaning.
+///
+/// Only produced when requested, and featurization is then forced SERIAL so
+/// dictionary ids are dense in first-seen order — a model's bytes become a
+/// pure function of the input trace and config, independent of thread
+/// scheduling (the Gram dot products still parallelize; they are invariant
+/// to id assignment).
+struct FittedFeatures {
+  /// vectors[i] belongs to jobs[i]; ids index into `dictionary`.
+  std::vector<kernel::SparseVector> vectors;
+  /// Entry i is the signature interned with id i (dense, first-seen order).
+  std::vector<std::string> dictionary;
+};
+
 /// The pairwise WL similarity analysis over an experiment set.
 struct SimilarityAnalysis {
   linalg::Matrix gram;                 ///< n x n similarity scores
@@ -47,9 +63,12 @@ struct SimilarityAnalysis {
     int small_threshold = 5;
   };
 
+  /// When `fitted` is non-null the run additionally exports its fitted
+  /// state (see FittedFeatures); Gram values are identical either way.
   static SimilarityAnalysis compute(std::span<const JobDag> jobs,
                                     const SimilarityOptions& options = {},
-                                    util::ThreadPool* pool = nullptr);
+                                    util::ThreadPool* pool = nullptr,
+                                    FittedFeatures* fitted = nullptr);
 
   Stats stats(std::span<const JobDag> jobs, int small_threshold = 5) const;
 };

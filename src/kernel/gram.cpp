@@ -25,7 +25,13 @@ linalg::Matrix gram_matrix(Featurizer& f, std::span<const LabeledGraph> corpus,
   } else {
     featurize_range(0, n);
   }
+  return gram_from_features(features, options, pool);
+}
 
+linalg::Matrix gram_from_features(std::span<const SparseVector> features,
+                                  const GramOptions& options,
+                                  util::ThreadPool* pool) {
+  const std::size_t n = features.size();
   linalg::Matrix gram(n, n);
   const auto fill_row = [&](std::size_t i) {
     for (std::size_t j = i; j < n; ++j) {

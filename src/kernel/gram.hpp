@@ -33,6 +33,15 @@ linalg::Matrix gram_matrix(Featurizer& f, std::span<const LabeledGraph> corpus,
                            const GramOptions& options = {},
                            util::ThreadPool* pool = nullptr);
 
+/// Builds the Gram matrix from already-featurized vectors — the back half of
+/// `gram_matrix`, exposed so callers that need to KEEP the feature vectors
+/// (the model store freezes them as cluster representatives) get values
+/// bitwise identical to the fused path. Row/column i corresponds to
+/// features[i].
+linalg::Matrix gram_from_features(std::span<const SparseVector> features,
+                                  const GramOptions& options = {},
+                                  util::ThreadPool* pool = nullptr);
+
 /// Converts a normalized similarity matrix into a distance matrix via
 /// d = sqrt(max(0, k(a,a) + k(b,b) - 2 k(a,b))) — the feature-space Euclidean
 /// distance; used by silhouette scoring and medoid extraction.

@@ -1,5 +1,7 @@
 #include "kernel/label_dict.hpp"
 
+#include <algorithm>
+
 #include "obs/metrics.hpp"
 
 namespace cwgl::kernel {
@@ -38,6 +40,27 @@ int ShardedSignatureDictionary::intern(std::string_view key) {
   shard.map.emplace(std::string(key), id);
   interned.add();
   return id;
+}
+
+std::optional<int> ShardedSignatureDictionary::find(std::string_view key) const {
+  const Shard& shard = shards_[shard_index(key)];
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<std::string, int>> ShardedSignatureDictionary::entries()
+    const {
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [signature, id] : shard.map) out.emplace_back(signature, id);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return out;
 }
 
 }  // namespace cwgl::kernel

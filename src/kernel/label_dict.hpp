@@ -5,9 +5,12 @@
 #include <cstddef>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace cwgl::kernel {
 
@@ -42,6 +45,18 @@ class ShardedSignatureDictionary {
   /// Safe to call concurrently from any number of threads.
   int intern(std::string_view key);
 
+  /// Read-only lookup: the id of `key`, or nullopt when it was never
+  /// interned. NEVER inserts — this is the serving path's contract (a frozen
+  /// model's dictionary must not grow under inference), enforced by the
+  /// const qualifier. Safe to call concurrently, including concurrently with
+  /// intern() (the shard mutex orders the lookup against any racing insert).
+  std::optional<int> find(std::string_view key) const;
+
+  /// Snapshot of every (signature, id) pair, sorted by id — the export hook
+  /// the model store uses to freeze a fitted dictionary. Exact once all
+  /// writers are quiesced (the only supported time to serialize a model).
+  std::vector<std::pair<std::string, int>> entries() const;
+
   /// Number of distinct signatures interned so far. When racing with
   /// writers the value is a snapshot; after all writers are joined it is
   /// exact.
@@ -63,7 +78,9 @@ class ShardedSignatureDictionary {
   };
 
   struct Shard {
-    std::mutex mutex;
+    /// mutable so the read-only find()/entries() paths can take the lock
+    /// from const methods; the map itself is never touched by them.
+    mutable std::mutex mutex;
     std::unordered_map<std::string, int, Hash, std::equal_to<>> map;
   };
 

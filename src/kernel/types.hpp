@@ -27,6 +27,8 @@ struct LabeledGraph {
 struct SparseVector {
   std::vector<std::pair<int, double>> items;
 
+  friend bool operator==(const SparseVector&, const SparseVector&) = default;
+
   /// Dot product via sorted-merge; O(nnz_a + nnz_b).
   double dot(const SparseVector& other) const noexcept;
 

@@ -29,6 +29,8 @@ struct WlConfig {
   /// emphasize coarse label statistics; larger late weights emphasize deep
   /// subtree context.
   std::vector<double> iteration_weights;
+
+  friend bool operator==(const WlConfig&, const WlConfig&) = default;
 };
 
 /// WL subtree featurizer.
@@ -64,6 +66,17 @@ class WlSubtreeFeaturizer final : public Featurizer {
   /// Number of distinct (iteration, signature) features interned so far.
   std::size_t dictionary_size() const noexcept { return dict_.size(); }
 
+  /// The shared signature dictionary — read-only access for the frozen
+  /// serving path and the model store's export hook.
+  const ShardedSignatureDictionary& dictionary() const noexcept { return dict_; }
+
+  /// Every (signature, id) pair interned so far, sorted by id (dense ids:
+  /// after serial featurization, entry i has id i). This is the fitted state
+  /// the model store serializes.
+  std::vector<std::pair<std::string, int>> dictionary_entries() const {
+    return dict_.entries();
+  }
+
   /// The final per-vertex compressed colors of the last featurized graph —
   /// exposed for refinement-convergence tests. Only meaningful when the
   /// previous featurize() calls were serial (under concurrency "last" is
@@ -75,6 +88,46 @@ class WlSubtreeFeaturizer final : public Featurizer {
   ShardedSignatureDictionary dict_;
   std::mutex last_colors_mutex_;
   std::vector<int> last_colors_;
+};
+
+/// Read-only WL featurization against a FROZEN signature dictionary — the
+/// serving-side counterpart of WlSubtreeFeaturizer.
+///
+/// Training interns every signature it meets; serving must not (a model's
+/// feature space is fixed at fit time), so this featurizer only ever calls
+/// the dictionary's const `find()`. A signature the dictionary has never
+/// seen maps to the reserved out-of-vocabulary id `oov_id` — one shared
+/// bucket, so unseen structure still contributes kernel mass (two jobs that
+/// are both "novel" in the same positions look alike) without ever mutating
+/// the dictionary. OOV colors feed the next refinement round like any other
+/// color, keeping the recursion deterministic.
+///
+/// The referenced dictionary must outlive this featurizer and must not be
+/// mutated while featurize() runs (the serving engine guarantees both: the
+/// dictionary is owned by the loaded model and nothing interns into it).
+/// featurize() is const and safe to call from any number of threads.
+class FrozenWlFeaturizer {
+ public:
+  /// `oov_id` must be outside the dictionary's dense id range; the model
+  /// store uses `dictionary size` (one past the last real id). Throws
+  /// util::InvalidArgument on a malformed config (same rules as
+  /// WlSubtreeFeaturizer).
+  FrozenWlFeaturizer(WlConfig config, const ShardedSignatureDictionary& dict,
+                     int oov_id);
+
+  /// Maps a graph into the frozen feature space. When `oov_hits` is given it
+  /// receives the number of vertex-signature lookups that fell into the OOV
+  /// bucket (0 for a job fully covered by the training vocabulary).
+  SparseVector featurize(const LabeledGraph& g,
+                         std::size_t* oov_hits = nullptr) const;
+
+  const WlConfig& config() const noexcept { return config_; }
+  int oov_id() const noexcept { return oov_id_; }
+
+ private:
+  WlConfig config_;
+  const ShardedSignatureDictionary* dict_;
+  int oov_id_;
 };
 
 /// Convenience: raw WL kernel value between two graphs using a fresh

@@ -1,0 +1,84 @@
+#include "model/fit.hpp"
+
+#include <utility>
+
+namespace cwgl::model {
+
+namespace {
+
+ClusterProfile make_profile(const core::ClusterGroupStats& g) {
+  ClusterProfile p;
+  p.population = g.population;
+  p.population_fraction = g.population_fraction;
+  p.mean_size = g.size.mean;
+  p.median_size = g.size.median;
+  p.mean_critical_path = g.critical_path.mean;
+  p.median_critical_path = g.critical_path.median;
+  p.mean_width = g.parallelism.mean;
+  p.median_width = g.parallelism.median;
+  p.chain_fraction = g.chain_fraction;
+  p.short_job_fraction = g.short_job_fraction;
+  return p;
+}
+
+}  // namespace
+
+FittedModel build_model(const core::PipelineResult& result,
+                        core::FittedFeatures fitted,
+                        const core::PipelineConfig& config) {
+  const auto& clustering = result.clustering;
+  const auto& names = result.similarity.job_names;
+  const std::size_t n = fitted.vectors.size();
+  if (n == 0) throw ModelError("model: cannot fit on an empty analysis set");
+  if (clustering.labels.size() != n || names.size() != n) {
+    throw ModelError(
+        "model: fitted features, clustering labels, and job names disagree "
+        "on the analysis-set size — results from different runs?");
+  }
+
+  FittedModel m;
+  m.wl = config.similarity.wl;
+  m.use_type_labels = config.similarity.use_type_labels;
+  m.normalize = config.similarity.normalize;
+  m.conflated = config.analyze_conflated;
+  m.dictionary = std::move(fitted.dictionary);
+
+  m.profiles.reserve(clustering.groups.size());
+  for (const core::ClusterGroupStats& g : clustering.groups) {
+    m.profiles.push_back(make_profile(g));
+  }
+  m.representatives.resize(m.profiles.size());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const int group = clustering.labels[i];
+    if (group < 0 || static_cast<std::size_t>(group) >= m.profiles.size()) {
+      throw ModelError("model: clustering label out of range for job '" +
+                       names[i] + "'");
+    }
+    Representative rep;
+    rep.job_name = names[i];
+    rep.training_index = i;
+    rep.features = std::move(fitted.vectors[i]);
+    rep.self_norm = rep.features.norm();
+    m.representatives[static_cast<std::size_t>(group)].push_back(
+        std::move(rep));
+  }
+
+  // The group medoid is a global analysis-set index; serving wants it as a
+  // position inside the cluster's own representative list.
+  for (std::size_t c = 0; c < clustering.groups.size(); ++c) {
+    const std::size_t medoid = clustering.groups[c].medoid;
+    const auto& reps = m.representatives[c];
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      if (reps[r].training_index == medoid) {
+        m.profiles[c].medoid = r;
+        break;
+      }
+    }
+  }
+
+  m.validate();
+  return m;
+}
+
+}  // namespace cwgl::model

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "model/model.hpp"
+
+namespace cwgl::model {
+
+/// Assembles a serving snapshot from one pipeline run.
+///
+/// `result` must come from `CharacterizationPipeline::run(trace, pool,
+/// &fitted)` with the SAME `fitted` passed here — the feature vectors, the
+/// clustering labels, and the job names must describe the same analysis set
+/// in the same order. `config` supplies the kernel settings the dictionary
+/// was built under.
+///
+/// Every analyzed job becomes a representative of its cluster, with the
+/// group medoid remapped to a within-cluster index. Validates the assembled
+/// model before returning (throws ModelError), so a snapshot produced here
+/// always round-trips through save/load.
+FittedModel build_model(const core::PipelineResult& result,
+                        core::FittedFeatures fitted,
+                        const core::PipelineConfig& config);
+
+}  // namespace cwgl::model

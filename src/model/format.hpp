@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <istream>
+#include <string>
+#include <string_view>
+
+#include "model/model.hpp"
+
+namespace cwgl::model {
+
+/// The `cwgl-model-v1` binary snapshot format.
+///
+/// Layout (all integers little-endian, doubles as IEEE-754 bit patterns in a
+/// little-endian u64):
+///
+///   magic   8 bytes  "CWGLMDL1"
+///   u32     format version (currently 1)
+///   u32     section count (currently 4)
+///   section x4, in this exact order:
+///     u32   tag            FourCC: "CONF", "DICT", "PROF", "REPS"
+///     u64   payload size   bytes that follow the crc field
+///     u32   crc32          CRC-32 (reflected, poly 0xEDB88320) of payload
+///     ...   payload
+///
+/// CONF: WL config + featurization switches. DICT: the frozen signature
+/// dictionary (entry i has feature id i). PROF: per-cluster profiles.
+/// REPS: per-cluster representative feature vectors and self-norms.
+///
+/// Loading is strict by default: wrong magic, unsupported version, unknown
+/// or out-of-order section tags, truncated payloads, CRC mismatches,
+/// trailing bytes (after a section payload or after the last section), and
+/// any semantic violation caught by FittedModel::validate() all raise
+/// ModelError. A partially written file — e.g. a crash mid-save — can never
+/// load as a valid model.
+///
+/// Versioning rule: the major format version is bumped on any change an old
+/// reader cannot skip. v1 readers reject every other version outright; there
+/// is no silent best-effort decoding.
+
+inline constexpr std::string_view kModelMagic = "CWGLMDL1";
+inline constexpr std::uint32_t kModelFormatVersion = 1;
+
+/// Serializes a validated model to its byte representation. Runs
+/// `m.validate()` first so an invalid model is never encoded.
+std::string serialize_model(const FittedModel& m);
+
+/// Strictly decodes bytes produced by serialize_model(). `origin` names the
+/// source (a path, "<memory>", ...) in error messages. Throws ModelError on
+/// any structural or semantic defect; never exhibits UB on corrupt input —
+/// every read is bounds-checked against the buffer.
+FittedModel deserialize_model(std::string_view bytes,
+                              std::string_view origin = "<memory>");
+
+/// Writes the snapshot to `path`. Failpoint site "model.write" fires after
+/// roughly half the bytes are on disk, modeling a crash mid-write; the
+/// resulting partial file is guaranteed to be rejected by load_model().
+/// Throws ModelError when the file cannot be created or fully written.
+void save_model(const FittedModel& m, const std::filesystem::path& path);
+
+/// Reads and strictly validates a snapshot from `path` (failpoint site
+/// "model.read" models an I/O fault at open time).
+FittedModel load_model(const std::filesystem::path& path);
+
+/// Stream variant of load_model() for already-open sources.
+FittedModel load_model(std::istream& in, std::string_view origin = "<stream>");
+
+}  // namespace cwgl::model

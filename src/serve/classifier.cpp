@@ -1,0 +1,96 @@
+#include "serve/classifier.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace cwgl::serve {
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter* classified;
+  obs::Counter* oov_jobs;
+
+  static const ServeMetrics& get() {
+    static const ServeMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return ServeMetrics{&reg.counter("serve.classify.jobs"),
+                          &reg.counter("serve.classify.oov_jobs")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+Classifier::Classifier(model::FittedModel m)
+    : model_((m.validate(), std::move(m))),
+      featurizer_(model_.wl, dict_, model_.oov_id()) {
+  // Single-threaded interning assigns dense first-seen ids, so dictionary
+  // entry i gets id i back — the exact id space the frozen feature vectors
+  // were encoded in. validate() has already rejected duplicate signatures,
+  // which is what makes this bijective.
+  for (const std::string& signature : model_.dictionary) dict_.intern(signature);
+}
+
+Prediction Classifier::classify(const core::JobDag& job) const {
+  if (model_.conflated) {
+    return classify_graph(make_labeled(core::conflate_job(job)));
+  }
+  return classify_graph(make_labeled(job));
+}
+
+kernel::LabeledGraph Classifier::make_labeled(const core::JobDag& job) const {
+  kernel::LabeledGraph g;
+  g.graph = job.dag;
+  if (model_.use_type_labels) g.labels = job.type_labels();
+  return g;
+}
+
+Prediction Classifier::classify_graph(const kernel::LabeledGraph& g) const {
+  Prediction out;
+  kernel::SparseVector phi = featurizer_.featurize(g, &out.oov_hits);
+  const double norm = phi.norm();
+
+  out.scores.assign(model_.num_clusters(), 0.0);
+  double best = -std::numeric_limits<double>::infinity();
+  std::uint64_t best_index = std::numeric_limits<std::uint64_t>::max();
+  int best_cluster = 0;
+  const model::Representative* nearest = nullptr;
+
+  for (std::size_t c = 0; c < model_.representatives.size(); ++c) {
+    for (const model::Representative& rep : model_.representatives[c]) {
+      double sim = phi.dot(rep.features);
+      if (model_.normalize) {
+        const double denom = norm * rep.self_norm;
+        sim = denom > 0.0 ? sim / denom : 0.0;
+      }
+      if (sim > out.scores[c]) out.scores[c] = sim;
+      if (sim > best || (sim == best && rep.training_index < best_index)) {
+        best = sim;
+        best_index = rep.training_index;
+        best_cluster = static_cast<int>(c);
+        nearest = &rep;
+      }
+    }
+  }
+
+  out.cluster = best_cluster;
+  out.cluster_letter = model::FittedModel::letter(
+      static_cast<std::size_t>(best_cluster));
+  out.similarity = best;
+  if (nearest != nullptr) out.nearest_job = nearest->job_name;
+  const model::ClusterProfile& profile =
+      model_.profiles[static_cast<std::size_t>(best_cluster)];
+  out.predicted_critical_path = profile.median_critical_path;
+  out.predicted_width = profile.median_width;
+
+  const ServeMetrics& metrics = ServeMetrics::get();
+  metrics.classified->add();
+  if (out.oov_hits > 0) metrics.oov_jobs->add();
+  return out;
+}
+
+}  // namespace cwgl::serve

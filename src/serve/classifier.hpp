@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/job_dag.hpp"
+#include "kernel/label_dict.hpp"
+#include "kernel/wl.hpp"
+#include "model/model.hpp"
+
+namespace cwgl::serve {
+
+/// One classification outcome for a job DAG.
+struct Prediction {
+  int cluster = 0;                 ///< assigned group id (0 = 'A')
+  char cluster_letter = 'A';
+  double similarity = 0.0;         ///< score against the nearest representative
+  std::vector<double> scores;      ///< best score per cluster, index = group
+  std::string nearest_job;         ///< trace name of the nearest representative
+  std::size_t oov_hits = 0;        ///< WL lookups that fell in the OOV bucket
+
+  /// Structure forecast replayed from the assigned cluster's profile
+  /// (medians — robust to the groups' heavy size tails).
+  double predicted_critical_path = 0.0;
+  double predicted_width = 0.0;
+};
+
+/// Read-only classifier over a fitted model snapshot — the serving half of
+/// the train/serve split.
+///
+/// Construction rehydrates the frozen signature dictionary (serial
+/// interning reproduces ids 0..n-1 exactly, because a single-threaded
+/// ShardedSignatureDictionary assigns ids in first-seen order) and wires a
+/// FrozenWlFeaturizer over it. After the constructor returns, NOTHING
+/// mutates this object: classify() is const, uses only the dictionary's
+/// const find(), and maps unseen signatures to the model's reserved OOV id.
+/// Any number of threads may call classify() concurrently — the serve-bench
+/// TSan configuration holds this to account.
+///
+/// A job is assigned to the cluster of its most similar representative
+/// (normalized kernel similarity when the model was fitted with
+/// normalization, raw kernel value otherwise). Because the model keeps
+/// every training job as a representative, classifying a training job
+/// scores 1 against itself and exactly reproduces the pipeline's own
+/// cluster assignment. Ties break toward the representative with the
+/// lowest training index, making results independent of iteration order.
+class Classifier {
+ public:
+  /// Takes ownership of the snapshot. Throws model::ModelError if the model
+  /// fails validation (a snapshot from load_model() is already validated).
+  explicit Classifier(model::FittedModel m);
+
+  Classifier(const Classifier&) = delete;
+  Classifier& operator=(const Classifier&) = delete;
+
+  /// Classifies one job DAG. Applies the model's own featurization recipe:
+  /// conflation first when the model was fitted on conflated DAGs, task-type
+  /// vertex labels when it was fitted with them. Thread-safe.
+  Prediction classify(const core::JobDag& job) const;
+
+  /// Classifies a pre-labeled graph directly (the job-independent core of
+  /// classify(); exposed for kernel-level tests). Thread-safe.
+  Prediction classify_graph(const kernel::LabeledGraph& g) const;
+
+  const model::FittedModel& model() const noexcept { return model_; }
+
+  /// Size of the frozen dictionary — by the serving contract this value
+  /// never changes after construction; tests assert it across heavy
+  /// concurrent classify() load.
+  std::size_t dictionary_size() const noexcept { return dict_.size(); }
+
+ private:
+  /// Applies the model's labeling switch to produce the kernel-form graph.
+  kernel::LabeledGraph make_labeled(const core::JobDag& job) const;
+
+  model::FittedModel model_;
+  kernel::ShardedSignatureDictionary dict_;
+  kernel::FrozenWlFeaturizer featurizer_;
+};
+
+}  // namespace cwgl::serve

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/job_dag.hpp"
+#include "serve/classifier.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cwgl::serve {
+
+/// Throughput/latency report of one batch classification run.
+struct BatchStats {
+  std::size_t jobs = 0;
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+  /// Per-job classify() latency quantiles, microseconds (exact — computed
+  /// from the full sorted sample set, not histogram buckets).
+  double p50_latency_us = 0.0;
+  double p90_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  /// Jobs with at least one out-of-vocabulary WL signature.
+  std::size_t oov_jobs = 0;
+  /// Jobs per cluster, index = group id.
+  std::vector<std::size_t> cluster_counts;
+};
+
+/// Classifies `jobs` against `classifier`, fanning out over `pool` when
+/// given (work-helping chunks, so it composes with nested parallelism).
+/// When `out` is non-null it receives one Prediction per job, in input
+/// order regardless of scheduling.
+///
+/// Emits `serve.batch.*` metrics and a "serve.classify_batch" span; per-job
+/// latencies feed the `serve.classify.latency_us` histogram when the
+/// registry's timing gate is open, and are always collected locally for the
+/// exact quantiles in the returned stats (a bench must not require global
+/// timing to be on).
+BatchStats classify_batch(const Classifier& classifier,
+                          std::span<const core::JobDag> jobs,
+                          util::ThreadPool* pool = nullptr,
+                          std::vector<Prediction>* out = nullptr);
+
+}  // namespace cwgl::serve

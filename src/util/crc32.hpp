@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cwgl::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+/// model-store file format uses to detect section corruption. Implemented
+/// here so the tree stays dependency-free (no zlib).
+///
+/// `crc` is the running value for incremental use: seed with `kCrc32Init`,
+/// fold in chunks, and finalize with `crc32_finish`. `crc32` does all three
+/// in one call for a contiguous buffer.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+/// Folds `data` into a running (pre-finalization) CRC.
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size) noexcept;
+
+/// Final xor (the bitwise complement mandated by the CRC-32 spec).
+constexpr std::uint32_t crc32_finish(std::uint32_t crc) noexcept {
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a buffer ("123456789" -> 0xCBF43926).
+inline std::uint32_t crc32(std::string_view data) noexcept {
+  return crc32_finish(crc32_update(kCrc32Init, data.data(), data.size()));
+}
+
+}  // namespace cwgl::util

@@ -70,9 +70,33 @@ TEST(Args, DoubleParses) {
   EXPECT_DOUBLE_EQ(args.get_double("online").value(), 0.4);
 }
 
-TEST(Args, BarePositionalRejected) {
-  std::vector<const char*> argv{"cwgl", "cmd", "oops"};
-  EXPECT_THROW(Args::parse(3, argv.data(), 2), util::InvalidArgument);
+TEST(Args, PositionalsKeepAppearanceOrder) {
+  const Args args = parse({"first.csv", "--model", "m.cwgl", "second.csv"});
+  EXPECT_EQ(args.get("model"), "m.cwgl");
+  ASSERT_EQ(args.positional_count(), 2u);
+  EXPECT_EQ(args.positional(0), "first.csv");
+  EXPECT_EQ(args.positional(1), "second.csv");
+}
+
+TEST(Args, PositionalFallbackWhenAbsent) {
+  const Args args = parse({"--jobs", "5"});
+  EXPECT_EQ(args.positional_count(), 0u);
+  EXPECT_EQ(args.positional(0, "default.csv"), "default.csv");
+}
+
+TEST(Args, UnclaimedPositionalsAreUnused) {
+  const Args args = parse({"a.csv", "b.csv"});
+  args.positional(0);  // claims index 0 only
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "b.csv");
+}
+
+TEST(Args, ClaimedPositionalsAreNotUnused) {
+  const Args args = parse({"a.csv", "--jobs", "5"});
+  args.get_int("jobs");
+  args.positional(0);
+  EXPECT_TRUE(args.unused().empty());
 }
 
 TEST(Args, UnusedTracksUntouchedKeys) {

@@ -287,5 +287,85 @@ TEST(Cli, PipelineAliasMatchesCharacterize) {
   EXPECT_NE(r.out.find("Fig 3"), std::string::npos);
 }
 
+// End-to-end model store + serving: fit persists a snapshot, predict
+// classifies a fresh CSV against it, serve-bench measures throughput — the
+// same sequence scripts/check.sh runs in its serve-smoke pass.
+TEST(Cli, FitPredictServeBenchRoundTrip) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "cwgl_cli_fit_test";
+  std::filesystem::create_directories(dir);
+  const std::string model = (dir / "model.cwgl").string();
+
+  const auto fit = run({"fit", "--jobs", "300", "--seed", "7", "--sample",
+                        "40", "--clusters", "3", "--out", model.c_str()});
+  EXPECT_EQ(fit.code, 0) << fit.err;
+  EXPECT_NE(fit.out.find("self-check: 40/40"), std::string::npos) << fit.out;
+  ASSERT_TRUE(std::filesystem::exists(model));
+
+  const std::string csv = (dir / "probe.csv").string();
+  {
+    std::ofstream probe(csv);
+    probe << "M1,1,j_chain,1,Terminated,100,200,100.00,0.50\n"
+          << "R2_1,1,j_chain,1,Terminated,200,300,100.00,0.50\n"
+          << "J3_2,1,j_chain,1,Terminated,300,400,50.00,0.25\n";
+  }
+  const auto predict =
+      run({"predict", "--model", model.c_str(), csv.c_str(), "--json"});
+  EXPECT_EQ(predict.code, 0) << predict.err;
+  const util::JsonValue pdoc = util::parse_json(predict.out);
+  EXPECT_EQ(pdoc.at("schema").as_string(), "cwgl-predict-v1");
+  ASSERT_EQ(pdoc.at("jobs").as_array().size(), 1u);
+  const auto& job = pdoc.at("jobs").as_array()[0];
+  EXPECT_EQ(job.at("job").as_string(), "j_chain");
+  EXPECT_GE(job.at("similarity").as_number(), 0.0);
+  EXPECT_LE(job.at("similarity").as_number(), 1.0);
+  EXPECT_GT(job.at("predicted").at("critical_path").as_number(), 0.0);
+
+  const auto bench = run({"serve-bench", "--model", model.c_str(), "--jobs",
+                          "80", "--threads", "2", "--repeat", "1", "--json"});
+  EXPECT_EQ(bench.code, 0) << bench.err;
+  const util::JsonValue bdoc = util::parse_json(bench.out);
+  EXPECT_EQ(bdoc.at("schema").as_string(), "cwgl-serve-bench-v1");
+  EXPECT_GT(bdoc.at("jobs_per_second").as_number(), 0.0);
+  EXPECT_GE(bdoc.at("latency_us").at("p90").as_number(),
+            bdoc.at("latency_us").at("p50").as_number());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, PredictWithoutModelPathStillRunsPredictor) {
+  // Backwards compatibility: bare `predict` keeps the completion-time
+  // predictor behavior (no --model, no positional).
+  const auto r = run({"predict", "--jobs", "300", "--sample", "30"});
+  EXPECT_EQ(r.code, 0) << r.err;
+}
+
+TEST(Cli, PredictAgainstCorruptModelIsCleanError) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "cwgl_cli_badmodel_test";
+  std::filesystem::create_directories(dir);
+  const std::string model = (dir / "bad.cwgl").string();
+  {
+    std::ofstream bad(model, std::ios::binary);
+    bad << "CWGLMDL1 this is not a real snapshot";
+  }
+  const std::string csv = (dir / "probe.csv").string();
+  {
+    std::ofstream probe(csv);
+    probe << "M1,1,j_x,1,Terminated,100,200,100.00,0.50\n"
+          << "R2_1,1,j_x,1,Terminated,200,300,100.00,0.50\n";
+  }
+  const auto r = run({"predict", "--model", model.c_str(), csv.c_str()});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("model"), std::string::npos) << r.err;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, ServeBenchRequiresModel) {
+  const auto r = run({"serve-bench", "--jobs", "50"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--model"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cwgl::cli

@@ -24,6 +24,8 @@
 
 #include "cli/commands.hpp"
 #include "core/ingest.hpp"
+#include "model/format.hpp"
+#include "model/model.hpp"
 #include "trace/io.hpp"
 #include "util/diagnostics.hpp"
 #include "util/error.hpp"
@@ -310,6 +312,64 @@ TEST_F(FailpointFixture, WriteTraceFaultIsTyped) {
   EXPECT_THROW(trace::write_trace(empty, dir), util::FailpointError);
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
+}
+
+/// Minimal valid model snapshot for the model-store failpoint tests.
+model::FittedModel tiny_fitted_model() {
+  model::FittedModel m;
+  m.wl.iterations = 1;
+  m.dictionary = {"77", "82", "1:x"};
+  model::ClusterProfile profile;
+  profile.population = 1;
+  profile.population_fraction = 1.0;
+  profile.mean_size = 2.0;
+  profile.median_size = 2.0;
+  profile.mean_critical_path = 2.0;
+  profile.median_critical_path = 2.0;
+  profile.mean_width = 1.0;
+  profile.median_width = 1.0;
+  m.profiles = {profile};
+  model::Representative rep;
+  rep.job_name = "j_1";
+  rep.training_index = 0;
+  rep.features.items = {{0, 1.0}, {2, 2.0}};
+  rep.self_norm = rep.features.norm();
+  m.representatives = {{rep}};
+  return m;
+}
+
+TEST_F(FailpointFixture, MidWriteCrashLeavesOnlyARejectedPartialModel) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "cwgl_fp_model.cwgl";
+  const model::FittedModel m = tiny_fitted_model();
+
+  // Crash after roughly half the snapshot reached the disk.
+  util::failpoint::configure("model.write=error*1");
+  EXPECT_THROW(model::save_model(m, path), util::FailpointError);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  EXPECT_LT(std::filesystem::file_size(path),
+            model::serialize_model(m).size());
+
+  // The torn file must never load as a model — strict decoding guarantees a
+  // typed rejection, not garbage-in-garbage-out.
+  util::failpoint::clear();
+  EXPECT_THROW(model::load_model(path), model::ModelError);
+
+  // A clean re-save over the partial file fully recovers.
+  model::save_model(m, path);
+  EXPECT_EQ(model::load_model(path), m);
+  std::filesystem::remove(path);
+}
+
+TEST_F(FailpointFixture, ModelReadFaultIsTyped) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "cwgl_fp_model_read.cwgl";
+  model::save_model(tiny_fitted_model(), path);
+  util::failpoint::configure("model.read=error*1");
+  EXPECT_THROW(model::load_model(path), util::FailpointError);
+  util::failpoint::clear();
+  EXPECT_EQ(model::load_model(path), tiny_fitted_model());
+  std::filesystem::remove(path);
 }
 
 #endif  // CWGL_FAILPOINTS_ENABLED

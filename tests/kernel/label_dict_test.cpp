@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -107,6 +109,48 @@ TEST(ShardedSignatureDictionary, ConcurrentDisjointKeysStayDense) {
   }
   EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads * kPerThread));
   EXPECT_EQ(*ids.rbegin(), kThreads * kPerThread - 1);
+}
+
+// The serving contract at dictionary level: find() is a pure read. It
+// returns the interned id for known keys, nullopt for unknown ones, and —
+// unlike intern() — NEVER inserts. serve::Classifier is built on this.
+TEST(ShardedSignatureDictionary, FindReturnsInternedIdsWithoutInserting) {
+  ShardedSignatureDictionary dict;
+  const int a = dict.intern("alpha");
+  const int b = dict.intern("beta");
+  ASSERT_EQ(dict.size(), 2u);
+
+  EXPECT_EQ(dict.find("alpha"), std::optional<int>(a));
+  EXPECT_EQ(dict.find("beta"), std::optional<int>(b));
+  EXPECT_EQ(dict.find("gamma"), std::nullopt);
+  // The miss must not have interned "gamma" as a side effect.
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.find("gamma"), std::nullopt);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(ShardedSignatureDictionary, FindIsSafeAgainstConcurrentInterning) {
+  constexpr int kUniverse = 512;
+  ShardedSignatureDictionary dict;
+  for (int k = 0; k < kUniverse / 2; ++k) dict.intern(key_of(k));
+
+  std::atomic<bool> ok{true};
+  std::thread writer([&dict] {
+    for (int k = kUniverse / 2; k < kUniverse; ++k) dict.intern(key_of(k));
+  });
+  std::thread reader([&dict, &ok] {
+    for (int round = 0; round < 50; ++round) {
+      for (int k = 0; k < kUniverse / 2; ++k) {
+        const auto id = dict.find(key_of(k));
+        if (!id.has_value()) ok = false;  // pre-interned keys never vanish
+      }
+      if (dict.find("never-interned").has_value()) ok = false;
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(dict.size(), static_cast<std::size_t>(kUniverse));
 }
 
 }  // namespace

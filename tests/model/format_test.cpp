@@ -1,0 +1,156 @@
+#include "model/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "model/model.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::model {
+namespace {
+
+Representative make_rep(std::string name, std::uint64_t index,
+                        std::vector<std::pair<int, double>> items) {
+  Representative rep;
+  rep.job_name = std::move(name);
+  rep.training_index = index;
+  rep.features.items = std::move(items);
+  rep.self_norm = rep.features.norm();
+  return rep;
+}
+
+ClusterProfile make_profile(std::uint64_t population, double fraction) {
+  ClusterProfile p;
+  p.population = population;
+  p.population_fraction = fraction;
+  p.mean_size = 3.5;
+  p.median_size = 3.0;
+  p.mean_critical_path = 2.5;
+  p.median_critical_path = 2.0;
+  p.mean_width = 1.5;
+  p.median_width = 1.0;
+  p.chain_fraction = 0.75;
+  p.short_job_fraction = 0.25;
+  return p;
+}
+
+/// A small but fully populated model exercising every field of the format:
+/// two clusters, asymmetric representative counts, iteration weights.
+FittedModel tiny_model() {
+  FittedModel m;
+  m.wl.iterations = 1;
+  m.wl.directed = true;
+  m.wl.iteration_weights = {1.0, 0.5};
+  m.use_type_labels = true;
+  m.normalize = true;
+  m.conflated = false;
+  m.dictionary = {"77", "82", "1:a", "1:b"};
+  m.profiles = {make_profile(3, 0.75), make_profile(1, 0.25)};
+  m.representatives = {
+      {make_rep("j_1", 0, {{0, 1.0}, {2, 2.0}}),
+       make_rep("j_2", 1, {{0, 2.0}, {3, 1.0}}),
+       make_rep("j_3", 3, {{1, 1.0}})},
+      {make_rep("j_4", 2, {{1, 3.0}, {2, 0.5}, {3, 0.5}})},
+  };
+  m.profiles[0].medoid = 1;
+  m.profiles[1].medoid = 0;
+  return m;
+}
+
+TEST(ModelFormatTest, RoundTripPreservesEveryField) {
+  const FittedModel m = tiny_model();
+  const std::string bytes = serialize_model(m);
+  const FittedModel back = deserialize_model(bytes);
+  EXPECT_EQ(back, m);
+}
+
+TEST(ModelFormatTest, SerializationIsDeterministic) {
+  EXPECT_EQ(serialize_model(tiny_model()), serialize_model(tiny_model()));
+}
+
+TEST(ModelFormatTest, SaveLoadRoundTripsThroughDisk) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "cwgl_format_test_model.cwgl";
+  const FittedModel m = tiny_model();
+  save_model(m, path);
+  EXPECT_EQ(load_model(path), m);
+  std::filesystem::remove(path);
+}
+
+TEST(ModelFormatTest, RejectsEveryTruncation) {
+  const std::string bytes = serialize_model(tiny_model());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(deserialize_model(bytes.substr(0, len)), ModelError)
+        << "prefix of " << len << " bytes accepted";
+  }
+}
+
+TEST(ModelFormatTest, RejectsTrailingBytes) {
+  std::string bytes = serialize_model(tiny_model());
+  bytes.push_back('\0');
+  EXPECT_THROW(deserialize_model(bytes), ModelError);
+}
+
+TEST(ModelFormatTest, RejectsBadMagic) {
+  std::string bytes = serialize_model(tiny_model());
+  bytes[0] = 'X';
+  EXPECT_THROW(deserialize_model(bytes), ModelError);
+}
+
+TEST(ModelFormatTest, RejectsUnsupportedVersion) {
+  std::string bytes = serialize_model(tiny_model());
+  bytes[kModelMagic.size()] = 2;  // little-endian version field
+  EXPECT_THROW(deserialize_model(bytes), ModelError);
+}
+
+TEST(ModelFormatTest, RejectsPayloadCorruption) {
+  const std::string clean = serialize_model(tiny_model());
+  // Flip the last payload byte (inside REPS, far from any length field):
+  // only the section CRC can catch this.
+  std::string bytes = clean;
+  bytes[bytes.size() - 1] = static_cast<char>(bytes[bytes.size() - 1] ^ 0x01);
+  EXPECT_THROW(deserialize_model(bytes), ModelError);
+}
+
+// The satellite requirement: EVERY single-bit corruption anywhere in the
+// snapshot must surface as a typed error — CRC mismatch, bounds failure, or
+// semantic validation — never silent acceptance and never UB (the ASan/UBSan
+// configurations of scripts/check.sh run this very loop under sanitizers).
+TEST(ModelFormatTest, EverySingleBitFlipIsCaught) {
+  const std::string clean = serialize_model(tiny_model());
+  for (std::size_t byte = 0; byte < clean.size(); ++byte) {
+    // One deterministic bit per byte keeps the loop O(size) while still
+    // touching every byte of every section.
+    const char mask = static_cast<char>(1 << (byte % 8));
+    std::string corrupt = clean;
+    corrupt[byte] = static_cast<char>(corrupt[byte] ^ mask);
+    EXPECT_THROW(deserialize_model(corrupt), util::Error)
+        << "bit flip at byte " << byte << " went undetected";
+  }
+}
+
+TEST(ModelFormatTest, RejectsSemanticViolationsAfterDecode) {
+  // Byte-level intact, semantically broken: feature id outside the frozen
+  // dictionary. serialize_model() itself refuses to encode it.
+  FittedModel m = tiny_model();
+  m.representatives[0][0].features.items.back().first = 99;
+  EXPECT_THROW(serialize_model(m), ModelError);
+}
+
+TEST(ModelFormatTest, RejectsInconsistentSelfNorm) {
+  FittedModel m = tiny_model();
+  m.representatives[0][0].self_norm += 1.0;
+  EXPECT_THROW(serialize_model(m), ModelError);
+}
+
+TEST(ModelFormatTest, LoadOfMissingFileIsTypedError) {
+  EXPECT_THROW(load_model("/nonexistent/cwgl/model.cwgl"), ModelError);
+}
+
+}  // namespace
+}  // namespace cwgl::model

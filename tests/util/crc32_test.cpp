@@ -1,0 +1,40 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cwgl::util {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The CRC-32/ISO-HDLC check value every implementation must reproduce.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalUpdateMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t crc = kCrc32Init;
+    crc = crc32_update(crc, data.data(), split);
+    crc = crc32_update(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc32_finish(crc), crc32(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data = "cwgl model snapshot payload";
+  const std::uint32_t clean = crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(crc32(data), clean) << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cwgl::util
