@@ -65,7 +65,7 @@ run_config() {
 # the subset worth re-running under sanitizers with failpoints compiled in.
 # ModelFormat/GoldenModel ride along so the every-bit-flip corruption loop
 # and the model.write/model.read failpoints run under ASan/UBSan and TSan.
-FAULT_FILTER='Failpoint|FaultInjection|Diagnostics|StreamDagJobs|CsvScanner|BoundedQueue|ThreadPool|Spectral|ModelFormat|GoldenModel'
+FAULT_FILTER='Failpoint|FaultInjection|Diagnostics|StreamDagJobs|StreamShapeJobs|CsvScanner|BoundedQueue|ThreadPool|Spectral|ModelFormat|GoldenModel|ShapeStore'
 
 # Smoke the machine-readable bench pipeline end to end: tiny-input runs of
 # the two benches with committed baselines must produce cwgl-bench-v1 JSON
@@ -79,13 +79,13 @@ run_bench_smoke() {
     -DCWGL_BUILD_BENCHMARKS=ON \
     -DCWGL_BUILD_EXAMPLES=OFF
   echo "=== [${name}] build ==="
-  cmake --build "${build_dir}" -j "${JOBS}" --target bench_ingest bench_scalability
+  cmake --build "${build_dir}" -j "${JOBS}" --target bench_ingest bench_intern bench_scalability
   echo "=== [${name}] run + diff ==="
   local out="${build_dir}/bench-out"
   mkdir -p "${out}"
   local ok=1
   local b
-  for b in ingest scalability; do
+  for b in ingest intern scalability; do
     if ! CWGL_BENCH_JOBS=500 CWGL_BENCH_REPS=1 CWGL_BENCH_OUT="${out}" \
         "${build_dir}/bench/bench_${b}" "--benchmark_filter=^\$"; then
       echo "bench_${b} failed" >&2

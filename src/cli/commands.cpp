@@ -49,11 +49,15 @@ commands:
   census        whole-trace statistics (DAG share, resources, shapes)
                   (--trace DIR | [--jobs N]) [--seed S]
   characterize  the full paper pipeline, printing every figure's data
-                (alias: pipeline). --json embeds "timings" and, with
-                --metrics, a "metrics" snapshot
+                (alias: pipeline). --intern deduplicates the sample by DAG
+                shape (core::ShapeStore) and runs the expensive stages once
+                per distinct shape, count-weighted — same results, and the
+                --json report gains an "intern" member with the table stats.
+                --json embeds "timings" and, with --metrics, a "metrics"
+                snapshot
                   (--trace DIR | [--jobs N]) [--sample K] [--natural]
-                  [--clusters K] [--wl-iterations H] [--seed S] [--json]
-                  [--metrics[=FILE]] [--trace-out FILE]
+                  [--clusters K] [--wl-iterations H] [--seed S] [--intern]
+                  [--json] [--metrics[=FILE]] [--trace-out FILE]
   cluster       similarity map + spectral groups + medoid .dot files
                   (--trace DIR | [--jobs N]) [--sample K] [--clusters K]
                   [--out DIR] [--seed S]
@@ -65,19 +69,23 @@ commands:
                 reported; --strict fails on the first corrupt record instead
                 With --json the whole report is one JSON document (schema
                 cwgl-ingest-v1: elapsed_ms, throughput.rows_per_s, ...).
+                --intern interns each built DAG into a shape table instead of
+                materializing it, reporting distinct shapes and hit rate.
                 --metrics[=FILE] snapshots pipeline metrics; --trace-out FILE
                 writes Chrome trace-event JSON (Perfetto-loadable)
                   (--trace DIR | [--jobs N]) [--threads T] [--serial]
-                  [--strict] [--json] [--seed S] [--metrics[=FILE]]
-                  [--trace-out FILE]
+                  [--strict] [--intern] [--json] [--seed S]
+                  [--metrics[=FILE]] [--trace-out FILE]
   compare       workload drift between two traces (JS divergence)
                   (--trace DIR --trace-b DIR | [--jobs N] [--seed S] [--seed-b S])
   fit           run the pipeline and persist the fitted WL/cluster model as a
-                cwgl-model-v1 snapshot, then self-check that the snapshot
-                reproduces the pipeline's own cluster assignments
+                cwgl-model-v2 snapshot, then self-check that the snapshot
+                reproduces the pipeline's own cluster assignments. With
+                --intern the snapshot stores one representative per distinct
+                DAG shape (carrying its multiplicity) instead of one per job
                   (--trace DIR | [--jobs N]) [--out FILE] [--sample K]
                   [--clusters K] [--wl-iterations H] [--seed S] [--natural]
-                  [--conflated]
+                  [--conflated] [--intern]
   predict       with --model: classify the DAG jobs of a batch_task.csv
                 against a fitted snapshot (cluster, similarity, structure
                 forecast; --json emits schema cwgl-predict-v1).
@@ -129,6 +137,7 @@ core::PipelineConfig pipeline_config(const Args& args) {
   if (const auto h = args.get_int("wl-iterations")) {
     cfg.similarity.wl.iterations = static_cast<int>(*h);
   }
+  if (args.has("intern")) cfg.intern_shapes = true;
   return cfg;
 }
 
@@ -280,7 +289,16 @@ int cmd_characterize(const Args& args, std::ostream& out, std::ostream& err) {
     return 0;
   }
   out << "pipeline completed in " << util::format_double(pipeline_ms, 1)
-      << " ms\n\n";
+      << " ms\n";
+  if (result.interned.has_value()) {
+    const auto& s = result.interned->stats;
+    out << "shape interning: " << s.distinct_shapes << " distinct shapes for "
+        << s.total_jobs << " jobs ("
+        << util::format_double(100.0 * s.distinct_ratio(), 1) << "%), "
+        << s.isomorphism_probes << " isomorphism probes, "
+        << s.hash_collisions << " hash collisions\n";
+  }
+  out << "\n";
   core::print_trace_census(out, result.census);
   out << "\n";
   core::print_conflation_report(out, result.conflation);
@@ -355,6 +373,7 @@ int cmd_ingest(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string dir = args.get("trace");
   const bool serial = args.has("serial");
   const bool strict = args.has("strict");
+  const bool intern = args.has("intern");
   const bool as_json = args.has("json");
   const auto threads =
       static_cast<unsigned>(args.get_int("threads").value_or(0));
@@ -395,9 +414,19 @@ int cmd_ingest(const Args& args, std::ostream& out, std::ostream& err) {
   options.strict = strict;
   options.diagnostics = &diagnostics;
   core::IngestStats stats;
+  core::InternedIngest shapes;
+  std::vector<core::JobDag> dag_jobs;
+  std::size_t dag_count = 0;
   util::WallTimer timer;
-  const auto dags = core::stream_dag_jobs(*in, options,
-                                          serial ? nullptr : &*pool, &stats);
+  if (intern) {
+    shapes = core::stream_shape_jobs(*in, options, serial ? nullptr : &*pool);
+    stats = shapes.stats;
+    dag_count = shapes.shape_of.size();
+  } else {
+    dag_jobs = core::stream_dag_jobs(*in, options, serial ? nullptr : &*pool,
+                                     &stats);
+    dag_count = dag_jobs.size();
+  }
   const double ms = timer.millis();
   const double seconds = std::max(ms, 0.001) / 1000.0;
   const double mb = static_cast<double>(input_bytes) / (1024.0 * 1024.0);
@@ -440,7 +469,19 @@ int cmd_ingest(const Args& args, std::ostream& out, std::ostream& err) {
     j.field("mb_per_s", mb / seconds);
     j.end_object();
     // Keep the DAGs alive through the timing so build cost is included.
-    j.field("dag_count", dags.size());
+    j.field("dag_count", dag_count);
+    if (intern) {
+      j.key("intern");
+      j.begin_object();
+      j.field("total_jobs", shapes.intern.total_jobs);
+      j.field("distinct_shapes", shapes.intern.distinct_shapes);
+      j.field("distinct_ratio", shapes.intern.distinct_ratio());
+      j.field("hits", shapes.intern.hits);
+      j.field("misses", shapes.intern.misses);
+      j.field("isomorphism_probes", shapes.intern.isomorphism_probes);
+      j.field("hash_collisions", shapes.intern.hash_collisions);
+      j.end_object();
+    }
     j.key("diagnostics");
     {
       std::ostringstream diag;
@@ -470,7 +511,15 @@ int cmd_ingest(const Args& args, std::ostream& out, std::ostream& err) {
   out << "throughput:  " << util::format_double(mb / seconds, 1) << " MB/s, "
       << util::format_double(rows_per_s / 1e6, 2) << " M rows/s\n";
   // Keep the DAGs alive through the timing so build cost is included.
-  out << "(checksum: " << dags.size() << " dags)\n";
+  out << "(checksum: " << dag_count << " dags)\n";
+  if (intern) {
+    out << "shapes:      " << shapes.intern.distinct_shapes << " distinct of "
+        << shapes.intern.total_jobs << " jobs ("
+        << util::format_double(100.0 * shapes.intern.distinct_ratio(), 1)
+        << "%), " << shapes.intern.hits << " hits, "
+        << shapes.intern.isomorphism_probes << " isomorphism probes, "
+        << shapes.intern.hash_collisions << " hash collisions\n";
+  }
   diagnostics.write_text(out);
   print_metrics_text(obs_opts, out);
   return 0;
@@ -525,9 +574,10 @@ int cmd_fit(const Args& args, std::ostream& out, std::ostream& err) {
   const auto bytes = std::filesystem::file_size(out_path, ec);
 
   out << "fitted " << snapshot.num_clusters() << " clusters over "
-      << snapshot.training_jobs() << " jobs (" << snapshot.dictionary.size()
-      << " WL signatures) in " << util::format_double(timer.millis(), 1)
-      << " ms\n";
+      << snapshot.training_weight() << " jobs ("
+      << snapshot.training_jobs() << " representatives, "
+      << snapshot.dictionary.size() << " WL signatures) in "
+      << util::format_double(timer.millis(), 1) << " ms\n";
   out << "wrote " << out_path << " (" << bytes << " bytes)\n";
 
   // Round-trip self-check: reload the snapshot from disk and classify every

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
@@ -113,21 +115,124 @@ KMeansResult lloyd(const linalg::Matrix& data, int k, const KMeansOptions& opt,
   return r;
 }
 
-}  // namespace
+linalg::Matrix kmeanspp_init_weighted(const linalg::Matrix& data,
+                                      std::span<const double> weights, int k,
+                                      util::Xoshiro256StarStar& rng) {
+  const std::size_t n = data.rows();
+  linalg::Matrix centers(k, data.cols());
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  std::vector<double> scores(n, 0.0);
 
-KMeansResult kmeans(const linalg::Matrix& data, int k, const KMeansOptions& opt) {
+  // The expanded-sample uniform first pick lands on row i with probability
+  // proportional to its multiplicity.
+  const std::size_t first = rng.discrete(weights);
+  for (std::size_t c = 0; c < data.cols(); ++c) centers(0, c) = data(first, c);
+  for (int centroid = 1; centroid < k; ++centroid) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_dist[i] =
+          std::min(min_dist[i], sq_dist(data.row(i), centers.row(centroid - 1)));
+      scores[i] = weights[i] * min_dist[i];
+      total += scores[i];
+    }
+    // Same degenerate-embedding fallback as the unweighted init, with the
+    // uniform re-seed replaced by its weighted counterpart.
+    const std::size_t pick =
+        total > 0.0 ? rng.discrete(scores) : rng.discrete(weights);
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      centers(centroid, c) = data(pick, c);
+    }
+  }
+  return centers;
+}
+
+KMeansResult lloyd_weighted(const linalg::Matrix& data,
+                            std::span<const double> weights, int k,
+                            const KMeansOptions& opt,
+                            util::Xoshiro256StarStar& rng) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  KMeansResult r;
+  r.centers = kmeanspp_init_weighted(data, weights, k, rng);
+  r.labels.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    r.iterations = it + 1;
+    // Assignment step: nearest center is weight-independent; the inertia
+    // counts each row once per represented point.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double dist = sq_dist(data.row(i), r.centers.row(c));
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      r.labels[i] = best_c;
+      inertia += weights[i] * best;
+    }
+    r.inertia = inertia;
+
+    // Update step: weighted centroid per cluster.
+    linalg::Matrix sums(k, d);
+    std::vector<double> mass(k, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int c = r.labels[i];
+      mass[c] += weights[i];
+      for (std::size_t j = 0; j < d; ++j) {
+        sums(c, j) += weights[i] * data(i, j);
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (mass[c] == 0.0) {
+        // Re-seed an empty cluster from the row farthest from its center
+        // (the same row the expanded run would pick: multiplicity does not
+        // change which point is farthest).
+        std::size_t worst = 0;
+        double worst_dist = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dist = sq_dist(data.row(i), r.centers.row(r.labels[i]));
+          if (dist > worst_dist) {
+            worst_dist = dist;
+            worst = i;
+          }
+        }
+        for (std::size_t j = 0; j < d; ++j) r.centers(c, j) = data(worst, j);
+        continue;
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        r.centers(c, j) = sums(c, j) / mass[c];
+      }
+    }
+    if (prev_inertia - inertia < opt.tol) break;
+    prev_inertia = inertia;
+  }
+  return r;
+}
+
+void validate_points(const linalg::Matrix& data, int k, const char* what) {
   if (k < 1 || static_cast<std::size_t>(k) > data.rows()) {
-    throw util::InvalidArgument("kmeans: need 1 <= k <= n");
+    throw util::InvalidArgument(std::string(what) + ": need 1 <= k <= n");
   }
   for (std::size_t i = 0; i < data.rows(); ++i) {
     for (std::size_t j = 0; j < data.cols(); ++j) {
       if (!std::isfinite(data(i, j))) {
         throw util::InvalidArgument(
-            "kmeans: non-finite value at (" + std::to_string(i) + ", " +
-            std::to_string(j) + ")");
+            std::string(what) + ": non-finite value at (" + std::to_string(i) +
+            ", " + std::to_string(j) + ")");
       }
     }
   }
+}
+
+}  // namespace
+
+KMeansResult kmeans(const linalg::Matrix& data, int k, const KMeansOptions& opt) {
+  validate_points(data, k, "kmeans");
   auto& registry = obs::MetricsRegistry::global();
   obs::Counter& iterations = registry.counter("cluster.kmeans.iterations");
   obs::Counter& restarts = registry.counter("cluster.kmeans.restarts");
@@ -141,6 +246,40 @@ KMeansResult kmeans(const linalg::Matrix& data, int k, const KMeansOptions& opt)
     util::Xoshiro256StarStar rng(
         util::hash_combine(opt.seed, static_cast<std::uint64_t>(restart)));
     KMeansResult r = lloyd(data, k, opt, rng);
+    restarts.add();
+    iterations.add(static_cast<std::uint64_t>(r.iterations));
+    total_iterations += static_cast<std::uint64_t>(r.iterations);
+    if (r.inertia < best.inertia) best = std::move(r);
+  }
+  span.arg("iterations", total_iterations);
+  return best;
+}
+
+KMeansResult kmeans_weighted(const linalg::Matrix& data,
+                             std::span<const double> weights, int k,
+                             const KMeansOptions& opt) {
+  validate_points(data, k, "kmeans_weighted");
+  if (weights.size() != data.rows()) {
+    throw util::InvalidArgument("kmeans_weighted: one weight per row required");
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (!std::isfinite(weights[i]) || weights[i] <= 0.0) {
+      throw util::InvalidArgument("kmeans_weighted: weights must be positive");
+    }
+  }
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& iterations = registry.counter("cluster.kmeans.iterations");
+  obs::Counter& restarts = registry.counter("cluster.kmeans.restarts");
+  obs::Span span("cluster.kmeans_weighted");
+  span.arg("points", data.rows());
+  span.arg("k", static_cast<std::uint64_t>(k));
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  std::uint64_t total_iterations = 0;
+  for (int restart = 0; restart < std::max(1, opt.restarts); ++restart) {
+    util::Xoshiro256StarStar rng(
+        util::hash_combine(opt.seed, static_cast<std::uint64_t>(restart)));
+    KMeansResult r = lloyd_weighted(data, weights, k, opt, rng);
     restarts.add();
     iterations.add(static_cast<std::uint64_t>(r.iterations));
     total_iterations += static_cast<std::uint64_t>(r.iterations);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -30,5 +31,20 @@ struct KMeansOptions {
 /// k > n.
 KMeansResult kmeans(const linalg::Matrix& data, int k,
                     const KMeansOptions& options = {});
+
+/// Weighted k-means: row i of `data` stands for `weights[i]` identical
+/// points. Mathematically equivalent to `kmeans` on the expanded data set —
+/// k-means++ picks rows with probability proportional to weight x D^2,
+/// centroids are weighted means, inertia is the weighted sum of squared
+/// distances — but runs on n distinct rows instead of sum(weights) points.
+///
+/// The RNG draw sequence differs from the expanded run (the sample spaces
+/// have different sizes), so per-seed results are not bitwise-comparable to
+/// `kmeans`; on well-separated data both converge to the same partition.
+/// Weights must be finite and > 0. Throws InvalidArgument on bad weights or
+/// if k < 1 or k > n.
+KMeansResult kmeans_weighted(const linalg::Matrix& data,
+                             std::span<const double> weights, int k,
+                             const KMeansOptions& options = {});
 
 }  // namespace cwgl::cluster

@@ -42,6 +42,58 @@ double silhouette_score(const linalg::Matrix& distances,
   return total / static_cast<double>(n);
 }
 
+double silhouette_score_weighted(const linalg::Matrix& distances,
+                                 std::span<const double> weights,
+                                 std::span<const int> labels) {
+  const std::size_t n = labels.size();
+  if (distances.rows() != n || distances.cols() != n) {
+    throw util::InvalidArgument(
+        "silhouette_score_weighted: matrix/labels size mismatch");
+  }
+  if (weights.size() != n) {
+    throw util::InvalidArgument(
+        "silhouette_score_weighted: one weight per item required");
+  }
+  for (double w : weights) {
+    if (!std::isfinite(w) || w <= 0.0) {
+      throw util::InvalidArgument(
+          "silhouette_score_weighted: weights must be positive");
+    }
+  }
+  const auto sizes = cluster_sizes(labels);
+  std::vector<double> mass(sizes.size(), 0.0);
+  double total_mass = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mass[labels[i]] += weights[i];
+    total_mass += weights[i];
+  }
+  std::size_t populated = 0;
+  for (double m : mass) populated += (m > 0.0);
+  if (populated < 2) return 0.0;
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mass[labels[i]] <= 1.0) continue;  // singleton scores 0
+    // Distance mass from one copy of item i to every cluster; own-cluster
+    // excludes the copy itself (its distance to co-copies is
+    // distances(i, i), subtracted once — 0 for a true metric).
+    std::vector<double> sum(sizes.size(), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      sum[labels[j]] += weights[j] * distances(i, j);
+    }
+    const double a = (sum[labels[i]] - distances(i, i)) /
+                     (mass[labels[i]] - 1.0);
+    double b = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < sizes.size(); ++c) {
+      if (static_cast<int>(c) == labels[i] || mass[c] <= 0.0) continue;
+      b = std::min(b, sum[c] / mass[c]);
+    }
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? weights[i] * (b - a) / denom : 0.0;
+  }
+  return total / total_mass;
+}
+
 namespace {
 
 double choose2(double x) { return x * (x - 1.0) / 2.0; }

@@ -12,6 +12,17 @@ namespace cwgl::cluster {
 /// by convention. Returns 0 when fewer than 2 clusters are populated.
 double silhouette_score(const linalg::Matrix& distances, std::span<const int> labels);
 
+/// Silhouette of the expanded sample in which item i occurs `weights[i]`
+/// times, computed from the compact distance matrix. Copies of the same
+/// item have identical distances to everything and distance 0 to each
+/// other, so every copy shares one silhouette value; this evaluates that
+/// value per distinct item and averages with multiplicity. Weighted
+/// cluster populations <= 1 score 0 (the singleton convention). Weights
+/// must be positive and finite.
+double silhouette_score_weighted(const linalg::Matrix& distances,
+                                 std::span<const double> weights,
+                                 std::span<const int> labels);
+
 /// Adjusted Rand Index between two assignments of the same items; 1 for
 /// identical partitions (up to relabeling), ~0 for independent ones,
 /// negative for adversarial ones.

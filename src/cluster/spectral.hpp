@@ -64,4 +64,27 @@ SpectralResult spectral_cluster(const linalg::Matrix& similarity, int k,
 /// eigenvalues[k] - eigenvalues[k-1].
 int eigengap_k(std::span<const double> eigenvalues, int max_k);
 
+/// Weighted spectral clustering: row/column t of `similarity` stands for
+/// `weights[t]` identical items (e.g. one distinct job shape with its
+/// multiplicity). Mathematically equivalent to `spectral_cluster` on the
+/// expanded similarity matrix: the expansion's normalized affinity
+/// D^{-1/2} W D^{-1/2} has, for identical items, eigenvectors that are
+/// constant within each identity class, and restricting to one row per
+/// class yields M(t,u) = sqrt(w_t w_u) S(t,u) / sqrt(d_t d_u) with weighted
+/// degrees d_t = sum_u w_u S(t,u) — the matrix this function diagonalizes.
+/// Its spectrum is the expanded spectrum minus (N - n) copies of the
+/// eigenvalue 1; row-normalizing the eigenvectors cancels the per-class
+/// 1/sqrt(w_t) scaling, so the embedding rows equal the expanded run's
+/// embedding rows exactly and k-means sees the same point set, weighted.
+///
+/// `eigenvalues` holds the n-item weighted spectrum (append N - n ones to
+/// reproduce the expanded spectrum for the eigengap heuristic). Always
+/// strict: non-finite or asymmetric input throws (options.lenient is
+/// ignored). Weights must be finite and > 0; the final stage is
+/// `kmeans_weighted`, so label caveats from there apply.
+SpectralResult spectral_cluster_weighted(const linalg::Matrix& similarity,
+                                         std::span<const double> weights,
+                                         int k,
+                                         const SpectralOptions& options = {});
+
 }  // namespace cwgl::cluster

@@ -27,6 +27,26 @@ StructuralReport StructuralReport::compute(std::span<const JobDag> jobs) {
   return report;
 }
 
+StructuralReport StructuralReport::compute(
+    std::span<const JobDag> exemplars, std::span<const std::uint64_t> counts) {
+  StructuralReport report;
+  std::map<int, SizeGroupFeatures> groups;
+  for (std::size_t t = 0; t < exemplars.size(); ++t) {
+    const JobDag& job = exemplars[t];
+    const int size = job.size();
+    report.size_histogram.add(size, static_cast<std::size_t>(counts[t]));
+    SizeGroupFeatures& g = groups[size];
+    g.size = size;
+    g.count += static_cast<std::size_t>(counts[t]);
+    g.max_critical_path =
+        std::max(g.max_critical_path, graph::critical_path_length(job.dag));
+    g.max_width = std::max(g.max_width, graph::max_width(job.dag));
+  }
+  for (const auto& [size, features] : groups) report.groups.push_back(features);
+  report.distinct_sizes = report.groups.size();
+  return report;
+}
+
 ConflationReport ConflationReport::compute(std::span<const JobDag> jobs) {
   ConflationReport report;
   double reduction_sum = 0.0;
@@ -42,51 +62,92 @@ ConflationReport ConflationReport::compute(std::span<const JobDag> jobs) {
   return report;
 }
 
+ConflationReport ConflationReport::compute(
+    std::span<const JobDag> exemplars, std::span<const std::uint64_t> counts) {
+  ConflationReport report;
+  double reduction_sum = 0.0;
+  std::uint64_t total = 0;
+  for (std::size_t t = 0; t < exemplars.size(); ++t) {
+    const JobDag& job = exemplars[t];
+    const JobDag merged = conflate_job(job);
+    report.before.add(job.size(), static_cast<std::size_t>(counts[t]));
+    report.after.add(merged.size(), static_cast<std::size_t>(counts[t]));
+    reduction_sum += static_cast<double>(counts[t]) *
+                     (static_cast<double>(job.size()) /
+                      static_cast<double>(std::max(1, merged.size())));
+    total += counts[t];
+  }
+  report.mean_reduction =
+      total == 0 ? 1.0 : reduction_sum / static_cast<double>(total);
+  return report;
+}
+
+namespace {
+
+/// Builds the Fig. 6 row for one job and bumps the matching model counter
+/// by `weight` (1 on the per-job path, the shape multiplicity when
+/// interned).
+void add_task_type_row(TaskTypeReport& report, const JobDag& job,
+                       std::size_t weight) {
+  TaskTypeRow row;
+  row.job_name = job.job_name;
+  row.size = job.size();
+  for (const TaskMeta& t : job.tasks) {
+    switch (t.type) {
+      case 'M': ++row.m_tasks; break;
+      case 'J': ++row.j_tasks; break;
+      case 'R': ++row.r_tasks; break;
+      default: ++row.other_tasks; break;
+    }
+  }
+  row.critical_path = graph::critical_path_length(job.dag);
+  // Model inference per Section V-C. A Merge stage is an 'M'-typed task
+  // consuming a Reduce's output (the trace types Map and Merge alike, so
+  // position in the dataflow is what identifies it). A Join stage marks
+  // Map-Join-Reduce; depth <= 2 is the fundamental Map-Reduce; deeper
+  // J-free merge-free jobs are multi-stage (pipelined) Map-Reduce.
+  bool has_merge = false;
+  for (int v = 0; v < job.dag.num_vertices() && !has_merge; ++v) {
+    if (job.tasks[v].type != 'M') continue;
+    for (int p : job.dag.predecessors(v)) {
+      if (job.tasks[p].type == 'R') {
+        has_merge = true;
+        break;
+      }
+    }
+  }
+  if (has_merge && row.j_tasks == 0) {
+    row.model = "map-reduce-merge";
+    report.map_reduce_merge_jobs += weight;
+  } else if (row.j_tasks > 0) {
+    row.model = "map-join-reduce";
+    report.map_join_reduce_jobs += weight;
+  } else if (row.critical_path <= 2) {
+    row.model = "map-reduce";
+    report.map_reduce_jobs += weight;
+  } else {
+    row.model = "multi-stage map-reduce";
+    report.multi_stage_jobs += weight;
+  }
+  report.rows.push_back(std::move(row));
+}
+
+}  // namespace
+
 TaskTypeReport TaskTypeReport::compute(std::span<const JobDag> jobs) {
   TaskTypeReport report;
   report.rows.reserve(jobs.size());
-  for (const JobDag& job : jobs) {
-    TaskTypeRow row;
-    row.job_name = job.job_name;
-    row.size = job.size();
-    for (const TaskMeta& t : job.tasks) {
-      switch (t.type) {
-        case 'M': ++row.m_tasks; break;
-        case 'J': ++row.j_tasks; break;
-        case 'R': ++row.r_tasks; break;
-        default: ++row.other_tasks; break;
-      }
-    }
-    row.critical_path = graph::critical_path_length(job.dag);
-    // Model inference per Section V-C. A Merge stage is an 'M'-typed task
-    // consuming a Reduce's output (the trace types Map and Merge alike, so
-    // position in the dataflow is what identifies it). A Join stage marks
-    // Map-Join-Reduce; depth <= 2 is the fundamental Map-Reduce; deeper
-    // J-free merge-free jobs are multi-stage (pipelined) Map-Reduce.
-    bool has_merge = false;
-    for (int v = 0; v < job.dag.num_vertices() && !has_merge; ++v) {
-      if (job.tasks[v].type != 'M') continue;
-      for (int p : job.dag.predecessors(v)) {
-        if (job.tasks[p].type == 'R') {
-          has_merge = true;
-          break;
-        }
-      }
-    }
-    if (has_merge && row.j_tasks == 0) {
-      row.model = "map-reduce-merge";
-      ++report.map_reduce_merge_jobs;
-    } else if (row.j_tasks > 0) {
-      row.model = "map-join-reduce";
-      ++report.map_join_reduce_jobs;
-    } else if (row.critical_path <= 2) {
-      row.model = "map-reduce";
-      ++report.map_reduce_jobs;
-    } else {
-      row.model = "multi-stage map-reduce";
-      ++report.multi_stage_jobs;
-    }
-    report.rows.push_back(std::move(row));
+  for (const JobDag& job : jobs) add_task_type_row(report, job, 1);
+  return report;
+}
+
+TaskTypeReport TaskTypeReport::compute(std::span<const JobDag> exemplars,
+                                       std::span<const std::uint64_t> counts) {
+  TaskTypeReport report;
+  report.rows.reserve(exemplars.size());
+  for (std::size_t t = 0; t < exemplars.size(); ++t) {
+    add_task_type_row(report, exemplars[t],
+                      static_cast<std::size_t>(counts[t]));
   }
   return report;
 }
@@ -97,6 +158,26 @@ PatternCensus PatternCensus::compute(std::span<const JobDag> jobs) {
   std::map<graph::ShapePattern, std::size_t> counts;
   for (const JobDag& job : jobs) ++counts[graph::classify_shape(job.dag)];
   for (const auto& [pattern, count] : counts) {
+    census.rows.push_back(
+        {pattern, count,
+         census.total ? static_cast<double>(count) / static_cast<double>(census.total)
+                      : 0.0});
+  }
+  std::sort(census.rows.begin(), census.rows.end(),
+            [](const Row& a, const Row& b) { return a.count > b.count; });
+  return census;
+}
+
+PatternCensus PatternCensus::compute(std::span<const JobDag> exemplars,
+                                     std::span<const std::uint64_t> counts) {
+  PatternCensus census;
+  std::map<graph::ShapePattern, std::size_t> tally;
+  for (std::size_t t = 0; t < exemplars.size(); ++t) {
+    tally[graph::classify_shape(exemplars[t].dag)] +=
+        static_cast<std::size_t>(counts[t]);
+    census.total += static_cast<std::size_t>(counts[t]);
+  }
+  for (const auto& [pattern, count] : tally) {
     census.rows.push_back(
         {pattern, count,
          census.total ? static_cast<double>(count) / static_cast<double>(census.total)

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -28,6 +29,12 @@ struct StructuralReport {
   std::size_t distinct_sizes = 0;         ///< "17 different size types"
 
   static StructuralReport compute(std::span<const JobDag> jobs);
+
+  /// Shape-interned overload: `exemplars[t]` stands for `counts[t]`
+  /// identical jobs. Identical output to `compute` on the expansion (size
+  /// and structural extremes are shape invariants).
+  static StructuralReport compute(std::span<const JobDag> exemplars,
+                                  std::span<const std::uint64_t> counts);
 };
 
 /// Figure 3: size distributions before vs after node conflation.
@@ -38,6 +45,13 @@ struct ConflationReport {
   double mean_reduction = 1.0;
 
   static ConflationReport compute(std::span<const JobDag> jobs);
+
+  /// Shape-interned overload: conflation is a deterministic function of
+  /// topology + labels, so one conflation per distinct shape reproduces the
+  /// per-job histograms exactly; `mean_reduction` matches the expansion up
+  /// to floating-point summation order.
+  static ConflationReport compute(std::span<const JobDag> exemplars,
+                                  std::span<const std::uint64_t> counts);
 };
 
 /// One row of Figure 6: the task-type composition of a job and the inferred
@@ -64,6 +78,13 @@ struct TaskTypeReport {
   std::size_t multi_stage_jobs = 0;
 
   static TaskTypeReport compute(std::span<const JobDag> jobs);
+
+  /// Shape-interned overload: programming-model counters aggregate with
+  /// multiplicity and match the expansion exactly. `rows` necessarily
+  /// diverges from the per-job report — one row per DISTINCT shape (named
+  /// after the exemplar), since expanding would defeat the interning.
+  static TaskTypeReport compute(std::span<const JobDag> exemplars,
+                                std::span<const std::uint64_t> counts);
 };
 
 /// Shape-pattern census (Section V-B): which fraction of jobs is a chain /
@@ -78,6 +99,11 @@ struct PatternCensus {
   std::size_t total = 0;
 
   static PatternCensus compute(std::span<const JobDag> jobs);
+
+  /// Shape-interned overload: identical output to `compute` on the
+  /// expansion (the pattern is a shape invariant).
+  static PatternCensus compute(std::span<const JobDag> exemplars,
+                               std::span<const std::uint64_t> counts);
 
   /// Fraction for one pattern (0 when absent).
   double fraction(graph::ShapePattern p) const noexcept;

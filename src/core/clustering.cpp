@@ -91,4 +91,137 @@ ClusteringAnalysis ClusteringAnalysis::compute(const linalg::Matrix& similarity,
   return out;
 }
 
+ClusteringAnalysis ClusteringAnalysis::compute_interned(
+    const linalg::Matrix& shape_similarity, std::span<const JobDag> exemplars,
+    std::span<const std::uint64_t> counts,
+    std::span<const std::uint32_t> shape_of, const ClusteringOptions& options) {
+  const std::size_t m = exemplars.size();
+  if (shape_similarity.rows() != m || counts.size() != m) {
+    throw util::InvalidArgument(
+        "ClusteringAnalysis: shape similarity/exemplars/counts size mismatch");
+  }
+  const std::size_t n = shape_of.size();
+  std::vector<std::size_t> first_job(m, n);
+  std::uint64_t total_jobs = 0;
+  for (std::size_t t = 0; t < m; ++t) {
+    if (counts[t] == 0) {
+      throw util::InvalidArgument("ClusteringAnalysis: zero shape count");
+    }
+    total_jobs += counts[t];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (shape_of[i] >= m) {
+      throw util::InvalidArgument("ClusteringAnalysis: shape id out of range");
+    }
+    if (first_job[shape_of[i]] == n) first_job[shape_of[i]] = i;
+  }
+
+  std::vector<double> weights;
+  weights.reserve(m);
+  for (std::uint64_t c : counts) weights.push_back(static_cast<double>(c));
+
+  cluster::SpectralOptions spectral_options;
+  spectral_options.kmeans.seed = options.seed;
+  const auto spectral = cluster::spectral_cluster_weighted(
+      shape_similarity, weights, options.clusters, spectral_options);
+
+  // Relabel by descending *weighted* population — the same group masses
+  // the direct path sees on the expanded sample.
+  std::size_t raw_clusters = 0;
+  for (int l : spectral.labels) {
+    raw_clusters = std::max(raw_clusters, static_cast<std::size_t>(l) + 1);
+  }
+  std::vector<std::uint64_t> raw_mass(raw_clusters, 0);
+  for (std::size_t t = 0; t < m; ++t) raw_mass[spectral.labels[t]] += counts[t];
+  std::vector<int> order(raw_clusters);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return raw_mass[a] != raw_mass[b] ? raw_mass[a] > raw_mass[b] : a < b;
+  });
+  std::vector<int> relabel(raw_clusters);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    relabel[order[rank]] = static_cast<int>(rank);
+  }
+  std::vector<int> shape_label(m);
+  for (std::size_t t = 0; t < m; ++t) {
+    shape_label[t] = relabel[spectral.labels[t]];
+  }
+
+  ClusteringAnalysis out;
+  // The expanded sample's spectrum is the weighted spectrum plus one
+  // eigenvalue-1 direction per duplicated job (see
+  // cluster::spectral_cluster_weighted); reconstruct it so the eigengap
+  // heuristic sees what the direct path would.
+  out.eigenvalues = spectral.eigenvalues;
+  if (total_jobs > m) {
+    out.eigenvalues.insert(out.eigenvalues.end(),
+                           static_cast<std::size_t>(total_jobs - m), 1.0);
+    std::sort(out.eigenvalues.begin(), out.eigenvalues.end());
+  }
+  out.suggested_k = cluster::eigengap_k(out.eigenvalues, 10);
+  out.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.labels[i] = shape_label[shape_of[i]];
+
+  const linalg::Matrix distances = kernel::kernel_to_distance(shape_similarity);
+  out.silhouette =
+      cluster::silhouette_score_weighted(distances, weights, shape_label);
+
+  out.groups.resize(options.clusters);
+  for (int g = 0; g < options.clusters; ++g) {
+    ClusterGroupStats& stats = out.groups[g];
+    stats.group = g;
+    std::vector<double> sizes, depths, widths;
+    std::vector<std::uint64_t> member_counts;
+    std::uint64_t chains = 0, shorts = 0;
+    double best_centrality = -1.0;
+    std::size_t medoid_shape = m;
+    for (std::size_t t = 0; t < m; ++t) {
+      if (shape_label[t] != g) continue;
+      stats.population += counts[t];
+      sizes.push_back(exemplars[t].size());
+      depths.push_back(graph::critical_path_length(exemplars[t].dag));
+      widths.push_back(graph::max_width(exemplars[t].dag));
+      member_counts.push_back(counts[t]);
+      if (graph::classify_shape(exemplars[t].dag) ==
+          graph::ShapePattern::StraightChain) {
+        chains += counts[t];
+      }
+      if (exemplars[t].size() < 3) shorts += counts[t];
+      // Every copy of shape t has the same centrality: the count-weighted
+      // similarity mass of its group minus itself. Shapes iterate in
+      // first-seen order with a strict max, so the winning shape's first
+      // job is the job the direct argmax would keep.
+      double centrality = -shape_similarity(t, t);
+      for (std::size_t u = 0; u < m; ++u) {
+        if (shape_label[u] == g) {
+          centrality += static_cast<double>(counts[u]) * shape_similarity(t, u);
+        }
+      }
+      if (centrality > best_centrality) {
+        best_centrality = centrality;
+        medoid_shape = t;
+      }
+    }
+    if (medoid_shape < m && first_job[medoid_shape] < n) {
+      stats.medoid = first_job[medoid_shape];
+    }
+    stats.population_fraction =
+        total_jobs == 0 ? 0.0
+                        : static_cast<double>(stats.population) /
+                              static_cast<double>(total_jobs);
+    stats.size = util::describe_weighted(sizes, member_counts);
+    stats.critical_path = util::describe_weighted(depths, member_counts);
+    stats.parallelism = util::describe_weighted(widths, member_counts);
+    stats.chain_fraction =
+        stats.population ? static_cast<double>(chains) /
+                               static_cast<double>(stats.population)
+                         : 0.0;
+    stats.short_job_fraction =
+        stats.population ? static_cast<double>(shorts) /
+                               static_cast<double>(stats.population)
+                         : 0.0;
+  }
+  return out;
+}
+
 }  // namespace cwgl::core

@@ -45,6 +45,24 @@ struct ClusteringAnalysis {
   static ClusteringAnalysis compute(const linalg::Matrix& similarity,
                                     std::span<const JobDag> jobs,
                                     const ClusteringOptions& options = {});
+
+  /// Shape-interned equivalent of `compute`: `shape_similarity` is the
+  /// m x m kernel over distinct shapes, `exemplars`/`counts` describe the
+  /// m shapes, and `shape_of[i]` maps job i of the analysis set to its
+  /// shape. Produces the same analysis the direct path would on the
+  /// expanded sample — per-JOB labels, count-weighted group statistics
+  /// (quantiles bit-identical, means up to summation order), the expanded
+  /// spectrum (the weighted spectrum plus jobs-minus-shapes copies of the
+  /// eigenvalue 1), weighted silhouette, and the medoid as a job index
+  /// (the earliest job of the most central shape, matching the direct
+  /// argmax tie-break). Cluster-letter agreement with the direct path
+  /// additionally requires separated groups, because the k-means RNG draw
+  /// sequences differ (see cluster::kmeans_weighted).
+  static ClusteringAnalysis compute_interned(
+      const linalg::Matrix& shape_similarity, std::span<const JobDag> exemplars,
+      std::span<const std::uint64_t> counts,
+      std::span<const std::uint32_t> shape_of,
+      const ClusteringOptions& options = {});
 };
 
 }  // namespace cwgl::core

@@ -28,11 +28,6 @@ struct Batch {
   std::vector<RawGroup> groups;
 };
 
-struct WorkerResult {
-  std::vector<std::pair<std::size_t, JobDag>> built;
-  std::size_t eligible = 0;
-};
-
 trace::TraceReadOptions read_options(const IngestOptions& options) {
   return trace::TraceReadOptions{!options.strict, options.diagnostics};
 }
@@ -64,19 +59,32 @@ std::optional<JobDag> build_with_posture(std::string&& job,
   return std::nullopt;
 }
 
-std::vector<JobDag> stream_serial(std::istream& in,
-                                  const IngestOptions& options,
-                                  IngestStats& stats) {
-  std::vector<JobDag> out;
+/// The streaming machinery is generic over a per-job Transform
+/// `Out transform(std::size_t seq, JobDag&&)` applied to every built DAG:
+/// the plain ingest uses the identity (collect the DAGs themselves), the
+/// interning ingest feeds a ShapeStore and collects shape handles. The
+/// transform runs on the building thread (workers, in pooled mode), so it
+/// must be thread-safe for pooled use; `seq` is the job's trace sequence.
+template <typename Transform>
+using transformed_t =
+    std::decay_t<std::invoke_result_t<Transform&, std::size_t, JobDag&&>>;
+
+template <typename Transform>
+std::vector<transformed_t<Transform>> stream_transformed_serial(
+    std::istream& in, const IngestOptions& options, IngestStats& stats,
+    Transform& transform) {
+  std::vector<transformed_t<Transform>> out;
+  std::size_t seq = 0;
   stats.stream = trace::consume_jobs_in_task_csv(
       in,
       [&](std::string&& job, std::vector<trace::TaskRecord>&& tasks) {
         CWGL_FAILPOINT("ingest.reader_group");
+        const std::size_t s = seq++;
         if (!trace::passes_criteria(tasks, options.criteria)) return true;
         ++stats.eligible;
         if (auto dag = build_with_posture(std::move(job), tasks, options)) {
           ++stats.dags;
-          out.push_back(std::move(*dag));
+          out.push_back(transform(s, std::move(*dag)));
         }
         return true;
       },
@@ -84,8 +92,15 @@ std::vector<JobDag> stream_serial(std::istream& in,
   return out;
 }
 
-std::vector<JobDag> stream_pooled(std::istream& in, const IngestOptions& options,
-                                  util::ThreadPool& pool, IngestStats& stats) {
+template <typename Transform>
+std::vector<transformed_t<Transform>> stream_transformed_pooled(
+    std::istream& in, const IngestOptions& options, util::ThreadPool& pool,
+    IngestStats& stats, Transform& transform) {
+  using Out = transformed_t<Transform>;
+  struct WorkerResult {
+    std::vector<std::pair<std::size_t, Out>> built;
+    std::size_t eligible = 0;
+  };
   util::BoundedQueue<Batch> queue(options.queue_capacity);
   const std::size_t batch_jobs = std::max<std::size_t>(1, options.batch_jobs);
 
@@ -93,7 +108,7 @@ std::vector<JobDag> stream_pooled(std::istream& in, const IngestOptions& options
   futures.reserve(pool.size());
   try {
     for (std::size_t w = 0; w < pool.size(); ++w) {
-      futures.push_back(pool.submit([&queue, &options] {
+      futures.push_back(pool.submit([&queue, &options, &transform] {
         try {
           obs::Span span("ingest.worker");
           WorkerResult result;
@@ -109,7 +124,7 @@ std::vector<JobDag> stream_pooled(std::istream& in, const IngestOptions& options
               ++result.eligible;
               if (auto dag = build_with_posture(std::move(group.job_name),
                                                 group.tasks, options)) {
-                result.built.emplace_back(s, std::move(*dag));
+                result.built.emplace_back(s, transform(s, std::move(*dag)));
               }
             }
           }
@@ -170,7 +185,7 @@ std::vector<JobDag> stream_pooled(std::istream& in, const IngestOptions& options
     queue.close();
   });
 
-  std::vector<std::pair<std::size_t, JobDag>> built;
+  std::vector<std::pair<std::size_t, Out>> built;
   std::exception_ptr worker_error;
   for (auto& future : futures) {
     try {
@@ -196,11 +211,34 @@ std::vector<JobDag> stream_pooled(std::istream& in, const IngestOptions& options
 
   std::sort(built.begin(), built.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::vector<JobDag> out;
+  std::vector<Out> out;
   out.reserve(built.size());
-  for (auto& [seq, dag] : built) out.push_back(std::move(dag));
+  for (auto& [seq, item] : built) out.push_back(std::move(item));
   stats.dags = out.size();
   return out;
+}
+
+template <typename Transform>
+std::vector<transformed_t<Transform>> stream_transformed(
+    std::istream& in, const IngestOptions& options, util::ThreadPool* pool,
+    IngestStats& stats, Transform transform) {
+  return (pool == nullptr || pool->size() < 2)
+             ? stream_transformed_serial(in, options, stats, transform)
+             : stream_transformed_pooled(in, options, *pool, stats, transform);
+}
+
+void publish_stream_metrics(obs::Span& span, const IngestStats& stats) {
+  span.arg("rows", stats.stream.rows);
+  span.arg("jobs", stats.stream.jobs);
+  span.arg("quarantined", stats.stream.malformed);
+  span.arg("dags", stats.dags);
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("ingest.stream.rows").add(stats.stream.rows);
+  registry.counter("ingest.stream.jobs").add(stats.stream.jobs);
+  registry.counter("ingest.stream.malformed").add(stats.stream.malformed);
+  registry.counter("ingest.stream.fragmented").add(stats.stream.fragmented);
+  registry.counter("ingest.dag.eligible").add(stats.eligible);
+  registry.counter("ingest.dag.built").add(stats.dags);
 }
 
 }  // namespace
@@ -211,21 +249,36 @@ std::vector<JobDag> stream_dag_jobs(std::istream& task_csv,
                                     IngestStats* stats) {
   obs::Span span("ingest.stream");
   IngestStats local;
-  std::vector<JobDag> out = (pool == nullptr || pool->size() < 2)
-                                ? stream_serial(task_csv, options, local)
-                                : stream_pooled(task_csv, options, *pool, local);
-  span.arg("rows", local.stream.rows);
-  span.arg("jobs", local.stream.jobs);
-  span.arg("quarantined", local.stream.malformed);
-  span.arg("dags", local.dags);
-  auto& registry = obs::MetricsRegistry::global();
-  registry.counter("ingest.stream.rows").add(local.stream.rows);
-  registry.counter("ingest.stream.jobs").add(local.stream.jobs);
-  registry.counter("ingest.stream.malformed").add(local.stream.malformed);
-  registry.counter("ingest.stream.fragmented").add(local.stream.fragmented);
-  registry.counter("ingest.dag.eligible").add(local.eligible);
-  registry.counter("ingest.dag.built").add(local.dags);
+  std::vector<JobDag> out = stream_transformed(
+      task_csv, options, pool, local,
+      [](std::size_t /*seq*/, JobDag&& dag) { return std::move(dag); });
+  publish_stream_metrics(span, local);
   if (stats) *stats = local;
+  return out;
+}
+
+InternedIngest stream_shape_jobs(std::istream& task_csv,
+                                 const IngestOptions& options,
+                                 util::ThreadPool* pool,
+                                 ShapeStore::Options shape_options) {
+  obs::Span span("ingest.intern");
+  InternedIngest out;
+  ShapeStore store(shape_options);
+  const std::vector<const ShapeStore::Node*> handles = stream_transformed(
+      task_csv, options, pool, out.stats,
+      [&store](std::size_t seq, JobDag&& dag) {
+        return store.intern(std::move(dag), static_cast<std::uint64_t>(seq));
+      });
+  // freeze_with_ids also publishes the store's intern.* counters.
+  ShapeStore::FrozenView view = store.freeze_with_ids();
+  out.table = std::move(view.table);
+  out.shape_of.reserve(handles.size());
+  for (const ShapeStore::Node* node : handles) {
+    out.shape_of.push_back(view.id_of.at(node));
+  }
+  out.intern = store.stats();
+  span.arg("shapes", out.intern.distinct_shapes);
+  publish_stream_metrics(span, out.stats);
   return out;
 }
 

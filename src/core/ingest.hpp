@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <vector>
 
 #include "core/job_dag.hpp"
+#include "core/shape_store.hpp"
 #include "trace/filter.hpp"
 #include "trace/io.hpp"
 #include "util/diagnostics.hpp"
@@ -66,5 +68,27 @@ std::vector<JobDag> stream_dag_jobs(std::istream& task_csv,
                                     const IngestOptions& options = {},
                                     util::ThreadPool* pool = nullptr,
                                     IngestStats* stats = nullptr);
+
+/// Result of a shape-interned ingest: instead of one JobDag per eligible
+/// job, the trace collapses to its distinct shapes plus a per-job mapping.
+struct InternedIngest {
+  /// Distinct shapes in first-seen order (deterministic across pooled and
+  /// serial ingest of the same stream).
+  ShapeTable table;
+  /// Dense shape id of every built job, in trace order; size == stats.dags.
+  std::vector<std::uint32_t> shape_of;
+  IngestStats stats;
+  ShapeStore::Stats intern;
+};
+
+/// Shape-interning variant of stream_dag_jobs: identical reader/worker
+/// machinery and failure posture, but every built JobDag is interned into a
+/// sharded ShapeStore instead of accumulated, so memory and downstream work
+/// scale with *distinct shapes*, not jobs. Failpoints: the stream_dag_jobs
+/// set plus `shape.intern`.
+InternedIngest stream_shape_jobs(std::istream& task_csv,
+                                 const IngestOptions& options = {},
+                                 util::ThreadPool* pool = nullptr,
+                                 ShapeStore::Options shape_options = {});
 
 }  // namespace cwgl::core

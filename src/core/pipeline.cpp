@@ -57,6 +57,13 @@ PipelineResult CharacterizationPipeline::run(const trace::Trace& trace,
     span.arg("jobs", result.sample.size());
   }
 
+  if (config_.intern_shapes) {
+    run_interned(result, pool, fitted);
+    pipeline_span.arg("sampled_jobs", result.sample.size());
+    pipeline_span.arg("distinct_shapes", result.interned->table.size());
+    return result;
+  }
+
   {
     obs::Span span("pipeline.structure");
     result.conflation = ConflationReport::compute(result.sample);
@@ -103,6 +110,103 @@ PipelineResult CharacterizationPipeline::run(const trace::Trace& trace,
   }
   pipeline_span.arg("sampled_jobs", result.sample.size());
   return result;
+}
+
+/// The shape-interned back half of run(): everything after sampling runs
+/// once per distinct shape, count-weighted. Per-job outputs (labels, the
+/// Gram matrix) are expanded back so the PipelineResult is a drop-in
+/// replacement for the direct path's.
+void CharacterizationPipeline::run_interned(PipelineResult& result,
+                                            util::ThreadPool* pool,
+                                            FittedFeatures* fitted) const {
+  InternedAnalysis interned;
+  {
+    obs::Span span("pipeline.intern");
+    ShapeStore store;
+    std::vector<const ShapeStore::Node*> handles;
+    handles.reserve(result.sample.size());
+    for (std::size_t i = 0; i < result.sample.size(); ++i) {
+      handles.push_back(store.intern(result.sample[i], i));
+    }
+    ShapeStore::FrozenView view = store.freeze_with_ids();
+    interned.table = std::move(view.table);
+    interned.shape_of.reserve(handles.size());
+    for (const ShapeStore::Node* node : handles) {
+      interned.shape_of.push_back(view.id_of.at(node));
+    }
+    interned.stats = store.stats();
+    span.arg("jobs", result.sample.size());
+    span.arg("shapes", interned.table.size());
+  }
+  const std::vector<JobDag>& exemplars = interned.table.exemplars;
+  const std::vector<std::uint64_t> counts = interned.table.counts();
+
+  {
+    obs::Span span("pipeline.structure");
+    result.conflation = ConflationReport::compute(exemplars, counts);
+    result.structure_before = StructuralReport::compute(exemplars, counts);
+  }
+
+  // One conflation per distinct shape (vs one per job on the direct path).
+  std::vector<JobDag> conflated(exemplars.size());
+  {
+    obs::Span span("pipeline.conflation");
+    span.arg("shapes", conflated.size());
+    const auto conflate_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        conflated[i] = conflate_job(exemplars[i]);
+      }
+    };
+    if (pool != nullptr) {
+      util::parallel_for_chunked(*pool, 0, conflated.size(), 16, conflate_range);
+    } else {
+      conflate_range(0, conflated.size());
+    }
+    result.structure_after = StructuralReport::compute(conflated, counts);
+  }
+
+  {
+    obs::Span span("pipeline.task_types");
+    result.task_types = TaskTypeReport::compute(exemplars, counts);
+    result.patterns = PatternCensus::compute(exemplars, counts);
+  }
+
+  const std::vector<JobDag>& analysis_shapes =
+      config_.analyze_conflated ? conflated : exemplars;
+  SimilarityAnalysis shape_similarity;
+  {
+    obs::Span span("pipeline.similarity");
+    span.arg("shapes", analysis_shapes.size());
+    shape_similarity = SimilarityAnalysis::compute(
+        analysis_shapes, config_.similarity, pool, fitted);
+  }
+  interned.shape_gram = shape_similarity.gram;
+
+  {
+    obs::Span span("pipeline.clustering");
+    result.clustering = ClusteringAnalysis::compute_interned(
+        interned.shape_gram, analysis_shapes, counts, interned.shape_of,
+        config_.clustering);
+  }
+
+  // Expand the shape kernel back to the per-job Gram: same-shape jobs have
+  // bitwise-identical WL feature vectors, so this reproduces the direct
+  // path's matrix exactly and every downstream consumer works unchanged.
+  {
+    const std::size_t n = result.sample.size();
+    result.similarity.gram = linalg::Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        result.similarity.gram(i, j) =
+            interned.shape_gram(interned.shape_of[i], interned.shape_of[j]);
+      }
+    }
+    result.similarity.job_names.reserve(n);
+    for (const JobDag& job : result.sample) {
+      result.similarity.job_names.push_back(job.job_name);
+    }
+  }
+  result.interned = std::move(interned);
 }
 
 std::vector<JobDag> CharacterizationPipeline::build_all_dags(

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -40,6 +42,26 @@ struct PipelineConfig {
   /// Run the similarity/clustering stages on conflated DAGs instead of the
   /// raw ones (ablation A3); structural reports always cover both.
   bool analyze_conflated = false;
+  /// Intern the experiment set's job shapes (core::ShapeStore) and run
+  /// every downstream stage once per DISTINCT shape, count-weighted —
+  /// results match the direct path (see PipelineResult::interned). Turns
+  /// O(jobs) featurize/kernel work into O(distinct shapes).
+  bool intern_shapes = false;
+};
+
+/// Shape-level byproducts of an interned pipeline run
+/// (PipelineConfig::intern_shapes).
+struct InternedAnalysis {
+  /// Distinct raw shapes of the experiment set, first-seen order.
+  ShapeTable table;
+  /// table row of each sample job (parallel to PipelineResult::sample).
+  std::vector<std::uint32_t> shape_of;
+  /// Kernel over distinct analysis-set shapes (conflated exemplars when
+  /// `analyze_conflated`); PipelineResult::similarity.gram is its
+  /// expansion.
+  linalg::Matrix shape_gram;
+  /// Intern-table hit/miss/probe counters.
+  ShapeStore::Stats stats;
 };
 
 /// Everything the paper's evaluation reports, computed in one pass.
@@ -53,6 +75,10 @@ struct PipelineResult {
   PatternCensus patterns;                ///< Section V-B frequencies
   SimilarityAnalysis similarity;         ///< Fig. 7
   ClusteringAnalysis clustering;         ///< Figs. 8-9
+  /// Present when the run interned shapes (PipelineConfig::intern_shapes).
+  /// All fields above are still populated — per-job where they were
+  /// per-job — so every consumer of the direct path works unchanged.
+  std::optional<InternedAnalysis> interned;
 };
 
 /// Orchestrates trace -> filters -> variability sample -> DAGs -> reports.
@@ -82,6 +108,9 @@ class CharacterizationPipeline {
                      FittedFeatures* fitted = nullptr) const;
 
  private:
+  void run_interned(PipelineResult& result, util::ThreadPool* pool,
+                    FittedFeatures* fitted) const;
+
   PipelineConfig config_;
 };
 

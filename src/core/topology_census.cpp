@@ -42,4 +42,42 @@ TopologyCensus TopologyCensus::compute(std::span<const JobDag> jobs,
   return census;
 }
 
+TopologyCensus TopologyCensus::compute(const ShapeTable& table) {
+  TopologyCensus census;
+  census.total_jobs = static_cast<std::size_t>(table.total_jobs);
+  std::unordered_map<std::uint64_t, Row> by_hash;
+  by_hash.reserve(table.size());
+  for (std::size_t t = 0; t < table.size(); ++t) {
+    const ShapeTable::ShapeInfo& info = table.shapes[t];
+    auto [it, inserted] = by_hash.try_emplace(info.shape_key);
+    if (inserted) {
+      it->second.topology_hash = info.shape_key;
+      it->second.size = info.size;
+      // First-seen wins: the table is sorted by first_seq, so `t` here is
+      // the earliest shape of this hash, mirroring the per-job path's
+      // earliest-job exemplar.
+      it->second.exemplar = t;
+    }
+    it->second.count += static_cast<std::size_t>(info.count);
+  }
+  census.distinct_topologies = by_hash.size();
+  std::size_t recurring = 0;
+  census.rows.reserve(by_hash.size());
+  for (const auto& [hash, row] : by_hash) {
+    census.rows.push_back(row);
+    if (row.count > 1) recurring += row.count;
+  }
+  std::sort(census.rows.begin(), census.rows.end(), [](const Row& a, const Row& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.size != b.size) return a.size < b.size;
+    return a.topology_hash < b.topology_hash;
+  });
+  census.recurring_fraction =
+      census.total_jobs == 0
+          ? 0.0
+          : static_cast<double>(recurring) /
+                static_cast<double>(census.total_jobs);
+  return census;
+}
+
 }  // namespace cwgl::core

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/job_dag.hpp"
+#include "core/shape_store.hpp"
 
 namespace cwgl::core {
 
@@ -28,6 +29,13 @@ struct TopologyCensus {
   /// `use_labels` keys topologies on task types as well as structure.
   static TopologyCensus compute(std::span<const JobDag> jobs,
                                 bool use_labels = true);
+
+  /// Shape-interned overload: the intern table has already done the
+  /// grouping work, so this is a pure aggregation. Shapes that share a
+  /// canonical hash (non-isomorphic collisions the store kept apart) are
+  /// merged, matching the hash-keyed semantics of the per-job path. Row
+  /// `exemplar` indexes into `table.exemplars` rather than a job list.
+  static TopologyCensus compute(const ShapeTable& table);
 };
 
 }  // namespace cwgl::core

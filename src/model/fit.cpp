@@ -1,6 +1,9 @@
 #include "model/fit.hpp"
 
+#include <limits>
+#include <string>
 #include <utility>
+#include <vector>
 
 namespace cwgl::model {
 
@@ -30,11 +33,6 @@ FittedModel build_model(const core::PipelineResult& result,
   const auto& names = result.similarity.job_names;
   const std::size_t n = fitted.vectors.size();
   if (n == 0) throw ModelError("model: cannot fit on an empty analysis set");
-  if (clustering.labels.size() != n || names.size() != n) {
-    throw ModelError(
-        "model: fitted features, clustering labels, and job names disagree "
-        "on the analysis-set size — results from different runs?");
-  }
 
   FittedModel m;
   m.wl = config.similarity.wl;
@@ -48,6 +46,67 @@ FittedModel build_model(const core::PipelineResult& result,
     m.profiles.push_back(make_profile(g));
   }
   m.representatives.resize(m.profiles.size());
+
+  if (result.interned.has_value()) {
+    // Shape-interned fit: the fitted vectors are per distinct shape, the
+    // clustering labels per job. One representative per shape — its exemplar
+    // is a literal copy of the shape's first sampled job, so job_name and
+    // training_index address that job and the medoid remap below still
+    // resolves (group medoids are first-job indices of medoid shapes).
+    const core::InternedAnalysis& interned = *result.interned;
+    const std::size_t shapes = interned.table.size();
+    if (n != shapes || clustering.labels.size() != interned.shape_of.size()) {
+      throw ModelError(
+          "model: fitted features, clustering labels, and the shape table "
+          "disagree on the analysis-set size — results from different runs?");
+    }
+    std::vector<std::uint64_t> first_job(shapes,
+                                         std::numeric_limits<std::uint64_t>::max());
+    std::vector<int> shape_label(shapes, -1);
+    for (std::size_t i = 0; i < interned.shape_of.size(); ++i) {
+      const std::uint32_t t = interned.shape_of[i];
+      if (t >= shapes) {
+        throw ModelError("model: shape id out of range in interned result");
+      }
+      if (first_job[t] == std::numeric_limits<std::uint64_t>::max()) {
+        first_job[t] = i;
+        shape_label[t] = clustering.labels[i];
+      }
+    }
+    for (std::size_t t = 0; t < shapes; ++t) {
+      const int group = shape_label[t];
+      if (group < 0 || static_cast<std::size_t>(group) >= m.profiles.size()) {
+        throw ModelError("model: clustering label out of range for shape " +
+                         std::to_string(t));
+      }
+      Representative rep;
+      rep.job_name = interned.table.exemplars[t].job_name;
+      rep.training_index = first_job[t];
+      rep.count = interned.table.shapes[t].count;
+      rep.features = std::move(fitted.vectors[t]);
+      rep.self_norm = rep.features.norm();
+      m.representatives[static_cast<std::size_t>(group)].push_back(
+          std::move(rep));
+    }
+    for (std::size_t c = 0; c < clustering.groups.size(); ++c) {
+      const std::size_t medoid = clustering.groups[c].medoid;
+      const auto& reps = m.representatives[c];
+      for (std::size_t r = 0; r < reps.size(); ++r) {
+        if (reps[r].training_index == medoid) {
+          m.profiles[c].medoid = r;
+          break;
+        }
+      }
+    }
+    m.validate();
+    return m;
+  }
+
+  if (clustering.labels.size() != n || names.size() != n) {
+    throw ModelError(
+        "model: fitted features, clustering labels, and job names disagree "
+        "on the analysis-set size — results from different runs?");
+  }
 
   for (std::size_t i = 0; i < n; ++i) {
     const int group = clustering.labels[i];

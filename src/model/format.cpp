@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <utility>
 
@@ -56,8 +57,12 @@ constexpr std::uint32_t kTagConf = fourcc('C', 'O', 'N', 'F');
 constexpr std::uint32_t kTagDict = fourcc('D', 'I', 'C', 'T');
 constexpr std::uint32_t kTagProf = fourcc('P', 'R', 'O', 'F');
 constexpr std::uint32_t kTagReps = fourcc('R', 'E', 'P', 'S');
+constexpr std::uint32_t kTagShpc = fourcc('S', 'H', 'P', 'C');
 constexpr std::uint32_t kSectionOrder[] = {kTagConf, kTagDict, kTagProf,
-                                           kTagReps};
+                                           kTagReps, kTagShpc};
+// v1 snapshots predate shape interning and carry no SHPC section.
+constexpr std::uint32_t kSectionOrderLegacy[] = {kTagConf, kTagDict, kTagProf,
+                                                 kTagReps};
 
 void append_section(std::string& out, std::uint32_t tag,
                     const std::string& payload) {
@@ -120,6 +125,16 @@ std::string encode_reps(const FittedModel& m) {
         put_f64(p, value);
       }
     }
+  }
+  return p;
+}
+
+std::string encode_shpc(const FittedModel& m) {
+  std::string p;
+  put_u64(p, m.representatives.size());
+  for (const auto& cluster : m.representatives) {
+    put_u64(p, cluster.size());
+    for (const Representative& rep : cluster) put_u64(p, rep.count);
   }
   return p;
 }
@@ -275,6 +290,26 @@ void decode_reps(Cursor& c, FittedModel& m) {
   }
 }
 
+/// SHPC is positionally parallel to REPS, which the section order guarantees
+/// was decoded first; any arity mismatch means the sections came from
+/// different fits.
+void decode_shpc(Cursor& c, FittedModel& m) {
+  const std::size_t clusters = c.count("shape-count cluster", 8);
+  if (clusters != m.representatives.size()) {
+    c.fail("shape-count cluster arity does not match representatives");
+  }
+  for (std::size_t ci = 0; ci < clusters; ++ci) {
+    const std::size_t reps = c.count("shape count", 8);
+    if (reps != m.representatives[ci].size()) {
+      c.fail("shape-count arity does not match representatives in cluster " +
+             std::to_string(ci));
+    }
+    for (std::size_t ri = 0; ri < reps; ++ri) {
+      m.representatives[ci][ri].count = c.u64("shape count");
+    }
+  }
+}
+
 }  // namespace
 
 std::string serialize_model(const FittedModel& m) {
@@ -287,6 +322,7 @@ std::string serialize_model(const FittedModel& m) {
   append_section(out, kTagDict, encode_dict(m));
   append_section(out, kTagProf, encode_prof(m));
   append_section(out, kTagReps, encode_reps(m));
+  append_section(out, kTagShpc, encode_shpc(m));
   return out;
 }
 
@@ -296,18 +332,23 @@ FittedModel deserialize_model(std::string_view bytes, std::string_view origin) {
     c.fail("bad magic — not a cwgl model snapshot");
   }
   const std::uint32_t version = c.u32("format version");
-  if (version != kModelFormatVersion) {
+  if (version != kModelFormatVersion && version != kModelFormatVersionLegacy) {
     c.fail("unsupported format version " + std::to_string(version) +
-           " (this build reads version " + std::to_string(kModelFormatVersion) +
-           ")");
+           " (this build reads versions " +
+           std::to_string(kModelFormatVersionLegacy) + "-" +
+           std::to_string(kModelFormatVersion) + ")");
   }
+  const std::span<const std::uint32_t> order =
+      version == kModelFormatVersionLegacy
+          ? std::span<const std::uint32_t>(kSectionOrderLegacy)
+          : std::span<const std::uint32_t>(kSectionOrder);
   const std::uint32_t sections = c.u32("section count");
-  if (sections != std::size(kSectionOrder)) {
+  if (sections != order.size()) {
     c.fail("unexpected section count " + std::to_string(sections));
   }
 
   FittedModel m;
-  for (std::uint32_t tag : kSectionOrder) {
+  for (std::uint32_t tag : order) {
     const std::uint32_t got = c.u32("section tag");
     if (got != tag) c.fail("unexpected or out-of-order section tag");
     const std::uint64_t size = c.u64("section size");
@@ -323,6 +364,7 @@ FittedModel deserialize_model(std::string_view bytes, std::string_view origin) {
       case kTagDict: decode_dict(section, m); break;
       case kTagProf: decode_prof(section, m); break;
       case kTagReps: decode_reps(section, m); break;
+      case kTagShpc: decode_shpc(section, m); break;
     }
     if (section.remaining() != 0) {
       section.fail("trailing bytes inside section payload");

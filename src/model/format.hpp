@@ -10,16 +10,16 @@
 
 namespace cwgl::model {
 
-/// The `cwgl-model-v1` binary snapshot format.
+/// The `cwgl-model-v2` binary snapshot format.
 ///
 /// Layout (all integers little-endian, doubles as IEEE-754 bit patterns in a
 /// little-endian u64):
 ///
 ///   magic   8 bytes  "CWGLMDL1"
-///   u32     format version (currently 1)
-///   u32     section count (currently 4)
-///   section x4, in this exact order:
-///     u32   tag            FourCC: "CONF", "DICT", "PROF", "REPS"
+///   u32     format version (currently 2)
+///   u32     section count (5 in v2, 4 in v1)
+///   section x5, in this exact order:
+///     u32   tag            FourCC: "CONF", "DICT", "PROF", "REPS", "SHPC"
 ///     u64   payload size   bytes that follow the crc field
 ///     u32   crc32          CRC-32 (reflected, poly 0xEDB88320) of payload
 ///     ...   payload
@@ -27,6 +27,11 @@ namespace cwgl::model {
 /// CONF: WL config + featurization switches. DICT: the frozen signature
 /// dictionary (entry i has feature id i). PROF: per-cluster profiles.
 /// REPS: per-cluster representative feature vectors and self-norms.
+/// SHPC (new in v2): per-representative shape-multiplicity counts — u64
+/// cluster count, then per cluster a u64 representative count followed by
+/// that many u64 counts, positionally parallel to REPS. On a direct fit
+/// every count is 1; on a shape-interned fit a count is the number of
+/// training jobs sharing the representative's DAG shape.
 ///
 /// Loading is strict by default: wrong magic, unsupported version, unknown
 /// or out-of-order section tags, truncated payloads, CRC mismatches,
@@ -36,11 +41,13 @@ namespace cwgl::model {
 /// load as a valid model.
 ///
 /// Versioning rule: the major format version is bumped on any change an old
-/// reader cannot skip. v1 readers reject every other version outright; there
-/// is no silent best-effort decoding.
+/// reader cannot skip. This build writes v2 and reads v2 plus the v1 layout
+/// (no SHPC section; every count defaults to 1). Any other version is
+/// rejected outright; there is no silent best-effort decoding.
 
 inline constexpr std::string_view kModelMagic = "CWGLMDL1";
-inline constexpr std::uint32_t kModelFormatVersion = 1;
+inline constexpr std::uint32_t kModelFormatVersion = 2;
+inline constexpr std::uint32_t kModelFormatVersionLegacy = 1;
 
 /// Serializes a validated model to its byte representation. Runs
 /// `m.validate()` first so an invalid model is never encoded.

@@ -27,9 +27,6 @@ void check_profile(const ClusterProfile& p, std::size_t cluster,
   if (rep_count > 0 && p.medoid >= rep_count) {
     fail(where + "medoid index out of range");
   }
-  if (p.population < rep_count) {
-    fail(where + "more representatives than population");
-  }
 }
 
 }  // namespace
@@ -37,6 +34,14 @@ void check_profile(const ClusterProfile& p, std::size_t cluster,
 std::size_t FittedModel::training_jobs() const noexcept {
   std::size_t total = 0;
   for (const auto& cluster : representatives) total += cluster.size();
+  return total;
+}
+
+std::uint64_t FittedModel::training_weight() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& cluster : representatives) {
+    for (const Representative& rep : cluster) total += rep.count;
+  }
   return total;
 }
 
@@ -73,16 +78,23 @@ void FittedModel::validate() const {
   if (representatives.size() != profiles.size()) {
     fail("profiles/representatives cluster count mismatch");
   }
-  const std::size_t total_jobs = training_jobs();
-  if (total_jobs == 0) fail("no representatives in any cluster");
+  const std::size_t total_reps = training_jobs();
+  if (total_reps == 0) fail("no representatives in any cluster");
+  // Training indices address the original fit-time job sequence, which has
+  // training_weight() rows (== total_reps on a direct fit where every job is
+  // its own representative).
+  const std::uint64_t total_jobs = training_weight();
 
   std::unordered_set<std::uint64_t> train_indices;
-  train_indices.reserve(total_jobs);
+  train_indices.reserve(total_reps);
   for (std::size_t c = 0; c < profiles.size(); ++c) {
     check_profile(profiles[c], c, representatives[c].size());
+    std::uint64_t cluster_weight = 0;
     for (const Representative& rep : representatives[c]) {
       const std::string where = "representative '" + rep.job_name + "': ";
       if (rep.job_name.empty()) fail("representative with empty job name");
+      if (rep.count == 0) fail(where + "zero multiplicity count");
+      cluster_weight += rep.count;
       if (rep.training_index >= total_jobs || !train_indices.insert(rep.training_index).second) {
         fail(where + "training index out of range or duplicated");
       }
@@ -105,6 +117,12 @@ void FittedModel::validate() const {
       if (std::abs(norm - rep.self_norm) > 1e-9 * std::max(1.0, norm)) {
         fail(where + "self norm inconsistent with feature vector");
       }
+    }
+    // The profile's population is the source of truth for group shares;
+    // representative counts must account for every one of those jobs.
+    if (cluster_weight != profiles[c].population) {
+      fail("cluster " + std::to_string(c) +
+           ": representative counts do not sum to population");
     }
   }
 }

@@ -53,6 +53,11 @@ struct Representative {
   std::uint64_t training_index = 0;  ///< row in the fit-time Gram matrix
   double self_norm = 0.0;          ///< Euclidean norm of `features`
   kernel::SparseVector features;   ///< raw (pre-normalization) WL vector
+  /// Training jobs this representative stands for. 1 on a direct fit (one
+  /// rep per training job); the shape multiplicity on a shape-interned fit,
+  /// where one rep stands for every job sharing its DAG shape. Per-cluster
+  /// counts sum to the profile's population.
+  std::uint64_t count = 1;
 
   friend bool operator==(const Representative&, const Representative&) = default;
 };
@@ -87,8 +92,12 @@ struct FittedModel {
 
   std::size_t num_clusters() const noexcept { return profiles.size(); }
 
-  /// Total frozen training jobs across all clusters.
+  /// Total frozen representatives across all clusters.
   std::size_t training_jobs() const noexcept;
+
+  /// Total training jobs the representatives stand for (sum of counts).
+  /// Equals training_jobs() on a direct fit; >= it on a shape-interned fit.
+  std::uint64_t training_weight() const noexcept;
 
   /// The reserved out-of-vocabulary feature id: one past the last real id.
   int oov_id() const noexcept { return static_cast<int>(dictionary.size()); }

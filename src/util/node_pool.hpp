@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace cwgl::util {
+
+/// Chunked placement-new object arena with stable addresses.
+///
+/// `create(args...)` constructs a `T` inside the pool and hands back a
+/// pointer that stays valid for the pool's lifetime — no per-object heap
+/// allocation, no relocation on growth (chunks are never resized, only
+/// appended). The pool destroys every constructed object when it is
+/// destroyed, in unspecified order.
+///
+/// Intended for intrusive node structures (e.g. the shape-intern table's
+/// collision-chained nodes) where node addresses are shared across threads
+/// under external synchronization. The pool itself is NOT thread-safe:
+/// callers serialize `create` (the ShapeStore keeps one pool per shard,
+/// guarded by the shard mutex).
+template <typename T>
+class NodePool {
+ public:
+  /// `chunk_capacity` objects are carved per allocation; tune down only in
+  /// tests that want to exercise many chunk boundaries.
+  explicit NodePool(std::size_t chunk_capacity = 64)
+      : chunk_capacity_(chunk_capacity == 0 ? 1 : chunk_capacity) {}
+
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  NodePool(NodePool&& other) noexcept
+      : chunk_capacity_(other.chunk_capacity_),
+        chunks_(std::move(other.chunks_)),
+        used_in_last_(std::exchange(other.used_in_last_, 0)) {
+    other.chunks_.clear();
+  }
+  NodePool& operator=(NodePool&&) = delete;
+
+  ~NodePool() { destroy_all(); }
+
+  /// Constructs a `T` in the arena; the address is stable until the pool
+  /// dies. Strong exception safety: a throwing constructor leaks nothing
+  /// and leaves the pool unchanged.
+  template <typename... Args>
+  T* create(Args&&... args) {
+    if (chunks_.empty() || used_in_last_ == chunk_capacity_) {
+      chunks_.push_back(Chunk{allocate_chunk(), 0});
+      used_in_last_ = 0;
+    }
+    Chunk& chunk = chunks_.back();
+    T* slot = chunk.objects.get() + used_in_last_;
+    T* object = ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++used_in_last_;
+    chunk.constructed = used_in_last_;
+    return object;
+  }
+
+  /// Number of live objects.
+  std::size_t size() const {
+    if (chunks_.empty()) return 0;
+    return (chunks_.size() - 1) * chunk_capacity_ + used_in_last_;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct ChunkDeleter {
+    void operator()(T* raw) const {
+      ::operator delete[](static_cast<void*>(raw), std::align_val_t{alignof(T)});
+    }
+  };
+  using ChunkStorage = std::unique_ptr<T, ChunkDeleter>;
+
+  struct Chunk {
+    ChunkStorage objects;
+    std::size_t constructed = 0;  // prefix of slots holding live objects
+  };
+
+  ChunkStorage allocate_chunk() const {
+    void* raw = ::operator new[](sizeof(T) * chunk_capacity_,
+                                 std::align_val_t{alignof(T)});
+    return ChunkStorage(static_cast<T*>(raw));
+  }
+
+  void destroy_all() {
+    for (Chunk& chunk : chunks_) {
+      T* objects = chunk.objects.get();
+      for (std::size_t i = chunk.constructed; i > 0; --i) {
+        objects[i - 1].~T();
+      }
+      chunk.constructed = 0;
+    }
+    chunks_.clear();
+    used_in_last_ = 0;
+  }
+
+  std::size_t chunk_capacity_;
+  std::vector<Chunk> chunks_;
+  std::size_t used_in_last_ = 0;
+};
+
+}  // namespace cwgl::util

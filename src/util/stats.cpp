@@ -92,6 +92,57 @@ Distribution describe(std::span<const double> values) {
   return d;
 }
 
+Distribution describe_weighted(std::span<const double> values,
+                               std::span<const std::uint64_t> weights) {
+  Distribution d;
+  if (values.size() != weights.size()) return d;
+  // Sorted (value, weight) pairs with zero weights dropped: the compressed
+  // form of the expanded sorted sample.
+  std::vector<std::pair<double, std::uint64_t>> sorted;
+  sorted.reserve(values.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (weights[i] == 0) continue;
+    sorted.emplace_back(values[i], weights[i]);
+    total += weights[i];
+  }
+  std::sort(sorted.begin(), sorted.end());
+  d.count = static_cast<std::size_t>(total);
+  if (total == 0) return d;
+
+  double sum = 0.0;
+  for (const auto& [v, w] : sorted) sum += v * static_cast<double>(w);
+  d.mean = sum / static_cast<double>(total);
+
+  // The expanded sample's order statistic at `rank` via a cumulative scan.
+  const auto element_at = [&](std::uint64_t rank) {
+    std::uint64_t cumulative = 0;
+    for (const auto& [v, w] : sorted) {
+      cumulative += w;
+      if (rank < cumulative) return v;
+    }
+    return sorted.back().first;
+  };
+  // Mirrors Quantiles::quantile exactly — same pos/lo/frac arithmetic over
+  // the (virtual) expanded sorted vector, so results are bit-identical to
+  // describe() on the expansion.
+  const auto quantile = [&](double q) {
+    if (q <= 0.0) return sorted.front().first;
+    if (q >= 1.0) return sorted.back().first;
+    const double pos = q * static_cast<double>(total - 1);
+    const auto lo = static_cast<std::uint64_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= total) return sorted.back().first;
+    return element_at(lo) * (1.0 - frac) + element_at(lo + 1) * frac;
+  };
+  d.min = sorted.front().first;
+  d.p25 = quantile(0.25);
+  d.median = quantile(0.5);
+  d.p75 = quantile(0.75);
+  d.max = sorted.back().first;
+  return d;
+}
+
 double jensen_shannon(const IntHistogram& p, const IntHistogram& q) {
   if (p.empty() && q.empty()) return 0.0;
   if (p.empty() || q.empty()) return std::log(2.0);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <span>
 #include <string>
@@ -92,6 +93,14 @@ struct Distribution {
 
 /// Computes a `Distribution` from raw values.
 Distribution describe(std::span<const double> values);
+
+/// Computes the `Distribution` of the sample in which `values[i]` occurs
+/// `weights[i]` times, without expanding it. Order statistics (min/p25/
+/// median/p75/max) are bit-identical to `describe` on the expanded sample;
+/// the mean is the same value up to floating-point summation order.
+/// Weights of zero are ignored; the spans must have equal length.
+Distribution describe_weighted(std::span<const double> values,
+                               std::span<const std::uint64_t> weights);
 
 /// Pearson correlation of two equal-length samples; 0 if degenerate.
 double pearson(std::span<const double> x, std::span<const double> y);

@@ -333,6 +333,58 @@ TEST(Cli, FitPredictServeBenchRoundTrip) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Cli, CharacterizeInternEmitsTableStats) {
+  const auto r = run({"characterize", "--jobs", "600", "--sample", "20",
+                      "--intern", "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const util::JsonValue doc = util::parse_json(r.out);
+  const util::JsonValue& intern = doc.at("intern");
+  EXPECT_EQ(intern.at("total_jobs").as_number(), 20.0);
+  EXPECT_GT(intern.at("distinct_shapes").as_number(), 0.0);
+  EXPECT_LE(intern.at("distinct_shapes").as_number(),
+            intern.at("total_jobs").as_number());
+  EXPECT_GE(intern.at("hits").as_number(), 0.0);
+  EXPECT_EQ(intern.at("hash_collisions").as_number(), 0.0);
+  // All the paper artifacts survive the interned path.
+  EXPECT_NE(r.out.find("\"fig3\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"fig9\""), std::string::npos);
+}
+
+TEST(Cli, CharacterizeInternTextMentionsShapes) {
+  const auto r = run({"characterize", "--jobs", "600", "--sample", "20",
+                      "--intern"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("shape interning:"), std::string::npos);
+  EXPECT_NE(r.out.find("Fig 3"), std::string::npos);
+}
+
+TEST(Cli, IngestInternReportsShapeTable) {
+  const auto r = run({"ingest", "--jobs", "400", "--serial", "--intern",
+                      "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const util::JsonValue doc = util::parse_json(r.out);
+  const util::JsonValue& intern = doc.at("intern");
+  EXPECT_GT(intern.at("total_jobs").as_number(), 0.0);
+  EXPECT_GT(intern.at("distinct_shapes").as_number(), 0.0);
+  EXPECT_GT(doc.at("built").at("dags").as_number(), 0.0);
+}
+
+TEST(Cli, FitInternSelfCheckHolds) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "cwgl_cli_fit_intern_test";
+  std::filesystem::create_directories(dir);
+  const std::string model = (dir / "model.cwgl").string();
+  const auto fit = run({"fit", "--jobs", "300", "--seed", "7", "--sample",
+                        "40", "--clusters", "3", "--intern", "--out",
+                        model.c_str()});
+  EXPECT_EQ(fit.code, 0) << fit.err;
+  // The self-check classifies every SAMPLED job (not just every shape)
+  // through the per-shape snapshot — all 40 must reproduce their cluster.
+  EXPECT_NE(fit.out.find("self-check: 40/40"), std::string::npos) << fit.out;
+  EXPECT_NE(fit.out.find("representatives"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Cli, PredictWithoutModelPathStillRunsPredictor) {
   // Backwards compatibility: bare `predict` keeps the completion-time
   // predictor behavior (no --model, no positional).

@@ -70,7 +70,7 @@ TEST(TopologyCensus, ExemplarPointsToMemberJob) {
 }
 
 TEST(TopologyCensus, EmptyInput) {
-  const auto census = TopologyCensus::compute({});
+  const auto census = TopologyCensus::compute(std::span<const JobDag>{});
   EXPECT_EQ(census.total_jobs, 0u);
   EXPECT_EQ(census.distinct_topologies, 0u);
   EXPECT_DOUBLE_EQ(census.recurring_fraction, 0.0);

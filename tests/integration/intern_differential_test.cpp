@@ -1,0 +1,169 @@
+// The tentpole guarantee of shape interning: running the characterization
+// pipeline over DISTINCT shapes (count-weighted) reproduces the direct
+// per-job run — same cluster assignments, same Gram entries, same group
+// statistics, same figure reports — on every configuration. Three synthetic
+// traces with different sampling modes, cluster counts, and the conflated
+// ablation cover the paths scripts/check.sh re-runs under ASan/UBSan/TSan.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/report_json.hpp"
+#include "trace/generator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cwgl::core {
+namespace {
+
+trace::Trace make_trace(std::size_t jobs, std::uint64_t seed) {
+  trace::GeneratorConfig cfg;
+  cfg.num_jobs = jobs;
+  cfg.seed = seed;
+  cfg.emit_instances = false;
+  return trace::TraceGenerator(cfg).generate();
+}
+
+template <typename Report>
+std::string as_json(const Report& report) {
+  std::ostringstream out;
+  write_json(out, report);
+  return out.str();
+}
+
+/// Runs the same configuration twice — direct and interned — and asserts
+/// the interned run is an exact reproduction.
+void expect_interned_matches_direct(PipelineConfig cfg,
+                                    const trace::Trace& data,
+                                    const std::string& which) {
+  SCOPED_TRACE(which);
+  util::ThreadPool pool;
+
+  cfg.intern_shapes = false;
+  const PipelineResult direct = CharacterizationPipeline(cfg).run(data, &pool);
+  cfg.intern_shapes = true;
+  const PipelineResult interned =
+      CharacterizationPipeline(cfg).run(data, &pool);
+
+  ASSERT_FALSE(direct.interned.has_value());
+  ASSERT_TRUE(interned.interned.has_value());
+  const InternedAnalysis& analysis = *interned.interned;
+  ASSERT_EQ(analysis.shape_of.size(), direct.sample.size());
+  EXPECT_EQ(analysis.stats.total_jobs, direct.sample.size());
+  EXPECT_LE(analysis.table.shapes.size(), direct.sample.size());
+  EXPECT_GT(analysis.table.shapes.size(), 0u);
+
+  // Cluster assignments: exactly equal, job for job — not merely the same
+  // partition. The weighted stages reproduce the direct label ids.
+  ASSERT_EQ(interned.clustering.labels.size(), direct.clustering.labels.size());
+  for (std::size_t i = 0; i < direct.clustering.labels.size(); ++i) {
+    EXPECT_EQ(interned.clustering.labels[i], direct.clustering.labels[i])
+        << "job " << i << " (" << direct.sample[i].job_name << ")";
+  }
+
+  // Gram matrix: the interned expansion must agree entry-wise. Same-shape
+  // jobs carry identical WL vectors, so the arithmetic is the same.
+  ASSERT_EQ(interned.similarity.gram.rows(), direct.similarity.gram.rows());
+  ASSERT_EQ(interned.similarity.gram.cols(), direct.similarity.gram.cols());
+  for (std::size_t r = 0; r < direct.similarity.gram.rows(); ++r) {
+    for (std::size_t c = 0; c < direct.similarity.gram.cols(); ++c) {
+      EXPECT_NEAR(interned.similarity.gram(r, c), direct.similarity.gram(r, c),
+                  1e-12)
+          << "gram(" << r << ", " << c << ")";
+    }
+  }
+  EXPECT_EQ(interned.similarity.job_names, direct.similarity.job_names);
+
+  // Group statistics (Fig. 9): populations and order statistics exact,
+  // means to summation-order tolerance.
+  ASSERT_EQ(interned.clustering.groups.size(), direct.clustering.groups.size());
+  for (std::size_t g = 0; g < direct.clustering.groups.size(); ++g) {
+    const ClusterGroupStats& a = interned.clustering.groups[g];
+    const ClusterGroupStats& b = direct.clustering.groups[g];
+    EXPECT_EQ(a.group, b.group);
+    EXPECT_EQ(a.population, b.population);
+    EXPECT_DOUBLE_EQ(a.population_fraction, b.population_fraction);
+    EXPECT_EQ(a.medoid, b.medoid);
+    EXPECT_DOUBLE_EQ(a.chain_fraction, b.chain_fraction);
+    EXPECT_DOUBLE_EQ(a.short_job_fraction, b.short_job_fraction);
+    const auto expect_distribution = [&](const util::Distribution& w,
+                                         const util::Distribution& d,
+                                         const char* name) {
+      SCOPED_TRACE(name);
+      EXPECT_EQ(w.count, d.count);
+      EXPECT_DOUBLE_EQ(w.min, d.min);
+      EXPECT_DOUBLE_EQ(w.p25, d.p25);
+      EXPECT_DOUBLE_EQ(w.median, d.median);
+      EXPECT_DOUBLE_EQ(w.p75, d.p75);
+      EXPECT_DOUBLE_EQ(w.max, d.max);
+      EXPECT_NEAR(w.mean, d.mean, 1e-12 * (1.0 + std::abs(d.mean)));
+    };
+    expect_distribution(a.size, b.size, "size");
+    expect_distribution(a.critical_path, b.critical_path, "critical_path");
+    expect_distribution(a.parallelism, b.parallelism, "parallelism");
+  }
+  EXPECT_NEAR(interned.clustering.silhouette, direct.clustering.silhouette,
+              1e-9);
+  EXPECT_EQ(interned.clustering.suggested_k, direct.clustering.suggested_k);
+  ASSERT_EQ(interned.clustering.eigenvalues.size(),
+            direct.clustering.eigenvalues.size());
+  for (std::size_t i = 0; i < direct.clustering.eigenvalues.size(); ++i) {
+    EXPECT_NEAR(interned.clustering.eigenvalues[i],
+                direct.clustering.eigenvalues[i], 1e-8)
+        << "eigenvalue " << i;
+  }
+
+  // Figure reports that must match byte for byte as JSON documents.
+  EXPECT_EQ(as_json(interned.conflation), as_json(direct.conflation));
+  EXPECT_EQ(as_json(interned.structure_before), as_json(direct.structure_before));
+  EXPECT_EQ(as_json(interned.structure_after), as_json(direct.structure_after));
+  EXPECT_EQ(as_json(interned.patterns), as_json(direct.patterns));
+
+  // Fig. 6: the programming-model counters aggregate with multiplicity and
+  // match exactly; the row set is per-shape by design, so only its total
+  // weight is comparable.
+  EXPECT_EQ(interned.task_types.map_reduce_jobs,
+            direct.task_types.map_reduce_jobs);
+  EXPECT_EQ(interned.task_types.map_join_reduce_jobs,
+            direct.task_types.map_join_reduce_jobs);
+  EXPECT_EQ(interned.task_types.map_reduce_merge_jobs,
+            direct.task_types.map_reduce_merge_jobs);
+  EXPECT_EQ(interned.task_types.multi_stage_jobs,
+            direct.task_types.multi_stage_jobs);
+  EXPECT_LE(interned.task_types.rows.size(), direct.task_types.rows.size());
+}
+
+TEST(InternDifferential, PaperMixVariabilitySample) {
+  PipelineConfig cfg;
+  cfg.sample_size = 60;
+  cfg.clustering.clusters = 5;
+  expect_interned_matches_direct(cfg, make_trace(1200, 42),
+                                 "paper-mix / variability / k=5");
+}
+
+TEST(InternDifferential, NaturalSamplingDifferentSeedAndK) {
+  PipelineConfig cfg;
+  cfg.sample_size = 50;
+  cfg.sampling = SamplingMode::Natural;
+  cfg.clustering.clusters = 3;
+  cfg.similarity.wl.iterations = 2;
+  expect_interned_matches_direct(cfg, make_trace(900, 1234),
+                                 "natural / seed 1234 / k=3 / h=2");
+}
+
+TEST(InternDifferential, ConflatedAblation) {
+  PipelineConfig cfg;
+  cfg.sample_size = 50;
+  cfg.clustering.clusters = 4;
+  cfg.analyze_conflated = true;
+  expect_interned_matches_direct(cfg, make_trace(1000, 7),
+                                 "conflated ablation / k=4");
+}
+
+}  // namespace
+}  // namespace cwgl::core

@@ -4,11 +4,15 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "model/model.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace cwgl::model {
@@ -104,7 +108,9 @@ TEST(ModelFormatTest, RejectsBadMagic) {
 
 TEST(ModelFormatTest, RejectsUnsupportedVersion) {
   std::string bytes = serialize_model(tiny_model());
-  bytes[kModelMagic.size()] = 2;  // little-endian version field
+  bytes[kModelMagic.size()] = 3;  // little-endian version field
+  EXPECT_THROW(deserialize_model(bytes), ModelError);
+  bytes[kModelMagic.size()] = 0;
   EXPECT_THROW(deserialize_model(bytes), ModelError);
 }
 
@@ -150,6 +156,143 @@ TEST(ModelFormatTest, RejectsInconsistentSelfNorm) {
 
 TEST(ModelFormatTest, LoadOfMissingFileIsTypedError) {
   EXPECT_THROW(load_model("/nonexistent/cwgl/model.cwgl"), ModelError);
+}
+
+// ---------------------------------------------------------------------------
+// SHPC (shape multiplicity) section — the v2 addition. Corruptions here must
+// keep valid CRCs so the decoder reaches the structural/semantic checks the
+// section-level CRC cannot provide.
+// ---------------------------------------------------------------------------
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  for (int s = 0; s < 32; s += 8) {
+    out.push_back(static_cast<char>((v >> s) & 0xFFu));
+  }
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int s = 0; s < 64; s += 8) {
+    out.push_back(static_cast<char>((v >> s) & 0xFFu));
+  }
+}
+
+struct SectionSpan {
+  std::size_t header;   // offset of the tag field
+  std::size_t payload;  // offset of the first payload byte
+  std::uint64_t size;   // payload size
+};
+
+/// Walks the section headers to locate section `index` (0-based).
+SectionSpan locate_section(const std::string& bytes, std::size_t index) {
+  std::size_t pos = kModelMagic.size() + 8;  // magic + version + section count
+  for (std::size_t i = 0;; ++i) {
+    std::uint64_t size = 0;
+    for (int b = 0; b < 8; ++b) {
+      size |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(bytes[pos + 4 + b]))
+              << (8 * b);
+    }
+    const SectionSpan span{pos, pos + 4 + 8 + 4, size};
+    if (i == index) return span;
+    pos = span.payload + static_cast<std::size_t>(size);
+  }
+}
+
+/// Replaces the trailing SHPC section with `payload`, CRC recomputed so only
+/// the payload semantics are wrong.
+std::string with_replaced_shpc(const std::string& clean,
+                               const std::string& payload) {
+  const SectionSpan shpc = locate_section(clean, 4);
+  std::string out = clean.substr(0, shpc.header);
+  out.append("SHPC");
+  put_u64le(out, payload.size());
+  put_u32le(out, util::crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+/// tiny_model with non-trivial shape multiplicities, as an interned fit
+/// produces: 4 representatives standing for 11 training jobs.
+FittedModel interned_model() {
+  FittedModel m = tiny_model();
+  m.representatives[0][0].count = 2;
+  m.representatives[0][1].count = 3;
+  m.profiles[0].population = 6;  // 2 + 3 + 1
+  m.representatives[1][0].count = 5;
+  m.profiles[1].population = 5;
+  return m;
+}
+
+TEST(ModelFormatTest, ShapeCountsRoundTrip) {
+  const FittedModel m = interned_model();
+  const FittedModel back = deserialize_model(serialize_model(m));
+  EXPECT_EQ(back, m);
+  EXPECT_EQ(back.training_jobs(), 4u);
+  EXPECT_EQ(back.training_weight(), 11u);
+}
+
+TEST(ModelFormatTest, LegacyV1SnapshotLoadsWithUnitCounts) {
+  // A v1 snapshot is the v2 snapshot minus the SHPC section, with the
+  // version and section-count fields rewritten. Every count defaults to 1.
+  const FittedModel m = tiny_model();
+  std::string bytes = serialize_model(m);
+  const SectionSpan shpc = locate_section(bytes, 4);
+  bytes.resize(shpc.header);
+  bytes[kModelMagic.size()] = 1;      // version (little-endian low byte)
+  bytes[kModelMagic.size() + 4] = 4;  // section count
+  const FittedModel back = deserialize_model(bytes);
+  EXPECT_EQ(back, m);  // tiny_model's counts are all 1 — the v1 default
+  EXPECT_EQ(back.training_weight(), back.training_jobs());
+}
+
+TEST(ModelFormatTest, RejectsShpcClusterArityMismatch) {
+  std::string payload;
+  put_u64le(payload, 1);  // claims 1 cluster, REPS decoded 2
+  put_u64le(payload, 3);
+  for (int i = 0; i < 3; ++i) put_u64le(payload, 1);
+  const std::string bytes =
+      with_replaced_shpc(serialize_model(tiny_model()), payload);
+  EXPECT_THROW(deserialize_model(bytes), ModelError);
+}
+
+TEST(ModelFormatTest, RejectsShpcRepArityMismatch) {
+  std::string payload;
+  put_u64le(payload, 2);
+  put_u64le(payload, 2);  // cluster 0 has 3 representatives, not 2
+  for (int i = 0; i < 2; ++i) put_u64le(payload, 1);
+  put_u64le(payload, 1);
+  put_u64le(payload, 1);
+  const std::string bytes =
+      with_replaced_shpc(serialize_model(tiny_model()), payload);
+  EXPECT_THROW(deserialize_model(bytes), ModelError);
+}
+
+TEST(ModelFormatTest, RejectsZeroShapeCount) {
+  std::string payload;
+  put_u64le(payload, 2);
+  put_u64le(payload, 3);
+  put_u64le(payload, 0);  // zero multiplicity — semantically impossible
+  put_u64le(payload, 1);
+  put_u64le(payload, 1);
+  put_u64le(payload, 1);
+  put_u64le(payload, 1);
+  const std::string bytes =
+      with_replaced_shpc(serialize_model(tiny_model()), payload);
+  EXPECT_THROW(deserialize_model(bytes), ModelError);
+}
+
+TEST(ModelFormatTest, RejectsCountsThatDoNotSumToPopulation) {
+  std::string payload;
+  put_u64le(payload, 2);
+  put_u64le(payload, 3);
+  put_u64le(payload, 2);  // cluster 0 now sums to 4, population says 3
+  put_u64le(payload, 1);
+  put_u64le(payload, 1);
+  put_u64le(payload, 1);
+  put_u64le(payload, 1);
+  const std::string bytes =
+      with_replaced_shpc(serialize_model(tiny_model()), payload);
+  EXPECT_THROW(deserialize_model(bytes), ModelError);
 }
 
 }  // namespace

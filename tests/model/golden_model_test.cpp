@@ -21,10 +21,13 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "model/fit.hpp"
 #include "model/format.hpp"
 #include "model/model.hpp"
 #include "serve/classifier.hpp"
 #include "trace/filter.hpp"
+#include "trace/io.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cwgl::model {
 namespace {
@@ -80,6 +83,50 @@ TEST(GoldenModelTest, HeldOutProbesLandInPinnedClusters) {
   EXPECT_NE(chain_p.cluster, triangle_p.cluster);
   EXPECT_GT(chain_p.similarity, 0.5);
   EXPECT_GT(triangle_p.similarity, 0.5);
+}
+
+TEST(GoldenModelTest, InternedFitReproducesGoldenClassifications) {
+  // Re-fit on the committed example trace with shape interning enabled and
+  // the exact configuration of the golden recipe. The interned snapshot is
+  // smaller (one representative per distinct shape) but must classify the
+  // held-out probes into the SAME pinned clusters as the committed direct
+  // model — the serving contract of `--intern`.
+  const trace::Trace data =
+      trace::read_trace(std::string(kDataDir) + "/example_trace");
+  core::PipelineConfig cfg;
+  cfg.sample_size = kExpectedTrainingJobs;
+  cfg.clustering.clusters = kExpectedClusters;
+  cfg.intern_shapes = true;
+  util::ThreadPool pool;
+  core::FittedFeatures fitted;
+  const core::PipelineResult result =
+      core::CharacterizationPipeline(cfg).run(data, &pool, &fitted);
+  ASSERT_TRUE(result.interned.has_value());
+
+  const FittedModel snapshot =
+      model::build_model(result, std::move(fitted), cfg);
+  EXPECT_EQ(snapshot.training_weight(), kExpectedTrainingJobs);
+  EXPECT_LT(snapshot.training_jobs(), kExpectedTrainingJobs)
+      << "the example trace has recurring shapes; interning must dedup them";
+
+  // Dictionary byte-identity: the interned fit freezes the very same WL
+  // dictionary as the committed direct fit.
+  const FittedModel direct = golden();
+  EXPECT_EQ(snapshot.dictionary, direct.dictionary);
+
+  // Round-trip through the v2 wire format, then classify the probes.
+  const FittedModel reloaded = deserialize_model(serialize_model(snapshot));
+  EXPECT_EQ(reloaded, snapshot);
+  const serve::Classifier classifier(reloaded);
+  const serve::Classifier golden_classifier(direct);
+  for (const core::JobDag& probe : probe_jobs()) {
+    const serve::Prediction interned_p = classifier.classify(probe);
+    const serve::Prediction direct_p = golden_classifier.classify(probe);
+    EXPECT_EQ(interned_p.cluster, direct_p.cluster) << probe.job_name;
+    const int expected = probe.job_name == "j_chain" ? kExpectedChainCluster
+                                                     : kExpectedTriangleCluster;
+    EXPECT_EQ(interned_p.cluster, expected) << probe.job_name;
+  }
 }
 
 TEST(GoldenModelTest, GoldenPredictionsAreByteStable) {

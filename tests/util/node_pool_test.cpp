@@ -1,0 +1,93 @@
+#include "util/node_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cwgl::util {
+namespace {
+
+TEST(NodePool, CreateReturnsStableAddresses) {
+  NodePool<int> pool(4);  // tiny chunks so several are allocated
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 100; ++i) ptrs.push_back(pool.create(i));
+  ASSERT_EQ(pool.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(*ptrs[i], i);
+}
+
+TEST(NodePool, SizeCountsAcrossChunks) {
+  NodePool<int> pool(8);
+  EXPECT_EQ(pool.size(), 0u);
+  for (int i = 0; i < 17; ++i) pool.create(i);
+  EXPECT_EQ(pool.size(), 17u);  // 2 full chunks + 1 in the third
+}
+
+TEST(NodePool, ForwardsConstructorArguments) {
+  NodePool<std::string> pool;
+  std::string* s = pool.create(3, 'x');
+  EXPECT_EQ(*s, "xxx");
+}
+
+struct Tracked {
+  static int live;
+  int payload;
+  explicit Tracked(int p) : payload(p) { ++live; }
+  ~Tracked() { --live; }
+};
+int Tracked::live = 0;
+
+TEST(NodePool, DestroysEveryConstructedObject) {
+  Tracked::live = 0;
+  {
+    NodePool<Tracked> pool(4);
+    for (int i = 0; i < 11; ++i) pool.create(i);
+    EXPECT_EQ(Tracked::live, 11);
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+struct ThrowsOnN {
+  static int constructed;
+  static int threshold;
+  explicit ThrowsOnN(int) {
+    if (constructed >= threshold) throw std::runtime_error("boom");
+    ++constructed;
+  }
+  ~ThrowsOnN() { --constructed; }
+};
+int ThrowsOnN::constructed = 0;
+int ThrowsOnN::threshold = 0;
+
+TEST(NodePool, ThrowingConstructorLeavesPoolConsistent) {
+  ThrowsOnN::constructed = 0;
+  ThrowsOnN::threshold = 5;
+  NodePool<ThrowsOnN> pool(2);
+  for (int i = 0; i < 5; ++i) pool.create(i);
+  EXPECT_EQ(pool.size(), 5u);
+  EXPECT_THROW(pool.create(5), std::runtime_error);
+  // The failed slot is not counted and must not be destroyed later.
+  EXPECT_EQ(pool.size(), 5u);
+  ThrowsOnN::threshold = 10;
+  pool.create(6);
+  EXPECT_EQ(pool.size(), 6u);
+}
+
+TEST(NodePool, MoveTransfersOwnership) {
+  NodePool<int> a(4);
+  int* p = a.create(42);
+  NodePool<int> b(std::move(a));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(*p, 42);  // address survives the move
+}
+
+TEST(NodePool, HoldsMoveOnlyTypes) {
+  NodePool<std::unique_ptr<int>> pool(4);
+  auto* slot = pool.create(std::make_unique<int>(7));
+  EXPECT_EQ(**slot, 7);
+}
+
+}  // namespace
+}  // namespace cwgl::util

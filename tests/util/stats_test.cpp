@@ -151,6 +151,74 @@ TEST(Describe, EmptyInput) {
   EXPECT_EQ(d.mean, 0.0);
 }
 
+/// Expands (values, weights) into a flat multiset for the reference path.
+std::vector<double> expand_weighted(const std::vector<double>& values,
+                                    const std::vector<std::uint64_t>& weights) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (std::uint64_t c = 0; c < weights[i]; ++c) out.push_back(values[i]);
+  }
+  return out;
+}
+
+TEST(DescribeWeighted, MatchesExpandedDescribeExactly) {
+  const std::vector<double> values{4.0, 1.0, 7.5, 2.0, 3.0};
+  const std::vector<std::uint64_t> weights{3, 1, 2, 5, 4};
+  const Distribution expanded = describe(expand_weighted(values, weights));
+  const Distribution weighted = describe_weighted(values, weights);
+  EXPECT_EQ(weighted.count, expanded.count);
+  // Order statistics must be bit-identical: the weighted quantile mirrors
+  // Quantiles::quantile on the expanded multiset.
+  EXPECT_EQ(weighted.min, expanded.min);
+  EXPECT_EQ(weighted.p25, expanded.p25);
+  EXPECT_EQ(weighted.median, expanded.median);
+  EXPECT_EQ(weighted.p75, expanded.p75);
+  EXPECT_EQ(weighted.max, expanded.max);
+  // The mean differs only in summation order.
+  EXPECT_NEAR(weighted.mean, expanded.mean, 1e-12);
+}
+
+TEST(DescribeWeighted, AllWeightsOneMatchesDescribe) {
+  const std::vector<double> values{9.0, 2.0, 5.0, 5.0};
+  const std::vector<std::uint64_t> ones(values.size(), 1);
+  const Distribution plain = describe(values);
+  const Distribution weighted = describe_weighted(values, ones);
+  EXPECT_EQ(weighted.count, plain.count);
+  EXPECT_EQ(weighted.median, plain.median);
+  EXPECT_EQ(weighted.p25, plain.p25);
+  EXPECT_EQ(weighted.p75, plain.p75);
+  EXPECT_NEAR(weighted.mean, plain.mean, 1e-15);
+}
+
+TEST(DescribeWeighted, IgnoresZeroWeights) {
+  const std::vector<double> values{1.0, 100.0, 3.0};
+  const std::vector<std::uint64_t> weights{2, 0, 2};
+  const Distribution d = describe_weighted(values, weights);
+  EXPECT_EQ(d.count, 4u);
+  EXPECT_EQ(d.max, 3.0);  // the zero-weight value never appears
+  EXPECT_DOUBLE_EQ(d.mean, 2.0);
+}
+
+TEST(DescribeWeighted, EmptyAndAllZeroWeights) {
+  EXPECT_EQ(describe_weighted({}, {}).count, 0u);
+  const std::vector<double> values{1.0, 2.0};
+  const std::vector<std::uint64_t> zeros{0, 0};
+  const Distribution d = describe_weighted(values, zeros);
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.mean, 0.0);
+}
+
+TEST(DescribeWeighted, SingleHeavyValue) {
+  const std::vector<double> values{42.0};
+  const std::vector<std::uint64_t> weights{1000};
+  const Distribution d = describe_weighted(values, weights);
+  EXPECT_EQ(d.count, 1000u);
+  EXPECT_DOUBLE_EQ(d.mean, 42.0);
+  EXPECT_DOUBLE_EQ(d.median, 42.0);
+  EXPECT_DOUBLE_EQ(d.min, 42.0);
+  EXPECT_DOUBLE_EQ(d.max, 42.0);
+}
+
 TEST(Pearson, PerfectPositiveCorrelation) {
   const std::vector<double> x{1, 2, 3, 4};
   const std::vector<double> y{2, 4, 6, 8};
