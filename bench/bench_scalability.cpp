@@ -40,37 +40,58 @@ void print_figure(bench::Reporter& reporter) {
   // Differential: the concurrent featurization path (sharded dictionary +
   // pooled featurize/dot) against the serial reference. "max|diff|" is the
   // elementwise deviation between the two Gram matrices — the determinism
-  // contract requires <= 1e-12.
+  // contract requires <= 1e-12. The gram_par_* metrics feed bench_diff's
+  // --min-bar speedup gate, so they always run >= 5 paired reps (serial and
+  // pooled interleaved, per-rep speedup ratios) even under the smoke pass's
+  // CWGL_BENCH_REPS=1 — a single rep made the gate flaky.
   std::cout << "\nserial vs parallel gram (4 threads, featurization + dots)\n"
             << util::pad_left("corpus", 8) << util::pad_left("serial ms", 11)
             << util::pad_left("par ms", 10) << util::pad_left("speedup", 9)
             << util::pad_left("max|diff|", 12) << "\n";
   util::ThreadPool pool(4);
+  const std::size_t par_reps =
+      std::max<std::size_t>(5, bench::env_size("CWGL_BENCH_REPS", 5));
   for (std::size_t n : {100u, 250u, 500u}) {
     const auto sample = bench::make_experiment_set(20000, n);
     std::vector<kernel::LabeledGraph> corpus;
     for (const auto& job : sample) corpus.push_back(job.to_labeled());
 
-    kernel::WlSubtreeFeaturizer serial_f;
-    obs::Stopwatch serial_timer;
-    const auto serial = kernel::gram_matrix(serial_f, corpus);
-    const double serial_ms = serial_timer.millis();
+    std::vector<double> serial_series, pooled_series, speedup_series;
+    double max_diff = 0.0;
+    for (std::size_t rep = 0; rep < par_reps; ++rep) {
+      // Fresh featurizers each rep: the dictionary grows while interning,
+      // so a reused one would time a different (all-hit) workload.
+      kernel::WlSubtreeFeaturizer serial_f;
+      obs::Stopwatch serial_timer;
+      const auto serial = kernel::gram_matrix(serial_f, corpus);
+      const double serial_ms = serial_timer.millis();
 
-    kernel::WlSubtreeFeaturizer parallel_f;
-    obs::Stopwatch parallel_timer;
-    const auto parallel = kernel::gram_matrix(parallel_f, corpus, {}, &pool);
-    const double parallel_ms = parallel_timer.millis();
+      kernel::WlSubtreeFeaturizer parallel_f;
+      obs::Stopwatch parallel_timer;
+      const auto parallel = kernel::gram_matrix(parallel_f, corpus, {}, &pool);
+      const double parallel_ms = parallel_timer.millis();
 
+      serial_series.push_back(serial_ms);
+      pooled_series.push_back(parallel_ms);
+      speedup_series.push_back(serial_ms / parallel_ms);
+      max_diff = std::max(max_diff, serial.max_abs_diff(parallel));
+    }
+    const auto median = [](std::vector<double> v) {
+      std::sort(v.begin(), v.end());
+      return v[(v.size() - 1) / 2];
+    };
+    const double serial_med = median(serial_series);
+    const double pooled_med = median(pooled_series);
     std::cout << util::pad_left(std::to_string(corpus.size()), 8)
-              << util::pad_left(util::format_double(serial_ms, 1), 11)
-              << util::pad_left(util::format_double(parallel_ms, 1), 10)
-              << util::pad_left(util::format_double(serial_ms / parallel_ms, 2), 9)
-              << util::pad_left(util::format_double(serial.max_abs_diff(parallel), 15), 19)
+              << util::pad_left(util::format_double(serial_med, 1), 11)
+              << util::pad_left(util::format_double(pooled_med, 1), 10)
+              << util::pad_left(util::format_double(median(speedup_series), 2), 9)
+              << util::pad_left(util::format_double(max_diff, 15), 19)
               << "\n";
     const std::string prefix = "gram_par_" + std::to_string(corpus.size());
-    reporter.set(prefix + "_serial_ms", serial_ms);
-    reporter.set(prefix + "_pooled_ms", parallel_ms);
-    reporter.set(prefix + "_speedup", serial_ms / parallel_ms, "x");
+    reporter.series(prefix + "_serial_ms", serial_series);
+    reporter.series(prefix + "_pooled_ms", pooled_series);
+    reporter.series(prefix + "_speedup", speedup_series, "x");
   }
 }
 

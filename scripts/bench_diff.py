@@ -3,6 +3,7 @@
 
 Usage:
     bench_diff.py BASELINE.json CURRENT.json [--max-regress PCT]
+                  [--min-bar GLOB=VALUE ...]
 
 Both files are BENCH_<name>.json as written by bench::Reporter
 (bench/common.hpp): {"schema": "cwgl-bench-v1", "bench": ..., "machine":
@@ -10,19 +11,27 @@ Both files are BENCH_<name>.json as written by bench::Reporter
 
 Exit codes:
     0  compared fine (deltas are informational by default)
-    1  --max-regress given and a time-unit metric regressed past the bar
-    2  structural problem: unreadable file, wrong schema, or a baseline
-       metric missing from the current run — the files are not comparable
+    1  --max-regress given and a time-unit metric regressed past the bar,
+       or --min-bar given and a matching metric's median fell below it
+    2  structural problem: unreadable file, wrong schema, a baseline
+       metric missing from the current run, or a --min-bar glob that
+       matches no current metric — the comparison is not meaningful
 
 Deltas are computed on medians. Percentages are signed so that positive
 means "current is slower/bigger than baseline". Only time-unit metrics
 (ms/us/ns) count against --max-regress; ratios and throughputs are
 reported but never gate, since "bigger" is better for those.
 
+--min-bar is the inverse gate for bigger-is-better metrics: GLOB=VALUE
+(repeatable, fnmatch glob over metric names) fails the run when any
+CURRENT metric matching GLOB has median < VALUE. check.sh uses it to hold
+gram_par_*_speedup >= 1.0 on multi-core machines.
+
 Stdlib only — runnable anywhere Python 3 exists, no pip involved.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -64,7 +73,29 @@ def main():
         help="fail (exit 1) if any time-unit metric's median regresses "
         "by more than PCT percent",
     )
+    parser.add_argument(
+        "--min-bar",
+        action="append",
+        default=[],
+        metavar="GLOB=VALUE",
+        help="fail (exit 1) if any current metric whose name matches GLOB "
+        "has median < VALUE; exit 2 if GLOB matches nothing (repeatable)",
+    )
     args = parser.parse_args()
+
+    bars = []
+    for spec in args.min_bar:
+        glob, sep, value = spec.rpartition("=")
+        try:
+            if not sep:
+                raise ValueError("missing '='")
+            bars.append((glob, float(value)))
+        except ValueError as e:
+            print(
+                f"bench_diff: bad --min-bar {spec!r} (want GLOB=VALUE): {e}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
 
     base = load(args.baseline)
     curr = load(args.current)
@@ -125,6 +156,21 @@ def main():
             flag = "  << regression"
         print(f"{name:<28}{unit:>8}{b_med:>12.4g}{c_med:>12.4g}{delta:>9}{flag}")
 
+    below_bar = []
+    for glob, value in bars:
+        matched = [n for n in sorted(curr["metrics"]) if fnmatch.fnmatch(n, glob)]
+        if not matched:
+            print(
+                f"bench_diff: --min-bar {glob!r} matches no current metric",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        for name in matched:
+            median = float(curr["metrics"][name].get("median", 0.0))
+            if median < value:
+                below_bar.append((name, median, value))
+
+    failed = False
     if regressions:
         print(
             f"bench_diff: {len(regressions)} metric(s) regressed past "
@@ -132,8 +178,15 @@ def main():
             + ", ".join(f"{n} ({p:+.1f}%)" for n, p in regressions),
             file=sys.stderr,
         )
-        sys.exit(1)
-    sys.exit(0)
+        failed = True
+    if below_bar:
+        print(
+            f"bench_diff: {len(below_bar)} metric(s) below --min-bar: "
+            + ", ".join(f"{n} ({m:.4g} < {v:g})" for n, m, v in below_bar),
+            file=sys.stderr,
+        )
+        failed = True
+    sys.exit(1 if failed else 0)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,11 @@ struct GramOptions {
   /// tiny (tens of vertices, microseconds each), so chunks amortize the
   /// submit/future overhead; 16 is a good default for 2-31-task jobs.
   std::size_t featurize_grain = 16;
+  /// Rows/cols per tile of the upper-triangle pair loop. Tiles are the
+  /// scheduling unit (chunked by estimated work, sum of nnz products) and
+  /// the locality unit (a 48x48 tile re-reads 96 sparse vectors from cache
+  /// for 1k+ dots). Clamped to [1, 4096].
+  std::size_t tile_rows = 48;
 };
 
 /// Builds the symmetric kernel (Gram) matrix of a corpus.

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "kernel/types.hpp"
+
 namespace cwgl::kernel {
 
 /// Thread-safe signature interner: the concurrent counterpart of
@@ -69,19 +71,15 @@ class ShardedSignatureDictionary {
   // negligible for any realistic pool width while staying cache-compact.
   static constexpr std::size_t kShardCount = 16;
 
-  /// Transparent hashing so lookups take string_view without allocating.
-  struct Hash {
-    using is_transparent = void;
-    std::size_t operator()(std::string_view s) const noexcept {
-      return std::hash<std::string_view>{}(s);
-    }
-  };
-
   struct Shard {
     /// mutable so the read-only find()/entries() paths can take the lock
     /// from const methods; the map itself is never touched by them.
     mutable std::mutex mutex;
-    std::unordered_map<std::string, int, Hash, std::equal_to<>> map;
+    /// Transparent hash (shared with SignatureDictionary) so the find()
+    /// serving hot path and intern() hits take string_view without
+    /// allocating.
+    std::unordered_map<std::string, int, TransparentStringHash, std::equal_to<>>
+        map;
   };
 
   static std::size_t shard_index(std::string_view key) noexcept;

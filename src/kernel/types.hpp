@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -29,14 +31,34 @@ struct SparseVector {
 
   friend bool operator==(const SparseVector&, const SparseVector&) = default;
 
-  /// Dot product via sorted-merge; O(nnz_a + nnz_b).
+  /// Dot product; O(nnz_a + nnz_b) merge in the balanced case, galloping
+  /// (exponential + binary search over the longer vector) when one side is
+  /// much shorter, which takes O(nnz_short * log nnz_long). Both paths
+  /// accumulate the matched products in the same ascending-id order, so the
+  /// result is bitwise identical to `dot_scalar` — a property the sparse-dot
+  /// test suite pins on random corpora.
   double dot(const SparseVector& other) const noexcept;
+
+  /// The reference scalar two-pointer merge. Kept as the oracle the fast
+  /// path is differentially tested against; not for hot-path use.
+  double dot_scalar(const SparseVector& other) const noexcept;
 
   /// Euclidean norm.
   double norm() const noexcept;
 
   /// Builds from an unordered (id -> count) accumulation.
   static SparseVector from_counts(const std::unordered_map<int, double>& counts);
+};
+
+/// Transparent (heterogeneous) string hash: lets unordered_map lookups take
+/// a string_view without materializing a temporary std::string. Shared by
+/// the serial and sharded signature dictionaries so both hot paths are
+/// allocation-free on hit.
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
 };
 
 /// Interns arbitrary byte-string signatures to dense consecutive ids.
@@ -51,7 +73,8 @@ class SignatureDictionary {
   std::size_t size() const noexcept { return map_.size(); }
 
  private:
-  std::unordered_map<std::string, int> map_;
+  std::unordered_map<std::string, int, TransparentStringHash, std::equal_to<>>
+      map_;
 };
 
 /// Abstract graph-to-feature-vector transform backing a kernel.

@@ -74,9 +74,22 @@ class Classifier {
   /// Applies the model's labeling switch to produce the kernel-form graph.
   kernel::LabeledGraph make_labeled(const core::JobDag& job) const;
 
+  /// One representative in the flattened scan order (clusters ascending,
+  /// then each cluster's reps in model order — exactly the order the old
+  /// nested loop visited, so the tie-break outcome is unchanged).
+  struct ScanEntry {
+    const model::Representative* rep;
+    int cluster;
+  };
+
   model::FittedModel model_;
   kernel::ShardedSignatureDictionary dict_;
   kernel::FrozenWlFeaturizer featurizer_;
+  /// Flattened over model_.representatives at construction: the classify
+  /// hot loop walks one contiguous array instead of a vector-of-vectors,
+  /// and every similarity is a sparse dot through the shared galloping
+  /// fast path (kernel::SparseVector::dot).
+  std::vector<ScanEntry> scan_;
 };
 
 }  // namespace cwgl::serve

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <utility>
 
 #include "util/failpoint.hpp"
 
@@ -99,6 +101,48 @@ ThreadPool& default_pool() {
   return pool;
 }
 
+namespace {
+
+/// Submits one pool task per [lo, hi) range and blocks until all settle —
+/// the shared back half of parallel_for_chunked / parallel_for_weighted.
+/// The caller "helps" while waiting (drains queued tasks, ours or anyone's,
+/// via run_pending_task), so a pool task blocked here can never starve its
+/// own chunks of a worker.
+void run_range_chunks(ThreadPool& pool,
+                      const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+                      const std::function<void(std::size_t, std::size_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(ranges.size());
+  std::exception_ptr first_error;
+  try {
+    for (const auto& [lo, hi] : ranges) {
+      futures.push_back(pool.submit([&fn, lo = lo, hi = hi] {
+        // Exceptions (including injected ones) surface through the future
+        // and are rethrown below after every chunk resolves.
+        CWGL_FAILPOINT("pool.chunk");
+        fn(lo, hi);
+      }));
+    }
+  } catch (...) {
+    // A failed submission must not unwind while already-queued chunks still
+    // reference `fn` (which lives in our caller's frame): settle them first.
+    first_error = std::current_exception();
+  }
+  for (auto& f : futures) {
+    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!pool.run_pending_task()) f.wait();
+    }
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
 void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
                           std::size_t grain,
                           const std::function<void(std::size_t, std::size_t)>& fn) {
@@ -111,38 +155,52 @@ void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
   }
   const std::size_t chunks = std::min((total + grain - 1) / grain, pool.size() * 4);
   const std::size_t step = (total + chunks - 1) / chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  std::exception_ptr first_error;
-  try {
-    for (std::size_t c = begin; c < end; c += step) {
-      const std::size_t hi = std::min(c + step, end);
-      futures.push_back(pool.submit([&fn, c, hi] {
-        // Exceptions (including injected ones) surface through the future
-        // and are rethrown below after every chunk resolves.
-        CWGL_FAILPOINT("pool.chunk");
-        fn(c, hi);
-      }));
-    }
-  } catch (...) {
-    // A failed submission must not unwind while already-queued chunks still
-    // reference `fn` (which lives in our caller's frame): settle them first.
-    first_error = std::current_exception();
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(chunks);
+  for (std::size_t c = begin; c < end; c += step) {
+    ranges.emplace_back(c, std::min(c + step, end));
   }
-  for (auto& f : futures) {
-    // Help-while-waiting: drain queued tasks (ours or anyone's) until this
-    // chunk resolves, so a pool task blocked here can never starve its own
-    // chunks of a worker.
-    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
-      if (!pool.run_pending_task()) f.wait();
-    }
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+  run_range_chunks(pool, ranges, fn);
+}
+
+void parallel_for_weighted(ThreadPool& pool, std::span<const double> work,
+                           const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t n = work.size();
+  if (n == 0) return;
+  if (pool.size() <= 1 || n == 1) {
+    fn(0, n);
+    return;
+  }
+  double total = 0.0;
+  for (const double w : work) {
+    if (std::isfinite(w) && w > 0.0) total += w;
+  }
+  const std::size_t chunks = std::min(n, pool.size() * 4);
+  if (total <= 0.0) {
+    // Degenerate weights: fall back to uniform item-count chunking.
+    parallel_for_chunked(pool, 0, n, (n + chunks - 1) / chunks, fn);
+    return;
+  }
+  // Place boundary k where the weight prefix first reaches k/chunks of the
+  // total, so every chunk carries ~equal work regardless of per-item skew.
+  // Targets are absolute (not running) so rounding error never accumulates.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(chunks);
+  double prefix = 0.0;
+  std::size_t lo = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = work[i];
+    if (std::isfinite(w) && w > 0.0) prefix += w;
+    if (i + 1 == n) {
+      ranges.emplace_back(lo, n);
+    } else if (ranges.size() + 1 < chunks &&
+               prefix >= total * static_cast<double>(ranges.size() + 1) /
+                             static_cast<double>(chunks)) {
+      ranges.emplace_back(lo, i + 1);
+      lo = i + 1;
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  run_range_chunks(pool, ranges, fn);
 }
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,

@@ -7,6 +7,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -139,6 +140,19 @@ ThreadPool& default_pool();
 void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
                           std::size_t grain,
                           const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Work-sized variant of `parallel_for_chunked`: item i of [0, work.size())
+/// costs an estimated `work[i]` units, and chunk boundaries are placed so
+/// every chunk carries roughly `total_work / chunks` units instead of the
+/// same item count. This is what keeps wildly skewed per-item costs (the
+/// Gram tiles — a tile's cost is the product of its rows' nnz sums) from
+/// serializing behind one overloaded chunk. Negative or non-finite weights
+/// are treated as zero. Chunks are contiguous, cover every index exactly
+/// once, and run through the same submit + help-while-waiting machinery as
+/// `parallel_for_chunked` (same inline fallback for 1-worker pools, same
+/// first-exception rethrow, same `pool.chunk` failpoint).
+void parallel_for_weighted(ThreadPool& pool, std::span<const double> work,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
 
 /// Element-wise convenience wrapper over `parallel_for_chunked`.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,

@@ -1,0 +1,143 @@
+// Differential coverage for the SparseVector::dot fast path: the dispatching
+// dot (scalar merge for balanced sizes, galloping intersection for skewed
+// ones) must return the EXACT bits of the scalar two-pointer oracle on every
+// input — both paths accumulate matched products in ascending-id order, so
+// equality is bitwise, not approximate. Random corpora are drawn to hit
+// every regime: empty, disjoint, identical, dense-overlap, and size skews
+// far past the galloping threshold.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "kernel/types.hpp"
+#include "support/proptest.hpp"
+#include "util/rng.hpp"
+
+namespace cwgl::kernel {
+namespace {
+
+/// A sparse vector with `nnz` distinct ids drawn from [0, universe), sorted
+/// ascending; small universes force dense overlap between vectors.
+SparseVector random_sparse(util::Xoshiro256StarStar& rng, std::size_t nnz,
+                           int universe) {
+  std::unordered_set<int> ids;
+  while (ids.size() < nnz && ids.size() < static_cast<std::size_t>(universe)) {
+    ids.insert(rng.uniform_int(0, universe - 1));
+  }
+  SparseVector v;
+  v.items.reserve(ids.size());
+  for (const int id : ids) {
+    // Mixed-sign, mixed-magnitude values so a wrong accumulation order
+    // cannot hide behind monotone sums.
+    const double value = (rng.bernoulli(0.5) ? 1.0 : -1.0) *
+                         rng.uniform_real(0.001, 1000.0);
+    v.items.emplace_back(id, value);
+  }
+  std::sort(v.items.begin(), v.items.end());
+  return v;
+}
+
+/// Independent reference: accumulate matches in ascending-id order via a
+/// fresh merge, written differently from both production paths.
+double reference_dot(const SparseVector& a, const SparseVector& b) {
+  double acc = 0.0;
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.items.size() && ib < b.items.size()) {
+    const int ka = a.items[ia].first;
+    const int kb = b.items[ib].first;
+    if (ka == kb) {
+      acc += a.items[ia].second * b.items[ib].second;
+      ++ia;
+      ++ib;
+    } else if (ka < kb) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return acc;
+}
+
+TEST(SparseDotProperty, FastPathMatchesScalarOracleBitwise) {
+  proptest::run_cases(0x5D07D071, 40, [](util::Xoshiro256StarStar& rng) {
+    // Sizes span both merge and gallop regimes; universe spans sparse
+    // (overlap rare) to dense (overlap near-total).
+    const std::size_t na = static_cast<std::size_t>(rng.uniform_int(0, 400));
+    const std::size_t nb = static_cast<std::size_t>(rng.uniform_int(0, 400));
+    const int universe = rng.uniform_int(1, 600);
+    const SparseVector a = random_sparse(rng, na, universe);
+    const SparseVector b = random_sparse(rng, nb, universe);
+    const double fast = a.dot(b);
+    const double oracle = a.dot_scalar(b);
+    EXPECT_EQ(fast, oracle);  // bitwise, not NEAR
+    EXPECT_EQ(fast, reference_dot(a, b));
+    EXPECT_EQ(a.dot(b), b.dot(a));  // IEEE products commute
+  });
+}
+
+TEST(SparseDotProperty, SkewedSizesForceGallopingPath) {
+  // nnz 1-4 against nnz 200+ is far past the dispatch ratio, so this pins
+  // the galloping branch specifically (both operand orders).
+  proptest::run_cases(0x5D07D072, 20, [](util::Xoshiro256StarStar& rng) {
+    const SparseVector small =
+        random_sparse(rng, static_cast<std::size_t>(rng.uniform_int(1, 4)), 500);
+    const SparseVector big = random_sparse(
+        rng, static_cast<std::size_t>(rng.uniform_int(200, 400)), 500);
+    EXPECT_EQ(small.dot(big), small.dot_scalar(big));
+    EXPECT_EQ(big.dot(small), big.dot_scalar(small));
+    EXPECT_EQ(small.dot(big), big.dot(small));
+  });
+}
+
+TEST(SparseDot, EmptyOperands) {
+  const SparseVector empty;
+  SparseVector v;
+  v.items = {{1, 2.0}, {7, 3.0}};
+  EXPECT_EQ(empty.dot(empty), 0.0);
+  EXPECT_EQ(empty.dot(v), 0.0);
+  EXPECT_EQ(v.dot(empty), 0.0);
+}
+
+TEST(SparseDot, DisjointIdRangesAreZero) {
+  SparseVector lo, hi;
+  for (int i = 0; i < 100; ++i) lo.items.emplace_back(i, 1.5);
+  for (int i = 1000; i < 1003; ++i) hi.items.emplace_back(i, 2.5);
+  // Skewed enough to gallop; every probe lands past the end.
+  EXPECT_EQ(lo.dot(hi), 0.0);
+  EXPECT_EQ(hi.dot(lo), 0.0);
+  EXPECT_EQ(lo.dot(hi), lo.dot_scalar(hi));
+}
+
+TEST(SparseDot, InterleavedDisjointIdsAreZero) {
+  SparseVector even, odd;
+  for (int i = 0; i < 200; i += 2) even.items.emplace_back(i, 1.0);
+  for (int i = 1; i < 16; i += 2) odd.items.emplace_back(i, 1.0);
+  EXPECT_EQ(even.dot(odd), 0.0);
+  EXPECT_EQ(odd.dot(even), 0.0);
+}
+
+TEST(SparseDot, DenseOverlapMatchesOracle) {
+  SparseVector a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.items.emplace_back(i, 0.1 * i - 7.0);
+    b.items.emplace_back(i, 3.0 - 0.05 * i);
+  }
+  EXPECT_EQ(a.dot(b), a.dot_scalar(b));
+  // Self-dot through the balanced path equals the squared norm's sum order.
+  EXPECT_EQ(a.dot(a), a.dot_scalar(a));
+}
+
+TEST(SparseDot, SubsetContainment) {
+  // Small vector wholly contained in the big one: every gallop probe hits.
+  SparseVector big, sub;
+  for (int i = 0; i < 256; ++i) big.items.emplace_back(i, 1.0 + i);
+  for (int i = 0; i < 256; i += 64) sub.items.emplace_back(i, 2.0);
+  EXPECT_EQ(sub.dot(big), sub.dot_scalar(big));
+  EXPECT_EQ(sub.dot(big), big.dot(sub));
+}
+
+}  // namespace
+}  // namespace cwgl::kernel

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <limits>
+#include <mutex>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -100,6 +104,99 @@ TEST(ParallelFor, SingleWorkerRunsInline) {
   std::thread::id seen;
   parallel_for_chunked(pool, 0, 10, 1,
                        [&](std::size_t, std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ParallelForWeighted, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  // Quadratic skew — the Gram-tile shape this helper exists for.
+  std::vector<double> work(500);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    work[i] = static_cast<double>(i * i);
+  }
+  std::vector<std::atomic<int>> visits(work.size());
+  parallel_for_weighted(pool, work, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForWeighted, BalancesSkewedWork) {
+  // One chunk must never swallow most of the weight: with w[i] = i the
+  // heaviest chunk of a balanced split carries ~1/chunks of the total,
+  // where the old per-row split would give the first chunk ~30x the last.
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<double> work(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    work[i] = static_cast<double>(i);
+    total += work[i];
+  }
+  std::mutex mu;
+  double heaviest = 0.0;
+  parallel_for_weighted(pool, work, [&](std::size_t lo, std::size_t hi) {
+    double chunk = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) chunk += work[i];
+    std::lock_guard lock(mu);
+    heaviest = std::max(heaviest, chunk);
+  });
+  // 16 chunks on a 4-thread pool; allow 2x slack over the ideal share for
+  // boundary rounding.
+  EXPECT_LE(heaviest, 2.0 * total / static_cast<double>(pool.size() * 4));
+}
+
+TEST(ParallelForWeighted, DegenerateWeightsFallBackToUniform) {
+  ThreadPool pool(2);
+  for (const double w : {0.0, -1.0, std::numeric_limits<double>::quiet_NaN(),
+                         std::numeric_limits<double>::infinity()}) {
+    std::vector<double> work(64, w);
+    std::vector<std::atomic<int>> visits(work.size());
+    parallel_for_weighted(pool, work, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+    });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1) << "weight " << w;
+  }
+}
+
+TEST(ParallelForWeighted, EmptyAndSingleItem) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for_weighted(pool, {}, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  const double one = 5.0;
+  std::size_t seen_lo = 99, seen_hi = 99;
+  parallel_for_weighted(pool, std::span(&one, 1),
+                        [&](std::size_t lo, std::size_t hi) {
+                          seen_lo = lo;
+                          seen_hi = hi;
+                        });
+  EXPECT_EQ(seen_lo, 0u);
+  EXPECT_EQ(seen_hi, 1u);
+}
+
+TEST(ParallelForWeighted, ExceptionFromChunkRethrown) {
+  ThreadPool pool(2);
+  std::vector<double> work(100, 1.0);
+  EXPECT_THROW(parallel_for_weighted(pool, work,
+                                     [](std::size_t lo, std::size_t hi) {
+                                       for (std::size_t i = lo; i < hi; ++i) {
+                                         if (i == 57) {
+                                           throw std::runtime_error("bad index");
+                                         }
+                                       }
+                                     }),
+               std::runtime_error);
+}
+
+TEST(ParallelForWeighted, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  const std::vector<double> work(10, 1.0);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  parallel_for_weighted(pool, work, [&](std::size_t, std::size_t) {
+    seen = std::this_thread::get_id();
+  });
   EXPECT_EQ(seen, caller);
 }
 
