@@ -1,0 +1,350 @@
+// Resident-daemon load bench: start the `cwgl serve` daemon in-process on
+// an ephemeral loopback port and drive it with an open-loop generator at
+// configured offered loads. Reports accepted-request latency percentiles
+// (p50/p99/p999) and the shed fraction per load level, plus hot-reload
+// behavior under sustained traffic. The daemon runs with a fixed artificial
+// `service_delay`, which makes capacity — and therefore what counts as
+// overload — deterministic across machines: the phases scale their offered
+// load off the measured capacity rather than hard-coding a rate.
+//
+// Phases:
+//   capacity   closed-loop clients, back-to-back call()s       -> jobs/s
+//   sustained  open-loop at 25% of capacity                    -> p50/p99/p999,
+//                                                                 shed ~ 0
+//   overload   open-loop at 3x capacity                        -> typed sheds,
+//                                                                 bounded
+//                                                                 accepted p99
+//   reload     sustained traffic + 3 hot model swaps           -> zero errors
+//
+// This is the bench behind bench/baselines/BENCH_serve_daemon.json;
+// check.sh's serve-daemon-smoke pass gates it with --min-bar on sustained
+// throughput and --max-bar on the sustained shed fraction and reload errors.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "model/fit.hpp"
+#include "model/format.hpp"
+#include "serve/classifier.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+
+namespace cwgl::bench {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+model::FittedModel fit_model() {
+  const trace::Trace data = make_trace(1000, kMasterSeed);
+  core::PipelineConfig cfg;
+  cfg.sample_size = 60;
+  cfg.clustering.clusters = 4;
+  core::FittedFeatures fitted;
+  const auto result =
+      core::CharacterizationPipeline(cfg).run(data, nullptr, &fitted);
+  return model::build_model(result, std::move(fitted), cfg);
+}
+
+serve::Request classify_request(std::uint64_t id) {
+  serve::Request r;
+  r.type = serve::RequestType::Classify;
+  r.id = id;
+  r.job_name = "j_bench";
+  r.tasks = {"M1", "M2_1", "R3_2", "J4_2"};
+  return r;
+}
+
+double percentile(std::vector<double>& sorted_values, double p) {
+  if (sorted_values.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_values.size() - 1));
+  return sorted_values[idx];
+}
+
+/// Aggregate outcome of one load phase (client-side view).
+struct LoadResult {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t timeout = 0;
+  std::uint64_t other = 0;
+  std::vector<double> ok_latency_us;  ///< accepted-request latency, sorted
+  double elapsed_s = 0.0;
+
+  double shed_fraction() const {
+    return sent == 0 ? 0.0
+                     : static_cast<double>(shed) / static_cast<double>(sent);
+  }
+  double ok_per_second() const {
+    return elapsed_s <= 0.0 ? 0.0 : static_cast<double>(ok) / elapsed_s;
+  }
+};
+
+/// Closed-loop capacity probe: `clients` connections issue back-to-back
+/// call()s for `duration`. The achieved ok-rate is the service capacity the
+/// open-loop phases scale against.
+LoadResult closed_loop(const serve::Endpoint& ep, int clients,
+                       std::chrono::milliseconds duration) {
+  LoadResult total;
+  std::mutex merge_mutex;
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  const auto end = start + duration;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      serve::Client client(ep);
+      LoadResult local;
+      std::uint64_t id = 0;
+      while (Clock::now() < end) {
+        const auto sent_at = Clock::now();
+        const serve::Response r = client.call(classify_request(++id));
+        ++local.sent;
+        if (r.status == serve::ResponseStatus::Ok) {
+          ++local.ok;
+          local.ok_latency_us.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - sent_at)
+                  .count());
+        } else if (r.status == serve::ResponseStatus::Overloaded) {
+          ++local.shed;
+        } else if (r.status == serve::ResponseStatus::Timeout) {
+          ++local.timeout;
+        } else {
+          ++local.other;
+        }
+      }
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      total.sent += local.sent;
+      total.ok += local.ok;
+      total.shed += local.shed;
+      total.timeout += local.timeout;
+      total.other += local.other;
+      total.ok_latency_us.insert(total.ok_latency_us.end(),
+                                 local.ok_latency_us.begin(),
+                                 local.ok_latency_us.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  total.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+  std::sort(total.ok_latency_us.begin(), total.ok_latency_us.end());
+  return total;
+}
+
+/// Open-loop generator: `connections` pipelined connections jointly offer
+/// `rate_per_s`, each with a paced sender and a concurrent receiver (send
+/// times never wait on responses — the defining property of open-loop load,
+/// which is what exposes shedding). Every request is answered (the daemon's
+/// no-silent-drop invariant), so the receiver exits once it has matched the
+/// sender's final count.
+LoadResult open_loop(const serve::Endpoint& ep, double rate_per_s,
+                     std::chrono::milliseconds duration, int connections) {
+  LoadResult total;
+  std::mutex merge_mutex;
+  std::vector<std::thread> threads;
+  const double per_conn_rate =
+      std::max(1.0, rate_per_s / std::max(1, connections));
+  const auto start = Clock::now();
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&] {
+      serve::Client client(ep);
+      LoadResult local;
+      // Ids are sequential per connection, so index id-1 recovers the send
+      // timestamp when the (possibly reordered) response arrives.
+      std::mutex times_mutex;
+      std::vector<Clock::time_point> send_times;
+      send_times.reserve(static_cast<std::size_t>(
+          per_conn_rate * std::chrono::duration<double>(duration).count() * 2));
+      std::atomic<std::uint64_t> sent{0};
+      std::atomic<bool> sending_done{false};
+
+      std::thread receiver([&] {
+        std::uint64_t received = 0;
+        for (;;) {
+          const auto r = client.recv();
+          if (!r.has_value()) break;  // EOF: every response has been written
+          const auto now = Clock::now();
+          ++received;
+          if (r->status == serve::ResponseStatus::Ok) {
+            ++local.ok;
+            Clock::time_point sent_at;
+            {
+              const std::lock_guard<std::mutex> lock(times_mutex);
+              sent_at = send_times[static_cast<std::size_t>(r->id - 1)];
+            }
+            local.ok_latency_us.push_back(
+                std::chrono::duration<double, std::micro>(now - sent_at)
+                    .count());
+          } else if (r->status == serve::ResponseStatus::Overloaded) {
+            ++local.shed;
+          } else if (r->status == serve::ResponseStatus::Timeout) {
+            ++local.timeout;
+          } else {
+            ++local.other;
+          }
+          if (sending_done.load() && received == sent.load()) break;
+        }
+      });
+
+      const auto interval = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(1.0 / per_conn_rate));
+      auto next_send = Clock::now();
+      const auto end = start + duration;
+      std::uint64_t id = 0;
+      while (Clock::now() < end) {
+        {
+          const std::lock_guard<std::mutex> lock(times_mutex);
+          send_times.push_back(Clock::now());
+        }
+        client.send(classify_request(++id));
+        sent.fetch_add(1);
+        next_send += interval;
+        std::this_thread::sleep_until(next_send);  // no-op when behind: the
+                                                   // generator catches up in a
+                                                   // burst instead of slowing
+      }
+      sending_done.store(true);
+      // The count check above races with the final response (the receiver may
+      // have matched the last id before sending_done flipped and be parked in
+      // recv()); half-closing tells the daemon "no more requests", so once the
+      // last response is written it closes the connection and the receiver's
+      // EOF path ends the wait.
+      client.shutdown_write();
+      receiver.join();
+      local.sent = id;
+
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      total.sent += local.sent;
+      total.ok += local.ok;
+      total.shed += local.shed;
+      total.timeout += local.timeout;
+      total.other += local.other;
+      total.ok_latency_us.insert(total.ok_latency_us.end(),
+                                 local.ok_latency_us.begin(),
+                                 local.ok_latency_us.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  total.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+  std::sort(total.ok_latency_us.begin(), total.ok_latency_us.end());
+  return total;
+}
+
+void run() {
+  banner("serve_daemon",
+         "resident daemon under open-loop load: latency, shedding, reload");
+  Reporter reporter("serve_daemon");
+
+  const model::FittedModel fitted = fit_model();
+  const auto model_path =
+      std::filesystem::temp_directory_path() / "cwgl_bench_daemon.cwgl";
+  model::save_model(fitted, model_path);
+
+  serve::DaemonConfig cfg;
+  cfg.endpoint.tcp_port = 0;  // ephemeral loopback
+  cfg.model_path = model_path.string();
+  cfg.worker_threads = 4;
+  cfg.max_inflight = 64;
+  cfg.admission_wait = 0ms;
+  cfg.max_batch = 16;
+  cfg.service_delay = 2000us;  // capacity ~ workers / delay = 2000 jobs/s
+  serve::Daemon daemon(std::make_shared<const serve::Classifier>(fitted), cfg);
+  daemon.start();
+  serve::Endpoint ep;
+  ep.tcp_port = daemon.tcp_port();
+  std::cout << "daemon on tcp:" << ep.tcp_port << "  workers "
+            << cfg.worker_threads << "  service_delay 2000us  max_inflight "
+            << cfg.max_inflight << "\n";
+
+  // --- capacity: closed-loop saturation -----------------------------------
+  const LoadResult cap = closed_loop(ep, 8, 600ms);
+  const double capacity = cap.ok_per_second();
+  reporter.set("capacity_jobs_per_s", capacity, "jobs/s");
+  std::cout << "capacity (closed-loop, 8 clients): "
+            << static_cast<std::size_t>(capacity) << " jobs/s\n";
+
+  // --- sustained: open-loop well under capacity ---------------------------
+  const double sustained_rate = 0.25 * capacity;
+  LoadResult sus = open_loop(ep, sustained_rate, 1000ms, 2);
+  reporter.set("sustained_offered_jobs_per_s", sustained_rate, "jobs/s");
+  reporter.set("sustained_jobs_per_s", sus.ok_per_second(), "jobs/s");
+  reporter.set("sustained_shed_fraction", sus.shed_fraction(), "fraction");
+  reporter.set("sustained_p50_us", percentile(sus.ok_latency_us, 0.50), "us");
+  reporter.set("sustained_p99_us", percentile(sus.ok_latency_us, 0.99), "us");
+  reporter.set("sustained_p999_us", percentile(sus.ok_latency_us, 0.999), "us");
+  std::cout << "sustained @ " << static_cast<std::size_t>(sustained_rate)
+            << " offered/s: " << static_cast<std::size_t>(sus.ok_per_second())
+            << " ok/s   shed " << sus.shed_fraction() << "   p50 "
+            << percentile(sus.ok_latency_us, 0.50) << " us   p99 "
+            << percentile(sus.ok_latency_us, 0.99) << " us   p999 "
+            << percentile(sus.ok_latency_us, 0.999) << " us\n";
+
+  // --- overload: open-loop at 3x capacity ---------------------------------
+  // Admission control must shed (typed!) rather than queue unboundedly, and
+  // the requests it DOES accept must keep a bounded p99 — the queue depth
+  // (max_inflight) over capacity caps their wait.
+  const double overload_rate = 3.0 * capacity;
+  LoadResult over = open_loop(ep, overload_rate, 600ms, 2);
+  reporter.set("overload_offered_jobs_per_s", overload_rate, "jobs/s");
+  reporter.set("overload_shed_fraction", over.shed_fraction(), "fraction");
+  reporter.set("overload_accepted_p99_us",
+               percentile(over.ok_latency_us, 0.99), "us");
+  std::cout << "overload @ " << static_cast<std::size_t>(overload_rate)
+            << " offered/s: shed " << over.shed_fraction()
+            << "   accepted p99 " << percentile(over.ok_latency_us, 0.99)
+            << " us   (answered " << (over.ok + over.shed + over.timeout)
+            << "/" << over.sent << ")\n";
+
+  // --- reload under sustained traffic -------------------------------------
+  // Three hot swaps while the generator runs; a swap that drops or fails a
+  // single in-flight request shows up as a non-ok here or in the daemon's
+  // error counter.
+  const serve::DaemonStats before = daemon.stats();
+  std::thread swapper([&] {
+    for (int i = 0; i < 3; ++i) {
+      std::this_thread::sleep_for(150ms);
+      std::string error;
+      if (!daemon.reload_now(model_path.string(), &error)) {
+        std::cerr << "reload failed: " << error << "\n";
+      }
+    }
+  });
+  LoadResult rel = open_loop(ep, sustained_rate, 800ms, 2);
+  swapper.join();
+  const serve::DaemonStats after = daemon.stats();
+  const double reload_errors = static_cast<double>(
+      (after.errors - before.errors) + rel.other + rel.timeout);
+  reporter.set("reloads_completed",
+               static_cast<double>(after.reloads - before.reloads), "count");
+  reporter.set("reload_during_traffic_errors", reload_errors, "count");
+  std::cout << "reload under load: " << (after.reloads - before.reloads)
+            << " swaps, " << reload_errors << " errors, "
+            << static_cast<std::size_t>(rel.ok_per_second())
+            << " ok/s throughout\n";
+
+  daemon.request_drain();
+  const int exit_code = daemon.wait();
+  reporter.set("drain_exit_code", static_cast<double>(exit_code), "count");
+  std::filesystem::remove(model_path);
+  std::cout << "drained (exit " << exit_code << ")\n";
+  std::cout << "wrote " << reporter.output_path() << "\n";
+}
+
+}  // namespace
+}  // namespace cwgl::bench
+
+int main() {
+  cwgl::bench::run();
+  return 0;
+}

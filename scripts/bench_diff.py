@@ -3,7 +3,7 @@
 
 Usage:
     bench_diff.py BASELINE.json CURRENT.json [--max-regress PCT]
-                  [--min-bar GLOB=VALUE ...]
+                  [--min-bar GLOB=VALUE ...] [--max-bar GLOB=VALUE ...]
 
 Both files are BENCH_<name>.json as written by bench::Reporter
 (bench/common.hpp): {"schema": "cwgl-bench-v1", "bench": ..., "machine":
@@ -12,10 +12,11 @@ Both files are BENCH_<name>.json as written by bench::Reporter
 Exit codes:
     0  compared fine (deltas are informational by default)
     1  --max-regress given and a time-unit metric regressed past the bar,
-       or --min-bar given and a matching metric's median fell below it
+       --min-bar given and a matching metric's median fell below it, or
+       --max-bar given and a matching metric's median rose above it
     2  structural problem: unreadable file, wrong schema, a baseline
-       metric missing from the current run, or a --min-bar glob that
-       matches no current metric — the comparison is not meaningful
+       metric missing from the current run, or a --min-bar/--max-bar glob
+       that matches no current metric — the comparison is not meaningful
 
 Deltas are computed on medians. Percentages are signed so that positive
 means "current is slower/bigger than baseline". Only time-unit metrics
@@ -26,6 +27,13 @@ reported but never gate, since "bigger" is better for those.
 (repeatable, fnmatch glob over metric names) fails the run when any
 CURRENT metric matching GLOB has median < VALUE. check.sh uses it to hold
 gram_par_*_speedup >= 1.0 on multi-core machines.
+
+--max-bar is the mirror image — an absolute ceiling for
+smaller-is-better metrics that are not time-units (so --max-regress
+cannot gate them): fails the run when any CURRENT metric matching GLOB
+has median > VALUE. check.sh's serve-daemon-smoke pass uses it to cap
+the daemon's shed fraction under sustained load and to demand zero
+reload-attributable errors.
 
 Stdlib only — runnable anywhere Python 3 exists, no pip involved.
 """
@@ -81,21 +89,34 @@ def main():
         help="fail (exit 1) if any current metric whose name matches GLOB "
         "has median < VALUE; exit 2 if GLOB matches nothing (repeatable)",
     )
+    parser.add_argument(
+        "--max-bar",
+        action="append",
+        default=[],
+        metavar="GLOB=VALUE",
+        help="fail (exit 1) if any current metric whose name matches GLOB "
+        "has median > VALUE; exit 2 if GLOB matches nothing (repeatable)",
+    )
     args = parser.parse_args()
 
-    bars = []
-    for spec in args.min_bar:
-        glob, sep, value = spec.rpartition("=")
-        try:
-            if not sep:
-                raise ValueError("missing '='")
-            bars.append((glob, float(value)))
-        except ValueError as e:
-            print(
-                f"bench_diff: bad --min-bar {spec!r} (want GLOB=VALUE): {e}",
-                file=sys.stderr,
-            )
-            sys.exit(2)
+    def parse_bars(specs, flag):
+        bars = []
+        for spec in specs:
+            glob, sep, value = spec.rpartition("=")
+            try:
+                if not sep:
+                    raise ValueError("missing '='")
+                bars.append((glob, float(value)))
+            except ValueError as e:
+                print(
+                    f"bench_diff: bad {flag} {spec!r} (want GLOB=VALUE): {e}",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+        return bars
+
+    bars = parse_bars(args.min_bar, "--min-bar")
+    ceilings = parse_bars(args.max_bar, "--max-bar")
 
     base = load(args.baseline)
     curr = load(args.current)
@@ -156,19 +177,29 @@ def main():
             flag = "  << regression"
         print(f"{name:<28}{unit:>8}{b_med:>12.4g}{c_med:>12.4g}{delta:>9}{flag}")
 
-    below_bar = []
-    for glob, value in bars:
+    def matching(glob, flag):
         matched = [n for n in sorted(curr["metrics"]) if fnmatch.fnmatch(n, glob)]
         if not matched:
             print(
-                f"bench_diff: --min-bar {glob!r} matches no current metric",
+                f"bench_diff: {flag} {glob!r} matches no current metric",
                 file=sys.stderr,
             )
             sys.exit(2)
-        for name in matched:
+        return matched
+
+    below_bar = []
+    for glob, value in bars:
+        for name in matching(glob, "--min-bar"):
             median = float(curr["metrics"][name].get("median", 0.0))
             if median < value:
                 below_bar.append((name, median, value))
+
+    above_ceiling = []
+    for glob, value in ceilings:
+        for name in matching(glob, "--max-bar"):
+            median = float(curr["metrics"][name].get("median", 0.0))
+            if median > value:
+                above_ceiling.append((name, median, value))
 
     failed = False
     if regressions:
@@ -183,6 +214,13 @@ def main():
         print(
             f"bench_diff: {len(below_bar)} metric(s) below --min-bar: "
             + ", ".join(f"{n} ({m:.4g} < {v:g})" for n, m, v in below_bar),
+            file=sys.stderr,
+        )
+        failed = True
+    if above_ceiling:
+        print(
+            f"bench_diff: {len(above_ceiling)} metric(s) above --max-bar: "
+            + ", ".join(f"{n} ({m:.4g} > {v:g})" for n, m, v in above_ceiling),
             file=sys.stderr,
         )
         failed = True

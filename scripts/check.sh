@@ -18,7 +18,14 @@
 #   schema fails the pass)
 # — plus the serve-smoke pass: cwgl fit -> predict -> serve-bench on the
 #   bundled example trace, and bench_serve diffed against
-#   bench/baselines/BENCH_serve.json.
+#   bench/baselines/BENCH_serve.json
+# — plus the serve-daemon-smoke pass: fit a snapshot, run the resident
+#   `cwgl serve` daemon on a unix socket, round-trip ping/classify through
+#   `cwgl client`, verify a corrupt reload is rejected while the old model
+#   keeps serving, drain cleanly, then run bench_serve_daemon and gate
+#   BENCH_serve_daemon.json: --min-bar on sustained throughput and completed
+#   reloads, --max-bar on the sustained shed fraction, reload errors, and
+#   the drain exit code.
 #
 # Usage: scripts/check.sh [jobs]
 # Build dirs are build-check-<name>; set CWGL_CHECK_KEEP=1 to keep them.
@@ -68,7 +75,10 @@ run_config() {
 # ParallelFor/GramTiling/SparseDot cover the work-balanced tiled Gram path:
 # weighted chunking, pooled-vs-serial differentials, and the galloping dot
 # all re-run with race and UB detection on.
-FAULT_FILTER='Failpoint|FaultInjection|Diagnostics|StreamDagJobs|StreamShapeJobs|CsvScanner|BoundedQueue|ThreadPool|ParallelFor|GramTiling|SparseDot|Spectral|ModelFormat|GoldenModel|ShapeStore'
+#  Daemon/Protocol cover the serving daemon: overload shedding, deadline
+# expiry, hot reload, signal-driven drain, and the serve.accept/serve.batch/
+# serve.reload failpoints all rerun under both sanitizers.
+FAULT_FILTER='Failpoint|FaultInjection|Diagnostics|StreamDagJobs|StreamShapeJobs|CsvScanner|BoundedQueue|ThreadPool|ParallelFor|GramTiling|SparseDot|Spectral|ModelFormat|GoldenModel|ShapeStore|Daemon|Protocol'
 
 # Smoke the machine-readable bench pipeline end to end: tiny-input runs of
 # the two benches with committed baselines must produce cwgl-bench-v1 JSON
@@ -163,6 +173,122 @@ run_serve_smoke() {
   fi
 }
 
+# Resident-daemon smoke: the full deployment lifecycle against a real
+# `cwgl serve` process on a unix socket — fit, serve, classify round-trip,
+# corrupt-reload rejection (old model keeps serving), good reload, graceful
+# drain with exit 0 — then the open-loop load bench with hard bars: sustained
+# throughput and completed reloads from below, shed fraction / reload errors /
+# drain exit code from above.
+run_serve_daemon_smoke() {
+  local name="serve-daemon-smoke" build_dir="build-check-serve-daemon-smoke"
+  echo
+  echo "=== [${name}] configure ==="
+  cmake -B "${build_dir}" -S . \
+    -DCWGL_BUILD_BENCHMARKS=ON \
+    -DCWGL_BUILD_EXAMPLES=OFF
+  echo "=== [${name}] build ==="
+  cmake --build "${build_dir}" -j "${JOBS}" --target cwgl bench_serve_daemon
+  echo "=== [${name}] daemon lifecycle ==="
+  local cwgl="${build_dir}/src/cli/cwgl"
+  local out="${build_dir}/daemon-out"
+  mkdir -p "${out}"
+  local sock="${out}/daemon.sock"
+  local ok=1
+  if ! "${cwgl}" fit --trace tests/data/example_trace --sample 60 \
+      --clusters 4 --out "${out}/model.cwgl"; then
+    echo "${name}: fit failed" >&2
+    ok=0
+  fi
+  local daemon_pid=""
+  if ((ok)); then
+    "${cwgl}" serve --model "${out}/model.cwgl" --socket "${sock}" \
+      --metrics="${out}/daemon_metrics.json" &
+    daemon_pid=$!
+    local i
+    for i in $(seq 1 100); do
+      [[ -S "${sock}" ]] && break
+      sleep 0.1
+    done
+    if [[ ! -S "${sock}" ]]; then
+      echo "${name}: daemon never bound ${sock}" >&2
+      ok=0
+    fi
+  fi
+  if ((ok)) && ! "${cwgl}" client --socket "${sock}" --ping; then
+    echo "${name}: ping failed" >&2
+    ok=0
+  fi
+  if ((ok)) && ! "${cwgl}" client --socket "${sock}" --job smoke_job \
+      --tasks M1,M2_1,R3_2; then
+    echo "${name}: classify round-trip failed" >&2
+    ok=0
+  fi
+  if ((ok)); then
+    # A corrupt snapshot must be rejected (typed error -> client exits
+    # non-zero) while the old model keeps answering.
+    echo "not a model" > "${out}/corrupt.cwgl"
+    if "${cwgl}" client --socket "${sock}" --reload="${out}/corrupt.cwgl" \
+        > /dev/null 2>&1; then
+      echo "${name}: corrupt reload was accepted" >&2
+      ok=0
+    fi
+  fi
+  if ((ok)) && ! "${cwgl}" client --socket "${sock}" --job smoke_job \
+      --tasks M1,M2_1,R3_2 > /dev/null; then
+    echo "${name}: daemon stopped serving after rejected reload" >&2
+    ok=0
+  fi
+  if ((ok)) && ! "${cwgl}" client --socket "${sock}" \
+      --reload="${out}/model.cwgl" > /dev/null; then
+    echo "${name}: good reload failed" >&2
+    ok=0
+  fi
+  if ((ok)) && ! "${cwgl}" client --socket "${sock}" --drain; then
+    echo "${name}: drain request failed" >&2
+    ok=0
+  fi
+  if [[ -n "${daemon_pid}" ]]; then
+    local deadline=$((SECONDS + 30))
+    while kill -0 "${daemon_pid}" 2>/dev/null && ((SECONDS < deadline)); do
+      sleep 0.2
+    done
+    if kill -0 "${daemon_pid}" 2>/dev/null; then
+      echo "${name}: daemon did not exit after drain" >&2
+      kill -9 "${daemon_pid}" 2>/dev/null || true
+      wait "${daemon_pid}" 2>/dev/null || true
+      ok=0
+    else
+      local rc=0
+      wait "${daemon_pid}" || rc=$?
+      if ((rc != 0)); then
+        echo "${name}: daemon exited ${rc} (want 0 after clean drain)" >&2
+        ok=0
+      fi
+    fi
+  fi
+  if ((ok)); then
+    echo "=== [${name}] load bench + gates ==="
+    if ! CWGL_BENCH_JOBS=500 CWGL_BENCH_REPS=1 CWGL_BENCH_OUT="${out}" \
+        "${build_dir}/bench/bench_serve_daemon"; then
+      echo "${name}: bench_serve_daemon failed" >&2
+      ok=0
+    elif ! python3 scripts/bench_diff.py \
+        --min-bar 'sustained_jobs_per_s=50' \
+        --min-bar 'reloads_completed=3' \
+        --max-bar 'sustained_shed_fraction=0.05' \
+        --max-bar 'reload_during_traffic_errors=0' \
+        --max-bar 'drain_exit_code=0' \
+        "bench/baselines/BENCH_serve_daemon.json" \
+        "${out}/BENCH_serve_daemon.json"; then
+      ok=0
+    fi
+  fi
+  ((ok)) || FAILED+=("${name}")
+  if [[ "${CWGL_CHECK_KEEP:-0}" != "1" ]]; then
+    rm -rf "${build_dir}"
+  fi
+}
+
 run_config plain ""
 run_config asan-ubsan "address,undefined"
 run_config tsan "thread"
@@ -171,10 +297,11 @@ run_config faults-asan "address,undefined" ON "${FAULT_FILTER}"
 run_config faults-tsan "thread" ON "${FAULT_FILTER}"
 run_bench_smoke
 run_serve_smoke
+run_serve_daemon_smoke
 
 echo
 if ((${#FAILED[@]})); then
   echo "check.sh: FAILED configurations: ${FAILED[*]}"
   exit 1
 fi
-echo "check.sh: all configurations passed (plain, asan-ubsan, tsan, faults, faults-asan, faults-tsan, bench-smoke, serve-smoke)"
+echo "check.sh: all configurations passed (plain, asan-ubsan, tsan, faults, faults-asan, faults-tsan, bench-smoke, serve-smoke, serve-daemon-smoke)"

@@ -19,7 +19,9 @@
 #include "model/fit.hpp"
 #include "model/format.hpp"
 #include "serve/classifier.hpp"
+#include "serve/daemon.hpp"
 #include "serve/engine.hpp"
+#include "serve/protocol.hpp"
 #include "core/report_json.hpp"
 #include "core/report_text.hpp"
 #include "core/topology_census.hpp"
@@ -99,6 +101,23 @@ commands:
   schedule      simulate scheduling policies on a characterized workload
                   [--jobs N] [--sample K] [--machines M] [--online F]
                   [--inter-arrival S] [--seed S]
+  serve         resident classification daemon: accepts cwgl-serve-v1 frames
+                (u32-length-prefixed JSON) over a unix or loopback-tcp
+                socket. Bounded admission queue sheds overload with typed
+                responses, every request carries a deadline, SIGHUP (or a
+                `reload` request) hot-swaps the model snapshot without
+                dropping in-flight work, SIGTERM/SIGINT drains gracefully.
+                Prints a `serving on ...` line once ready; --port 0 picks an
+                ephemeral port and prints it
+                  --model FILE (--socket PATH | --port N) [--threads T]
+                  [--max-inflight N] [--max-batch N] [--deadline-ms D]
+                  [--admission-wait-ms W] [--drain-timeout-ms D]
+                  [--service-delay-us U] [--metrics[=FILE]]
+  client        one-shot client for a running daemon: sends one request,
+                prints the typed response, exits 0 only on `ok`
+                  (--socket PATH | --port N)
+                  (--ping | --stats | --reload[=FILE] | --drain |
+                   --job NAME --tasks M1,R2_1,... [--deadline-ms D])
   help          this text
 
 Traces are directories holding batch_task.csv (and optionally
@@ -802,6 +821,128 @@ int cmd_predict(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// Parses the endpoint switches shared by `serve` and `client`.
+serve::Endpoint endpoint_from(const Args& args) {
+  serve::Endpoint ep;
+  ep.socket_path = args.get("socket");
+  if (const auto port = args.get_int("port")) {
+    ep.tcp_port = static_cast<int>(*port);
+  }
+  return ep;
+}
+
+int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string model_path = args.get("model");
+  serve::DaemonConfig cfg;
+  cfg.endpoint = endpoint_from(args);
+  cfg.model_path = model_path;
+  if (model_path.empty() || !cfg.endpoint.valid()) {
+    err << "serve: need --model FILE and an endpoint "
+           "(--socket PATH | --port N)\n";
+    return 2;
+  }
+  cfg.worker_threads =
+      static_cast<unsigned>(args.get_int("threads").value_or(0));
+  if (const auto v = args.get_int("max-inflight")) {
+    cfg.max_inflight = static_cast<std::size_t>(*v);
+  }
+  if (const auto v = args.get_int("max-batch")) {
+    cfg.max_batch = static_cast<std::size_t>(*v);
+  }
+  if (const auto v = args.get_int("deadline-ms")) {
+    cfg.default_deadline = std::chrono::milliseconds(*v);
+  }
+  if (const auto v = args.get_int("admission-wait-ms")) {
+    cfg.admission_wait = std::chrono::milliseconds(*v);
+  }
+  if (const auto v = args.get_int("drain-timeout-ms")) {
+    cfg.drain_timeout = std::chrono::milliseconds(*v);
+  }
+  if (const auto v = args.get_int("service-delay-us")) {
+    cfg.service_delay = std::chrono::microseconds(*v);
+  }
+  const ObsOptions obs = start_observation(args);
+  if (const int rc = reject_unknown(args, err)) return rc;
+
+  auto classifier =
+      std::make_shared<const serve::Classifier>(model::load_model(model_path));
+  out << "loaded " << model_path << " ("
+      << classifier->model().num_clusters() << " clusters, "
+      << classifier->dictionary_size() << " WL signatures)\n";
+  serve::Daemon daemon(std::move(classifier), cfg);
+  daemon.start();
+  daemon.install_signal_handlers();
+  if (!cfg.endpoint.socket_path.empty()) {
+    out << "serving on unix:" << cfg.endpoint.socket_path;
+  } else {
+    out << "serving on tcp:" << daemon.tcp_port();
+  }
+  out << " (SIGHUP reloads the model, SIGTERM/SIGINT drains)\n"
+      << std::flush;
+
+  const int rc = daemon.wait();
+  const serve::DaemonStats s = daemon.stats();
+  out << "drained: " << s.requests << " requests (" << s.served << " served, "
+      << s.shed << " shed, " << s.timeouts << " timed out, " << s.errors
+      << " errors, " << s.rejected_draining << " rejected draining), "
+      << s.reloads << " reloads\n";
+  finish_observation(obs, err);
+  print_metrics_text(obs, out);
+  return rc;
+}
+
+int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
+  const serve::Endpoint ep = endpoint_from(args);
+  serve::Request req;
+  req.id = 1;
+  const std::string tasks = args.get("tasks");
+  if (args.has("ping")) {
+    req.type = serve::RequestType::Ping;
+  } else if (args.has("stats")) {
+    req.type = serve::RequestType::Stats;
+  } else if (args.has("reload")) {
+    req.type = serve::RequestType::Reload;
+    req.model_path = args.get("reload");
+  } else if (args.has("drain")) {
+    req.type = serve::RequestType::Drain;
+  } else if (!tasks.empty()) {
+    req.type = serve::RequestType::Classify;
+    req.job_name = args.get("job", "job");
+    for (const auto part : util::split(tasks, ',')) {
+      if (!part.empty()) req.tasks.emplace_back(part);
+    }
+    if (const auto d = args.get_double("deadline-ms")) req.deadline_ms = *d;
+  } else {
+    err << "client: pick one of --ping, --stats, --reload[=FILE], --drain, "
+           "or --job NAME --tasks M1,R2_1,...\n";
+    return 2;
+  }
+  if (!ep.valid()) {
+    err << "client: need an endpoint (--socket PATH | --port N)\n";
+    return 2;
+  }
+  if (const int rc = reject_unknown(args, err)) return rc;
+
+  serve::Client client(ep);
+  const serve::Response resp = client.call(req);
+  out << "status " << serve::to_string(resp.status);
+  if (!resp.message.empty()) out << ": " << resp.message;
+  out << "\n";
+  if (resp.status == serve::ResponseStatus::Ok &&
+      req.type == serve::RequestType::Classify) {
+    out << "cluster " << resp.cluster << " (id " << resp.cluster_id
+        << "), similarity " << util::format_double(resp.similarity, 4)
+        << ", nearest " << resp.nearest << ", oov " << resp.oov_hits << "\n";
+    out << "forecast critical_path "
+        << util::format_double(resp.predicted_critical_path, 1) << ", width "
+        << util::format_double(resp.predicted_width, 1) << "\n";
+  }
+  for (const auto& [key, value] : resp.stats) {
+    out << "  " << util::pad_right(key, 20) << " " << value << "\n";
+  }
+  return resp.status == serve::ResponseStatus::Ok ? 0 : 1;
+}
+
 int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
   const trace::Trace data = load_or_generate(args, out);
   core::PipelineConfig cfg = pipeline_config(args);
@@ -871,6 +1012,8 @@ int run_command(std::string_view command, const Args& args, std::ostream& out,
     if (command == "predict") return cmd_predict(args, out, err);
     if (command == "serve-bench") return cmd_serve_bench(args, out, err);
     if (command == "schedule") return cmd_schedule(args, out, err);
+    if (command == "serve") return cmd_serve(args, out, err);
+    if (command == "client") return cmd_client(args, out, err);
     if (command == "help" || command == "--help" || command == "-h") {
       out << kUsage;
       return 0;

@@ -21,6 +21,10 @@ namespace cwgl::cli {
 ///   ingest        (--trace DIR | [--jobs N]) [--threads T] [--serial] [--seed S]
 ///   schedule      [--jobs N] [--sample K] [--machines M] [--online F]
 ///                 [--inter-arrival S] [--seed S]
+///   serve         --model FILE (--socket PATH | --port N) — resident
+///                 classification daemon (admission control, deadlines,
+///                 SIGHUP hot reload, graceful drain)
+///   client        (--socket PATH | --port N) one-shot daemon client
 ///   help          prints usage
 int run_command(std::string_view command, const Args& args, std::ostream& out,
                 std::ostream& err);

@@ -383,24 +383,42 @@ FittedModel deserialize_model(std::string_view bytes, std::string_view origin) {
 
 void save_model(const FittedModel& m, const std::filesystem::path& path) {
   const std::string bytes = serialize_model(m);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw ModelError("model '" + path.string() + "': cannot open for writing");
+  // Crash-safe publish: write the snapshot to a *.tmp sibling and atomically
+  // rename it over `path` only after every byte landed. A crash (or the
+  // "model.write" failpoint, which fires between the two write halves) can
+  // leave at most a torn *.tmp behind — the previous snapshot at `path`
+  // stays intact and loadable, which is what makes automated hot reload
+  // safe: a reloader that watches `path` never observes a partial file.
+  // The format's CRCs + strict decoding remain the second line of defense
+  // (a torn *.tmp never loads either).
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw ModelError("model '" + tmp.string() + "': cannot open for writing");
+    }
+    const std::size_t half = bytes.size() / 2;
+    out.write(bytes.data(), static_cast<std::streamsize>(half));
+    out.flush();
+    // On a failpoint "crash" the torn temp file stays on disk (a real crash
+    // would not clean up either) — only the rename below publishes.
+    CWGL_FAILPOINT("model.write");
+    out.write(bytes.data() + half,
+              static_cast<std::streamsize>(bytes.size() - half));
+    out.flush();
+    if (!out) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw ModelError("model '" + tmp.string() + "': write failed");
+    }
   }
-  // The snapshot is written in two halves with a failpoint between them so
-  // fault-injection tests can model a crash mid-write. Deliberately no
-  // write-to-temp-and-rename: the format's own CRCs and strict decoding are
-  // what guarantee a torn file never loads, and that guarantee is the thing
-  // under test.
-  const std::size_t half = bytes.size() / 2;
-  out.write(bytes.data(), static_cast<std::streamsize>(half));
-  out.flush();
-  CWGL_FAILPOINT("model.write");
-  out.write(bytes.data() + half,
-            static_cast<std::streamsize>(bytes.size() - half));
-  out.flush();
-  if (!out) {
-    throw ModelError("model '" + path.string() + "': write failed");
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw ModelError("model '" + path.string() +
+                     "': cannot publish snapshot: " + ec.message());
   }
 }
 

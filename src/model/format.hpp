@@ -60,10 +60,14 @@ std::string serialize_model(const FittedModel& m);
 FittedModel deserialize_model(std::string_view bytes,
                               std::string_view origin = "<memory>");
 
-/// Writes the snapshot to `path`. Failpoint site "model.write" fires after
-/// roughly half the bytes are on disk, modeling a crash mid-write; the
-/// resulting partial file is guaranteed to be rejected by load_model().
-/// Throws ModelError when the file cannot be created or fully written.
+/// Writes the snapshot to `path` crash-safely: the bytes land in a
+/// `path + ".tmp"` sibling first and are atomically renamed over `path`
+/// only once fully written, so a crash mid-write leaves any previous
+/// snapshot at `path` intact (the property automated hot reload relies
+/// on). Failpoint site "model.write" fires after roughly half the bytes
+/// are on disk, modeling that crash; the torn `.tmp` it leaves behind is
+/// additionally guaranteed to be rejected by load_model(). Throws
+/// ModelError when the file cannot be created, fully written, or renamed.
 void save_model(const FittedModel& m, const std::filesystem::path& path);
 
 /// Reads and strictly validates a snapshot from `path` (failpoint site

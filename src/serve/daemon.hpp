@@ -1,0 +1,222 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/classifier.hpp"
+#include "serve/protocol.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cwgl::serve {
+
+/// Tuning knobs of the resident serving daemon. Defaults favor bounded
+/// memory and bounded latency over maximal admission: a full queue sheds.
+struct DaemonConfig {
+  Endpoint endpoint;          ///< where to listen (unix path or tcp port)
+  std::string model_path;     ///< snapshot reloaded on SIGHUP / bare `reload`
+
+  /// Classifier pool width; 0 = hardware concurrency.
+  unsigned worker_threads = 0;
+
+  /// Admission control: the hard bound on queued-but-unserved requests.
+  /// When the queue has been full for `admission_wait`, the request is shed
+  /// with a typed `overloaded` response instead of queueing unboundedly.
+  std::size_t max_inflight = 256;
+  std::chrono::milliseconds admission_wait{0};
+
+  /// Batching: the dispatcher coalesces up to `max_batch` queued requests;
+  /// `batch_linger` is how long it waits for the FIRST request of a batch
+  /// (later ones are taken only if already queued — nobody waits behind an
+  /// artificial delay once work exists).
+  std::size_t max_batch = 32;
+  std::chrono::microseconds batch_linger{500};
+
+  /// Deadline applied to classify requests that do not carry their own.
+  std::chrono::milliseconds default_deadline{1000};
+
+  /// Drain budget: once shutdown begins, in-flight requests get this long
+  /// to finish; stragglers receive `timeout` responses (never silence).
+  std::chrono::milliseconds drain_timeout{2000};
+
+  /// Failed async reloads (SIGHUP / bare `reload`) are retried this many
+  /// times with exponential backoff before giving up; the old model serves
+  /// throughout.
+  int reload_retries = 3;
+  std::chrono::milliseconds reload_backoff{50};
+
+  /// Artificial per-request service delay. Zero in production; tests and
+  /// the load bench set it to make capacity — and therefore overload —
+  /// deterministic on any machine.
+  std::chrono::microseconds service_delay{0};
+};
+
+/// Point-in-time view of the daemon's lifetime counters (per-instance, so
+/// tests running several daemons in one process see isolated numbers; the
+/// same events also feed the global `serve.daemon.*` metrics).
+struct DaemonStats {
+  std::uint64_t connections = 0;        ///< accepted, lifetime
+  std::uint64_t requests = 0;           ///< classify requests received
+  std::uint64_t served = 0;             ///< answered `ok`
+  std::uint64_t shed = 0;               ///< answered `overloaded`
+  std::uint64_t timeouts = 0;           ///< answered `timeout`
+  std::uint64_t errors = 0;             ///< answered `error`
+  std::uint64_t rejected_draining = 0;  ///< answered `shutting_down`
+  std::uint64_t batches = 0;            ///< dispatcher batches executed
+  std::uint64_t reloads = 0;            ///< successful model swaps
+  std::uint64_t reload_failures = 0;    ///< rejected swap attempts
+  std::int64_t queue_depth_peak = 0;    ///< admission queue high-water
+
+  std::map<std::string, std::uint64_t> as_map() const;
+};
+
+/// The resident `cwgl serve` process: accepts cwgl-serve-v1 frames over a
+/// unix/tcp socket, coalesces classify requests into batches for a thread
+/// pool, and stays correct under overload, deadline pressure, model swaps,
+/// and shutdown:
+///
+///  - Admission control: bounded in-flight work via util::BoundedQueue;
+///    a full queue sheds with a typed `overloaded` response.
+///  - Deadlines: every classify request carries one (its own or the
+///    server default); expired requests get `timeout` responses.
+///  - Hot reload: RCU-style — the dispatcher grabs a
+///    shared_ptr<const Classifier> snapshot per batch; reload builds a new
+///    Classifier off to the side and swaps the pointer. The frozen
+///    dictionary makes concurrent readers safe; a corrupt snapshot is
+///    rejected (old model keeps serving) and async reloads retry with
+///    exponential backoff.
+///  - Graceful drain: SIGTERM/SIGINT (or a `drain` request) stops
+///    accepting, finishes or times out queued work within `drain_timeout`,
+///    answers every in-flight request, then exits.
+///
+/// Threads: one acceptor, one control loop (signals, async reloads, drain
+/// orchestration), one dispatcher, one per connection, plus the classifier
+/// pool. Failpoints: `serve.accept`, `serve.batch`, `serve.reload`.
+class Daemon {
+ public:
+  /// Takes the initial model snapshot. Nothing runs until start().
+  Daemon(std::shared_ptr<const Classifier> classifier, DaemonConfig config);
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Drains and joins if still running (equivalent to request_drain+wait).
+  ~Daemon();
+
+  /// Binds the endpoint and spawns the serving threads. Throws
+  /// ProtocolError when the endpoint cannot be bound.
+  void start();
+
+  /// The TCP port actually bound (ephemeral ports resolve here); -1 for
+  /// unix endpoints. Valid after start().
+  int tcp_port() const noexcept { return tcp_port_; }
+
+  /// Asynchronous model reload from `config.model_path` — the SIGHUP entry
+  /// point. Safe from any thread; failures retry with backoff while the old
+  /// model keeps serving.
+  void request_reload() noexcept;
+
+  /// Begins graceful drain — the SIGTERM/SIGINT entry point. Safe from any
+  /// thread; idempotent.
+  void request_drain() noexcept;
+
+  /// Synchronous reload used by the `reload` control request. Returns true
+  /// on swap; false with `*error` filled when the new snapshot is rejected
+  /// (the old model keeps serving either way).
+  bool reload_now(const std::string& path, std::string* error);
+
+  /// Blocks until drain completes and every thread is joined. Returns 0 on
+  /// a clean drain (every in-flight request answered). Call once.
+  int wait();
+
+  /// Routes SIGHUP -> request_reload and SIGINT/SIGTERM -> request_drain
+  /// for this instance (at most one daemon per process may install;
+  /// handlers are restored when the daemon is destroyed). Async-signal-safe:
+  /// the handler only writes one byte to a self-pipe.
+  void install_signal_handlers();
+
+  /// Current model snapshot (what the next batch will classify with).
+  std::shared_ptr<const Classifier> snapshot() const;
+
+  DaemonStats stats() const;
+
+ private:
+  struct Connection;
+  struct Pending;
+
+  void accept_loop();
+  void control_loop();
+  void dispatch_loop();
+  void serve_connection(std::shared_ptr<Connection> conn);
+  void handle_classify(const std::shared_ptr<Connection>& conn, Request req);
+  void handle_control(const std::shared_ptr<Connection>& conn,
+                      const Request& req);
+  void process_batch(std::vector<Pending>& batch);
+  void respond(const std::shared_ptr<Connection>& conn, const Response& r);
+  void begin_drain();
+  bool do_reload(const std::string& path, std::string* error);
+  void wake_control(char event) noexcept;
+  void reap_finished();
+
+  DaemonConfig config_;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const Classifier> classifier_;
+
+  /// Serializes swap attempts (control-loop retries vs `reload` requests).
+  std::mutex reload_mutex_;
+
+  util::BoundedQueue<Pending> queue_;
+  util::ThreadPool pool_;
+
+  Fd listen_fd_;
+  int tcp_port_ = -1;
+  Fd control_pipe_read_, control_pipe_write_;    ///< wakes the control loop
+  Fd signal_pipe_read_, signal_pipe_write_;      ///< written by signal handlers
+
+  std::thread accept_thread_;
+  std::thread control_thread_;
+  std::thread dispatch_thread_;
+
+  /// Guards the three structures below. Live connections sit in
+  /// `connections_` (readers remove themselves on exit; Pending entries keep
+  /// the Connection — and its fd — alive until their responses are written).
+  /// Reader thread handles sit in `conn_threads_`; an exiting reader records
+  /// its id in `finished_` and the accept loop joins it on its next pass, so
+  /// a long-lived daemon does not accumulate dead thread handles.
+  std::mutex connections_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Connection>> connections_;
+  std::map<std::uint64_t, std::thread> conn_threads_;
+  std::vector<std::uint64_t> finished_;
+  std::uint64_t next_connection_id_ = 0;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::int64_t> drain_deadline_ns_{0};
+  bool signal_handlers_installed_ = false;
+
+  // Lifetime counters (see DaemonStats).
+  std::atomic<std::uint64_t> connections_total_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> rejected_draining_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> reload_failures_{0};
+  std::atomic<std::int64_t> queue_depth_{0};
+  std::atomic<std::int64_t> queue_depth_peak_{0};
+};
+
+}  // namespace cwgl::serve

@@ -1,0 +1,199 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cwgl::serve {
+
+/// Raised on any wire-level defect: malformed frames, oversized payloads,
+/// JSON that is not a valid request/response, socket errors. Derives from
+/// util::Error so CLI/tests intercept it uniformly; it is its own type so a
+/// protocol violation is distinguishable from a model or graph failure.
+class ProtocolError : public util::Error {
+ public:
+  explicit ProtocolError(const std::string& what) : util::Error(what) {}
+};
+
+/// The `cwgl-serve-v1` wire protocol: every message is one frame —
+///
+///   u32 little-endian payload length, then that many bytes of UTF-8 JSON.
+///
+/// Requests carry a client-chosen `id` echoed verbatim in the response, so
+/// pipelined requests can be matched even when batch scheduling reorders
+/// completions. Frames larger than kMaxFrameBytes are rejected outright
+/// (a corrupt length prefix must not make the daemon allocate gigabytes).
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+/// What a client asks of the daemon.
+enum class RequestType {
+  Classify,  ///< classify one job DAG (the data plane)
+  Ping,      ///< liveness probe
+  Stats,     ///< daemon counter snapshot
+  Reload,    ///< swap in a fresh model snapshot (control plane)
+  Drain,     ///< graceful shutdown: finish in-flight work, then exit
+};
+
+/// How the daemon answered.
+enum class ResponseStatus {
+  Ok,
+  Overloaded,    ///< admission control shed the request (queue stayed full)
+  Timeout,       ///< the request's deadline expired before service
+  ShuttingDown,  ///< arrived after drain began; no new work is admitted
+  Error,         ///< malformed request, unbuildable DAG, failed reload, ...
+};
+
+std::string_view to_string(RequestType t) noexcept;
+std::string_view to_string(ResponseStatus s) noexcept;
+
+/// One decoded request frame.
+///
+/// Classify requests describe the job as its dependency-encoded Alibaba
+/// task names ("M1", "R2_1", "J3_2_1", ...) — exactly the grammar of
+/// batch_task.csv's task_name column, so any trace row set maps 1:1 onto a
+/// request with no new dependency encoding to get wrong.
+struct Request {
+  RequestType type = RequestType::Ping;
+  std::uint64_t id = 0;
+  std::string job_name;             ///< classify: job id for explainability
+  std::vector<std::string> tasks;   ///< classify: dependency-encoded names
+  double deadline_ms = 0.0;         ///< classify: 0 = server default
+  std::string model_path;           ///< reload: override the daemon's path
+};
+
+/// One decoded response frame. Which fields are meaningful depends on
+/// `status` and the request type it answers (prediction fields for a served
+/// classify, `stats` for a stats request, `message` for errors).
+struct Response {
+  std::uint64_t id = 0;
+  ResponseStatus status = ResponseStatus::Ok;
+  std::string message;
+
+  // Classify payload (status == Ok).
+  std::string cluster;              ///< letter name, "A"...
+  int cluster_id = 0;
+  double similarity = 0.0;
+  std::string nearest;              ///< nearest training representative
+  std::uint64_t oov_hits = 0;
+  double predicted_critical_path = 0.0;
+  double predicted_width = 0.0;
+
+  /// Stats payload (flat name -> value counters, daemon lifetime).
+  std::map<std::string, std::uint64_t> stats;
+};
+
+/// JSON codecs. Encoders always produce a single-line document; decoders
+/// throw ProtocolError on anything that is not a well-formed message of the
+/// expected kind (unknown type/status, missing fields, wrong JSON kinds).
+std::string encode_request(const Request& r);
+Request decode_request(std::string_view json);
+std::string encode_response(const Response& r);
+Response decode_response(std::string_view json);
+
+// ---------------------------------------------------------------------------
+// Sockets. Thin blocking wrappers over AF_UNIX / loopback AF_INET — enough
+// for the daemon, the CLI client, tests, and the load-generator bench; not a
+// general networking library.
+// ---------------------------------------------------------------------------
+
+/// Where a daemon listens / a client connects. Unix path wins when set.
+struct Endpoint {
+  std::string socket_path;  ///< AF_UNIX filesystem path when non-empty
+  int tcp_port = -1;        ///< loopback AF_INET port when >= 0 (0 = ephemeral)
+
+  bool valid() const noexcept { return !socket_path.empty() || tcp_port >= 0; }
+};
+
+/// Owning file descriptor (move-only; closes on destruction).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on `ep`. For unix endpoints a stale socket file is
+/// unlinked first; for tcp, port 0 picks an ephemeral port (query it with
+/// local_tcp_port). Throws ProtocolError on failure.
+Fd listen_on(const Endpoint& ep, int backlog = 64);
+
+/// The port a listening/connected tcp socket actually bound.
+int local_tcp_port(int fd);
+
+/// Disables Nagle on a TCP stream (no-op for unix sockets). Request/response
+/// frames are small; letting the kernel batch them trades ~40ms of delayed-ACK
+/// latency for nothing.
+void set_nodelay(int fd) noexcept;
+
+/// Connects to a listening daemon. Throws ProtocolError when the endpoint
+/// is invalid or unreachable.
+Fd connect_to(const Endpoint& ep);
+
+/// Writes one frame (length prefix + payload), handling short writes.
+/// Throws ProtocolError on oversize payloads and socket errors (a peer that
+/// vanished raises ProtocolError, never SIGPIPE).
+void write_frame(int fd, std::string_view payload);
+
+/// Reads one frame into `payload`. Returns false on clean EOF at a frame
+/// boundary (the peer hung up between messages). Throws ProtocolError on
+/// oversized lengths, mid-frame EOF, and socket errors.
+bool read_frame(int fd, std::string& payload);
+
+/// Blocking request/response client over one connection.
+///
+/// `call()` is the simple path: send one request, wait for its response
+/// (matching on id, so it composes with pipelined traffic on the same
+/// connection). `send()`/`recv()` expose the pipelined form the bench's
+/// open-loop generator uses — many requests in flight, responses consumed
+/// by a reader thread. A Client is NOT thread-safe; pipelined users
+/// serialize sends and recvs themselves (one writer + one reader is fine:
+/// the two directions touch disjoint socket halves).
+class Client {
+ public:
+  /// Connects immediately; throws ProtocolError on failure.
+  explicit Client(const Endpoint& ep) : fd_(connect_to(ep)) {}
+
+  void send(const Request& r) { write_frame(fd_.get(), encode_request(r)); }
+
+  /// Next response in arrival order; nullopt on clean EOF.
+  std::optional<Response> recv();
+
+  /// send + receive until the response with this request's id arrives.
+  /// Out-of-order responses for other ids are discarded (a blocking caller
+  /// interleaving call() with send() has forfeited those anyway).
+  Response call(const Request& r);
+
+  /// Half-closes the write side — tells the daemon "no more requests" while
+  /// still draining responses.
+  void shutdown_write();
+
+  int fd() const noexcept { return fd_.get(); }
+
+ private:
+  Fd fd_;
+  std::string buffer_;
+};
+
+}  // namespace cwgl::serve

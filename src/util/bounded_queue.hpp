@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -12,13 +13,28 @@
 
 namespace cwgl::util {
 
+/// Outcome of a timed queue operation. The three-way split is what admission
+/// control needs: `TimedOut` means "the queue stayed full/empty for the whole
+/// budget — shed the request", while `Closed` means "the queue is shutting
+/// down — stop producing / drain is complete". A waiter woken by `close()`
+/// reports Closed even when its deadline has also expired; shutdown wins
+/// ties so callers never mistake a drain for an overload.
+enum class QueueResult {
+  Ok,        ///< the item was transferred
+  TimedOut,  ///< the deadline passed with the queue still full (push) / empty (pop)
+  Closed,    ///< push: queue closed; pop: closed AND drained — nothing will arrive
+};
+
 /// Bounded blocking FIFO for producer/consumer pipelines.
 ///
 /// `push` blocks while the queue is full (backpressure: a fast producer is
 /// throttled to the consumers' pace, so memory stays bounded) and `pop`
 /// blocks while it is empty. `close()` ends the conversation: blocked and
 /// future pushes return false, and pops drain the remaining items before
-/// returning nullopt. All operations are safe to call from any thread.
+/// returning nullopt. The timed variants (`try_push_for`/`try_pop_for`)
+/// bound the wait and make the three outcomes distinct via QueueResult —
+/// the serving daemon's admission control and drain deadlines are built on
+/// them. All operations are safe to call from any thread.
 ///
 /// Observability: all instances aggregate into the global registry —
 /// `queue.items.pushed` and the `queue.occupancy.peak` high-water gauge are
@@ -70,6 +86,57 @@ class BoundedQueue {
     lock.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  /// Timed push: waits at most `timeout` for room. Returns Ok when the item
+  /// was enqueued, TimedOut when the queue stayed full (the item is dropped —
+  /// this is the admission-control shed path), and Closed when the queue was
+  /// closed before room appeared (also drops the item). A zero timeout is a
+  /// pure try: one predicate check, no waiting.
+  template <typename Rep, typename Period>
+  QueueResult try_push_for(T item,
+                           std::chrono::duration<Rep, Period> timeout) {
+    CWGL_FAILPOINT("queue.push");
+    obs::ScopedLatency wait(*registry_, *push_wait_us_);
+    std::unique_lock lock(mutex_);
+    if (!not_full_.wait_for(lock, timeout, [&] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return QueueResult::TimedOut;
+    }
+    // The predicate held — but it holds for close() wake-ups too, so check
+    // shutdown before capacity: a waiter released by close() must report
+    // Closed, not sneak an item into a draining queue or report a timeout.
+    if (closed_) return QueueResult::Closed;
+    items_.push_back(std::move(item));
+    const auto depth = static_cast<std::int64_t>(items_.size());
+    lock.unlock();
+    pushed_->add();
+    occupancy_->record_max(depth);
+    not_empty_.notify_one();
+    return QueueResult::Ok;
+  }
+
+  /// Timed pop: waits at most `timeout` for an item into `out`. Returns Ok
+  /// on delivery, TimedOut when the queue stayed empty, and Closed when the
+  /// queue is closed AND drained — the consumer's definitive stop signal
+  /// (queued items are still delivered as Ok after close, exactly like
+  /// pop()). A zero timeout is a pure try.
+  template <typename Rep, typename Period>
+  QueueResult try_pop_for(std::chrono::duration<Rep, Period> timeout, T& out) {
+    CWGL_FAILPOINT("queue.pop");
+    obs::ScopedLatency wait(*registry_, *pop_wait_us_);
+    std::unique_lock lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !items_.empty(); })) {
+      return QueueResult::TimedOut;
+    }
+    if (items_.empty()) return QueueResult::Closed;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return QueueResult::Ok;
   }
 
   /// Non-blocking pop: an item if one is immediately available. Used to

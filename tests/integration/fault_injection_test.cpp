@@ -26,6 +26,9 @@
 #include "core/ingest.hpp"
 #include "model/format.hpp"
 #include "model/model.hpp"
+#include "serve/classifier.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
 #include "trace/io.hpp"
 #include "util/diagnostics.hpp"
 #include "util/error.hpp"
@@ -338,27 +341,57 @@ model::FittedModel tiny_fitted_model() {
   return m;
 }
 
-TEST_F(FailpointFixture, MidWriteCrashLeavesOnlyARejectedPartialModel) {
+TEST_F(FailpointFixture, MidWriteCrashLeavesPreviousSnapshotIntact) {
   const auto path =
       std::filesystem::temp_directory_path() / "cwgl_fp_model.cwgl";
+  const auto tmp =
+      std::filesystem::temp_directory_path() / "cwgl_fp_model.cwgl.tmp";
   const model::FittedModel m = tiny_fitted_model();
 
-  // Crash after roughly half the snapshot reached the disk.
+  // Publish a good snapshot first — this is what a crashed re-save must
+  // never damage (the property automated hot reload depends on).
+  model::save_model(m, path);
+  ASSERT_EQ(model::load_model(path), m);
+
+  // Crash after roughly half the re-save reached the disk: the torn bytes
+  // are confined to the .tmp sibling; the published file never changes.
   util::failpoint::configure("model.write=error*1");
   EXPECT_THROW(model::save_model(m, path), util::FailpointError);
-  ASSERT_TRUE(std::filesystem::exists(path));
-  EXPECT_LT(std::filesystem::file_size(path),
-            model::serialize_model(m).size());
-
-  // The torn file must never load as a model — strict decoding guarantees a
-  // typed rejection, not garbage-in-garbage-out.
   util::failpoint::clear();
-  EXPECT_THROW(model::load_model(path), model::ModelError);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(model::load_model(path), m);
 
-  // A clean re-save over the partial file fully recovers.
+  // The torn temp file exists, is short, and strict decoding rejects it —
+  // even a reader pointed at the wrong path gets a typed error, not
+  // garbage-in-garbage-out.
+  ASSERT_TRUE(std::filesystem::exists(tmp));
+  EXPECT_LT(std::filesystem::file_size(tmp), model::serialize_model(m).size());
+  EXPECT_THROW(model::load_model(tmp), model::ModelError);
+
+  // A clean re-save recovers and replaces the torn temp.
   model::save_model(m, path);
   EXPECT_EQ(model::load_model(path), m);
+  EXPECT_FALSE(std::filesystem::exists(tmp));
   std::filesystem::remove(path);
+}
+
+TEST_F(FailpointFixture, MidWriteCrashOnFirstSaveLeavesNoPublishedFile) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "cwgl_fp_model_first.cwgl";
+  const auto tmp =
+      std::filesystem::temp_directory_path() / "cwgl_fp_model_first.cwgl.tmp";
+  std::filesystem::remove(path);
+  std::filesystem::remove(tmp);
+
+  // With no previous snapshot, a mid-write crash publishes NOTHING: a
+  // reloader polling `path` sees "absent", never "partial".
+  util::failpoint::configure("model.write=error*1");
+  EXPECT_THROW(model::save_model(tiny_fitted_model(), path),
+               util::FailpointError);
+  util::failpoint::clear();
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(tmp));
+  std::filesystem::remove(tmp);
 }
 
 TEST_F(FailpointFixture, ModelReadFaultIsTyped) {
@@ -370,6 +403,101 @@ TEST_F(FailpointFixture, ModelReadFaultIsTyped) {
   util::failpoint::clear();
   EXPECT_EQ(model::load_model(path), tiny_fitted_model());
   std::filesystem::remove(path);
+}
+
+// --- serving-daemon failpoints -------------------------------------------
+// serve.accept drops a connection whole, serve.batch fails a dispatch batch,
+// serve.reload rejects a swap attempt. In every case the daemon stays up
+// and the no-silent-drop contract holds: whatever was admitted gets a typed
+// answer.
+
+serve::DaemonConfig fp_daemon_config(const std::string& tag) {
+  serve::DaemonConfig cfg;
+  cfg.endpoint.socket_path =
+      (std::filesystem::temp_directory_path() / (tag + ".sock")).string();
+  cfg.worker_threads = 1;
+  return cfg;
+}
+
+serve::Request fp_classify(std::uint64_t id) {
+  serve::Request r;
+  r.type = serve::RequestType::Classify;
+  r.id = id;
+  r.job_name = "j_fp";
+  r.tasks = {"M1", "R2_1"};
+  return r;
+}
+
+TEST_F(FailpointFixture, InjectedAcceptFaultDropsOneConnectionDaemonSurvives) {
+  const auto cfg = fp_daemon_config("cwgl_fp_accept");
+  serve::Daemon daemon(
+      std::make_shared<const serve::Classifier>(tiny_fitted_model()), cfg);
+  daemon.start();
+
+  // First connection is accepted then dropped whole: the client observes a
+  // hangup (typed ProtocolError), never a partial response.
+  util::failpoint::configure("serve.accept=error*1");
+  {
+    serve::Client dropped(cfg.endpoint);
+    EXPECT_THROW(dropped.call(fp_classify(1)), serve::ProtocolError);
+  }
+  util::failpoint::clear();
+
+  // The daemon itself is unharmed: the next connection serves normally.
+  serve::Client client(cfg.endpoint);
+  const serve::Response r = client.call(fp_classify(2));
+  EXPECT_EQ(r.status, serve::ResponseStatus::Ok) << r.message;
+}
+
+TEST_F(FailpointFixture, InjectedBatchFaultAnswersTypedErrorAndRecovers) {
+  const auto cfg = fp_daemon_config("cwgl_fp_batch");
+  serve::Daemon daemon(
+      std::make_shared<const serve::Classifier>(tiny_fitted_model()), cfg);
+  daemon.start();
+  serve::Client client(cfg.endpoint);
+
+  util::failpoint::configure("serve.batch=error*1");
+  const serve::Response failed = client.call(fp_classify(1));
+  EXPECT_EQ(failed.status, serve::ResponseStatus::Error);
+  EXPECT_NE(failed.message.find("batch dispatch failed"), std::string::npos)
+      << failed.message;
+  util::failpoint::clear();
+
+  // Same connection, next batch: back to serving.
+  const serve::Response ok = client.call(fp_classify(2));
+  EXPECT_EQ(ok.status, serve::ResponseStatus::Ok) << ok.message;
+  const serve::DaemonStats s = daemon.stats();
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_EQ(s.served + s.shed + s.timeouts + s.rejected_draining + s.errors,
+            s.requests);
+}
+
+TEST_F(FailpointFixture, InjectedReloadFaultKeepsOldModelServing) {
+  const auto model_path =
+      std::filesystem::temp_directory_path() / "cwgl_fp_reload.cwgl";
+  model::save_model(tiny_fitted_model(), model_path);
+  const auto cfg = fp_daemon_config("cwgl_fp_reload");
+  serve::Daemon daemon(
+      std::make_shared<const serve::Classifier>(tiny_fitted_model()), cfg);
+  daemon.start();
+  const auto before = daemon.snapshot();
+
+  util::failpoint::configure("serve.reload=error*1");
+  std::string error;
+  EXPECT_FALSE(daemon.reload_now(model_path.string(), &error));
+  EXPECT_FALSE(error.empty());
+  util::failpoint::clear();
+
+  // Rejected swap: pointer unchanged, failure counted, still serving.
+  EXPECT_EQ(daemon.snapshot().get(), before.get());
+  EXPECT_EQ(daemon.stats().reload_failures, 1u);
+  serve::Client client(cfg.endpoint);
+  EXPECT_EQ(client.call(fp_classify(1)).status, serve::ResponseStatus::Ok);
+
+  // And a clean retry swaps.
+  EXPECT_TRUE(daemon.reload_now(model_path.string(), &error)) << error;
+  EXPECT_EQ(daemon.stats().reloads, 1u);
+  std::filesystem::remove(model_path);
 }
 
 #endif  // CWGL_FAILPOINTS_ENABLED

@@ -1,0 +1,396 @@
+// Daemon contract: bounded admission (typed `overloaded` sheds, never
+// unbounded queueing), per-request deadlines (typed `timeout`), RCU-style
+// hot reload (corrupt snapshots rejected while the old model serves; a swap
+// mid-traffic drops nothing), and graceful drain (every admitted request is
+// answered; wait() returns 0). Daemons here listen on ephemeral loopback-tcp
+// ports so any number of tests can run in one process.
+
+#include "serve/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "model/fit.hpp"
+#include "model/format.hpp"
+#include "serve/protocol.hpp"
+#include "trace/generator.hpp"
+
+namespace cwgl::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+model::FittedModel fit_tiny() {
+  trace::GeneratorConfig gcfg;
+  gcfg.num_jobs = 120;
+  gcfg.seed = 11;
+  gcfg.emit_instances = false;
+  const trace::Trace data = trace::TraceGenerator(gcfg).generate();
+  core::PipelineConfig cfg;
+  cfg.sample_size = 30;
+  cfg.clustering.clusters = 3;
+  core::FittedFeatures fitted;
+  const auto result =
+      core::CharacterizationPipeline(cfg).run(data, nullptr, &fitted);
+  return model::build_model(result, std::move(fitted), cfg);
+}
+
+/// One fitted model per process, shared read-only across tests.
+const model::FittedModel& tiny_model() {
+  static const model::FittedModel m = fit_tiny();
+  return m;
+}
+
+std::shared_ptr<const Classifier> tiny_classifier() {
+  return std::make_shared<const Classifier>(tiny_model());
+}
+
+DaemonConfig tcp_config() {
+  DaemonConfig cfg;
+  cfg.endpoint.tcp_port = 0;  // ephemeral
+  cfg.worker_threads = 2;
+  return cfg;
+}
+
+Endpoint client_endpoint(const Daemon& d) {
+  Endpoint ep;
+  ep.tcp_port = d.tcp_port();
+  return ep;
+}
+
+Request classify_request(std::uint64_t id, double deadline_ms = 0.0) {
+  Request r;
+  r.type = RequestType::Classify;
+  r.id = id;
+  r.job_name = "j_test";
+  r.tasks = {"M1", "M2_1", "R3_2", "J4_2"};
+  r.deadline_ms = deadline_ms;
+  return r;
+}
+
+TEST(DaemonTest, ClassifyPingStatsRoundTrip) {
+  Daemon daemon(tiny_classifier(), tcp_config());
+  daemon.start();
+  Client client(client_endpoint(daemon));
+
+  Request ping;
+  ping.type = RequestType::Ping;
+  ping.id = 3;
+  const Response pong = client.call(ping);
+  EXPECT_EQ(pong.status, ResponseStatus::Ok);
+  EXPECT_EQ(pong.id, 3u);
+
+  const Response got = client.call(classify_request(44));
+  ASSERT_EQ(got.status, ResponseStatus::Ok) << got.message;
+  EXPECT_EQ(got.id, 44u);
+  EXPECT_FALSE(got.cluster.empty());
+  EXPECT_FALSE(got.nearest.empty());
+  EXPECT_GE(got.similarity, 0.0);
+
+  Request stats;
+  stats.type = RequestType::Stats;
+  stats.id = 5;
+  const Response s = client.call(stats);
+  ASSERT_EQ(s.status, ResponseStatus::Ok);
+  EXPECT_EQ(s.stats.at("served"), 1u);
+  EXPECT_EQ(s.stats.at("requests"), 1u);
+  EXPECT_EQ(s.stats.at("shed"), 0u);
+
+  daemon.request_drain();
+  EXPECT_EQ(daemon.wait(), 0);
+}
+
+TEST(DaemonTest, UnbuildableJobGetsTypedErrorNotConnectionDeath) {
+  Daemon daemon(tiny_classifier(), tcp_config());
+  daemon.start();
+  Client client(client_endpoint(daemon));
+
+  Request bad = classify_request(1);
+  bad.tasks = {"M1", "M3_2"};  // depends on task 2, which does not exist
+  const Response r = client.call(bad);
+  EXPECT_EQ(r.status, ResponseStatus::Error);
+  EXPECT_FALSE(r.message.empty());
+
+  // The connection survives a per-request failure.
+  const Response ok = client.call(classify_request(2));
+  EXPECT_EQ(ok.status, ResponseStatus::Ok) << ok.message;
+
+  daemon.request_drain();
+  EXPECT_EQ(daemon.wait(), 0);
+}
+
+TEST(DaemonTest, MalformedFrameAnsweredAndConnectionContinues) {
+  Daemon daemon(tiny_classifier(), tcp_config());
+  daemon.start();
+  Client client(client_endpoint(daemon));
+
+  write_frame(client.fd(), "this is not a request");
+  const std::optional<Response> err = client.recv();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->status, ResponseStatus::Error);
+
+  const Response ok = client.call(classify_request(9));
+  EXPECT_EQ(ok.status, ResponseStatus::Ok) << ok.message;
+
+  daemon.request_drain();
+  EXPECT_EQ(daemon.wait(), 0);
+}
+
+TEST(DaemonTest, ConcurrentClientsAllServedExactlyOnce) {
+  Daemon daemon(tiny_classifier(), tcp_config());
+  daemon.start();
+  const Endpoint ep = client_endpoint(daemon);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 25;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(ep);
+      for (int i = 0; i < kPerClient; ++i) {
+        const auto id = static_cast<std::uint64_t>(c * kPerClient + i + 1);
+        const Response r = client.call(classify_request(id));
+        EXPECT_EQ(r.status, ResponseStatus::Ok) << r.message;
+        EXPECT_EQ(r.id, id);
+        if (r.status == ResponseStatus::Ok) ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), kClients * kPerClient);
+
+  const DaemonStats s = daemon.stats();
+  EXPECT_EQ(s.served, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(s.shed, 0u);
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_GE(s.batches, 1u);
+  EXPECT_LE(s.queue_depth_peak,
+            static_cast<std::int64_t>(DaemonConfig{}.max_inflight));
+
+  daemon.request_drain();
+  EXPECT_EQ(daemon.wait(), 0);
+}
+
+TEST(DaemonTest, OverloadShedsTypedWhileAdmittedRequestsAreServed) {
+  DaemonConfig cfg = tcp_config();
+  cfg.worker_threads = 1;
+  cfg.max_inflight = 2;      // tiny admission window
+  cfg.max_batch = 1;
+  cfg.admission_wait = 0ms;  // shed immediately when full
+  cfg.service_delay = 5000us;  // deterministic capacity ~200/s
+  Daemon daemon(tiny_classifier(), cfg);
+  daemon.start();
+  Client client(client_endpoint(daemon));
+
+  // Open-loop burst far beyond capacity: pipeline 40 requests at once.
+  constexpr std::uint64_t kBurst = 40;
+  for (std::uint64_t id = 1; id <= kBurst; ++id) {
+    client.send(classify_request(id));
+  }
+  std::size_t ok = 0, shed = 0, other = 0;
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    const std::optional<Response> r = client.recv();
+    ASSERT_TRUE(r.has_value()) << "response " << i << " missing";
+    if (r->status == ResponseStatus::Ok) ++ok;
+    else if (r->status == ResponseStatus::Overloaded) ++shed;
+    else ++other;
+  }
+  // Every request is answered; under this burst both outcomes must occur.
+  EXPECT_EQ(ok + shed + other, kBurst);
+  EXPECT_GE(ok, 1u);
+  EXPECT_GE(shed, 1u);
+  EXPECT_EQ(other, 0u);
+
+  const DaemonStats s = daemon.stats();
+  EXPECT_EQ(s.requests, kBurst);
+  EXPECT_EQ(s.served, ok);
+  EXPECT_EQ(s.shed, shed);
+  // The depth counter is bumped after the queue transfer, so it can lag one
+  // in-flight pop behind the true (capacity-bounded) depth.
+  EXPECT_LE(s.queue_depth_peak, 3);
+
+  daemon.request_drain();
+  EXPECT_EQ(daemon.wait(), 0);
+}
+
+TEST(DaemonTest, ExpiredDeadlineGetsTypedTimeout) {
+  DaemonConfig cfg = tcp_config();
+  cfg.worker_threads = 1;
+  cfg.max_batch = 8;
+  cfg.service_delay = 300ms;  // the first request blocks the rest past 200ms
+  Daemon daemon(tiny_classifier(), cfg);
+  daemon.start();
+  Client client(client_endpoint(daemon));
+
+  constexpr std::uint64_t kCount = 4;
+  for (std::uint64_t id = 1; id <= kCount; ++id) {
+    client.send(classify_request(id, /*deadline_ms=*/200.0));
+  }
+  std::size_t ok = 0, timed_out = 0;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    const std::optional<Response> r = client.recv();
+    ASSERT_TRUE(r.has_value());
+    if (r->status == ResponseStatus::Ok) ++ok;
+    if (r->status == ResponseStatus::Timeout) ++timed_out;
+  }
+  EXPECT_EQ(ok + timed_out, kCount);
+  EXPECT_GE(ok, 1u);        // the head of the line met its deadline
+  EXPECT_GE(timed_out, 1u);  // the queue behind it could not
+
+  const DaemonStats s = daemon.stats();
+  EXPECT_EQ(s.timeouts, timed_out);
+
+  daemon.request_drain();
+  EXPECT_EQ(daemon.wait(), 0);
+}
+
+TEST(DaemonTest, CorruptReloadRejectedWhileOldModelKeepsServing) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto good = dir / "cwgl_daemon_good.cwgl";
+  const auto corrupt = dir / "cwgl_daemon_corrupt.cwgl";
+  model::save_model(tiny_model(), good);
+  {
+    std::ofstream f(corrupt, std::ios::binary | std::ios::trunc);
+    f << "CWGLMDL1 but then garbage";
+  }
+
+  DaemonConfig cfg = tcp_config();
+  cfg.model_path = good.string();
+  Daemon daemon(tiny_classifier(), cfg);
+  daemon.start();
+  Client client(client_endpoint(daemon));
+  const std::shared_ptr<const Classifier> before = daemon.snapshot();
+
+  Request bad_reload;
+  bad_reload.type = RequestType::Reload;
+  bad_reload.id = 1;
+  bad_reload.model_path = corrupt.string();
+  const Response rejected = client.call(bad_reload);
+  EXPECT_EQ(rejected.status, ResponseStatus::Error);
+  EXPECT_FALSE(rejected.message.empty());
+  EXPECT_EQ(daemon.snapshot(), before) << "a rejected reload must not swap";
+
+  const Response still_ok = client.call(classify_request(2));
+  EXPECT_EQ(still_ok.status, ResponseStatus::Ok) << still_ok.message;
+
+  Request good_reload;
+  good_reload.type = RequestType::Reload;
+  good_reload.id = 3;
+  const Response swapped = client.call(good_reload);  // daemon's own path
+  EXPECT_EQ(swapped.status, ResponseStatus::Ok) << swapped.message;
+  EXPECT_NE(daemon.snapshot(), before);
+
+  const DaemonStats s = daemon.stats();
+  EXPECT_EQ(s.reloads, 1u);
+  EXPECT_EQ(s.reload_failures, 1u);
+
+  daemon.request_drain();
+  EXPECT_EQ(daemon.wait(), 0);
+  std::filesystem::remove(good);
+  std::filesystem::remove(corrupt);
+}
+
+TEST(DaemonTest, ReloadMidTrafficDropsNothing) {
+  const auto good =
+      std::filesystem::temp_directory_path() / "cwgl_daemon_swap.cwgl";
+  model::save_model(tiny_model(), good);
+
+  DaemonConfig cfg = tcp_config();
+  cfg.model_path = good.string();
+  Daemon daemon(tiny_classifier(), cfg);
+  daemon.start();
+  const Endpoint ep = client_endpoint(daemon);
+
+  constexpr int kClients = 2;
+  constexpr int kPerClient = 50;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(ep);
+      for (int i = 0; i < kPerClient; ++i) {
+        const auto id = static_cast<std::uint64_t>(c * kPerClient + i + 1);
+        const Response r = client.call(classify_request(id));
+        EXPECT_EQ(r.status, ResponseStatus::Ok) << r.message;
+        if (r.status == ResponseStatus::Ok) ok_count.fetch_add(1);
+      }
+    });
+  }
+  // Swap the model repeatedly while that traffic is in flight.
+  constexpr int kSwaps = 5;
+  for (int i = 0; i < kSwaps; ++i) {
+    std::string err;
+    EXPECT_TRUE(daemon.reload_now(good.string(), &err)) << err;
+    std::this_thread::sleep_for(2ms);
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(ok_count.load(), kClients * kPerClient);
+  const DaemonStats s = daemon.stats();
+  EXPECT_EQ(s.served, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_EQ(s.reloads, static_cast<std::uint64_t>(kSwaps));
+
+  daemon.request_drain();
+  EXPECT_EQ(daemon.wait(), 0);
+  std::filesystem::remove(good);
+}
+
+TEST(DaemonTest, DrainRequestAnswersThenRejectsNewWorkAndExitsClean) {
+  Daemon daemon(tiny_classifier(), tcp_config());
+  daemon.start();
+  Client client(client_endpoint(daemon));
+
+  Request drain;
+  drain.type = RequestType::Drain;
+  drain.id = 1;
+  const Response acked = client.call(drain);
+  EXPECT_EQ(acked.status, ResponseStatus::Ok);
+
+  // Give the control thread a moment to close the admission queue, then a
+  // classify on the still-open connection must be typed shutting_down (the
+  // daemon's reader threads run until wait() completes).
+  std::this_thread::sleep_for(300ms);
+  bool answered_shutting_down = false;
+  try {
+    const Response late = client.call(classify_request(2));
+    answered_shutting_down = late.status == ResponseStatus::ShuttingDown;
+  } catch (const ProtocolError&) {
+    // Also acceptable: the daemon finished draining first and hung up.
+    answered_shutting_down = true;
+  }
+  EXPECT_TRUE(answered_shutting_down);
+  EXPECT_EQ(daemon.wait(), 0);
+}
+
+TEST(DaemonTest, DestructorDrainsWithoutExplicitWait) {
+  DaemonConfig cfg = tcp_config();
+  {
+    Daemon daemon(tiny_classifier(), cfg);
+    daemon.start();
+    Client client(client_endpoint(daemon));
+    EXPECT_EQ(client.call(classify_request(1)).status, ResponseStatus::Ok);
+  }  // destructor requests drain + waits; must not hang or crash
+}
+
+TEST(DaemonTest, InvalidConstructionIsRejected) {
+  EXPECT_THROW(Daemon(nullptr, tcp_config()), ProtocolError);
+  DaemonConfig no_endpoint;
+  EXPECT_THROW(Daemon(tiny_classifier(), no_endpoint), ProtocolError);
+}
+
+}  // namespace
+}  // namespace cwgl::serve

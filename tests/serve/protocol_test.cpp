@@ -1,0 +1,214 @@
+// Wire-protocol contract (cwgl-serve-v1): codecs round-trip every message
+// kind and reject malformed input with typed errors; framing survives short
+// reads, distinguishes clean EOF from mid-frame truncation, and refuses
+// oversized frames before allocating; sockets work for both unix and
+// loopback-tcp endpoints.
+
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cwgl::serve {
+namespace {
+
+/// Connected AF_UNIX stream pair for framing tests (closed on destruction).
+struct SocketPair {
+  Fd a, b;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a.reset(fds[0]);
+    b.reset(fds[1]);
+  }
+};
+
+TEST(ProtocolCodec, ClassifyRequestRoundTrips) {
+  Request r;
+  r.type = RequestType::Classify;
+  r.id = 987654321;
+  r.job_name = "j_42";
+  r.tasks = {"M1", "R2_1", "J3_2_1"};
+  r.deadline_ms = 12.5;
+  const Request back = decode_request(encode_request(r));
+  EXPECT_EQ(back.type, RequestType::Classify);
+  EXPECT_EQ(back.id, r.id);
+  EXPECT_EQ(back.job_name, r.job_name);
+  EXPECT_EQ(back.tasks, r.tasks);
+  EXPECT_DOUBLE_EQ(back.deadline_ms, r.deadline_ms);
+}
+
+TEST(ProtocolCodec, ControlRequestsRoundTrip) {
+  for (const RequestType t : {RequestType::Ping, RequestType::Stats,
+                              RequestType::Reload, RequestType::Drain}) {
+    Request r;
+    r.type = t;
+    r.id = 7;
+    if (t == RequestType::Reload) r.model_path = "/tmp/next.cwgl";
+    const Request back = decode_request(encode_request(r));
+    EXPECT_EQ(back.type, t);
+    EXPECT_EQ(back.id, 7u);
+    if (t == RequestType::Reload) EXPECT_EQ(back.model_path, r.model_path);
+  }
+}
+
+TEST(ProtocolCodec, ResponseRoundTripsEveryStatusAndPayload) {
+  for (const ResponseStatus s :
+       {ResponseStatus::Ok, ResponseStatus::Overloaded, ResponseStatus::Timeout,
+        ResponseStatus::ShuttingDown, ResponseStatus::Error}) {
+    Response r;
+    r.id = 11;
+    r.status = s;
+    r.message = "context";
+    r.cluster = "C";
+    r.cluster_id = 2;
+    r.similarity = 0.875;
+    r.nearest = "j_1000001";
+    r.oov_hits = 3;
+    r.predicted_critical_path = 42.5;
+    r.predicted_width = 4.0;
+    r.stats = {{"served", 10}, {"shed", 2}};
+    const Response back = decode_response(encode_response(r));
+    EXPECT_EQ(back.status, s);
+    EXPECT_EQ(back.id, 11u);
+    EXPECT_EQ(back.message, "context");
+    EXPECT_EQ(back.cluster, "C");
+    EXPECT_EQ(back.cluster_id, 2);
+    EXPECT_DOUBLE_EQ(back.similarity, 0.875);
+    EXPECT_EQ(back.nearest, "j_1000001");
+    EXPECT_EQ(back.oov_hits, 3u);
+    EXPECT_DOUBLE_EQ(back.predicted_critical_path, 42.5);
+    EXPECT_DOUBLE_EQ(back.predicted_width, 4.0);
+    EXPECT_EQ(back.stats, r.stats);
+  }
+}
+
+TEST(ProtocolCodec, MalformedRequestsThrowProtocolError) {
+  EXPECT_THROW(decode_request("not json"), ProtocolError);
+  EXPECT_THROW(decode_request("[]"), ProtocolError);
+  EXPECT_THROW(decode_request("{}"), ProtocolError);  // no type
+  EXPECT_THROW(decode_request(R"({"type":"frobnicate","id":1})"),
+               ProtocolError);
+  EXPECT_THROW(decode_request(R"({"type":"classify","id":"NaN"})"),
+               ProtocolError);
+  EXPECT_THROW(decode_request(R"({"type":"classify","id":1,"tasks":"M1"})"),
+               ProtocolError);  // tasks must be an array
+}
+
+TEST(ProtocolCodec, MalformedResponsesThrowProtocolError) {
+  EXPECT_THROW(decode_response("{}"), ProtocolError);  // no status
+  EXPECT_THROW(decode_response(R"({"status":"meh","id":1})"), ProtocolError);
+  EXPECT_THROW(decode_response("17"), ProtocolError);
+}
+
+TEST(ProtocolFraming, RoundTripsAndPreservesBoundaries) {
+  SocketPair pair;
+  write_frame(pair.a.get(), "first");
+  write_frame(pair.a.get(), "");  // empty payload is a legal frame
+  write_frame(pair.a.get(), std::string(100000, 'x'));
+  std::string got;
+  ASSERT_TRUE(read_frame(pair.b.get(), got));
+  EXPECT_EQ(got, "first");
+  ASSERT_TRUE(read_frame(pair.b.get(), got));
+  EXPECT_EQ(got, "");
+  ASSERT_TRUE(read_frame(pair.b.get(), got));
+  EXPECT_EQ(got, std::string(100000, 'x'));
+}
+
+TEST(ProtocolFraming, CleanEofReturnsFalse) {
+  SocketPair pair;
+  pair.a.reset();
+  std::string got;
+  EXPECT_FALSE(read_frame(pair.b.get(), got));
+}
+
+TEST(ProtocolFraming, MidFrameEofThrows) {
+  SocketPair pair;
+  // Length prefix promises 100 bytes; only 10 arrive before the hangup.
+  const std::uint32_t len = 100;
+  unsigned char prefix[4] = {static_cast<unsigned char>(len & 0xff),
+                             static_cast<unsigned char>((len >> 8) & 0xff),
+                             static_cast<unsigned char>((len >> 16) & 0xff),
+                             static_cast<unsigned char>((len >> 24) & 0xff)};
+  ASSERT_EQ(::send(pair.a.get(), prefix, 4, 0), 4);
+  ASSERT_EQ(::send(pair.a.get(), "0123456789", 10, 0), 10);
+  pair.a.reset();
+  std::string got;
+  EXPECT_THROW(read_frame(pair.b.get(), got), ProtocolError);
+}
+
+TEST(ProtocolFraming, OversizedLengthPrefixIsRejectedUpFront) {
+  SocketPair pair;
+  // A corrupt prefix claiming ~4 GiB must be refused before any allocation.
+  const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(pair.a.get(), prefix, 4, 0), 4);
+  std::string got;
+  EXPECT_THROW(read_frame(pair.b.get(), got), ProtocolError);
+  EXPECT_THROW(write_frame(pair.a.get(),
+                           std::string(kMaxFrameBytes + 1, 'x')),
+               ProtocolError);
+}
+
+TEST(ProtocolSockets, TcpEphemeralListenConnectEcho) {
+  Endpoint ep;
+  ep.tcp_port = 0;
+  const Fd listener = listen_on(ep);
+  const int port = local_tcp_port(listener.get());
+  ASSERT_GT(port, 0);
+
+  Endpoint client_ep;
+  client_ep.tcp_port = port;
+  const Fd client = connect_to(client_ep);
+  const Fd server(::accept(listener.get(), nullptr, nullptr));
+  ASSERT_TRUE(server.valid());
+
+  write_frame(client.get(), "ping-payload");
+  std::string got;
+  ASSERT_TRUE(read_frame(server.get(), got));
+  EXPECT_EQ(got, "ping-payload");
+  write_frame(server.get(), got + "-echo");
+  ASSERT_TRUE(read_frame(client.get(), got));
+  EXPECT_EQ(got, "ping-payload-echo");
+}
+
+TEST(ProtocolSockets, UnixSocketListenConnectAndStaleFileReuse) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "cwgl_proto_test.sock";
+  Endpoint ep;
+  ep.socket_path = path.string();
+  {
+    const Fd listener = listen_on(ep);
+    const Fd client = connect_to(ep);
+    const Fd server(::accept(listener.get(), nullptr, nullptr));
+    ASSERT_TRUE(server.valid());
+    write_frame(client.get(), "over-unix");
+    std::string got;
+    ASSERT_TRUE(read_frame(server.get(), got));
+    EXPECT_EQ(got, "over-unix");
+  }
+  // The socket file a dead daemon left behind must not block a restart.
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const Fd again = listen_on(ep);
+  EXPECT_TRUE(again.valid());
+  std::filesystem::remove(path);
+}
+
+TEST(ProtocolSockets, ConnectToNothingThrows) {
+  Endpoint ep;
+  ep.socket_path = "/nonexistent/dir/absent.sock";
+  EXPECT_THROW(connect_to(ep), ProtocolError);
+  Endpoint none;
+  EXPECT_THROW(connect_to(none), ProtocolError);
+  EXPECT_THROW(listen_on(none), ProtocolError);
+}
+
+}  // namespace
+}  // namespace cwgl::serve

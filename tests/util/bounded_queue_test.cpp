@@ -101,5 +101,123 @@ TEST(BoundedQueue, ManyProducersManyConsumersDeliverEverythingOnce) {
   EXPECT_EQ(all, expected);
 }
 
+TEST(BoundedQueueTimed, PushTimesOutOnFullQueue) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(0));
+  EXPECT_EQ(queue.try_push_for(1, std::chrono::milliseconds(5)),
+            QueueResult::TimedOut);
+  // The shed item was dropped, not enqueued out of order.
+  EXPECT_EQ(queue.pop(), std::optional<int>(0));
+  EXPECT_EQ(queue.try_push_for(2, std::chrono::milliseconds(0)),
+            QueueResult::Ok);
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueueTimed, PopTimesOutOnEmptyQueue) {
+  BoundedQueue<int> queue(4);
+  int out = -1;
+  EXPECT_EQ(queue.try_pop_for(std::chrono::milliseconds(5), out),
+            QueueResult::TimedOut);
+  EXPECT_EQ(out, -1);
+  ASSERT_TRUE(queue.push(7));
+  EXPECT_EQ(queue.try_pop_for(std::chrono::milliseconds(0), out),
+            QueueResult::Ok);
+  EXPECT_EQ(out, 7);
+}
+
+TEST(BoundedQueueTimed, ZeroTimeoutIsAPureTry) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(0));
+  EXPECT_EQ(queue.try_push_for(1, std::chrono::seconds(0)),
+            QueueResult::TimedOut);
+  int out = 0;
+  EXPECT_EQ(queue.try_pop_for(std::chrono::seconds(0), out), QueueResult::Ok);
+  EXPECT_EQ(queue.try_pop_for(std::chrono::seconds(0), out),
+            QueueResult::TimedOut);
+}
+
+TEST(BoundedQueueTimed, CloseWakesTimedPusherWithClosedNotTimeout) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(0));
+  std::atomic<QueueResult> result{QueueResult::Ok};
+  std::thread producer([&] {
+    // Far longer than the test runs: only close() can release this waiter,
+    // and it must report Closed — not let the deadline win the race.
+    result = queue.try_push_for(1, std::chrono::seconds(60));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  producer.join();
+  EXPECT_EQ(result.load(), QueueResult::Closed);
+}
+
+TEST(BoundedQueueTimed, CloseWakesTimedPopperWithClosedNotTimeout) {
+  BoundedQueue<int> queue(1);
+  std::atomic<QueueResult> result{QueueResult::Ok};
+  std::thread consumer([&] {
+    int out = 0;
+    result = queue.try_pop_for(std::chrono::seconds(60), out);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  consumer.join();
+  EXPECT_EQ(result.load(), QueueResult::Closed);
+}
+
+TEST(BoundedQueueTimed, ClosedQueueStillDrainsViaTimedPop) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_EQ(queue.try_push_for(3, std::chrono::milliseconds(5)),
+            QueueResult::Closed);
+  int out = 0;
+  EXPECT_EQ(queue.try_pop_for(std::chrono::milliseconds(0), out),
+            QueueResult::Ok);
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(queue.try_pop_for(std::chrono::milliseconds(0), out),
+            QueueResult::Ok);
+  EXPECT_EQ(out, 2);
+  // Drained + closed is the definitive stop signal.
+  EXPECT_EQ(queue.try_pop_for(std::chrono::milliseconds(0), out),
+            QueueResult::Closed);
+}
+
+TEST(BoundedQueueTimed, MixedTimedAndBlockingTrafficDeliversEverythingOnce) {
+  constexpr int kProducers = 2;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(8);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int item = p * kPerProducer + i;
+        // Retry a timed push until it lands; exercises the timeout path
+        // under real contention without ever losing an item.
+        while (queue.try_push_for(item, std::chrono::microseconds(50)) !=
+               QueueResult::Ok) {
+        }
+      }
+    });
+  }
+  std::vector<int> received;
+  std::thread consumer([&] {
+    int out = 0;
+    while (true) {
+      const QueueResult r = queue.try_pop_for(std::chrono::milliseconds(1), out);
+      if (r == QueueResult::Ok) received.push_back(out);
+      if (r == QueueResult::Closed) break;
+    }
+  });
+  for (auto& t : producers) t.join();
+  queue.close();
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(received.begin(), received.end());
+  std::vector<int> expected(received.size());
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(received, expected);
+}
+
 }  // namespace
 }  // namespace cwgl::util
