@@ -23,9 +23,16 @@
 #   `cwgl serve` daemon on a unix socket, round-trip ping/classify through
 #   `cwgl client`, verify a corrupt reload is rejected while the old model
 #   keeps serving, drain cleanly, then run bench_serve_daemon and gate
-#   BENCH_serve_daemon.json: --min-bar on sustained throughput and completed
-#   reloads, --max-bar on the sustained shed fraction, reload errors, and
-#   the drain exit code.
+#   BENCH_serve_daemon.json: --min-bar on sustained throughput, completed
+#   reloads, and completed telemetry exports; --max-bar on the sustained
+#   shed fraction, reload errors, the drain exit code, and the telemetry
+#   overhead (exporter + logging must cost < 2% sustained throughput)
+# — plus the telemetry-smoke pass: a live daemon with the full telemetry
+#   plane on (periodic Prometheus exporter, JSON structured logging, span
+#   tracer) answers ping/health/stats/trace, a hot reload bumps the
+#   generation the endpoints report, the exported .prom file carries the
+#   request counter, every structured log line parses as JSON, and drain
+#   exits 0.
 #
 # Usage: scripts/check.sh [jobs]
 # Build dirs are build-check-<name>; set CWGL_CHECK_KEEP=1 to keep them.
@@ -275,13 +282,153 @@ run_serve_daemon_smoke() {
     elif ! python3 scripts/bench_diff.py \
         --min-bar 'sustained_jobs_per_s=50' \
         --min-bar 'reloads_completed=3' \
+        --min-bar 'telemetry_exports_completed=1' \
         --max-bar 'sustained_shed_fraction=0.05' \
         --max-bar 'reload_during_traffic_errors=0' \
         --max-bar 'drain_exit_code=0' \
+        --max-bar 'telemetry_overhead_pct=2.0' \
         "bench/baselines/BENCH_serve_daemon.json" \
         "${out}/BENCH_serve_daemon.json"; then
       ok=0
     fi
+  fi
+  ((ok)) || FAILED+=("${name}")
+  if [[ "${CWGL_CHECK_KEEP:-0}" != "1" ]]; then
+    rm -rf "${build_dir}"
+  fi
+}
+
+# Telemetry-plane smoke: a live daemon with every observability surface on —
+# periodic Prometheus file exporter, JSON structured logging, span tracer —
+# answers the ping/health/stats/trace introspection requests; a hot reload
+# bumps the generation those endpoints report; the exporter publishes a valid
+# text-exposition file (atomic tmp+rename, so a partial file is never seen);
+# every structured log line parses as JSON; drain exits 0.
+run_telemetry_smoke() {
+  local name="telemetry-smoke" build_dir="build-check-telemetry-smoke"
+  echo
+  echo "=== [${name}] configure ==="
+  cmake -B "${build_dir}" -S . \
+    -DCWGL_BUILD_BENCHMARKS=OFF \
+    -DCWGL_BUILD_EXAMPLES=OFF
+  echo "=== [${name}] build ==="
+  cmake --build "${build_dir}" -j "${JOBS}" --target cwgl
+  echo "=== [${name}] live daemon introspection ==="
+  local cwgl="${build_dir}/src/cli/cwgl"
+  local out="${build_dir}/telemetry-out"
+  mkdir -p "${out}"
+  local sock="${out}/daemon.sock"
+  local prom="${out}/metrics.prom"
+  local log="${out}/daemon.log"
+  local ok=1
+  if ! "${cwgl}" fit --trace tests/data/example_trace --sample 60 \
+      --clusters 4 --out "${out}/model.cwgl"; then
+    echo "${name}: fit failed" >&2
+    ok=0
+  fi
+  local daemon_pid=""
+  if ((ok)); then
+    "${cwgl}" serve --model "${out}/model.cwgl" --socket "${sock}" \
+      --telemetry-out "${prom}" --telemetry-interval 1 \
+      --log="${log}" --log-json --trace-buffer 4096 &
+    daemon_pid=$!
+    local i
+    for i in $(seq 1 100); do
+      [[ -S "${sock}" ]] && break
+      sleep 0.1
+    done
+    if [[ ! -S "${sock}" ]]; then
+      echo "${name}: daemon never bound ${sock}" >&2
+      ok=0
+    fi
+  fi
+  if ((ok)) && ! "${cwgl}" client --socket "${sock}" --ping \
+      | grep -q '^generation 1$'; then
+    echo "${name}: ping did not report generation 1" >&2
+    ok=0
+  fi
+  if ((ok)) && ! "${cwgl}" client --socket "${sock}" --health \
+      | grep -q '"ready":true'; then
+    echo "${name}: health did not report ready" >&2
+    ok=0
+  fi
+  if ((ok)); then
+    local i
+    for i in $(seq 1 5); do
+      if ! "${cwgl}" client --socket "${sock}" --job "smoke_${i}" \
+          --tasks M1,M2_1,R3_2 > /dev/null; then
+        echo "${name}: classify ${i} failed" >&2
+        ok=0
+        break
+      fi
+    done
+  fi
+  if ((ok)) && ! "${cwgl}" client --socket "${sock}" --stats --prometheus \
+      | grep -q '^# TYPE cwgl_serve_daemon_requests_total counter$'; then
+    echo "${name}: --stats --prometheus missing the request counter" >&2
+    ok=0
+  fi
+  if ((ok)) && ! "${cwgl}" client --socket "${sock}" --trace \
+      | grep -q '"enabled":true'; then
+    echo "${name}: trace drain did not report an armed tracer" >&2
+    ok=0
+  fi
+  if ((ok)) && ! "${cwgl}" client --socket "${sock}" \
+      --reload="${out}/model.cwgl" > /dev/null; then
+    echo "${name}: reload failed" >&2
+    ok=0
+  fi
+  if ((ok)) && ! "${cwgl}" client --socket "${sock}" --ping \
+      | grep -q '^generation 2$'; then
+    echo "${name}: ping did not report generation 2 after reload" >&2
+    ok=0
+  fi
+  if ((ok)); then
+    # The periodic exporter (1s interval) must publish the snapshot file.
+    local i
+    for i in $(seq 1 100); do
+      [[ -f "${prom}" ]] && break
+      sleep 0.1
+    done
+    if ! grep -q 'cwgl_serve_daemon_requests_total' "${prom}" 2>/dev/null; then
+      echo "${name}: exporter file missing or lacks the request counter" >&2
+      ok=0
+    fi
+  fi
+  if ((ok)) && ! "${cwgl}" client --socket "${sock}" --drain; then
+    echo "${name}: drain request failed" >&2
+    ok=0
+  fi
+  if [[ -n "${daemon_pid}" ]]; then
+    local deadline=$((SECONDS + 30))
+    while kill -0 "${daemon_pid}" 2>/dev/null && ((SECONDS < deadline)); do
+      sleep 0.2
+    done
+    if kill -0 "${daemon_pid}" 2>/dev/null; then
+      echo "${name}: daemon did not exit after drain" >&2
+      kill -9 "${daemon_pid}" 2>/dev/null || true
+      wait "${daemon_pid}" 2>/dev/null || true
+      ok=0
+    else
+      local rc=0
+      wait "${daemon_pid}" || rc=$?
+      if ((rc != 0)); then
+        echo "${name}: daemon exited ${rc} (want 0 after clean drain)" >&2
+        ok=0
+      fi
+    fi
+  fi
+  if ((ok)) && ! python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [line for line in f if line.strip()]
+if not lines:
+    raise SystemExit("structured log is empty")
+for line in lines:
+    json.loads(line)
+' "${log}"; then
+    echo "${name}: structured log lines are not valid JSON" >&2
+    ok=0
   fi
   ((ok)) || FAILED+=("${name}")
   if [[ "${CWGL_CHECK_KEEP:-0}" != "1" ]]; then
@@ -298,10 +445,11 @@ run_config faults-tsan "thread" ON "${FAULT_FILTER}"
 run_bench_smoke
 run_serve_smoke
 run_serve_daemon_smoke
+run_telemetry_smoke
 
 echo
 if ((${#FAILED[@]})); then
   echo "check.sh: FAILED configurations: ${FAILED[*]}"
   exit 1
 fi
-echo "check.sh: all configurations passed (plain, asan-ubsan, tsan, faults, faults-asan, faults-tsan, bench-smoke, serve-smoke, serve-daemon-smoke)"
+echo "check.sh: all configurations passed (plain, asan-ubsan, tsan, faults, faults-asan, faults-tsan, bench-smoke, serve-smoke, serve-daemon-smoke, telemetry-smoke)"

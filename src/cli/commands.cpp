@@ -7,9 +7,13 @@
 #include <ostream>
 #include <sstream>
 
+#include <chrono>
 #include <optional>
+#include <thread>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/tracer.hpp"
 
 #include "core/comparison.hpp"
@@ -108,16 +112,33 @@ commands:
                 `reload` request) hot-swaps the model snapshot without
                 dropping in-flight work, SIGTERM/SIGINT drains gracefully.
                 Prints a `serving on ...` line once ready; --port 0 picks an
-                ephemeral port and prints it
+                ephemeral port and prints it.
+                Telemetry plane: --telemetry-out FILE exports a Prometheus
+                text file every --telemetry-interval SEC (atomic tmp+rename);
+                --log[=FILE] enables structured logging (stderr or FILE) at
+                --log-level LVL (debug|info|warn|error), --log-json switches
+                to JSON lines; --trace-buffer N arms a bounded span buffer
+                drained by `client --trace` (0 disables)
                   --model FILE (--socket PATH | --port N) [--threads T]
                   [--max-inflight N] [--max-batch N] [--deadline-ms D]
                   [--admission-wait-ms W] [--drain-timeout-ms D]
                   [--service-delay-us U] [--metrics[=FILE]]
+                  [--telemetry-out FILE] [--telemetry-interval SEC]
+                  [--log[=FILE]] [--log-level LVL] [--log-json]
+                  [--trace-buffer N]
   client        one-shot client for a running daemon: sends one request,
-                prints the typed response, exits 0 only on `ok`
+                prints the typed response, exits 0 only on `ok` (non-ok
+                statuses go to stderr). --ping reports daemon version and
+                model generation; --stats dumps counters plus the full
+                telemetry payload (--prometheus renders the metrics snapshot
+                as Prometheus text exposition); --health prints the readiness
+                document; --trace drains the daemon's span buffer;
+                --watch=SEC re-polls every SEC seconds until interrupted
                   (--socket PATH | --port N)
-                  (--ping | --stats | --reload[=FILE] | --drain |
+                  (--ping | --stats [--prometheus] | --health | --trace |
+                   --reload[=FILE] | --drain |
                    --job NAME --tasks M1,R2_1,... [--deadline-ms D])
+                  [--watch=SEC]
   help          this text
 
 Traces are directories holding batch_task.csv (and optionally
@@ -861,6 +882,46 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   if (const auto v = args.get_int("service-delay-us")) {
     cfg.service_delay = std::chrono::microseconds(*v);
   }
+
+  // Telemetry plane switches.
+  cfg.telemetry_path = args.get("telemetry-out");
+  if (!cfg.telemetry_path.empty()) {
+    const double interval_s =
+        args.get_double("telemetry-interval").value_or(10.0);
+    if (interval_s <= 0.0) {
+      err << "serve: --telemetry-interval must be positive\n";
+      return 2;
+    }
+    cfg.telemetry_interval =
+        std::chrono::milliseconds(static_cast<long>(interval_s * 1000.0));
+  }
+  cfg.trace_buffer =
+      static_cast<std::size_t>(args.get_int("trace-buffer").value_or(0));
+  const bool want_log = args.has("log");
+  const std::string log_file = args.get("log");
+  obs::Logger::Options log_options;
+  log_options.json = args.has("log-json");
+  if (const std::string level_text = args.get("log-level");
+      !level_text.empty()) {
+    if (!obs::parse_log_level(level_text, log_options.level)) {
+      err << "serve: unknown --log-level '" << level_text
+          << "' (debug|info|warn|error)\n";
+      return 2;
+    }
+  }
+  if (want_log) {
+    if (log_file.empty()) {
+      obs::Logger::global().configure(&err, log_options);
+    } else {
+      std::string log_error;
+      if (!obs::Logger::global().open(log_file, log_options, &log_error)) {
+        err << "serve: " << log_error << "\n";
+        return 2;
+      }
+    }
+  }
+  cfg.logger = &obs::Logger::global();
+
   const ObsOptions obs = start_observation(args);
   if (const int rc = reject_unknown(args, err)) return rc;
 
@@ -891,15 +952,124 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   return rc;
 }
 
+/// Rehydrates an obs::MetricsSnapshot from the JSON the daemon's `stats`
+/// payload carries (MetricsSnapshot::write_json format). Lives here, not in
+/// obs, because obs sits below util and cannot parse JSON.
+obs::MetricsSnapshot snapshot_from_json(const util::JsonValue& doc) {
+  obs::MetricsSnapshot snap;
+  if (const util::JsonValue* counters = doc.find("counters")) {
+    for (const auto& [name, value] : counters->as_object()) {
+      snap.counters.push_back(
+          {name, static_cast<std::uint64_t>(value.as_number())});
+    }
+  }
+  if (const util::JsonValue* gauges = doc.find("gauges")) {
+    for (const auto& [name, value] : gauges->as_object()) {
+      snap.gauges.push_back(
+          {name, static_cast<std::int64_t>(value.at("value").as_number()),
+           static_cast<std::int64_t>(value.at("max").as_number())});
+    }
+  }
+  if (const util::JsonValue* histograms = doc.find("histograms")) {
+    for (const auto& [name, value] : histograms->as_object()) {
+      obs::MetricsSnapshot::HistogramEntry h;
+      h.name = name;
+      h.count = static_cast<std::uint64_t>(value.at("count").as_number());
+      h.sum = static_cast<std::uint64_t>(value.at("sum").as_number());
+      h.max = static_cast<std::uint64_t>(value.at("max").as_number());
+      h.p50 = static_cast<std::uint64_t>(value.at("p50").as_number());
+      h.p90 = static_cast<std::uint64_t>(value.at("p90").as_number());
+      h.p99 = static_cast<std::uint64_t>(value.at("p99").as_number());
+      if (const util::JsonValue* v = value.find("p50_est")) {
+        h.p50_est = v->as_number();
+      }
+      if (const util::JsonValue* v = value.find("p90_est")) {
+        h.p90_est = v->as_number();
+      }
+      if (const util::JsonValue* v = value.find("p99_est")) {
+        h.p99_est = v->as_number();
+      }
+      if (const util::JsonValue* buckets = value.find("buckets")) {
+        for (const util::JsonValue& b : buckets->as_array()) {
+          h.buckets.push_back(static_cast<std::uint64_t>(b.as_number()));
+        }
+      }
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+  return snap;
+}
+
+/// One client request/response round trip plus output formatting. Non-`ok`
+/// statuses print to stderr and return 1, so scripts can branch on the exit
+/// code instead of scraping stdout.
+int client_round_trip(const serve::Endpoint& ep, const serve::Request& req,
+                      bool prometheus, std::ostream& out, std::ostream& err) {
+  serve::Client client(ep);
+  const serve::Response resp = client.call(req);
+  if (resp.status != serve::ResponseStatus::Ok) {
+    err << "status " << serve::to_string(resp.status);
+    if (!resp.message.empty()) err << ": " << resp.message;
+    err << "\n";
+    return 1;
+  }
+  if (req.type == serve::RequestType::Stats && prometheus) {
+    // Render the daemon's metrics snapshot as Prometheus text exposition;
+    // everything else (flat counters, flight records) is JSON-only.
+    if (resp.payload.empty()) {
+      err << "client: daemon sent no stats payload (pre-telemetry build?)\n";
+      return 1;
+    }
+    const util::JsonValue doc = util::parse_json(resp.payload);
+    const util::JsonValue* metrics = doc.find("metrics");
+    if (metrics == nullptr) {
+      err << "client: stats payload carries no 'metrics' member\n";
+      return 1;
+    }
+    obs::write_prometheus(out, snapshot_from_json(*metrics));
+    return 0;
+  }
+  out << "status " << serve::to_string(resp.status);
+  if (!resp.message.empty()) out << ": " << resp.message;
+  out << "\n";
+  if (req.type == serve::RequestType::Ping) {
+    if (!resp.version.empty()) out << "version " << resp.version << "\n";
+    if (resp.generation > 0) out << "generation " << resp.generation << "\n";
+  }
+  if (req.type == serve::RequestType::Classify) {
+    out << "cluster " << resp.cluster << " (id " << resp.cluster_id
+        << "), similarity " << util::format_double(resp.similarity, 4)
+        << ", nearest " << resp.nearest << ", oov " << resp.oov_hits << "\n";
+    out << "forecast critical_path "
+        << util::format_double(resp.predicted_critical_path, 1) << ", width "
+        << util::format_double(resp.predicted_width, 1) << "\n";
+  }
+  for (const auto& [key, value] : resp.stats) {
+    out << "  " << util::pad_right(key, 20) << " " << value << "\n";
+  }
+  if ((req.type == serve::RequestType::Stats ||
+       req.type == serve::RequestType::Health ||
+       req.type == serve::RequestType::Trace) &&
+      !resp.payload.empty()) {
+    out << resp.payload << "\n";
+  }
+  return 0;
+}
+
 int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
   const serve::Endpoint ep = endpoint_from(args);
   serve::Request req;
   req.id = 1;
   const std::string tasks = args.get("tasks");
+  const bool prometheus = args.has("prometheus");
   if (args.has("ping")) {
     req.type = serve::RequestType::Ping;
   } else if (args.has("stats")) {
     req.type = serve::RequestType::Stats;
+  } else if (args.has("health")) {
+    req.type = serve::RequestType::Health;
+  } else if (args.has("trace")) {
+    req.type = serve::RequestType::Trace;
   } else if (args.has("reload")) {
     req.type = serve::RequestType::Reload;
     req.model_path = args.get("reload");
@@ -913,34 +1083,34 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
     }
     if (const auto d = args.get_double("deadline-ms")) req.deadline_ms = *d;
   } else {
-    err << "client: pick one of --ping, --stats, --reload[=FILE], --drain, "
-           "or --job NAME --tasks M1,R2_1,...\n";
+    err << "client: pick one of --ping, --stats, --health, --trace, "
+           "--reload[=FILE], --drain, or --job NAME --tasks M1,R2_1,...\n";
     return 2;
   }
   if (!ep.valid()) {
     err << "client: need an endpoint (--socket PATH | --port N)\n";
     return 2;
   }
+  const double watch_s = args.get_double("watch").value_or(0.0);
+  // Undocumented test hook: bound the number of --watch polls.
+  const long watch_count = args.get_int("watch-count").value_or(0);
   if (const int rc = reject_unknown(args, err)) return rc;
 
-  serve::Client client(ep);
-  const serve::Response resp = client.call(req);
-  out << "status " << serve::to_string(resp.status);
-  if (!resp.message.empty()) out << ": " << resp.message;
-  out << "\n";
-  if (resp.status == serve::ResponseStatus::Ok &&
-      req.type == serve::RequestType::Classify) {
-    out << "cluster " << resp.cluster << " (id " << resp.cluster_id
-        << "), similarity " << util::format_double(resp.similarity, 4)
-        << ", nearest " << resp.nearest << ", oov " << resp.oov_hits << "\n";
-    out << "forecast critical_path "
-        << util::format_double(resp.predicted_critical_path, 1) << ", width "
-        << util::format_double(resp.predicted_width, 1) << "\n";
+  if (watch_s <= 0.0) return client_round_trip(ep, req, prometheus, out, err);
+
+  // Watch mode: re-poll on a fresh connection each round (a daemon restart
+  // between polls just works), separating rounds with a blank line.
+  long polls = 0;
+  int rc = 0;
+  for (;;) {
+    if (polls > 0) out << "\n";
+    rc = client_round_trip(ep, req, prometheus, out, err);
+    out << std::flush;
+    ++polls;
+    if (rc != 0) return rc;
+    if (watch_count > 0 && polls >= watch_count) return rc;
+    std::this_thread::sleep_for(std::chrono::duration<double>(watch_s));
   }
-  for (const auto& [key, value] : resp.stats) {
-    out << "  " << util::pad_right(key, 20) << " " << value << "\n";
-  }
-  return resp.status == serve::ResponseStatus::Ok ? 0 : 1;
 }
 
 int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {

@@ -1,0 +1,149 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace cwgl::obs {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-sensitive); returns
+/// false and leaves `out` untouched on anything else.
+bool parse_log_level(std::string_view text, LogLevel& out) noexcept;
+
+/// One typed key=value pair attached to a log record. Built implicitly at
+/// call sites: `{"fd", fd}`, `{"path", path}`, `{"ok", true}`.
+struct LogField {
+  enum class Kind { String, Unsigned, Signed, Double, Bool };
+
+  LogField(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::String), text(v) {}
+  LogField(std::string_view k, const char* v)
+      : key(k), kind(Kind::String), text(v) {}
+  LogField(std::string_view k, const std::string& v)
+      : key(k), kind(Kind::String), text(v) {}
+  /// One template covers every integer width without the LP64 overload
+  /// collisions (uint64_t == size_t == unsigned long on this target).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  LogField(std::string_view k, T v) : key(k) {
+    if constexpr (std::is_signed_v<T>) {
+      kind = Kind::Signed;
+      signed_value = static_cast<std::int64_t>(v);
+    } else {
+      kind = Kind::Unsigned;
+      unsigned_value = static_cast<std::uint64_t>(v);
+    }
+  }
+  LogField(std::string_view k, double v)
+      : key(k), kind(Kind::Double), double_value(v) {}
+  LogField(std::string_view k, bool v)
+      : key(k), kind(Kind::Bool), bool_value(v) {}
+
+  std::string_view key;
+  Kind kind;
+  std::string_view text;
+  std::uint64_t unsigned_value = 0;
+  std::int64_t signed_value = 0;
+  double double_value = 0.0;
+  bool bool_value = false;
+};
+
+/// Thread-safe leveled structured logger.
+///
+/// Records are one line each: either human-readable text
+/// (`2026-08-08T12:34:56.789Z WARN request_shed inflight=64`) or JSON lines
+/// (`{"ts":"...","level":"warn","event":"request_shed","inflight":64}`).
+/// A token bucket caps the emission rate so a daemon shedding thousands of
+/// requests per second cannot melt its own log; suppressed records are
+/// counted and the count is attached to the next record that does get
+/// through (`suppressed=N`), so bursts stay visible without the volume.
+///
+/// The default level is Off — library code can log unconditionally and
+/// stays silent unless the embedding binary opts in (cwgl serve --log).
+class Logger {
+ public:
+  struct Options {
+    LogLevel level = LogLevel::Info;
+    bool json = false;          ///< JSON lines instead of text
+    double rate_per_s = 200.0;  ///< sustained records/second; <=0 = unlimited
+    double burst = 50.0;        ///< token bucket capacity
+  };
+
+  Logger() = default;
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Points the logger at a non-owned stream (e.g. std::cerr). Passing
+  /// nullptr disables output entirely.
+  void configure(std::ostream* sink, Options options);
+
+  /// Opens `path` for appending and logs into it. Returns false (with a
+  /// message in `*error` when non-null) if the file cannot be opened; the
+  /// logger keeps its previous sink in that case.
+  bool open(const std::string& path, Options options, std::string* error);
+
+  /// Cheap pre-flight check so call sites can skip building fields.
+  bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+
+  void log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields = {});
+
+  void debug(std::string_view event, std::initializer_list<LogField> f = {}) {
+    log(LogLevel::Debug, event, f);
+  }
+  void info(std::string_view event, std::initializer_list<LogField> f = {}) {
+    log(LogLevel::Info, event, f);
+  }
+  void warn(std::string_view event, std::initializer_list<LogField> f = {}) {
+    log(LogLevel::Warn, event, f);
+  }
+  void error(std::string_view event, std::initializer_list<LogField> f = {}) {
+    log(LogLevel::Error, event, f);
+  }
+
+  std::uint64_t emitted() const noexcept {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t suppressed() const noexcept {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+  /// Process-wide logger, immortal like MetricsRegistry::global(), and Off
+  /// until something configures it — existing tests and CLI paths stay
+  /// byte-identical unless they opt in.
+  static Logger& global();
+
+ private:
+  void write_record(LogLevel level, std::string_view event,
+                    std::initializer_list<LogField> fields,
+                    std::uint64_t suppressed_since_last);
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::Off)};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+
+  mutable std::mutex mutex_;
+  std::ostream* sink_ = nullptr;              ///< non-owned (configure)
+  std::unique_ptr<std::ostream> owned_sink_;  ///< owned (open)
+  Options options_;
+  double tokens_ = 0.0;
+  std::uint64_t pending_suppressed_ = 0;
+  std::chrono::steady_clock::time_point last_refill_{};
+};
+
+}  // namespace cwgl::obs

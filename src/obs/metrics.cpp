@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <ostream>
 
 #include "obs/json_escape.hpp"
@@ -14,6 +15,18 @@ std::string_view stage_subsystem(std::string_view name) {
   if (dot == std::string_view::npos) return name;
   dot = name.find('.', dot + 1);
   return dot == std::string_view::npos ? name : name.substr(0, dot);
+}
+
+/// Shortest-round-trip double formatting matching util::JsonWriter (obs
+/// cannot link util, so the format is duplicated, not shared).
+void write_json_double(std::ostream& out, double v) {
+  if (!(v == v) || v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+    out << "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.12g", v);
+  out << buffer;
 }
 
 }  // namespace
@@ -40,6 +53,34 @@ std::uint64_t Histogram::quantile(double q) const noexcept {
     }
   }
   return max();
+}
+
+double Histogram::estimate_quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Same 0-based rank convention as quantile(), kept fractional so the
+  // within-bucket interpolation below has sub-sample resolution.
+  const double rank = q * static_cast<double>(n - 1);
+  double seen = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const auto in_bucket =
+        static_cast<double>(buckets_[b].load(std::memory_order_relaxed));
+    if (in_bucket <= 0.0) continue;
+    if (rank < seen + in_bucket) {
+      // Bucket b covers [2^(b-1), 2^b); bucket 0 holds only the value 0.
+      const double lo = b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (b - 1));
+      double hi = b == 0 ? 1.0 : static_cast<double>(std::uint64_t{1} << b);
+      // The largest observed sample tightens the top bucket's open end.
+      const double cap = static_cast<double>(max()) + 1.0;
+      if (hi > cap) hi = std::max(lo + 1.0, cap);
+      const double fraction = (rank - seen + 0.5) / in_bucket;
+      const double estimate = lo + fraction * (hi - lo);
+      return std::min(estimate, static_cast<double>(max()));
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max());
 }
 
 void Histogram::reset() noexcept {
@@ -119,7 +160,19 @@ void MetricsSnapshot::write_json(std::ostream& out) const {
     write_json_string(out, h.name);
     out << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
         << ",\"p50\":" << h.p50 << ",\"p90\":" << h.p90
-        << ",\"p99\":" << h.p99 << ",\"max\":" << h.max << "}";
+        << ",\"p99\":" << h.p99 << ",\"max\":" << h.max;
+    out << ",\"p50_est\":";
+    write_json_double(out, h.p50_est);
+    out << ",\"p90_est\":";
+    write_json_double(out, h.p90_est);
+    out << ",\"p99_est\":";
+    write_json_double(out, h.p99_est);
+    out << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out << ",";
+      out << h.buckets[b];
+    }
+    out << "]}";
   }
   out << "}}";
 }
@@ -168,9 +221,24 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
-    snap.histograms.push_back({name, h->count(), h->sum(), h->max(),
-                               h->quantile(0.50), h->quantile(0.90),
-                               h->quantile(0.99)});
+    MetricsSnapshot::HistogramEntry entry{name,
+                                          h->count(),
+                                          h->sum(),
+                                          h->max(),
+                                          h->quantile(0.50),
+                                          h->quantile(0.90),
+                                          h->quantile(0.99),
+                                          h->estimate_quantile(0.50),
+                                          h->estimate_quantile(0.90),
+                                          h->estimate_quantile(0.99),
+                                          {}};
+    const auto buckets = h->bucket_counts();
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b] != 0) last = b + 1;
+    }
+    entry.buckets.assign(buckets.begin(), buckets.begin() + last);
+    snap.histograms.push_back(std::move(entry));
   }
   return snap;  // maps iterate sorted, so entries are sorted by name
 }

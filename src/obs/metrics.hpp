@@ -140,6 +140,14 @@ class Histogram {
   /// Upper bound of the bucket holding the q-quantile sample (q in [0,1]).
   std::uint64_t quantile(double q) const noexcept;
 
+  /// Interpolated q-quantile estimate: locates the bucket holding the rank
+  /// like quantile(), then places the value by linear interpolation over the
+  /// bucket's [2^(b-1), 2^b) range assuming samples spread uniformly inside
+  /// it. Because the estimate stays inside the true sample's bucket, it is
+  /// within a factor of 2 of the exact quantile (within +/-1 absolutely for
+  /// the zero bucket) — the bound the unit tests pin. Capped at max().
+  double estimate_quantile(double q) const noexcept;
+
   void reset() noexcept;
 
   /// Per-bucket counts (index = sample bit width), for tests and reports.
@@ -173,6 +181,13 @@ struct MetricsSnapshot {
     std::uint64_t p50 = 0;
     std::uint64_t p90 = 0;
     std::uint64_t p99 = 0;
+    /// Interpolated estimates (Histogram::estimate_quantile at snapshot).
+    double p50_est = 0.0;
+    double p90_est = 0.0;
+    double p99_est = 0.0;
+    /// Per-bucket counts (index = sample bit width), trailing zero buckets
+    /// trimmed — what the Prometheus exposition's `le` series is built from.
+    std::vector<std::uint64_t> buckets;
     bool operator==(const HistogramEntry&) const = default;
   };
 

@@ -1,0 +1,59 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <ostream>
+
+namespace cwgl::obs {
+
+namespace {
+
+void write_type(std::ostream& out, const std::string& name,
+                std::string_view type) {
+  out << "# TYPE " << name << " " << type << "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "cwgl_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const auto uc = static_cast<unsigned char>(c);
+    const bool legal = std::isalnum(uc) != 0 || c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snap) {
+  for (const auto& c : snap.counters) {
+    const std::string name = prometheus_name(c.name) + "_total";
+    write_type(out, name, "counter");
+    out << name << " " << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string name = prometheus_name(g.name);
+    write_type(out, name, "gauge");
+    out << name << " " << g.value << "\n";
+    write_type(out, name + "_max", "gauge");
+    out << name << "_max " << g.max << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string name = prometheus_name(h.name);
+    write_type(out, name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      // Bucket b holds samples of bit width b, so its inclusive upper
+      // bound is 2^b - 1 (the zero bucket holds only the value 0).
+      const std::uint64_t le = b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+      out << name << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << name << "_sum " << h.sum << "\n";
+    out << name << "_count " << h.count << "\n";
+  }
+}
+
+}  // namespace cwgl::obs

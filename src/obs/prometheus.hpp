@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace cwgl::obs {
+
+/// Maps a dotted cwgl metric name onto the Prometheus name grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: dots (and any other illegal byte) become
+/// underscores and the result is prefixed with `cwgl_` so scraped series
+/// never collide with other exporters on the same host.
+std::string prometheus_name(std::string_view name);
+
+/// Writes `snap` in Prometheus text exposition format 0.0.4.
+///
+/// Mapping:
+///  - Counter  -> `<name>_total` with `# TYPE ... counter`.
+///  - Gauge    -> `<name>` (level) plus `<name>_max` (high-water), both gauge.
+///  - Histogram-> native Prometheus histogram: cumulative `<name>_bucket`
+///    series with `le` set to each bit-width bucket's inclusive upper bound
+///    (2^b - 1; the zero bucket is `le="0"`), a `+Inf` bucket, and
+///    `<name>_sum` / `<name>_count`.
+///
+/// Output ends with a newline, as scrapers require.
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snap);
+
+}  // namespace cwgl::obs

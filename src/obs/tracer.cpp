@@ -6,10 +6,12 @@
 
 namespace cwgl::obs {
 
-void Tracer::start() {
+void Tracer::start(std::size_t capacity) {
   std::lock_guard lock(mutex_);
   events_.clear();
   tids_.clear();
+  capacity_ = capacity;
+  dropped_.store(0, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
   enabled_.store(true, std::memory_order_relaxed);
 }
@@ -30,6 +32,10 @@ void Tracer::record_begin(std::string_view name) {
   // nesting validity of the B/E stream rests on.
   std::lock_guard lock(mutex_);
   if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (capacity_ != 0 && events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   TraceEvent e;
   e.name = name;
   e.phase = 'B';
@@ -46,6 +52,10 @@ void Tracer::record_end(
     std::vector<std::pair<std::string, std::uint64_t>> args) {
   std::lock_guard lock(mutex_);
   if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (capacity_ != 0 && events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   TraceEvent e;
   e.name = name;
   e.phase = 'E';
@@ -63,11 +73,18 @@ std::vector<TraceEvent> Tracer::events() const {
   return events_;
 }
 
-void Tracer::write_json(std::ostream& out) const {
+std::vector<TraceEvent> Tracer::drain() {
   std::lock_guard lock(mutex_);
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  std::vector<TraceEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+void write_trace_events_json(std::ostream& out,
+                             const std::vector<TraceEvent>& events) {
+  out << "[";
   bool first = true;
-  for (const TraceEvent& e : events_) {
+  for (const TraceEvent& e : events) {
     if (!first) out << ",";
     first = false;
     out << "{\"name\":";
@@ -87,7 +104,18 @@ void Tracer::write_json(std::ostream& out) const {
     }
     out << "}";
   }
-  out << "]}";
+  out << "]";
+}
+
+void Tracer::write_json(std::ostream& out) const {
+  std::vector<TraceEvent> snapshot;
+  {
+    std::lock_guard lock(mutex_);
+    snapshot = events_;
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":";
+  write_trace_events_json(out, snapshot);
+  out << "}";
 }
 
 Tracer& Tracer::global() {

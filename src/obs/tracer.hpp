@@ -48,13 +48,26 @@ class Tracer {
   }
 
   /// Clears any previous events, re-bases timestamps at now, arms spans.
-  void start();
+  /// `capacity` bounds the event buffer: once full, further events are
+  /// dropped and counted (see dropped()) instead of growing without limit —
+  /// the mode a resident daemon runs in. 0 means unbounded (the offline
+  /// --trace-out mode, where the run is finite by construction).
+  void start(std::size_t capacity = 0);
 
   /// Disarms span collection; collected events stay until the next start().
   void stop();
 
   /// Snapshot of collected events in record order (tests).
   std::vector<TraceEvent> events() const;
+
+  /// Removes and returns all collected events, keeping collection armed and
+  /// the timestamp epoch unchanged — the `trace` admin request's read side.
+  std::vector<TraceEvent> drain();
+
+  /// Events discarded because the buffer was at capacity since start().
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   /// {"displayTimeUnit":"ms","traceEvents":[...]}.
   void write_json(std::ostream& out) const;
@@ -72,11 +85,19 @@ class Tracer {
   int tid_locked(std::thread::id id);
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded
   std::unordered_map<std::thread::id, int> tids_;
   std::chrono::steady_clock::time_point epoch_{};
 };
+
+/// Writes `events` as a bare Chrome trace-event JSON array — the payload
+/// the `trace` admin response carries (Tracer::write_json wraps the same
+/// array in the {"displayTimeUnit","traceEvents"} envelope).
+void write_trace_events_json(std::ostream& out,
+                             const std::vector<TraceEvent>& events);
 
 /// RAII span scope. When the tracer is stopped, construction and
 /// destruction each cost one relaxed atomic load; when started, the scope

@@ -9,18 +9,29 @@
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <system_error>
 #include <utility>
 
 #include "core/job_dag.hpp"
 #include "model/format.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/tracer.hpp"
 #include "trace/schema.hpp"
 #include "util/failpoint.hpp"
+#include "util/json.hpp"
+
+#ifndef CWGL_VERSION
+#define CWGL_VERSION "0.0.0"
+#endif
 
 namespace cwgl::serve {
 
 namespace {
+
+constexpr const char* kVersion = "cwgl " CWGL_VERSION " (cwgl-serve-v1)";
 
 /// Global `serve.daemon.*` instruments, resolved once. Per-instance atomics
 /// carry the same events for tests that run several daemons in one process.
@@ -80,11 +91,18 @@ struct Daemon::Connection {
   std::atomic<bool> dead{false};  ///< a write failed; stop responding
 };
 
-/// One admitted classify request waiting for the dispatcher.
+/// One admitted classify request waiting for the dispatcher. The three
+/// timestamps are the flight recorder's raw material: admission (set by
+/// handle_classify), dispatch (set when the dispatcher pulls the batch),
+/// compute start (taken inside serve_one).
 struct Daemon::Pending {
   std::shared_ptr<Connection> conn;
   Request req;
   std::chrono::steady_clock::time_point deadline{};
+  std::uint64_t trace_id = 0;
+  double deadline_ms = 0.0;  ///< effective deadline the request ran under
+  std::chrono::steady_clock::time_point admitted_at{};
+  std::chrono::steady_clock::time_point dispatched_at{};
 };
 
 std::map<std::string, std::uint64_t> DaemonStats::as_map() const {
@@ -100,6 +118,11 @@ std::map<std::string, std::uint64_t> DaemonStats::as_map() const {
       {"reloads", reloads},
       {"reload_failures", reload_failures},
       {"queue_depth_peak", static_cast<std::uint64_t>(queue_depth_peak)},
+      {"queue_depth", static_cast<std::uint64_t>(
+                          queue_depth < 0 ? 0 : queue_depth)},
+      {"generation", generation},
+      {"telemetry_exports", telemetry_exports},
+      {"slow_sampled", slow_sampled},
   };
 }
 
@@ -108,7 +131,10 @@ Daemon::Daemon(std::shared_ptr<const Classifier> classifier,
     : config_(std::move(config)),
       classifier_(std::move(classifier)),
       queue_(config_.max_inflight),
-      pool_(config_.worker_threads) {
+      pool_(config_.worker_threads),
+      recorder_({config_.slow_ring_capacity, config_.slow_deadline_fraction}),
+      log_(config_.logger != nullptr ? config_.logger
+                                     : &obs::Logger::global()) {
   if (classifier_ == nullptr) {
     throw ProtocolError("daemon: initial classifier must not be null");
   }
@@ -149,6 +175,17 @@ void Daemon::start() {
   tcp_port_ = config_.endpoint.socket_path.empty()
                   ? local_tcp_port(listen_fd_.get())
                   : -1;
+  start_time_ = std::chrono::steady_clock::now();
+  if (config_.trace_buffer > 0) {
+    obs::Tracer::global().start(config_.trace_buffer);
+  }
+  log_->info("daemon_started",
+             {{"version", kVersion},
+              {"endpoint", config_.endpoint.socket_path.empty()
+                               ? "tcp:" + std::to_string(tcp_port_)
+                               : config_.endpoint.socket_path},
+              {"workers", pool_.size()},
+              {"max_inflight", config_.max_inflight}});
 
   accept_thread_ = std::thread(&Daemon::accept_loop, this);
   control_thread_ = std::thread(&Daemon::control_loop, this);
@@ -196,6 +233,7 @@ bool Daemon::reload_now(const std::string& path, std::string* error) {
 }
 
 bool Daemon::do_reload(const std::string& path, std::string* error) {
+  obs::Span span("serve.daemon.reload");
   try {
     CWGL_FAILPOINT("serve.reload");
     if (path.empty()) {
@@ -212,23 +250,52 @@ bool Daemon::do_reload(const std::string& path, std::string* error) {
     }
     reloads_.fetch_add(1, std::memory_order_relaxed);
     gm().reloads.add();
+    const std::uint64_t gen =
+        generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+    {
+      std::lock_guard lock(last_reload_mutex_);
+      last_reload_any_ = true;
+      last_reload_ok_ = true;
+      last_reload_message_ = path;
+      last_reload_at_s_ = uptime_seconds();
+    }
+    log_->info("model_reloaded", {{"path", path}, {"generation", gen}});
     return true;
   } catch (const std::exception& e) {
     reload_failures_.fetch_add(1, std::memory_order_relaxed);
     gm().reload_failures.add();
+    {
+      std::lock_guard lock(last_reload_mutex_);
+      last_reload_any_ = true;
+      last_reload_ok_ = false;
+      last_reload_message_ = e.what();
+      last_reload_at_s_ = uptime_seconds();
+    }
+    log_->error("model_reload_failed", {{"path", path}, {"error", e.what()}});
     if (error != nullptr) *error = e.what();
     return false;
   }
 }
 
 void Daemon::control_loop() {
+  // With the periodic exporter configured, the control poll doubles as its
+  // timer: a timeout means "nothing to control, time to export".
+  const bool exporting = !config_.telemetry_path.empty() &&
+                         config_.telemetry_interval.count() > 0;
+  const int poll_timeout =
+      exporting ? static_cast<int>(config_.telemetry_interval.count()) : -1;
   for (;;) {
     struct pollfd fds[2] = {{control_pipe_read_.get(), POLLIN, 0},
                             {signal_pipe_read_.get(), POLLIN, 0}};
-    if (::poll(fds, 2, -1) < 0) {
+    const int ready = ::poll(fds, 2, poll_timeout);
+    if (ready < 0) {
       if (errno == EINTR) continue;
       begin_drain();  // pipes gone: fail toward shutdown, never a hang
       return;
+    }
+    if (ready == 0) {
+      export_telemetry();
+      continue;
     }
     bool drain = false;
     bool reload = false;
@@ -265,6 +332,8 @@ void Daemon::control_loop() {
 
 void Daemon::begin_drain() {
   if (draining_.exchange(true)) return;
+  log_->info("drain_started",
+             {{"inflight", queue_depth_.load(std::memory_order_relaxed)}});
   const auto deadline = std::chrono::steady_clock::now() + config_.drain_timeout;
   drain_deadline_ns_.store(deadline.time_since_epoch().count(),
                            std::memory_order_relaxed);
@@ -304,6 +373,9 @@ void Daemon::accept_loop() {
     gm().connections.add();
     std::lock_guard lock(connections_mutex_);
     conn->id = next_connection_id_++;
+    if (log_->enabled(obs::LogLevel::Debug)) {
+      log_->debug("connection_accepted", {{"conn", conn->id}});
+    }
     connections_.emplace(conn->id, conn);
     conn_threads_.emplace(conn->id,
                           std::thread(&Daemon::serve_connection, this, conn));
@@ -374,9 +446,12 @@ void Daemon::handle_classify(const std::shared_ptr<Connection>& conn,
           ? req.deadline_ms
           : std::chrono::duration<double, std::milli>(config_.default_deadline)
                 .count();
-  p.deadline = std::chrono::steady_clock::now() +
+  p.admitted_at = std::chrono::steady_clock::now();
+  p.deadline = p.admitted_at +
                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                    std::chrono::duration<double, std::milli>(deadline_ms));
+  p.deadline_ms = deadline_ms;
+  p.trace_id = recorder_.next_trace_id();
   p.req = std::move(req);
 
   switch (queue_.try_push_for(std::move(p), config_.admission_wait)) {
@@ -393,6 +468,12 @@ void Daemon::handle_classify(const std::shared_ptr<Connection>& conn,
     case util::QueueResult::TimedOut: {
       shed_.fetch_add(1, std::memory_order_relaxed);
       gm().shed.add();
+      if (log_->enabled(obs::LogLevel::Warn)) {
+        log_->warn("request_shed",
+                   {{"id", id},
+                    {"queue_depth",
+                     queue_depth_.load(std::memory_order_relaxed)}});
+      }
       Response r;
       r.id = id;
       r.status = ResponseStatus::Overloaded;
@@ -403,6 +484,9 @@ void Daemon::handle_classify(const std::shared_ptr<Connection>& conn,
     case util::QueueResult::Closed: {
       rejected_draining_.fetch_add(1, std::memory_order_relaxed);
       gm().rejected_draining.add();
+      if (log_->enabled(obs::LogLevel::Warn)) {
+        log_->warn("request_rejected_draining", {{"id", id}});
+      }
       Response r;
       r.id = id;
       r.status = ResponseStatus::ShuttingDown;
@@ -421,11 +505,32 @@ void Daemon::handle_control(const std::shared_ptr<Connection>& conn,
     case RequestType::Ping:
       r.status = ResponseStatus::Ok;
       r.message = "pong";
+      r.version = kVersion;
+      r.generation = generation_.load(std::memory_order_relaxed);
       break;
     case RequestType::Stats:
       r.status = ResponseStatus::Ok;
       r.stats = stats().as_map();
+      r.generation = generation_.load(std::memory_order_relaxed);
+      r.payload = stats_payload();
       break;
+    case RequestType::Health:
+      r.status = ResponseStatus::Ok;
+      r.generation = generation_.load(std::memory_order_relaxed);
+      r.payload = health_payload();
+      break;
+    case RequestType::Trace: {
+      r.status = ResponseStatus::Ok;
+      auto& tracer = obs::Tracer::global();
+      const std::vector<obs::TraceEvent> events = tracer.drain();
+      std::ostringstream payload;
+      payload << "{\"enabled\":" << (tracer.enabled() ? "true" : "false")
+              << ",\"dropped\":" << tracer.dropped() << ",\"events\":";
+      obs::write_trace_events_json(payload, events);
+      payload << "}";
+      r.payload = payload.str();
+      break;
+    }
     case RequestType::Reload: {
       if (draining_.load(std::memory_order_relaxed)) {
         r.status = ResponseStatus::ShuttingDown;
@@ -479,6 +584,10 @@ void Daemon::dispatch_loop() {
                util::QueueResult::Ok) {
       batch.push_back(std::move(more));
     }
+    // One clock read stamps the whole batch: queue_wait ends here for every
+    // member, and whatever elapses before its serve_one runs is batch_wait.
+    const auto dispatched = std::chrono::steady_clock::now();
+    for (Pending& p : batch) p.dispatched_at = dispatched;
     queue_depth_.fetch_sub(static_cast<std::int64_t>(batch.size()),
                            std::memory_order_relaxed);
     gm().queue_depth.add(-static_cast<std::int64_t>(batch.size()));
@@ -495,6 +604,8 @@ void Daemon::process_batch(std::vector<Pending>& batch) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   gm().batches.add();
   gm().batch_size.record(batch.size());
+  obs::Span span("serve.daemon.batch");
+  span.arg("size", batch.size());
   try {
     CWGL_FAILPOINT("serve.batch");
   } catch (const std::exception& e) {
@@ -524,6 +635,25 @@ void Daemon::process_batch(std::vector<Pending>& batch) {
     Response r;
     r.id = p.req.id;
     const auto now = std::chrono::steady_clock::now();
+    const auto compute_start = now;
+    const auto record_timing = [&](std::string_view status) {
+      const auto done = std::chrono::steady_clock::now();
+      const auto us = [](std::chrono::steady_clock::duration d) {
+        const auto n =
+            std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+        return n < 0 ? std::uint64_t{0} : static_cast<std::uint64_t>(n);
+      };
+      RequestTiming t;
+      t.trace_id = p.trace_id;
+      t.job_name = p.req.job_name;
+      t.status = std::string(status);
+      t.queue_wait_us = us(p.dispatched_at - p.admitted_at);
+      t.batch_wait_us = us(compute_start - p.dispatched_at);
+      t.compute_us = us(done - compute_start);
+      t.total_us = us(done - p.admitted_at);
+      t.deadline_ms = p.deadline_ms;
+      recorder_.record(t);
+    };
     const bool past_drain = drain_ns != 0 &&
                             now.time_since_epoch().count() >= drain_ns;
     if (now >= p.deadline || past_drain) {
@@ -532,7 +662,15 @@ void Daemon::process_batch(std::vector<Pending>& batch) {
                              : "deadline expired before service";
       timeouts_.fetch_add(1, std::memory_order_relaxed);
       gm().timeout.add();
+      if (log_->enabled(obs::LogLevel::Warn)) {
+        log_->warn("request_timeout",
+                   {{"id", p.req.id},
+                    {"trace_id", p.trace_id},
+                    {"deadline_ms", p.deadline_ms},
+                    {"past_drain", past_drain}});
+      }
       respond(p.conn, r);
+      record_timing(to_string(r.status));
       return;
     }
     if (config_.service_delay.count() > 0) {
@@ -576,6 +714,7 @@ void Daemon::process_batch(std::vector<Pending>& batch) {
       gm().errors.add();
     }
     respond(p.conn, r);
+    record_timing(to_string(r.status));
   };
 
   if (batch.size() == 1 || pool_.size() == 1) {
@@ -633,7 +772,114 @@ int Daemon::wait() {
     std::error_code ignored;
     std::filesystem::remove(config_.endpoint.socket_path, ignored);
   }
+  // One last export so the scrape file reflects the final counters.
+  export_telemetry();
+  log_->info("drain_finished",
+             {{"served", served_.load(std::memory_order_relaxed)},
+              {"timeouts", timeouts_.load(std::memory_order_relaxed)},
+              {"shed", shed_.load(std::memory_order_relaxed)}});
   return 0;
+}
+
+void Daemon::export_telemetry() {
+  if (config_.telemetry_path.empty()) return;
+  const std::string tmp = config_.telemetry_path + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) throw ProtocolError("cannot open " + tmp);
+      obs::write_prometheus(out, obs::MetricsRegistry::global().snapshot());
+      out.flush();
+      if (!out) throw ProtocolError("write failed: " + tmp);
+    }
+    // Atomic publish, like save_model: scrapers never see a torn file.
+    std::filesystem::rename(tmp, config_.telemetry_path);
+    telemetry_exports_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    log_->error("telemetry_export_failed",
+                {{"path", config_.telemetry_path}, {"error", e.what()}});
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+  }
+}
+
+double Daemon::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_time_)
+      .count();
+}
+
+std::string Daemon::stats_payload() const {
+  std::ostringstream out;
+  util::JsonWriter j(out);
+  j.begin_object();
+  j.key("daemon");
+  j.begin_object();
+  for (const auto& [name, value] : stats().as_map()) {
+    j.field(name, static_cast<unsigned long long>(value));
+  }
+  j.field("uptime_s", uptime_seconds());
+  j.field("model_path", config_.model_path);
+  j.end_object();
+  j.key("flight");
+  j.begin_object();
+  j.field("recorded", static_cast<unsigned long long>(recorder_.recorded()));
+  j.field("slow_sampled",
+          static_cast<unsigned long long>(recorder_.slow_sampled()));
+  j.field("slow_deadline_fraction", config_.slow_deadline_fraction);
+  j.key("slow");
+  {
+    std::ostringstream slow;
+    FlightRecorder::write_slow_json(slow, recorder_.slow_requests());
+    j.raw(slow.str());
+  }
+  j.end_object();
+  j.key("metrics");
+  {
+    std::ostringstream metrics;
+    obs::MetricsRegistry::global().snapshot().write_json(metrics);
+    j.raw(metrics.str());
+  }
+  j.end_object();
+  return out.str();
+}
+
+std::string Daemon::health_payload() const {
+  const bool draining = draining_.load(std::memory_order_relaxed);
+  std::ostringstream out;
+  util::JsonWriter j(out);
+  j.begin_object();
+  j.field("ready", !draining);
+  j.field("draining", draining);
+  j.field("version", kVersion);
+  j.field("generation", static_cast<unsigned long long>(
+                            generation_.load(std::memory_order_relaxed)));
+  j.field("uptime_s", uptime_seconds());
+  j.field("inflight", static_cast<long long>(
+                          queue_depth_.load(std::memory_order_relaxed)));
+  j.key("queue");
+  j.begin_object();
+  j.field("depth", static_cast<long long>(
+                       queue_depth_.load(std::memory_order_relaxed)));
+  j.field("capacity", static_cast<unsigned long long>(config_.max_inflight));
+  j.field("high_water", static_cast<long long>(
+                            queue_depth_peak_.load(std::memory_order_relaxed)));
+  j.end_object();
+  j.key("last_reload");
+  {
+    std::lock_guard lock(last_reload_mutex_);
+    if (!last_reload_any_) {
+      j.null();
+    } else {
+      j.begin_object();
+      j.field("ok", last_reload_ok_);
+      j.field(last_reload_ok_ ? "path" : "error", last_reload_message_);
+      j.field("at_uptime_s", last_reload_at_s_);
+      j.end_object();
+    }
+  }
+  j.end_object();
+  return out.str();
 }
 
 DaemonStats Daemon::stats() const {
@@ -649,6 +895,10 @@ DaemonStats Daemon::stats() const {
   s.reloads = reloads_.load(std::memory_order_relaxed);
   s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
   s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.generation = generation_.load(std::memory_order_relaxed);
+  s.telemetry_exports = telemetry_exports_.load(std::memory_order_relaxed);
+  s.slow_sampled = recorder_.slow_sampled();
   return s;
 }
 

@@ -11,7 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.hpp"
 #include "serve/classifier.hpp"
+#include "serve/flight_recorder.hpp"
 #include "serve/protocol.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/thread_pool.hpp"
@@ -57,6 +59,29 @@ struct DaemonConfig {
   /// the load bench set it to make capacity — and therefore overload —
   /// deterministic on any machine.
   std::chrono::microseconds service_delay{0};
+
+  // --- Telemetry plane -----------------------------------------------------
+
+  /// Flight-recorder slow-request sampling: requests consuming more than
+  /// `slow_deadline_fraction` of their deadline land in a bounded ring of
+  /// `slow_ring_capacity` entries, queryable via the `stats` request.
+  std::size_t slow_ring_capacity = 64;
+  double slow_deadline_fraction = 0.5;
+
+  /// Periodic Prometheus file exporter: every `telemetry_interval` the
+  /// global metrics snapshot is written to `telemetry_path` via atomic
+  /// tmp+rename (like save_model). Disabled while either is unset.
+  std::string telemetry_path;
+  std::chrono::milliseconds telemetry_interval{0};
+
+  /// Structured log sink for accept/shed/timeout/reload/drain events.
+  /// nullptr = obs::Logger::global() (whose default level is Off, so an
+  /// unconfigured daemon stays silent).
+  obs::Logger* logger = nullptr;
+
+  /// When > 0, arms the global span tracer with this bounded event buffer
+  /// at start(); the `trace` admin request drains it.
+  std::size_t trace_buffer = 0;
 };
 
 /// Point-in-time view of the daemon's lifetime counters (per-instance, so
@@ -74,6 +99,10 @@ struct DaemonStats {
   std::uint64_t reloads = 0;            ///< successful model swaps
   std::uint64_t reload_failures = 0;    ///< rejected swap attempts
   std::int64_t queue_depth_peak = 0;    ///< admission queue high-water
+  std::int64_t queue_depth = 0;         ///< admission queue, right now
+  std::uint64_t generation = 0;         ///< model generation (1 = initial)
+  std::uint64_t telemetry_exports = 0;  ///< periodic exporter files written
+  std::uint64_t slow_sampled = 0;       ///< flight-recorder slow samples
 
   std::map<std::string, std::uint64_t> as_map() const;
 };
@@ -165,6 +194,10 @@ class Daemon {
   bool do_reload(const std::string& path, std::string* error);
   void wake_control(char event) noexcept;
   void reap_finished();
+  void export_telemetry();
+  std::string stats_payload() const;
+  std::string health_payload() const;
+  double uptime_seconds() const;
 
   DaemonConfig config_;
 
@@ -217,6 +250,20 @@ class Daemon {
   std::atomic<std::uint64_t> reload_failures_{0};
   std::atomic<std::int64_t> queue_depth_{0};
   std::atomic<std::int64_t> queue_depth_peak_{0};
+
+  // Telemetry plane.
+  FlightRecorder recorder_;
+  obs::Logger* log_ = nullptr;  ///< never null after construction
+  std::atomic<std::uint64_t> generation_{1};
+  std::atomic<std::uint64_t> telemetry_exports_{0};
+  std::chrono::steady_clock::time_point start_time_{};
+
+  /// Outcome of the most recent reload attempt, for `health`.
+  mutable std::mutex last_reload_mutex_;
+  bool last_reload_any_ = false;
+  bool last_reload_ok_ = false;
+  std::string last_reload_message_;
+  double last_reload_at_s_ = 0.0;  ///< seconds since start()
 };
 
 }  // namespace cwgl::serve

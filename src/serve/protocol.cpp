@@ -27,6 +27,8 @@ RequestType request_type_from(std::string_view text) {
   if (text == "classify") return RequestType::Classify;
   if (text == "ping") return RequestType::Ping;
   if (text == "stats") return RequestType::Stats;
+  if (text == "health") return RequestType::Health;
+  if (text == "trace") return RequestType::Trace;
   if (text == "reload") return RequestType::Reload;
   if (text == "drain") return RequestType::Drain;
   throw ProtocolError("unknown request type '" + std::string(text) + "'");
@@ -57,6 +59,8 @@ std::string_view to_string(RequestType t) noexcept {
     case RequestType::Classify: return "classify";
     case RequestType::Ping: return "ping";
     case RequestType::Stats: return "stats";
+    case RequestType::Health: return "health";
+    case RequestType::Trace: return "trace";
     case RequestType::Reload: return "reload";
     case RequestType::Drain: return "drain";
   }
@@ -169,6 +173,14 @@ std::string encode_response(const Response& r) {
     }
     j.end_object();
   }
+  if (!r.version.empty()) j.field("version", r.version);
+  if (r.generation > 0) {
+    j.field("generation", static_cast<unsigned long long>(r.generation));
+  }
+  if (!r.payload.empty()) {
+    j.key("payload");
+    j.raw(r.payload);  // daemon-built JSON document, embedded verbatim
+  }
   j.end_object();
   return out.str();
 }
@@ -224,6 +236,18 @@ Response decode_response(std::string_view json) {
     for (const auto& [name, value] : s->as_object()) {
       r.stats[name] = as_u64(value, "stats value");
     }
+  }
+  if (const util::JsonValue* v = doc.find("version")) {
+    if (!v->is_string()) throw ProtocolError("'version' must be a string");
+    r.version = v->as_string();
+  }
+  if (const util::JsonValue* g = doc.find("generation")) {
+    r.generation = as_u64(*g, "'generation'");
+  }
+  if (const util::JsonValue* p = doc.find("payload")) {
+    // Re-serialize the already-parsed subtree; the decoded form matches what
+    // a fresh parse of r.payload would give, which is all callers rely on.
+    r.payload = util::to_json_string(*p);
   }
   return r;
 }

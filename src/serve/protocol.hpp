@@ -34,8 +34,10 @@ inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
 /// What a client asks of the daemon.
 enum class RequestType {
   Classify,  ///< classify one job DAG (the data plane)
-  Ping,      ///< liveness probe
-  Stats,     ///< daemon counter snapshot
+  Ping,      ///< liveness probe (reports version + model generation)
+  Stats,     ///< daemon counter snapshot + full metrics/flight payload
+  Health,    ///< readiness: generation, uptime, queue depth, last reload
+  Trace,     ///< drain the daemon's span buffer
   Reload,    ///< swap in a fresh model snapshot (control plane)
   Drain,     ///< graceful shutdown: finish in-flight work, then exit
 };
@@ -86,6 +88,15 @@ struct Response {
 
   /// Stats payload (flat name -> value counters, daemon lifetime).
   std::map<std::string, std::uint64_t> stats;
+
+  // Telemetry-plane fields (PR 9).
+  std::string version;          ///< ping: daemon build identification
+  std::uint64_t generation = 0; ///< ping/health/stats: model generation (>=1)
+  /// Rich structured payload, carried verbatim as one JSON value: the full
+  /// metrics snapshot for `stats`, the readiness document for `health`, the
+  /// drained span array for `trace`. Kept as pre-serialized JSON so the
+  /// protocol layer doesn't need a schema for every telemetry document.
+  std::string payload;
 };
 
 /// JSON codecs. Encoders always produce a single-line document; decoders

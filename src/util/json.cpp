@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
+#include <sstream>
 
 #include "util/error.hpp"
 
@@ -400,6 +401,52 @@ class JsonParser {
 
 JsonValue parse_json(std::string_view text) {
   return JsonParser(text).parse_document();
+}
+
+namespace {
+
+void write_value(JsonWriter& j, const JsonValue& v) {
+  if (v.is_null()) {
+    j.null();
+  } else if (v.is_bool()) {
+    j.value(v.as_bool());
+  } else if (v.is_number()) {
+    const double d = v.as_number();
+    // Integral doubles inside the 2^53 exact window print as integers so
+    // counters round-trip without picking up a fraction or an exponent.
+    if (std::isfinite(d) && std::nearbyint(d) == d &&
+        std::fabs(d) <= 9007199254740992.0) {
+      j.value(static_cast<long long>(d));
+    } else {
+      j.value(d);
+    }
+  } else if (v.is_string()) {
+    j.value(v.as_string());
+  } else if (v.is_array()) {
+    j.begin_array();
+    for (const JsonValue& element : v.as_array()) write_value(j, element);
+    j.end_array();
+  } else {
+    j.begin_object();
+    for (const auto& [key, member] : v.as_object()) {
+      j.key(key);
+      write_value(j, member);
+    }
+    j.end_object();
+  }
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const JsonValue& v) {
+  JsonWriter j(out);
+  write_value(j, v);
+}
+
+std::string to_json_string(const JsonValue& v) {
+  std::ostringstream out;
+  write_json(out, v);
+  return out.str();
 }
 
 void JsonWriter::write_escaped(std::string_view text) {

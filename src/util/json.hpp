@@ -126,4 +126,13 @@ class JsonValue {
 /// value. Accepts everything JsonWriter emits.
 JsonValue parse_json(std::string_view text);
 
+/// Serializes a parsed document back to compact single-line JSON (object
+/// keys come out sorted — JsonValue objects are std::map). Doubles that are
+/// exactly integral print without a fraction, so counters and ids survive a
+/// parse/serialize round trip byte-identically.
+void write_json(std::ostream& out, const JsonValue& v);
+
+/// write_json into a string — the form protocol payloads ride in.
+std::string to_json_string(const JsonValue& v);
+
 }  // namespace cwgl::util

@@ -4,9 +4,14 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <string>
 
+#include "model/format.hpp"
+#include "serve/classifier.hpp"
+#include "serve/daemon.hpp"
 #include "util/json.hpp"
 
 namespace cwgl::cli {
@@ -417,6 +422,96 @@ TEST(Cli, ServeBenchRequiresModel) {
   const auto r = run({"serve-bench", "--jobs", "50"});
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("--model"), std::string::npos);
+}
+
+// The `cwgl client` telemetry surface against a live in-process daemon:
+// ping carries version/generation, --stats --prometheus renders text
+// exposition, --health answers readiness JSON, --watch polls repeatedly,
+// and non-ok statuses go to stderr with a nonzero exit so scripts can
+// branch on the exit code.
+TEST(CliClient, TelemetryRoundTripAgainstLiveDaemon) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "cwgl_cli_client_test";
+  std::filesystem::create_directories(dir);
+  const std::string model = (dir / "model.cwgl").string();
+  const auto fit = run({"fit", "--jobs", "200", "--seed", "5", "--sample",
+                        "30", "--clusters", "3", "--out", model.c_str()});
+  ASSERT_EQ(fit.code, 0) << fit.err;
+
+  serve::DaemonConfig cfg;
+  cfg.endpoint.tcp_port = 0;  // ephemeral
+  cfg.worker_threads = 2;
+  cfg.model_path = model;
+  serve::Daemon daemon(
+      std::make_shared<const serve::Classifier>(model::load_model(model)),
+      cfg);
+  daemon.start();
+  const std::string port = std::to_string(daemon.tcp_port());
+
+  const auto ping = run({"client", "--port", port.c_str(), "--ping"});
+  EXPECT_EQ(ping.code, 0) << ping.err;
+  EXPECT_NE(ping.out.find("status ok"), std::string::npos);
+  EXPECT_NE(ping.out.find("version cwgl "), std::string::npos);
+  EXPECT_NE(ping.out.find("generation 1"), std::string::npos);
+
+  const auto cls = run({"client", "--port", port.c_str(), "--job", "j_cli",
+                        "--tasks", "M1,M2_1,R3_2"});
+  EXPECT_EQ(cls.code, 0) << cls.err;
+  EXPECT_NE(cls.out.find("cluster "), std::string::npos);
+
+  const auto health = run({"client", "--port", port.c_str(), "--health"});
+  EXPECT_EQ(health.code, 0) << health.err;
+  EXPECT_NE(health.out.find("\"ready\":true"), std::string::npos);
+
+  const auto prom =
+      run({"client", "--port", port.c_str(), "--stats", "--prometheus"});
+  EXPECT_EQ(prom.code, 0) << prom.err;
+  EXPECT_NE(
+      prom.out.find("# TYPE cwgl_serve_daemon_requests_total counter"),
+      std::string::npos)
+      << prom.out;
+  EXPECT_NE(prom.out.find("# TYPE cwgl_serve_daemon_compute_us histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.out.find("cwgl_serve_daemon_compute_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+
+  // Watch mode: bounded by the hidden --watch-count hook, one blank line
+  // between rounds.
+  const auto watch = run({"client", "--port", port.c_str(), "--stats",
+                          "--watch", "0.01", "--watch-count", "2"});
+  EXPECT_EQ(watch.code, 0) << watch.err;
+  std::size_t rounds = 0;
+  for (std::size_t pos = 0;
+       (pos = watch.out.find("status ok", pos)) != std::string::npos; ++pos) {
+    ++rounds;
+  }
+  EXPECT_EQ(rounds, 2u);
+  EXPECT_NE(watch.out.find("\n\n"), std::string::npos);
+
+  // Non-ok statuses print to stderr and exit 1 (stdout stays clean).
+  const std::string corrupt = (dir / "corrupt.cwgl").string();
+  {
+    std::ofstream f(corrupt, std::ios::binary);
+    f << "not a model";
+  }
+  const auto bad =
+      run({"client", "--port", port.c_str(), "--reload", corrupt.c_str()});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("status error"), std::string::npos) << bad.err;
+  EXPECT_EQ(bad.out, "");
+
+  daemon.request_drain();
+  EXPECT_EQ(daemon.wait(), 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliClient, MissingEndpointOrRequestRejected) {
+  const auto no_ep = run({"client", "--ping"});
+  EXPECT_EQ(no_ep.code, 2);
+  EXPECT_NE(no_ep.err.find("endpoint"), std::string::npos);
+  const auto no_req = run({"client", "--port", "1"});
+  EXPECT_EQ(no_req.code, 2);
+  EXPECT_NE(no_req.err.find("pick one of"), std::string::npos);
 }
 
 }  // namespace

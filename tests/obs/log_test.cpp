@@ -1,0 +1,213 @@
+// Logger contract: leveled filtering (default Off), one record per line in
+// either human text or parseable JSON lines, typed fields, token-bucket rate
+// limiting that counts suppressed records and attaches the count to the next
+// record that gets through, and file sinks that fail loudly.
+
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace cwgl::obs {
+namespace {
+
+Logger::Options unlimited(LogLevel level = LogLevel::Info, bool json = false) {
+  Logger::Options o;
+  o.level = level;
+  o.json = json;
+  o.rate_per_s = 0.0;  // no rate limit
+  return o;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(Log, ParseLogLevel) {
+  LogLevel lv = LogLevel::Off;
+  EXPECT_TRUE(parse_log_level("debug", lv));
+  EXPECT_EQ(lv, LogLevel::Debug);
+  EXPECT_TRUE(parse_log_level("info", lv));
+  EXPECT_EQ(lv, LogLevel::Info);
+  EXPECT_TRUE(parse_log_level("warn", lv));
+  EXPECT_EQ(lv, LogLevel::Warn);
+  EXPECT_TRUE(parse_log_level("error", lv));
+  EXPECT_EQ(lv, LogLevel::Error);
+  EXPECT_TRUE(parse_log_level("off", lv));
+  EXPECT_EQ(lv, LogLevel::Off);
+  EXPECT_FALSE(parse_log_level("INFO", lv));
+  EXPECT_FALSE(parse_log_level("verbose", lv));
+  EXPECT_EQ(lv, LogLevel::Off);  // untouched on failure
+}
+
+TEST(Log, DefaultConstructedLoggerIsOff) {
+  Logger logger;
+  EXPECT_FALSE(logger.enabled(LogLevel::Error));
+  logger.error("should_vanish");
+  EXPECT_EQ(logger.emitted(), 0u);
+}
+
+TEST(Log, LevelFiltering) {
+  Logger logger;
+  std::ostringstream sink;
+  logger.configure(&sink, unlimited(LogLevel::Warn));
+  EXPECT_FALSE(logger.enabled(LogLevel::Debug));
+  EXPECT_FALSE(logger.enabled(LogLevel::Info));
+  EXPECT_TRUE(logger.enabled(LogLevel::Warn));
+  EXPECT_TRUE(logger.enabled(LogLevel::Error));
+
+  logger.debug("d");
+  logger.info("i");
+  logger.warn("w");
+  logger.error("e");
+  EXPECT_EQ(logger.emitted(), 2u);
+  const auto lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find(" WARN w"), std::string::npos);
+  EXPECT_NE(lines[1].find(" ERROR e"), std::string::npos);
+}
+
+TEST(Log, TextFormatCarriesTimestampAndFields) {
+  Logger logger;
+  std::ostringstream sink;
+  logger.configure(&sink, unlimited());
+  logger.info("request_shed",
+              {{"id", std::uint64_t{42}},
+               {"delta", std::int64_t{-3}},
+               {"path", "snapshots/model.cwgl"},
+               {"frac", 0.5},
+               {"ok", true}});
+  const auto lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 1u);
+  // RFC 3339 UTC prefix: "2026-08-08T...Z INFO ...".
+  EXPECT_EQ(lines[0][4], '-');
+  EXPECT_EQ(lines[0][10], 'T');
+  EXPECT_NE(lines[0].find("Z INFO request_shed"), std::string::npos);
+  EXPECT_NE(lines[0].find(" id=42"), std::string::npos);
+  EXPECT_NE(lines[0].find(" delta=-3"), std::string::npos);
+  EXPECT_NE(lines[0].find(" path=snapshots/model.cwgl"), std::string::npos);
+  EXPECT_NE(lines[0].find(" frac=0.5"), std::string::npos);
+  EXPECT_NE(lines[0].find(" ok=true"), std::string::npos);
+}
+
+TEST(Log, JsonLinesParseWithTypedFields) {
+  Logger logger;
+  std::ostringstream sink;
+  logger.configure(&sink, unlimited(LogLevel::Debug, /*json=*/true));
+  logger.warn("model_reload_failed",
+              {{"error", "bad \"magic\""},
+               {"attempt", 3},
+               {"gen", std::uint64_t{7}},
+               {"frac", 0.25},
+               {"ok", false}});
+  const auto lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 1u);
+
+  const util::JsonValue doc = util::parse_json(lines[0]);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("level").as_string(), "warn");
+  EXPECT_EQ(doc.at("event").as_string(), "model_reload_failed");
+  EXPECT_EQ(doc.at("error").as_string(), "bad \"magic\"");
+  EXPECT_EQ(doc.at("attempt").as_number(), 3.0);
+  EXPECT_EQ(doc.at("gen").as_number(), 7.0);
+  EXPECT_EQ(doc.at("frac").as_number(), 0.25);
+  EXPECT_EQ(doc.at("ok").as_bool(), false);
+  const std::string ts = doc.at("ts").as_string();
+  EXPECT_EQ(ts.size(), 24u);  // 2026-08-08T12:34:56.789Z
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(Log, RateLimitSuppressesAndCounts) {
+  Logger logger;
+  std::ostringstream sink;
+  Logger::Options o;
+  o.level = LogLevel::Info;
+  o.rate_per_s = 10.0;  // one token per 100ms
+  o.burst = 1.0;
+  logger.configure(&sink, o);
+
+  logger.info("first");  // spends the only token
+  logger.info("second");
+  logger.info("third");
+  EXPECT_EQ(logger.emitted(), 1u);
+  EXPECT_EQ(logger.suppressed(), 2u);
+
+  // After a refill the next record carries the suppressed count.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  logger.info("fourth");
+  EXPECT_EQ(logger.emitted(), 2u);
+  const auto lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("first"), std::string::npos);
+  EXPECT_NE(lines[1].find("fourth"), std::string::npos);
+  EXPECT_NE(lines[1].find("suppressed=2"), std::string::npos);
+}
+
+TEST(Log, OpenAppendsToFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cwgl_log_test.jsonl")
+          .string();
+  std::filesystem::remove(path);
+  Logger logger;
+  std::string error;
+  ASSERT_TRUE(logger.open(path, unlimited(LogLevel::Info, /*json=*/true),
+                          &error))
+      << error;
+  logger.info("daemon_started", {{"workers", 4}});
+  logger.info("drain_finished", {{"served", std::uint64_t{10}}});
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(util::parse_json(lines[0]).at("event").as_string(),
+            "daemon_started");
+  EXPECT_EQ(util::parse_json(lines[1]).at("served").as_number(), 10.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Log, OpenFailureKeepsPreviousSink) {
+  Logger logger;
+  std::ostringstream sink;
+  logger.configure(&sink, unlimited());
+  std::string error;
+  EXPECT_FALSE(logger.open("/nonexistent_dir_cwgl/log.txt", unlimited(),
+                           &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+  logger.info("still_here");
+  EXPECT_NE(sink.str().find("still_here"), std::string::npos);
+}
+
+TEST(Log, ConfigureNullDisables) {
+  Logger logger;
+  std::ostringstream sink;
+  logger.configure(&sink, unlimited());
+  logger.configure(nullptr, unlimited());
+  EXPECT_FALSE(logger.enabled(LogLevel::Error));
+  logger.error("nope");
+  EXPECT_EQ(sink.str(), "");
+}
+
+TEST(Log, GlobalLoggerIsOffByDefault) {
+  // Other tests may have configured it; only pin the accessor identity.
+  Logger& a = Logger::global();
+  Logger& b = Logger::global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace cwgl::obs

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -60,6 +62,120 @@ TEST(Histogram, BucketsByBitWidthAndQuantiles) {
   EXPECT_EQ(h.quantile(0.5), 3u);
   // The top of the distribution lands in 1000's bucket (width 10 -> <1024).
   EXPECT_EQ(h.quantile(1.0), 1023u);
+}
+
+/// Exact q-quantile under the same 0-based rank convention
+/// estimate_quantile uses: the order statistic at floor(q * (n - 1)).
+std::uint64_t exact_quantile(std::vector<std::uint64_t> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1));
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+/// Pins the documented error bound: the estimate stays inside the exact
+/// sample's bit-width bucket, so it is within a factor of 2 of the exact
+/// quantile (within +/-1 absolutely when the exact quantile is 0).
+void expect_within_factor_two(const Histogram& h,
+                              const std::vector<std::uint64_t>& samples) {
+  for (const double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const auto exact = static_cast<double>(exact_quantile(samples, q));
+    const double est = h.estimate_quantile(q);
+    if (exact == 0.0) {
+      EXPECT_LE(std::abs(est), 1.0) << "q=" << q;
+    } else {
+      EXPECT_GT(est, exact / 2.0) << "q=" << q << " exact=" << exact;
+      EXPECT_LT(est, exact * 2.0) << "q=" << q << " exact=" << exact;
+    }
+  }
+}
+
+TEST(Histogram, EstimateQuantileEmptyAndDegenerate) {
+  Histogram h;
+  EXPECT_EQ(h.estimate_quantile(0.5), 0.0);
+  h.record(0);
+  // All-zero samples: the estimate may interpolate inside [0, 1).
+  EXPECT_LE(h.estimate_quantile(0.5), 1.0);
+  EXPECT_GE(h.estimate_quantile(0.5), 0.0);
+}
+
+TEST(Histogram, EstimateQuantileUniformWithinFactorTwo) {
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    samples.push_back(v);
+    h.record(v);
+  }
+  expect_within_factor_two(h, samples);
+}
+
+TEST(Histogram, EstimateQuantileExponentialWithinFactorTwo) {
+  // Exponential-ish spread: v = round(e^(i/100)) for i in [0, 800) covers
+  // 1 .. ~2981 with mass concentrated at the low end.
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 800; ++i) {
+    const auto v = static_cast<std::uint64_t>(
+        std::llround(std::exp(static_cast<double>(i) / 100.0)));
+    samples.push_back(v);
+    h.record(v);
+  }
+  expect_within_factor_two(h, samples);
+}
+
+TEST(Histogram, EstimateQuantileBeatsBucketUpperBound) {
+  // The coarse quantile() reports the bucket's upper bound; the interpolated
+  // estimate must never be coarser and must stay below it for mid-bucket
+  // ranks. 600 samples of value 600 (bucket 10: [512, 1024)).
+  Histogram h;
+  for (int i = 0; i < 600; ++i) h.record(600);
+  EXPECT_EQ(h.quantile(0.5), 1023u);
+  const double est = h.estimate_quantile(0.5);
+  EXPECT_GE(est, 512.0);
+  EXPECT_LE(est, 600.0);  // capped at max()
+  EXPECT_LT(est / 600.0, 2.0);
+  EXPECT_GT(est / 600.0, 0.5);
+}
+
+TEST(Histogram, EstimateQuantileMonotoneAndCappedAtMax) {
+  Histogram h;
+  for (std::uint64_t v : {1u, 2u, 3u, 100u, 1000u}) h.record(v);
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double est = h.estimate_quantile(q);
+    EXPECT_GE(est, prev) << "q=" << q;
+    EXPECT_LE(est, static_cast<double>(h.max()));
+    prev = est;
+  }
+  // q=1 lands in max()'s bucket [512, 1024), tightened by max()+1.
+  EXPECT_GE(h.estimate_quantile(1.0), 512.0);
+  EXPECT_LE(h.estimate_quantile(1.0), 1000.0);
+}
+
+TEST(MetricsSnapshot, HistogramEntryCarriesEstimatesAndBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("s.est.lat_us");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& entry = snap.histograms[0];
+  EXPECT_EQ(entry.p50_est, h.estimate_quantile(0.50));
+  EXPECT_EQ(entry.p90_est, h.estimate_quantile(0.90));
+  EXPECT_EQ(entry.p99_est, h.estimate_quantile(0.99));
+  EXPECT_LE(entry.p50_est, entry.p90_est);
+  EXPECT_LE(entry.p90_est, entry.p99_est);
+  // 100 has bit width 7 -> buckets 0..7 survive trimming.
+  ASSERT_EQ(entry.buckets.size(), 8u);
+  std::uint64_t total = 0;
+  for (const auto b : entry.buckets) total += b;
+  EXPECT_EQ(total, entry.count);
+  // JSON snapshot surfaces the same derived fields.
+  std::ostringstream out;
+  snap.write_json(out);
+  const util::JsonValue doc = util::parse_json(out.str());
+  const auto& jh = doc.at("histograms").at("s.est.lat_us");
+  EXPECT_EQ(jh.at("p50_est").as_number(), entry.p50_est);
+  EXPECT_EQ(jh.at("buckets").as_array().size(), 8u);
 }
 
 TEST(MetricsRegistry, InstrumentReferencesAreStable) {

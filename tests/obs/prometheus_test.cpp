@@ -1,0 +1,126 @@
+// Prometheus text-exposition contract: cwgl_ prefix with illegal characters
+// replaced, counters get a `_total` suffix, gauges expose level and
+// high-water, histograms come out as cumulative `le` buckets whose bounds
+// are the bit-width bucket upper bounds (2^b - 1), ending in a `+Inf` bucket
+// that equals `_count`.
+
+#include "obs/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace cwgl::obs {
+namespace {
+
+std::string render(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  write_prometheus(out, snap);
+  return out.str();
+}
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(prometheus_name("serve.daemon.requests"),
+            "cwgl_serve_daemon_requests");
+  EXPECT_EQ(prometheus_name("already_legal_name"), "cwgl_already_legal_name");
+  EXPECT_EQ(prometheus_name("name:with:colons"), "cwgl_name:with:colons");
+  EXPECT_EQ(prometheus_name("odd chars-here/too"), "cwgl_odd_chars_here_too");
+  EXPECT_EQ(prometheus_name(""), "cwgl_");
+}
+
+TEST(Prometheus, CounterExposition) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"serve.daemon.requests", 7});
+  const std::string text = render(snap);
+  EXPECT_NE(text.find("# TYPE cwgl_serve_daemon_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cwgl_serve_daemon_requests_total 7\n"),
+            std::string::npos);
+}
+
+TEST(Prometheus, GaugeExposesLevelAndHighWater) {
+  MetricsSnapshot snap;
+  snap.gauges.push_back({"serve.daemon.queue_depth", 3, 12});
+  const std::string text = render(snap);
+  EXPECT_NE(text.find("# TYPE cwgl_serve_daemon_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cwgl_serve_daemon_queue_depth 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cwgl_serve_daemon_queue_depth_max gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cwgl_serve_daemon_queue_depth_max 12\n"),
+            std::string::npos);
+}
+
+TEST(Prometheus, HistogramCumulativeBuckets) {
+  // Samples 0, 1, 3, 6: bit widths 0, 1, 2, 3 — one sample per bucket.
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("latency_us");
+  h.record(0);
+  h.record(1);
+  h.record(3);
+  h.record(6);
+  const std::string text = render(reg.snapshot());
+
+  EXPECT_NE(text.find("# TYPE cwgl_latency_us histogram\n"),
+            std::string::npos);
+  // Cumulative counts at the bit-width bucket upper bounds.
+  EXPECT_NE(text.find("cwgl_latency_us_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cwgl_latency_us_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cwgl_latency_us_bucket{le=\"3\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cwgl_latency_us_bucket{le=\"7\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cwgl_latency_us_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cwgl_latency_us_sum 10\n"), std::string::npos);
+  EXPECT_NE(text.find("cwgl_latency_us_count 4\n"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramInfBucketEqualsCountWithTrimmedBuckets) {
+  // The snapshot trims trailing zero buckets; +Inf must still equal count.
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h_us");
+  for (int i = 0; i < 5; ++i) h.record(2);  // all in bucket 2
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].buckets.size(), 3u);  // buckets 0..2 kept
+
+  const std::string text = render(snap);
+  EXPECT_NE(text.find("cwgl_h_us_bucket{le=\"3\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("cwgl_h_us_bucket{le=\"+Inf\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("cwgl_h_us_count 5\n"), std::string::npos);
+}
+
+TEST(Prometheus, EmptySnapshotRendersNothing) {
+  EXPECT_EQ(render(MetricsSnapshot{}), "");
+}
+
+TEST(Prometheus, EveryLineIsTypeOrSample) {
+  MetricsRegistry reg;
+  reg.counter("c").add(1);
+  reg.gauge("g").set(2);
+  reg.histogram("h").record(3);
+  std::istringstream in(render(reg.snapshot()));
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE cwgl_", 0) == 0) continue;
+    // Sample lines: name[{labels}] SP value — exactly one space outside
+    // braces separating metric from value.
+    EXPECT_EQ(line.rfind("cwgl_", 0), 0u) << line;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(space, 0u) << line;
+  }
+  EXPECT_GT(lines, 10u);
+}
+
+}  // namespace
+}  // namespace cwgl::obs

@@ -76,6 +76,65 @@ TEST(Tracer, StartClearsPreviousEvents) {
   EXPECT_EQ(events[0].name, "second");
 }
 
+TEST(Tracer, DrainRemovesEventsAndKeepsCollecting) {
+  Tracer tracer;
+  tracer.start();
+  { Span span("first", tracer); }
+  const auto drained = tracer.drain();
+  ASSERT_EQ(drained.size(), 2u);  // B + E
+  EXPECT_EQ(drained[0].name, "first");
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_TRUE(tracer.enabled());  // drain does not disarm
+
+  // Collection continues with the same epoch: later spans' timestamps are
+  // not re-based below already-drained ones.
+  { Span span("second", tracer); }
+  const auto more = tracer.drain();
+  ASSERT_EQ(more.size(), 2u);
+  EXPECT_EQ(more[0].name, "second");
+  EXPECT_GE(more[0].ts_us, drained[1].ts_us);
+  tracer.stop();
+}
+
+TEST(Tracer, BoundedBufferDropsAndCounts) {
+  Tracer tracer;
+  tracer.start(4);  // room for two B/E pairs
+  for (int i = 0; i < 10; ++i) {
+    Span span("s", tracer);
+  }
+  EXPECT_EQ(tracer.events().size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 16u);  // 20 events attempted, 4 kept
+  // Draining frees capacity for new events; the drop counter is lifetime.
+  tracer.drain();
+  { Span span("late", tracer); }
+  EXPECT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 16u);
+  // start() resets the drop counter with the buffer.
+  tracer.start(4);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  tracer.stop();
+}
+
+TEST(Tracer, WriteTraceEventsJsonBareArray) {
+  Tracer tracer;
+  tracer.start();
+  {
+    Span span("payload", tracer);
+    span.arg("rows", 7);
+  }
+  const auto events = tracer.drain();
+  tracer.stop();
+  std::ostringstream out;
+  write_trace_events_json(out, events);
+  const util::JsonValue doc = util::parse_json(out.str());
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.as_array().size(), 2u);
+  EXPECT_EQ(doc.as_array()[0].at("name").as_string(), "payload");
+  EXPECT_EQ(doc.as_array()[0].at("ph").as_string(), "B");
+  EXPECT_EQ(doc.as_array()[1].at("ph").as_string(), "E");
+  EXPECT_EQ(doc.as_array()[1].at("args").at("rows").as_number(), 7.0);
+}
+
 // Replays the emitted Chrome trace-event JSON through the in-tree parser
 // and asserts the structural contract Perfetto relies on: every event has
 // pid/tid/ts/ph, timestamps never decrease in record order, and per thread

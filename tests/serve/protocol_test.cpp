@@ -47,8 +47,9 @@ TEST(ProtocolCodec, ClassifyRequestRoundTrips) {
 }
 
 TEST(ProtocolCodec, ControlRequestsRoundTrip) {
-  for (const RequestType t : {RequestType::Ping, RequestType::Stats,
-                              RequestType::Reload, RequestType::Drain}) {
+  for (const RequestType t :
+       {RequestType::Ping, RequestType::Stats, RequestType::Health,
+        RequestType::Trace, RequestType::Reload, RequestType::Drain}) {
     Request r;
     r.type = t;
     r.id = 7;
@@ -56,7 +57,9 @@ TEST(ProtocolCodec, ControlRequestsRoundTrip) {
     const Request back = decode_request(encode_request(r));
     EXPECT_EQ(back.type, t);
     EXPECT_EQ(back.id, 7u);
-    if (t == RequestType::Reload) EXPECT_EQ(back.model_path, r.model_path);
+    if (t == RequestType::Reload) {
+      EXPECT_EQ(back.model_path, r.model_path);
+    }
   }
 }
 
@@ -89,6 +92,31 @@ TEST(ProtocolCodec, ResponseRoundTripsEveryStatusAndPayload) {
     EXPECT_DOUBLE_EQ(back.predicted_width, 4.0);
     EXPECT_EQ(back.stats, r.stats);
   }
+}
+
+TEST(ProtocolCodec, TelemetryResponseFieldsRoundTrip) {
+  Response r;
+  r.id = 9;
+  r.status = ResponseStatus::Ok;
+  r.version = "cwgl 1.0.0 (cwgl-serve-v1)";
+  r.generation = 3;
+  r.payload = R"({"ready":true,"queue":{"depth":0,"high_water":12}})";
+  const Response back = decode_response(encode_response(r));
+  EXPECT_EQ(back.version, r.version);
+  EXPECT_EQ(back.generation, 3u);
+  // The payload is re-serialized from the parsed frame: semantically equal
+  // JSON with sorted object keys.
+  EXPECT_EQ(back.payload,
+            R"({"queue":{"depth":0,"high_water":12},"ready":true})");
+
+  // Defaults stay off the wire and decode back to defaults.
+  Response bare;
+  bare.id = 1;
+  const Response back_bare = decode_response(encode_response(bare));
+  EXPECT_EQ(back_bare.version, "");
+  EXPECT_EQ(back_bare.generation, 0u);
+  EXPECT_EQ(back_bare.payload, "");
+  EXPECT_EQ(encode_response(bare).find("payload"), std::string::npos);
 }
 
 TEST(ProtocolCodec, MalformedRequestsThrowProtocolError) {

@@ -193,6 +193,29 @@ TEST(JsonParse, RoundTripsWriterOutput) {
   EXPECT_EQ(doc.at("values").as_array()[0].as_number(), 1.5);
 }
 
+TEST(JsonSerialize, ToJsonStringRoundTripsParsedDocuments) {
+  // The serve protocol re-serializes parsed `payload` subtrees with
+  // to_json_string: semantics must survive, keys come out sorted, and
+  // integral doubles print without a fraction.
+  const std::string canonical =
+      R"({"a":[1,2.5,true,null,"x"],"b":{"nested":-7},"c":false})";
+  EXPECT_EQ(to_json_string(parse_json(canonical)), canonical);
+
+  // Unsorted input keys are normalized; a second round trip is stable.
+  const std::string normalized =
+      to_json_string(parse_json(R"({"z":1,"a":{"k":0.125}})"));
+  EXPECT_EQ(normalized, R"({"a":{"k":0.125},"z":1})");
+  EXPECT_EQ(to_json_string(parse_json(normalized)), normalized);
+
+  // Escapes survive the round trip.
+  EXPECT_EQ(to_json_string(parse_json(R"(["a\"b\\c\nd"])")),
+            R"(["a\"b\\c\nd"])");
+
+  std::ostringstream out;
+  write_json(out, parse_json("[0,9007199254740992]"));
+  EXPECT_EQ(out.str(), "[0,9007199254740992]");  // exact up to 2^53
+}
+
 TEST(JsonParse, RejectsMalformedDocuments) {
   EXPECT_THROW(parse_json(""), ParseError);
   EXPECT_THROW(parse_json("{"), ParseError);
