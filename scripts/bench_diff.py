@@ -18,6 +18,11 @@ Exit codes:
        metric missing from the current run, or a --min-bar/--max-bar glob
        that matches no current metric — the comparison is not meaningful
 
+Metrics present in the current run but absent from the baseline are the
+opposite of a structural problem: they warn on stderr and never affect
+the exit code, so a new bench metric can land together with its
+refreshed baseline in the same PR.
+
 Deltas are computed on medians. Percentages are signed so that positive
 means "current is slower/bigger than baseline". Only time-unit metrics
 (ms/us/ns) count against --max-regress; ratios and throughputs are
@@ -146,7 +151,13 @@ def main():
 
     extra = sorted(set(curr["metrics"]) - set(base["metrics"]))
     if extra:
-        print(f"note: current adds metric(s) not in baseline: {', '.join(extra)}")
+        # Never a failure: a metric the current run adds is how new bench
+        # metrics land together with their refreshed baseline in one PR.
+        print(
+            f"bench_diff: warning: current adds {len(extra)} metric(s) not "
+            f"in baseline (not gated): {', '.join(extra)}",
+            file=sys.stderr,
+        )
 
     print(f"bench: {base.get('bench')}")
     header = f"{'metric':<28}{'unit':>8}{'baseline':>12}{'current':>12}{'delta':>9}"

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <ostream>
 #include <sstream>
 
@@ -16,6 +17,7 @@
 #include "obs/prometheus.hpp"
 #include "obs/tracer.hpp"
 
+#include "cluster/scale.hpp"
 #include "core/comparison.hpp"
 #include "core/ingest.hpp"
 #include "core/pipeline.hpp"
@@ -60,10 +62,19 @@ commands:
                 per distinct shape, count-weighted — same results, and the
                 --json report gains an "intern" member with the table stats.
                 --json embeds "timings" and, with --metrics, a "metrics"
-                snapshot
+                snapshot.
+                --full[=minibatch|landmark] clusters EVERY eligible job (no
+                sampling): shapes are interned, featurized once each, and
+                clustered count-weighted by mini-batch k-means (default) or
+                a landmark/Nystrom spectral embedding — no n x n Gram, so
+                100k+ jobs run in seconds. Prints the per-group table plus
+                an agreement report (ARI/NMI) validating the full-trace
+                labels against the exact spectral pipeline on a shared job
+                subsample (--json emits schema cwgl-full-v1)
                   (--trace DIR | [--jobs N]) [--sample K] [--natural]
                   [--clusters K] [--wl-iterations H] [--seed S] [--intern]
-                  [--json] [--metrics[=FILE]] [--trace-out FILE]
+                  [--full[=METHOD]] [--json] [--metrics[=FILE]]
+                  [--trace-out FILE]
   cluster       similarity map + spectral groups + medoid .dot files
                   (--trace DIR | [--jobs N]) [--sample K] [--clusters K]
                   [--out DIR] [--seed S]
@@ -88,10 +99,15 @@ commands:
                 cwgl-model-v2 snapshot, then self-check that the snapshot
                 reproduces the pipeline's own cluster assignments. With
                 --intern the snapshot stores one representative per distinct
-                DAG shape (carrying its multiplicity) instead of one per job
+                DAG shape (carrying its multiplicity) instead of one per job.
+                --full[=minibatch|landmark] fits on EVERY eligible job via
+                the scalable full-trace path (one representative per distinct
+                shape of the whole workload). --json emits schema
+                cwgl-fit-v1 with the snapshot's total and per-section byte
+                sizes (CONF/DICT/PROF/REPS/SHPC) and the self-check verdict
                   (--trace DIR | [--jobs N]) [--out FILE] [--sample K]
                   [--clusters K] [--wl-iterations H] [--seed S] [--natural]
-                  [--conflated] [--intern]
+                  [--conflated] [--intern] [--full[=METHOD]] [--json]
   predict       with --model: classify the DAG jobs of a batch_task.csv
                 against a fitted snapshot (cluster, similarity, structure
                 forecast; --json emits schema cwgl-predict-v1).
@@ -249,6 +265,123 @@ void print_metrics_text(const ObsOptions& o, std::ostream& out) {
   obs::MetricsRegistry::global().snapshot().write_text(out);
 }
 
+/// Parses `--full[=minibatch|landmark]` into the pipeline config. Returns
+/// false (after printing to `err`) on an unrecognized method name.
+bool parse_full_method(const Args& args, const char* command,
+                       core::PipelineConfig& cfg, std::ostream& err) {
+  const std::string text = args.get("full");
+  if (!text.empty() && !cluster::parse_scale_method(text, cfg.full_method)) {
+    err << command << ": unknown --full method '" << text
+        << "' (expected minibatch or landmark)\n";
+    return false;
+  }
+  return true;
+}
+
+void print_full_trace_report(std::ostream& out,
+                             const core::FullTraceResult& result) {
+  out << "full-trace clustering (" << cluster::to_string(result.method);
+  if (result.degraded) out << ", degraded from landmark";
+  out << "): " << result.total_jobs() << " jobs, " << result.table.size()
+      << " distinct shapes ("
+      << util::format_double(100.0 * result.stats.distinct_ratio(), 1)
+      << "%)\n";
+  if (result.method == cluster::ScaleMethod::Landmark) {
+    out << "landmark embedding: " << result.landmarks << " landmarks, "
+        << result.embedding_dims << " dims\n";
+  }
+  out << "\ngroup  population      share   med.size  med.depth  med.width  "
+         "chains  short\n";
+  for (const core::ClusterGroupStats& g : result.groups) {
+    out << "    " << g.letter() << "  " << std::setw(10) << g.population
+        << "  " << std::setw(8)
+        << util::format_double(100.0 * g.population_fraction, 1) << "%  "
+        << std::setw(9) << util::format_double(g.size.median, 1) << "  "
+        << std::setw(9) << util::format_double(g.critical_path.median, 1)
+        << "  " << std::setw(9) << util::format_double(g.parallelism.median, 1)
+        << "  " << std::setw(5)
+        << util::format_double(100.0 * g.chain_fraction, 0) << "%  "
+        << std::setw(4) << util::format_double(100.0 * g.short_job_fraction, 0)
+        << "%\n";
+  }
+  if (result.agreement.items > 0) {
+    out << "\nagreement vs exact sampled pipeline ("
+        << result.agreement.items
+        << " jobs): ARI " << util::format_double(result.agreement.ari, 3)
+        << ", NMI " << util::format_double(result.agreement.nmi, 3) << "\n";
+  } else {
+    out << "\nagreement validation skipped (sample too small)\n";
+  }
+}
+
+void write_full_trace_json(std::ostream& out,
+                           const core::FullTraceResult& result,
+                           double load_ms, double pipeline_ms, double total_ms,
+                           const std::string& metrics_json) {
+  util::JsonWriter j(out);
+  j.begin_object();
+  j.field("schema", "cwgl-full-v1");
+  j.field("jobs", static_cast<unsigned long long>(result.total_jobs()));
+  j.field("distinct_shapes", result.table.size());
+  j.field("distinct_ratio", result.stats.distinct_ratio());
+  j.field("method", cluster::to_string(result.method));
+  j.field("degraded", result.degraded);
+  j.field("clusters", result.groups.size());
+  j.field("inertia", result.inertia);
+  if (result.method == cluster::ScaleMethod::Landmark) {
+    j.field("landmarks", result.landmarks);
+    j.field("embedding_dims", result.embedding_dims);
+  }
+  j.key("groups");
+  j.begin_array();
+  for (const core::ClusterGroupStats& g : result.groups) {
+    j.begin_object();
+    j.field("letter", std::string(1, g.letter()));
+    j.field("population", static_cast<unsigned long long>(g.population));
+    j.field("population_fraction", g.population_fraction);
+    j.field("mean_size", g.size.mean);
+    j.field("median_size", g.size.median);
+    j.field("mean_critical_path", g.critical_path.mean);
+    j.field("median_critical_path", g.critical_path.median);
+    j.field("mean_width", g.parallelism.mean);
+    j.field("median_width", g.parallelism.median);
+    j.field("chain_fraction", g.chain_fraction);
+    j.field("short_job_fraction", g.short_job_fraction);
+    j.field("medoid_shape", g.medoid);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("agreement");
+  j.begin_object();
+  j.field("jobs", result.agreement.items);
+  j.field("ari", result.agreement.ari);
+  j.field("nmi", result.agreement.nmi);
+  j.field("clusters_full", result.agreement.clusters_a);
+  j.field("clusters_exact", result.agreement.clusters_b);
+  j.end_object();
+  j.key("intern");
+  j.begin_object();
+  j.field("total_jobs", result.stats.total_jobs);
+  j.field("distinct_shapes", result.stats.distinct_shapes);
+  j.field("hits", result.stats.hits);
+  j.field("misses", result.stats.misses);
+  j.field("isomorphism_probes", result.stats.isomorphism_probes);
+  j.field("hash_collisions", result.stats.hash_collisions);
+  j.end_object();
+  j.key("timings");
+  j.begin_object();
+  j.field("load_ms", load_ms);
+  j.field("pipeline_ms", pipeline_ms);
+  j.field("total_ms", total_ms);
+  j.end_object();
+  if (!metrics_json.empty()) {
+    j.key("metrics");
+    j.raw(metrics_json);
+  }
+  j.end_object();
+  out << "\n";
+}
+
 int reject_unknown(const Args& args, std::ostream& err) {
   const auto unknown = args.unused();
   if (unknown.empty()) return 0;
@@ -304,6 +437,7 @@ int cmd_census(const Args& args, std::ostream& out, std::ostream& err) {
 
 int cmd_characterize(const Args& args, std::ostream& out, std::ostream& err) {
   const bool as_json = args.has("json");
+  const bool full = args.has("full");
   const ObsOptions obs_opts = start_observation(args);
   std::ostringstream sink;  // keep the JSON stream pure of progress chatter
   std::ostream& progress = as_json ? static_cast<std::ostream&>(sink) : out;
@@ -311,8 +445,31 @@ int cmd_characterize(const Args& args, std::ostream& out, std::ostream& err) {
   util::WallTimer load_timer;
   const trace::Trace data = load_or_generate(args, progress);
   const double load_ms = load_timer.millis();
-  const core::PipelineConfig cfg = pipeline_config(args);
+  core::PipelineConfig cfg = pipeline_config(args);
+  if (full && !parse_full_method(args, "characterize", cfg, err)) return 2;
   if (const int rc = reject_unknown(args, err)) return rc;
+
+  if (full) {
+    // Full-trace path: cluster EVERY eligible job (no sampling) via the
+    // scalable backends — memory bounded by distinct shapes.
+    util::ThreadPool pool;
+    util::WallTimer timer;
+    const core::FullTraceResult result =
+        core::CharacterizationPipeline(cfg).run_full(data, &pool);
+    const double pipeline_ms = timer.millis();
+    const std::string metrics_json = finish_observation(obs_opts, err);
+    if (as_json) {
+      write_full_trace_json(out, result, load_ms, pipeline_ms,
+                            total_timer.millis(), metrics_json);
+      return 0;
+    }
+    out << "full-trace pipeline completed in "
+        << util::format_double(pipeline_ms, 1) << " ms\n";
+    print_full_trace_report(out, result);
+    print_metrics_text(obs_opts, out);
+    return 0;
+  }
+
   util::ThreadPool pool;
   util::WallTimer timer;
   const auto result = core::CharacterizationPipeline(cfg).run(data, &pool);
@@ -598,42 +755,132 @@ int cmd_compare(const Args& args, std::ostream& out, std::ostream& err) {
 
 int cmd_fit(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string out_path = args.get("out", "model.cwgl");
-  const trace::Trace data = load_or_generate(args, out);
+  const bool as_json = args.has("json");
+  const bool full = args.has("full");
+  std::ostringstream sink;  // keep the JSON stream pure of progress chatter
+  std::ostream& progress = as_json ? static_cast<std::ostream&>(sink) : out;
+  const trace::Trace data = load_or_generate(args, progress);
   core::PipelineConfig cfg = pipeline_config(args);
   if (args.has("conflated")) cfg.analyze_conflated = true;
+  if (full && !parse_full_method(args, "fit", cfg, err)) return 2;
   if (const int rc = reject_unknown(args, err)) return rc;
 
   util::ThreadPool pool;
   util::WallTimer timer;
   core::FittedFeatures fitted;
-  const auto result =
-      core::CharacterizationPipeline(cfg).run(data, &pool, &fitted);
-  const auto snapshot = model::build_model(result, std::move(fitted), cfg);
+  const core::CharacterizationPipeline pipeline(cfg);
+  model::FittedModel snapshot;
+  // Self-check inputs: the training jobs (exemplars on a full fit) and the
+  // cluster each must land back in when classified through the snapshot.
+  std::vector<core::JobDag> check_jobs;
+  std::vector<int> check_labels;
+  std::string full_method;
+  bool full_degraded = false;
+  cluster::AgreementReport agreement;
+  if (full) {
+    core::FullTraceResult result = pipeline.run_full(data, &pool, &fitted);
+    full_method = cluster::to_string(result.method);
+    full_degraded = result.degraded;
+    agreement = result.agreement;
+    snapshot = model::build_model_full(result, std::move(fitted), cfg);
+    check_labels = result.shape_labels;
+    check_jobs = std::move(result.table.exemplars);
+  } else {
+    core::PipelineResult result = pipeline.run(data, &pool, &fitted);
+    snapshot = model::build_model(result, std::move(fitted), cfg);
+    check_labels = result.clustering.labels;
+    check_jobs = std::move(result.sample);
+  }
   model::save_model(snapshot, out_path);
+  const double elapsed_ms = timer.millis();
   std::error_code ec;
   const auto bytes = std::filesystem::file_size(out_path, ec);
-
-  out << "fitted " << snapshot.num_clusters() << " clusters over "
-      << snapshot.training_weight() << " jobs ("
-      << snapshot.training_jobs() << " representatives, "
-      << snapshot.dictionary.size() << " WL signatures) in "
-      << util::format_double(timer.millis(), 1) << " ms\n";
-  out << "wrote " << out_path << " (" << bytes << " bytes)\n";
+  const model::SectionSizes sections = model::section_sizes(snapshot);
 
   // Round-trip self-check: reload the snapshot from disk and classify every
   // training job through it — each must land back in its own cluster, or
   // the model does not faithfully represent the fit.
   const serve::Classifier classifier(model::load_model(out_path));
   std::size_t agree = 0;
-  for (std::size_t i = 0; i < result.sample.size(); ++i) {
-    if (classifier.classify(result.sample[i]).cluster ==
-        result.clustering.labels[i]) {
+  for (std::size_t i = 0; i < check_jobs.size(); ++i) {
+    if (classifier.classify(check_jobs[i]).cluster == check_labels[i]) {
       ++agree;
     }
   }
-  out << "self-check: " << agree << "/" << result.sample.size()
+  const bool self_check_ok = agree == check_jobs.size();
+
+  if (as_json) {
+    util::JsonWriter j(out);
+    j.begin_object();
+    j.field("schema", "cwgl-fit-v1");
+    j.field("full", full);
+    if (full) {
+      j.field("method", full_method);
+      j.field("degraded", full_degraded);
+      j.key("agreement");
+      j.begin_object();
+      j.field("jobs", agreement.items);
+      j.field("ari", agreement.ari);
+      j.field("nmi", agreement.nmi);
+      j.end_object();
+    }
+    j.field("clusters", snapshot.num_clusters());
+    j.field("training_jobs",
+            static_cast<unsigned long long>(snapshot.training_weight()));
+    j.field("representatives", snapshot.training_jobs());
+    j.field("dictionary_size", snapshot.dictionary.size());
+    j.field("elapsed_ms", elapsed_ms);
+    j.key("snapshot");
+    j.begin_object();
+    j.field("path", out_path);
+    j.field("bytes", static_cast<unsigned long long>(bytes));
+    j.key("sections");
+    j.begin_object();
+    j.field("conf", static_cast<unsigned long long>(sections.conf));
+    j.field("dict", static_cast<unsigned long long>(sections.dict));
+    j.field("prof", static_cast<unsigned long long>(sections.prof));
+    j.field("reps", static_cast<unsigned long long>(sections.reps));
+    j.field("shpc", static_cast<unsigned long long>(sections.shpc));
+    j.field("total", static_cast<unsigned long long>(sections.total));
+    j.end_object();
+    j.end_object();
+    j.key("self_check");
+    j.begin_object();
+    j.field("agree", agree);
+    j.field("total", check_jobs.size());
+    j.field("ok", self_check_ok);
+    j.end_object();
+    j.end_object();
+    out << "\n";
+    if (!self_check_ok) {
+      err << "fit: self-check FAILED — snapshot disagrees with the pipeline\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  out << "fitted " << snapshot.num_clusters() << " clusters over "
+      << snapshot.training_weight() << " jobs ("
+      << snapshot.training_jobs() << " representatives, "
+      << snapshot.dictionary.size() << " WL signatures) in "
+      << util::format_double(elapsed_ms, 1) << " ms\n";
+  if (full) {
+    out << "full-trace fit (" << full_method
+        << (full_degraded ? ", degraded" : "") << ")";
+    if (agreement.items > 0) {
+      out << ": agreement vs exact sample ARI "
+          << util::format_double(agreement.ari, 3) << ", NMI "
+          << util::format_double(agreement.nmi, 3);
+    }
+    out << "\n";
+  }
+  out << "wrote " << out_path << " (" << bytes
+      << " bytes; sections conf=" << sections.conf
+      << " dict=" << sections.dict << " prof=" << sections.prof
+      << " reps=" << sections.reps << " shpc=" << sections.shpc << ")\n";
+  out << "self-check: " << agree << "/" << check_jobs.size()
       << " training jobs reproduce their cluster\n";
-  if (agree != result.sample.size()) {
+  if (!self_check_ok) {
     err << "fit: self-check FAILED — snapshot disagrees with the pipeline\n";
     return 1;
   }

@@ -1,0 +1,24 @@
+#include "cluster/agreement.hpp"
+
+#include "cluster/metrics.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::cluster {
+
+AgreementReport measure_agreement(std::span<const int> a,
+                                  std::span<const int> b) {
+  if (a.size() != b.size()) {
+    throw util::InvalidArgument(
+        "measure_agreement: assignments must have equal length");
+  }
+  AgreementReport r;
+  r.items = a.size();
+  if (r.items == 0) return r;
+  r.clusters_a = cluster_count(a);
+  r.clusters_b = cluster_count(b);
+  r.ari = adjusted_rand_index(a, b);
+  r.nmi = normalized_mutual_information(a, b);
+  return r;
+}
+
+}  // namespace cwgl::cluster

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace cwgl::cluster {
+
+/// How well two clusterings of the same items agree — the validation
+/// artifact the full-trace path reports against the exact sampled pipeline.
+struct AgreementReport {
+  std::size_t items = 0;  ///< jobs compared (0 = no validation ran)
+  int clusters_a = 0;     ///< distinct labels in the first assignment
+  int clusters_b = 0;     ///< distinct labels in the second assignment
+  double ari = 0.0;       ///< adjusted Rand index (1 = identical partitions)
+  double nmi = 0.0;       ///< normalized mutual information, in [0, 1]
+};
+
+/// Computes ARI + NMI between two assignments of the same items. Empty
+/// inputs yield an all-zero report (items == 0). Throws InvalidArgument if
+/// the assignments differ in length.
+AgreementReport measure_agreement(std::span<const int> a,
+                                  std::span<const int> b);
+
+}  // namespace cwgl::cluster

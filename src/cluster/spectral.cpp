@@ -21,6 +21,15 @@ SpectralResult spectral_cluster(const linalg::Matrix& similarity, int k,
   if (k < 1 || static_cast<std::size_t>(k) > n) {
     throw util::InvalidArgument("spectral_cluster: need 1 <= k <= n");
   }
+  if (options.max_dense_items != 0 && n > options.max_dense_items) {
+    throw util::InvalidArgument(
+        "spectral_cluster: " + std::to_string(n) +
+        " items exceed the dense-path limit of " +
+        std::to_string(options.max_dense_items) +
+        " (O(n^2) memory, O(n^3) eigensolve); use the scalable path "
+        "(`cwgl characterize --full` / cluster_at_scale) or raise "
+        "SpectralOptions::max_dense_items");
+  }
 
   SpectralResult result;
 
@@ -165,6 +174,15 @@ SpectralResult spectral_cluster_weighted(const linalg::Matrix& similarity,
   }
   if (k < 1 || static_cast<std::size_t>(k) > n) {
     throw util::InvalidArgument("spectral_cluster_weighted: need 1 <= k <= n");
+  }
+  if (options.max_dense_items != 0 && n > options.max_dense_items) {
+    throw util::InvalidArgument(
+        "spectral_cluster_weighted: " + std::to_string(n) +
+        " items exceed the dense-path limit of " +
+        std::to_string(options.max_dense_items) +
+        " (O(n^2) memory, O(n^3) eigensolve); use the scalable path "
+        "(`cwgl characterize --full` / cluster_at_scale) or raise "
+        "SpectralOptions::max_dense_items");
   }
 
   SpectralResult result;

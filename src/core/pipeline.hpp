@@ -6,6 +6,8 @@
 #include <span>
 #include <vector>
 
+#include "cluster/agreement.hpp"
+#include "cluster/scale.hpp"
 #include "core/characterization.hpp"
 #include "core/clustering.hpp"
 #include "core/ingest.hpp"
@@ -47,6 +49,12 @@ struct PipelineConfig {
   /// results match the direct path (see PipelineResult::interned). Turns
   /// O(jobs) featurize/kernel work into O(distinct shapes).
   bool intern_shapes = false;
+  /// Full-trace runs (run_full) only: scalable clustering backend.
+  cluster::ScaleMethod full_method = cluster::ScaleMethod::MiniBatch;
+  /// Full-trace runs only: jobs sampled (uniformly, seeded by sample_seed)
+  /// to validate full-trace labels against the exact spectral pipeline.
+  /// Clamped to the dense-path guard; 0 skips validation.
+  std::size_t full_validation_sample = 200;
 };
 
 /// Shape-level byproducts of an interned pipeline run
@@ -62,6 +70,40 @@ struct InternedAnalysis {
   linalg::Matrix shape_gram;
   /// Intern-table hit/miss/probe counters.
   ShapeStore::Stats stats;
+};
+
+/// Result of clustering EVERY eligible job of a trace (run_full): the
+/// learning stage runs once per distinct shape, count-weighted, through
+/// cluster::cluster_at_scale — no n x n Gram is ever materialized, so
+/// memory is bounded by distinct shapes, not jobs.
+struct FullTraceResult {
+  /// Distinct shapes of the whole eligible workload, first-seen order.
+  ShapeTable table;
+  /// Shape id of every built job, in trace order.
+  std::vector<std::uint32_t> shape_of;
+  ShapeStore::Stats stats;            ///< intern hit/miss/probe counters
+  /// Cluster id per distinct shape, relabeled by descending weighted mass
+  /// (group 0 = 'A' = most jobs, matching the paper's naming). A job's
+  /// label is shape_labels[shape_of[i]].
+  std::vector<int> shape_labels;
+  /// Count-weighted per-group statistics. Unlike the sampled pipeline's
+  /// groups, `medoid` here is a SHAPE id (index into table), not a job
+  /// index: the member shape nearest the group's weighted feature mean.
+  std::vector<ClusterGroupStats> groups;
+  cluster::ScaleMethod method = cluster::ScaleMethod::MiniBatch;
+  bool degraded = false;              ///< landmark fell back to mini-batch
+  double inertia = 0.0;
+  std::size_t landmarks = 0;          ///< landmark path only
+  std::size_t embedding_dims = 0;     ///< landmark path only
+  /// Full-trace labels vs the exact spectral pipeline on a shared uniform
+  /// job subsample (items == 0 when validation was skipped).
+  cluster::AgreementReport agreement;
+
+  std::uint64_t total_jobs() const noexcept { return table.total_jobs; }
+
+  /// Expanded per-job labels (trace order) — convenience for consumers
+  /// that need one label per job rather than per shape.
+  std::vector<int> job_labels() const;
 };
 
 /// Everything the paper's evaluation reports, computed in one pass.
@@ -107,9 +149,35 @@ class CharacterizationPipeline {
                      util::ThreadPool* pool = nullptr,
                      FittedFeatures* fitted = nullptr) const;
 
+  /// Clusters EVERY eligible job of the trace (no sampling): intern all
+  /// shapes, featurize once per distinct shape, cluster count-weighted
+  /// sparse features via cluster_at_scale (config().full_method), and
+  /// validate against the exact spectral pipeline on a shared uniform
+  /// subsample (config().full_validation_sample jobs). When `fitted` is
+  /// non-null the per-shape feature vectors + frozen dictionary are
+  /// exported — the train-side hook `cwgl fit --full` builds snapshots
+  /// from. Throws InvalidArgument when no eligible DAG jobs exist.
+  FullTraceResult run_full(const trace::Trace& trace,
+                           util::ThreadPool* pool = nullptr,
+                           FittedFeatures* fitted = nullptr) const;
+
+  /// Streaming overload: same result straight from a `batch_task.csv`
+  /// stream with memory bounded by distinct shapes (core::stream_shape_jobs
+  /// machinery — a pool overlaps parsing with DAG building + interning).
+  FullTraceResult run_full(std::istream& task_csv,
+                           util::ThreadPool* pool = nullptr,
+                           FittedFeatures* fitted = nullptr,
+                           IngestStats* stats = nullptr) const;
+
  private:
   void run_interned(PipelineResult& result, util::ThreadPool* pool,
                     FittedFeatures* fitted) const;
+
+  FullTraceResult run_full_table(ShapeTable table,
+                                 std::vector<std::uint32_t> shape_of,
+                                 ShapeStore::Stats stats,
+                                 util::ThreadPool* pool,
+                                 FittedFeatures* fitted) const;
 
   PipelineConfig config_;
 };

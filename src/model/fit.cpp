@@ -140,4 +140,67 @@ FittedModel build_model(const core::PipelineResult& result,
   return m;
 }
 
+FittedModel build_model_full(const core::FullTraceResult& result,
+                             core::FittedFeatures fitted,
+                             const core::PipelineConfig& config) {
+  const std::size_t shapes = result.table.size();
+  if (shapes == 0) {
+    throw ModelError("model: cannot fit on an empty full-trace result");
+  }
+  if (fitted.vectors.size() != shapes ||
+      result.shape_labels.size() != shapes) {
+    throw ModelError(
+        "model: fitted features, shape labels, and the shape table disagree "
+        "on the distinct-shape count — results from different runs?");
+  }
+
+  FittedModel m;
+  m.wl = config.similarity.wl;
+  m.use_type_labels = config.similarity.use_type_labels;
+  m.normalize = config.similarity.normalize;
+  m.conflated = config.analyze_conflated;
+  m.dictionary = std::move(fitted.dictionary);
+
+  m.profiles.reserve(result.groups.size());
+  for (const core::ClusterGroupStats& g : result.groups) {
+    m.profiles.push_back(make_profile(g));
+  }
+  m.representatives.resize(m.profiles.size());
+
+  for (std::size_t t = 0; t < shapes; ++t) {
+    const int group = result.shape_labels[t];
+    if (group < 0 || static_cast<std::size_t>(group) >= m.profiles.size()) {
+      throw ModelError("model: shape label out of range for shape " +
+                       std::to_string(t));
+    }
+    Representative rep;
+    rep.job_name = result.table.exemplars[t].job_name;
+    // Training indices address the fit-time sequence; on a full-trace fit
+    // that sequence is the shape table itself, so the shape id works (dense,
+    // unique, < training_weight()).
+    rep.training_index = t;
+    rep.count = result.table.shapes[t].count;
+    rep.features = std::move(fitted.vectors[t]);
+    rep.self_norm = rep.features.norm();
+    m.representatives[static_cast<std::size_t>(group)].push_back(
+        std::move(rep));
+  }
+
+  // Full-trace group medoids are shape ids already — remap each to its
+  // position inside the cluster's representative list.
+  for (std::size_t c = 0; c < result.groups.size(); ++c) {
+    const std::size_t medoid = result.groups[c].medoid;
+    const auto& reps = m.representatives[c];
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      if (reps[r].training_index == medoid) {
+        m.profiles[c].medoid = r;
+        break;
+      }
+    }
+  }
+
+  m.validate();
+  return m;
+}
+
 }  // namespace cwgl::model

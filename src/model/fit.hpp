@@ -26,4 +26,15 @@ FittedModel build_model(const core::PipelineResult& result,
                         core::FittedFeatures fitted,
                         const core::PipelineConfig& config);
 
+/// Assembles a serving snapshot from a FULL-TRACE run
+/// (`CharacterizationPipeline::run_full(trace, pool, &fitted)` with the
+/// SAME `fitted`). One representative per distinct shape of the whole
+/// eligible workload, carrying its multiplicity; training indices are shape
+/// ids (dense, unique). Group medoids are already shape ids, so the
+/// within-cluster remap is direct. Validates before returning (throws
+/// ModelError).
+FittedModel build_model_full(const core::FullTraceResult& result,
+                             core::FittedFeatures fitted,
+                             const core::PipelineConfig& config);
+
 }  // namespace cwgl::model

@@ -326,6 +326,22 @@ std::string serialize_model(const FittedModel& m) {
   return out;
 }
 
+SectionSizes section_sizes(const FittedModel& m) {
+  SectionSizes s;
+  s.conf = encode_conf(m).size();
+  s.dict = encode_dict(m).size();
+  s.prof = encode_prof(m).size();
+  s.reps = encode_reps(m).size();
+  s.shpc = encode_shpc(m).size();
+  // Preamble (magic + version + section count) plus one 16-byte header
+  // (tag u32 + size u64 + crc u32) per section.
+  constexpr std::uint64_t kSectionHeader = 4 + 8 + 4;
+  s.total = kModelMagic.size() + 4 + 4 +
+            std::size(kSectionOrder) * kSectionHeader + s.conf + s.dict +
+            s.prof + s.reps + s.shpc;
+  return s;
+}
+
 FittedModel deserialize_model(std::string_view bytes, std::string_view origin) {
   Cursor c(bytes, origin);
   if (c.bytes(kModelMagic.size(), "magic") != kModelMagic) {

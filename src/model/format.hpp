@@ -53,6 +53,24 @@ inline constexpr std::uint32_t kModelFormatVersionLegacy = 1;
 /// `m.validate()` first so an invalid model is never encoded.
 std::string serialize_model(const FittedModel& m);
 
+/// Per-section payload byte sizes of a snapshot — what `cwgl fit --json`
+/// reports so model growth (full-trace fits especially) is observable.
+/// `total` is the exact serialize_model() size: preamble + five section
+/// headers + the payloads.
+struct SectionSizes {
+  std::uint64_t conf = 0;
+  std::uint64_t dict = 0;
+  std::uint64_t prof = 0;
+  std::uint64_t reps = 0;
+  std::uint64_t shpc = 0;
+  std::uint64_t total = 0;
+};
+
+/// Computes the encoded payload sizes of `m` without keeping the bytes.
+/// Does not validate; sizes are well-defined for any structurally sound
+/// model.
+SectionSizes section_sizes(const FittedModel& m);
+
 /// Strictly decodes bytes produced by serialize_model(). `origin` names the
 /// source (a path, "<memory>", ...) in error messages. Throws ModelError on
 /// any structural or semantic defect; never exhibits UB on corrupt input —

@@ -1,0 +1,58 @@
+#include "cluster/agreement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cwgl::cluster {
+namespace {
+
+TEST(Agreement, IdenticalPartitionsScorePerfect) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  const auto report = measure_agreement(a, a);
+  EXPECT_EQ(report.items, 6u);
+  EXPECT_EQ(report.clusters_a, 3);
+  EXPECT_EQ(report.clusters_b, 3);
+  EXPECT_DOUBLE_EQ(report.ari, 1.0);
+  EXPECT_DOUBLE_EQ(report.nmi, 1.0);
+}
+
+TEST(Agreement, RelabeledPartitionsStillPerfect) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> b = {2, 2, 0, 0, 1, 1};
+  const auto report = measure_agreement(a, b);
+  EXPECT_DOUBLE_EQ(report.ari, 1.0);
+  EXPECT_DOUBLE_EQ(report.nmi, 1.0);
+}
+
+TEST(Agreement, DisagreeingPartitionsScoreLow) {
+  // b splits every a-cluster in half across its own two clusters —
+  // close to independence.
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2, 3, 3};
+  const std::vector<int> b = {0, 1, 0, 1, 0, 1, 0, 1};
+  const auto report = measure_agreement(a, b);
+  EXPECT_LT(report.ari, 0.1);
+  EXPECT_EQ(report.clusters_a, 4);
+  EXPECT_EQ(report.clusters_b, 2);
+}
+
+TEST(Agreement, EmptyInputsYieldZeroReport) {
+  const std::vector<int> none;
+  const auto report = measure_agreement(none, none);
+  EXPECT_EQ(report.items, 0u);
+  EXPECT_EQ(report.clusters_a, 0);
+  EXPECT_EQ(report.clusters_b, 0);
+  EXPECT_DOUBLE_EQ(report.ari, 0.0);
+  EXPECT_DOUBLE_EQ(report.nmi, 0.0);
+}
+
+TEST(Agreement, LengthMismatchThrows) {
+  const std::vector<int> a = {0, 1};
+  const std::vector<int> b = {0, 1, 2};
+  EXPECT_THROW(measure_agreement(a, b), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cwgl::cluster

@@ -1,0 +1,102 @@
+#include "cluster/landmark.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "cluster/metrics.hpp"
+#include "cluster/sparse_blobs.hpp"
+#include "util/error.hpp"
+
+namespace cwgl::cluster {
+namespace {
+
+using testing::make_sparse_blobs;
+
+TEST(LandmarkSpectral, RecoversPlantedGroups) {
+  const auto blobs = make_sparse_blobs(4, 50, 19);
+  LandmarkOptions opt;
+  opt.landmarks = 64;
+  const auto result =
+      landmark_spectral_cluster(blobs.points, blobs.weights, blobs.dims, 4, opt);
+  EXPECT_GT(adjusted_rand_index(result.labels, blobs.truth), 0.99);
+}
+
+TEST(LandmarkSpectral, DeterministicForSeed) {
+  const auto blobs = make_sparse_blobs(3, 40, 29);
+  LandmarkOptions opt;
+  opt.landmarks = 48;
+  opt.seed = 5;
+  opt.kmeans.seed = 6;
+  const auto a =
+      landmark_spectral_cluster(blobs.points, blobs.weights, blobs.dims, 3, opt);
+  const auto b =
+      landmark_spectral_cluster(blobs.points, blobs.weights, blobs.dims, 3, opt);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.landmarks, b.landmarks);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(LandmarkSpectral, LandmarkBudgetClampedToCorpus) {
+  const auto blobs = make_sparse_blobs(2, 6, 31);  // 12 vectors
+  LandmarkOptions opt;
+  opt.landmarks = 500;
+  const auto result =
+      landmark_spectral_cluster(blobs.points, blobs.weights, blobs.dims, 2, opt);
+  EXPECT_EQ(result.landmarks.size(), blobs.points.size());
+  EXPECT_TRUE(std::is_sorted(result.landmarks.begin(), result.landmarks.end()));
+  // Without replacement: all chosen indices distinct and in range.
+  std::set<std::size_t> distinct(result.landmarks.begin(),
+                                 result.landmarks.end());
+  EXPECT_EQ(distinct.size(), result.landmarks.size());
+  for (std::size_t idx : result.landmarks) EXPECT_LT(idx, blobs.points.size());
+}
+
+TEST(LandmarkSpectral, EmbeddingDimsBoundedByRequest) {
+  const auto blobs = make_sparse_blobs(3, 30, 37);
+  LandmarkOptions opt;
+  opt.landmarks = 32;
+  opt.embedding_dims = 2;
+  const auto result =
+      landmark_spectral_cluster(blobs.points, blobs.weights, blobs.dims, 3, opt);
+  EXPECT_LE(result.dims, 2u);
+  EXPECT_GE(result.dims, 1u);
+}
+
+TEST(LandmarkSpectral, InvalidArgumentsThrow) {
+  const auto blobs = make_sparse_blobs(2, 5, 41);
+  EXPECT_THROW(
+      landmark_spectral_cluster(blobs.points, blobs.weights, blobs.dims, 0),
+      util::InvalidArgument);
+  EXPECT_THROW(
+      landmark_spectral_cluster(blobs.points, blobs.weights, blobs.dims,
+                                static_cast<int>(blobs.points.size()) + 1),
+      util::InvalidArgument);
+  std::vector<double> bad = blobs.weights;
+  bad.back() = -2.0;
+  EXPECT_THROW(landmark_spectral_cluster(blobs.points, bad, blobs.dims, 2),
+               util::InvalidArgument);
+  LandmarkOptions zero;
+  zero.landmarks = 0;
+  EXPECT_THROW(landmark_spectral_cluster(blobs.points, blobs.weights,
+                                         blobs.dims, 2, zero),
+               util::InvalidArgument);
+}
+
+TEST(LandmarkSpectral, LabelsInRangeAndSized) {
+  const auto blobs = make_sparse_blobs(3, 20, 43);
+  LandmarkOptions opt;
+  opt.landmarks = 24;
+  const auto result =
+      landmark_spectral_cluster(blobs.points, blobs.weights, blobs.dims, 3, opt);
+  ASSERT_EQ(result.labels.size(), blobs.points.size());
+  for (int l : result.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 3);
+  }
+}
+
+}  // namespace
+}  // namespace cwgl::cluster

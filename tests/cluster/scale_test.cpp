@@ -1,0 +1,119 @@
+#include "cluster/scale.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "cluster/metrics.hpp"
+#include "cluster/sparse_blobs.hpp"
+#include "util/diagnostics.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace cwgl::cluster {
+namespace {
+
+using testing::make_sparse_blobs;
+
+TEST(ScaleMethodNames, RoundTrip) {
+  EXPECT_EQ(to_string(ScaleMethod::MiniBatch), "minibatch");
+  EXPECT_EQ(to_string(ScaleMethod::Landmark), "landmark");
+  ScaleMethod m = ScaleMethod::MiniBatch;
+  EXPECT_TRUE(parse_scale_method("landmark", m));
+  EXPECT_EQ(m, ScaleMethod::Landmark);
+  EXPECT_TRUE(parse_scale_method("minibatch", m));
+  EXPECT_EQ(m, ScaleMethod::MiniBatch);
+  EXPECT_FALSE(parse_scale_method("exact", m));
+  EXPECT_FALSE(parse_scale_method("", m));
+}
+
+TEST(ClusterAtScale, BothBackendsRecoverPlantedGroups) {
+  const auto blobs = make_sparse_blobs(4, 60, 53);
+  for (const ScaleMethod method :
+       {ScaleMethod::MiniBatch, ScaleMethod::Landmark}) {
+    ScaleOptions opt;
+    opt.method = method;
+    opt.clusters = 4;
+    const auto result =
+        cluster_at_scale(blobs.points, blobs.weights, blobs.dims, opt);
+    EXPECT_EQ(result.method, method) << to_string(method);
+    EXPECT_FALSE(result.degraded) << to_string(method);
+    EXPECT_GT(adjusted_rand_index(result.labels, blobs.truth), 0.99)
+        << to_string(method);
+  }
+}
+
+TEST(ClusterAtScale, DeterministicForSeed) {
+  const auto blobs = make_sparse_blobs(3, 40, 59);
+  for (const ScaleMethod method :
+       {ScaleMethod::MiniBatch, ScaleMethod::Landmark}) {
+    ScaleOptions opt;
+    opt.method = method;
+    opt.clusters = 3;
+    opt.seed = 123;
+    const auto a =
+        cluster_at_scale(blobs.points, blobs.weights, blobs.dims, opt);
+    const auto b =
+        cluster_at_scale(blobs.points, blobs.weights, blobs.dims, opt);
+    EXPECT_EQ(a.labels, b.labels) << to_string(method);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia) << to_string(method);
+  }
+}
+
+TEST(ClusterAtScale, InvalidArgumentsAreNotDegraded) {
+  const auto blobs = make_sparse_blobs(2, 5, 61);
+  ScaleOptions opt;
+  opt.clusters = 0;
+  EXPECT_THROW(cluster_at_scale(blobs.points, blobs.weights, blobs.dims, opt),
+               util::InvalidArgument);
+  opt.clusters = static_cast<int>(blobs.points.size()) + 1;
+  EXPECT_THROW(cluster_at_scale(blobs.points, blobs.weights, blobs.dims, opt),
+               util::InvalidArgument);
+  // Caller bugs surface even on the landmark path — never masked by the
+  // mini-batch fallback.
+  opt.method = ScaleMethod::Landmark;
+  EXPECT_THROW(cluster_at_scale(blobs.points, blobs.weights, blobs.dims, opt),
+               util::InvalidArgument);
+}
+
+TEST(ClusterAtScale, LandmarkFaultDegradesToMiniBatch) {
+  if (!util::failpoint::compiled_in()) {
+    GTEST_SKIP() << "failpoints not compiled in";
+  }
+  const auto blobs = make_sparse_blobs(3, 30, 67);
+  util::failpoint::configure("cluster.scale=error");
+  util::Diagnostics diagnostics;
+  ScaleOptions opt;
+  opt.method = ScaleMethod::Landmark;
+  opt.clusters = 3;
+  opt.diagnostics = &diagnostics;
+  const auto result =
+      cluster_at_scale(blobs.points, blobs.weights, blobs.dims, opt);
+  util::failpoint::clear();
+
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.method, ScaleMethod::MiniBatch);
+  EXPECT_EQ(result.labels.size(), blobs.points.size());
+  EXPECT_GT(adjusted_rand_index(result.labels, blobs.truth), 0.99);
+  EXPECT_EQ(diagnostics.count_of("cluster.scale", "landmark-degraded"), 1u);
+}
+
+TEST(ClusterAtScale, MiniBatchPathUnaffectedByLandmarkFault) {
+  if (!util::failpoint::compiled_in()) {
+    GTEST_SKIP() << "failpoints not compiled in";
+  }
+  const auto blobs = make_sparse_blobs(2, 20, 71);
+  util::failpoint::configure("cluster.scale=error");
+  ScaleOptions opt;
+  opt.method = ScaleMethod::MiniBatch;
+  opt.clusters = 2;
+  const auto result =
+      cluster_at_scale(blobs.points, blobs.weights, blobs.dims, opt);
+  util::failpoint::clear();
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.method, ScaleMethod::MiniBatch);
+}
+
+}  // namespace
+}  // namespace cwgl::cluster

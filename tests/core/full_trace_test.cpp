@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "cluster/scale.hpp"
+#include "core/pipeline.hpp"
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cwgl::core {
+namespace {
+
+trace::Trace make_trace(std::size_t jobs = 4000, std::uint64_t seed = 99) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.num_jobs = jobs;
+  cfg.emit_instances = false;
+  return trace::TraceGenerator(cfg).generate();
+}
+
+TEST(FullTrace, ClustersEveryEligibleJob) {
+  const auto trace = make_trace();
+  const CharacterizationPipeline pipeline{PipelineConfig{}};
+  const auto result = pipeline.run_full(trace);
+
+  EXPECT_GT(result.total_jobs(), 1000u);
+  EXPECT_EQ(result.shape_of.size(), result.total_jobs());
+  ASSERT_EQ(result.shape_labels.size(), result.table.size());
+  // Many jobs, few shapes: the whole point of the interned path.
+  EXPECT_LT(result.table.size(), result.total_jobs() / 2);
+
+  const int k = static_cast<int>(result.groups.size());
+  EXPECT_GE(k, 2);
+  for (int l : result.shape_labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, k);
+  }
+  const auto jobs = result.job_labels();
+  EXPECT_EQ(jobs.size(), result.total_jobs());
+
+  // Groups are relabeled by descending weighted mass: A is the largest.
+  for (std::size_t g = 1; g < result.groups.size(); ++g) {
+    EXPECT_GE(result.groups[g - 1].population, result.groups[g].population);
+  }
+  // Medoids are shape ids belonging to their own group.
+  for (std::size_t g = 0; g < result.groups.size(); ++g) {
+    const std::size_t medoid = result.groups[g].medoid;
+    ASSERT_LT(medoid, result.table.size());
+    EXPECT_EQ(result.shape_labels[medoid], static_cast<int>(g));
+  }
+}
+
+TEST(FullTrace, AgreesWithExactPipelineOnSubsample) {
+  const auto trace = make_trace(6000, 3);
+  const CharacterizationPipeline pipeline{PipelineConfig{}};
+  const auto result = pipeline.run_full(trace);
+  ASSERT_GT(result.agreement.items, 0u) << "validation should have run";
+  EXPECT_GE(result.agreement.ari, 0.8);
+  EXPECT_GT(result.agreement.nmi, 0.5);
+}
+
+TEST(FullTrace, DeterministicForSeedBothMethods) {
+  const auto trace = make_trace(3000, 5);
+  for (const cluster::ScaleMethod method :
+       {cluster::ScaleMethod::MiniBatch, cluster::ScaleMethod::Landmark}) {
+    PipelineConfig cfg;
+    cfg.full_method = method;
+    const CharacterizationPipeline pipeline(cfg);
+    const auto a = pipeline.run_full(trace);
+    const auto b = pipeline.run_full(trace);
+    EXPECT_EQ(a.shape_labels, b.shape_labels)
+        << cluster::to_string(method);
+    EXPECT_EQ(a.method, method) << cluster::to_string(method);
+    EXPECT_DOUBLE_EQ(a.agreement.ari, b.agreement.ari)
+        << cluster::to_string(method);
+  }
+}
+
+TEST(FullTrace, StreamOverloadMatchesTraceOverload) {
+  const auto trace = make_trace(2000, 7);
+  std::ostringstream out;
+  trace::write_batch_task_csv(out, trace.tasks);
+  const std::string csv = out.str();
+
+  const CharacterizationPipeline pipeline{PipelineConfig{}};
+  const auto from_trace = pipeline.run_full(trace);
+
+  std::istringstream in(csv);
+  const auto from_stream = pipeline.run_full(in);
+
+  EXPECT_EQ(from_stream.table.size(), from_trace.table.size());
+  EXPECT_EQ(from_stream.total_jobs(), from_trace.total_jobs());
+  EXPECT_EQ(from_stream.shape_labels, from_trace.shape_labels);
+  EXPECT_EQ(from_stream.shape_of, from_trace.shape_of);
+}
+
+TEST(FullTrace, PooledMatchesSerial) {
+  const auto trace = make_trace(2500, 11);
+  const CharacterizationPipeline pipeline{PipelineConfig{}};
+  const auto serial = pipeline.run_full(trace);
+  util::ThreadPool pool(4);
+  const auto pooled = pipeline.run_full(trace, &pool);
+  EXPECT_EQ(pooled.shape_labels, serial.shape_labels);
+  EXPECT_EQ(pooled.shape_of, serial.shape_of);
+  EXPECT_DOUBLE_EQ(pooled.agreement.ari, serial.agreement.ari);
+}
+
+TEST(FullTrace, LandmarkMethodReportsItsMetadata) {
+  const auto trace = make_trace(3000, 13);
+  PipelineConfig cfg;
+  cfg.full_method = cluster::ScaleMethod::Landmark;
+  const CharacterizationPipeline pipeline(cfg);
+  const auto result = pipeline.run_full(trace);
+  if (!result.degraded) {
+    EXPECT_EQ(result.method, cluster::ScaleMethod::Landmark);
+    EXPECT_GT(result.landmarks, 0u);
+    EXPECT_GT(result.embedding_dims, 0u);
+  }
+}
+
+TEST(FullTrace, EmptyTraceThrows) {
+  trace::Trace empty;
+  const CharacterizationPipeline pipeline{PipelineConfig{}};
+  EXPECT_THROW(pipeline.run_full(empty), util::InvalidArgument);
+}
+
+TEST(FullTrace, FittedFeaturesAlignWithShapes) {
+  const auto trace = make_trace(2000, 17);
+  const CharacterizationPipeline pipeline{PipelineConfig{}};
+  FittedFeatures fitted;
+  const auto result = pipeline.run_full(trace, nullptr, &fitted);
+  EXPECT_EQ(fitted.vectors.size(), result.table.size());
+  EXPECT_FALSE(fitted.dictionary.empty());
+}
+
+}  // namespace
+}  // namespace cwgl::core

@@ -1,0 +1,112 @@
+// Full-trace train/serve round-trip: a snapshot fitted on EVERY eligible
+// job (one representative per distinct shape, count-weighted) must assign
+// each training exemplar back to its shape's cluster, survive
+// serialize/deserialize bit-true in behavior, and report sane per-section
+// sizes.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+
+#include "core/pipeline.hpp"
+#include "model/fit.hpp"
+#include "model/format.hpp"
+#include "serve/classifier.hpp"
+#include "trace/generator.hpp"
+
+namespace cwgl::model {
+namespace {
+
+trace::Trace small_trace(std::uint64_t seed = 7, std::size_t jobs = 2000) {
+  trace::GeneratorConfig cfg;
+  cfg.num_jobs = jobs;
+  cfg.seed = seed;
+  cfg.emit_instances = false;
+  return trace::TraceGenerator(cfg).generate();
+}
+
+struct FullFit {
+  core::FullTraceResult result;
+  FittedModel model;
+};
+
+FullFit run_full_fit() {
+  const trace::Trace data = small_trace();
+  const core::PipelineConfig cfg;
+  core::FittedFeatures fitted;
+  core::CharacterizationPipeline pipeline(cfg);
+  FullFit out{pipeline.run_full(data, nullptr, &fitted), {}};
+  out.model = build_model_full(out.result, std::move(fitted), cfg);
+  return out;
+}
+
+TEST(FullFitTest, OneRepresentativePerShapeWithMultiplicity) {
+  const FullFit fit = run_full_fit();
+  std::size_t reps = 0;
+  std::uint64_t weight = 0;
+  for (const auto& cluster : fit.model.representatives) {
+    for (const Representative& rep : cluster) {
+      ++reps;
+      weight += rep.count;
+      EXPECT_GE(rep.count, 1u);
+    }
+  }
+  EXPECT_EQ(reps, fit.result.table.size());
+  EXPECT_EQ(weight, fit.result.total_jobs());
+}
+
+TEST(FullFitTest, ClassifierReassignsExemplarsToTheirGroups) {
+  const FullFit fit = run_full_fit();
+  FittedModel copy = fit.model;
+  const serve::Classifier classifier(std::move(copy));
+  for (std::size_t t = 0; t < fit.result.table.size(); ++t) {
+    const serve::Prediction p =
+        classifier.classify(fit.result.table.exemplars[t]);
+    EXPECT_EQ(p.cluster, fit.result.shape_labels[t]) << "shape " << t;
+    EXPECT_NEAR(p.similarity, 1.0, 1e-9);
+  }
+}
+
+TEST(FullFitTest, SurvivesSerializeRoundTrip) {
+  FullFit fit = run_full_fit();
+  const std::string bytes = serialize_model(fit.model);
+  const FittedModel loaded = deserialize_model(bytes);
+  EXPECT_EQ(loaded.training_jobs(), fit.model.training_jobs());
+  EXPECT_EQ(loaded.profiles.size(), fit.model.profiles.size());
+
+  const serve::Classifier a(std::move(fit.model));
+  FittedModel copy = loaded;
+  const serve::Classifier b(std::move(copy));
+  for (std::size_t t = 0; t < fit.result.table.size() && t < 50; ++t) {
+    const auto pa = a.classify(fit.result.table.exemplars[t]);
+    const auto pb = b.classify(fit.result.table.exemplars[t]);
+    EXPECT_EQ(pa.cluster, pb.cluster);
+    EXPECT_DOUBLE_EQ(pa.similarity, pb.similarity);
+  }
+}
+
+TEST(FullFitTest, SectionSizesAddUpToSerializedBytes) {
+  const FullFit fit = run_full_fit();
+  const SectionSizes sizes = section_sizes(fit.model);
+  const std::string bytes = serialize_model(fit.model);
+  EXPECT_EQ(sizes.total, bytes.size());
+  EXPECT_EQ(sizes.total, kModelMagic.size() + 4 + 4 + 5 * 16 + sizes.conf +
+                             sizes.dict + sizes.prof + sizes.reps + sizes.shpc);
+  EXPECT_GT(sizes.dict, 0u);
+  EXPECT_GT(sizes.reps, 0u);
+  EXPECT_GT(sizes.shpc, 0u);
+}
+
+TEST(FullFitTest, MismatchedInputsThrow) {
+  const trace::Trace data = small_trace(9, 800);
+  const core::PipelineConfig cfg;
+  core::FittedFeatures fitted;
+  core::CharacterizationPipeline pipeline(cfg);
+  auto result = pipeline.run_full(data, nullptr, &fitted);
+  fitted.vectors.pop_back();
+  EXPECT_THROW(build_model_full(result, std::move(fitted), cfg), ModelError);
+}
+
+}  // namespace
+}  // namespace cwgl::model
